@@ -1,0 +1,367 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per exhibit, quick-scale configurations; run
+// cmd/benchfig -scale default for paper-scale numbers), plus ablation
+// and micro benchmarks. Custom metrics attach the experiment's headline
+// numbers to the benchmark output so `go test -bench=.` doubles as a
+// shape check.
+package tdnstream_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/baselines"
+	"tdnstream/internal/bench"
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/lifetime"
+	"tdnstream/internal/ris"
+	"tdnstream/internal/stream"
+)
+
+// BenchmarkTable1Datasets regenerates Table I (dataset summaries).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(bench.Table1Config{Steps: 2000}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7BasicVsHist regenerates Fig. 7 (BasicReduction vs
+// HistApprox across lifetime skews p).
+func BenchmarkFig7BasicVsHist(b *testing.B) {
+	var lastValueRatio, lastCallRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig7(bench.QuickFig7(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastValueRatio = rows[0].ValueRatioHistToBase
+		lastCallRatio = rows[0].CallRatioHistToBase
+	}
+	b.ReportMetric(lastValueRatio, "value-ratio")
+	b.ReportMetric(lastCallRatio, "call-ratio")
+}
+
+// BenchmarkFig8SolutionOverTime regenerates Fig. 8 (value over time:
+// HistApprox vs greedy vs random).
+func BenchmarkFig8SolutionOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig8Data(bench.QuickFig8()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9QualityRatio regenerates Fig. 9 (time-averaged value
+// ratio vs greedy).
+func BenchmarkFig9QualityRatio(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		cfg := bench.QuickFig8()
+		data, err := bench.RunFig8Data(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, r := range bench.Fig9From(cfg, data, nil) {
+			if r.Ratio < worst {
+				worst = r.Ratio
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-ratio")
+}
+
+// BenchmarkFig10OracleRatio regenerates Fig. 10 (cumulative oracle-call
+// ratio vs greedy).
+func BenchmarkFig10OracleRatio(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		cfg := bench.QuickFig8()
+		data, err := bench.RunFig8Data(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := data[0]
+		hist := d.Runs[d.EpsKeys[len(d.EpsKeys)-1]].Calls
+		greedy := d.Runs["greedy"].Calls
+		final = hist.At(hist.Len()-1) / greedy.At(greedy.Len()-1)
+	}
+	b.ReportMetric(final, "call-ratio")
+}
+
+// BenchmarkFig11VaryK regenerates Fig. 11 (ratios vs budget k).
+func BenchmarkFig11VaryK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig11(bench.QuickFig11(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12VaryL regenerates Fig. 12 (ratios vs lifetime bound L).
+func BenchmarkFig12VaryL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig12(bench.QuickFig12(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13QualityVsRIS regenerates Fig. 13 (quality vs the RIS
+// family and greedy).
+func BenchmarkFig13QualityVsRIS(b *testing.B) {
+	var hist float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig13(bench.QuickFig1314(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "HistApprox" {
+				hist = r.ValueRatio
+			}
+		}
+	}
+	b.ReportMetric(hist, "hist-ratio")
+}
+
+// BenchmarkFig14Throughput regenerates Fig. 14 (stream throughput per
+// method).
+func BenchmarkFig14Throughput(b *testing.B) {
+	var histTP, immTP float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig14(bench.QuickFig1314(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Method {
+			case "HistApprox":
+				histTP = r.Throughput
+			case "IMM":
+				immTP = r.Throughput
+			}
+		}
+	}
+	b.ReportMetric(histTP, "hist-edges/s")
+	b.ReportMetric(immTP, "imm-edges/s")
+}
+
+// BenchmarkAblationRefineHead compares HistApprox with and without the
+// exact-head refinement (paper remark after Theorem 8): the refinement
+// buys value at extra query-time oracle calls.
+func BenchmarkAblationRefineHead(b *testing.B) {
+	in, err := datasets.Generate("brightkite", 600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plainVal, refinedVal float64
+	for i := 0; i < b.N; i++ {
+		plain, err := bench.RunTracker(core.NewHistApprox(5, 0.2, 500, nil), in,
+			lifetime.NewGeometric(0.005, 500, 7), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refined := core.NewHistApprox(5, 0.2, 500, nil)
+		refined.RefineHead = true
+		ref, err := bench.RunTracker(refined, in, lifetime.NewGeometric(0.005, 500, 7), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plainVal = plain.Values.Mean()
+		refinedVal = ref.Values.Mean()
+	}
+	b.ReportMetric(plainVal, "plain-value")
+	b.ReportMetric(refinedVal, "refined-value")
+}
+
+// BenchmarkAblationLifetimeFamilies compares HistApprox cost across the
+// lifetime families the TDN model supports (paper §II-B examples).
+func BenchmarkAblationLifetimeFamilies(b *testing.B) {
+	in, err := datasets.Generate("brightkite", 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	families := map[string]func() lifetime.Assigner{
+		"window":    func() lifetime.Assigner { return lifetime.NewConstant(200) },
+		"geometric": func() lifetime.Assigner { return lifetime.NewGeometric(0.005, 1000, 7) },
+		"uniform":   func() lifetime.Assigner { return lifetime.NewUniform(1, 400, 7) },
+		"zipf":      func() lifetime.Assigner { return lifetime.NewZipf(1.2, 1000, 7) },
+	}
+	for name, mk := range families {
+		b.Run(name, func(b *testing.B) {
+			var calls float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunTracker(core.NewHistApprox(5, 0.2, 1000, nil), in, mk(), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = res.Calls.At(res.Calls.Len() - 1)
+			}
+			b.ReportMetric(calls, "oracle-calls")
+		})
+	}
+}
+
+// --- micro benchmarks -------------------------------------------------
+
+func benchGraph(n, e int, seed int64) *graph.ADN {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewADN()
+	for i := 0; i < e; i++ {
+		u := ids.NodeID(rng.Intn(n))
+		v := ids.NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BenchmarkOracleSpread measures one f_t evaluation (full BFS).
+func BenchmarkOracleSpread(b *testing.B) {
+	g := benchGraph(5000, 20000, 1)
+	o := influence.New(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Spread(ids.NodeID(i % 5000))
+	}
+}
+
+// BenchmarkOracleMarginalGain measures the incremental marginal-gain BFS
+// against a materialized reach set.
+func BenchmarkOracleMarginalGain(b *testing.B) {
+	g := benchGraph(5000, 20000, 2)
+	o := influence.New(g, nil)
+	rs := influence.NewReachSet()
+	o.FillReachSet(rs, 1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.MarginalGain(rs, ids.NodeID(i%5000), false)
+	}
+}
+
+// BenchmarkSieveFeed measures one SIEVEADN batch at steady state. The
+// sieve's graph grows with every fed edge, so the instance is recreated
+// every 2000 iterations to keep the per-op cost representative of a
+// live window (~2000 edges) rather than growing without bound with b.N.
+func BenchmarkSieveFeed(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var s *core.Sieve
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2000 == 0 {
+			s = core.NewSieve(10, 0.1, nil)
+		}
+		u := ids.NodeID(rng.Intn(3000))
+		v := ids.NodeID(rng.Intn(3000))
+		if u == v {
+			continue
+		}
+		s.Feed([]core.Pair{{Src: u, Dst: v}})
+	}
+}
+
+// BenchmarkHistApproxStep measures one HISTAPPROX stream step including
+// lifetime grouping and redundancy reduction. Geometric decay keeps the
+// live graph bounded (~500 edges at p=0.002), so no reset is needed, but
+// the tracker is still recreated every 5000 steps to bound drift.
+func BenchmarkHistApproxStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	assign := lifetime.NewGeometric(0.002, 2000, 4)
+	var h *core.HistApprox
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%5000 == 0 {
+			h = core.NewHistApprox(10, 0.1, 2000, nil)
+		}
+		t := int64(i%5000 + 1)
+		u := ids.NodeID(rng.Intn(3000))
+		v := ids.NodeID(rng.Intn(3000))
+		if u == v {
+			v = (v + 1) % 3000
+		}
+		x := stream.Interaction{Src: u, Dst: v, T: t}
+		if err := h.Step(t, []stream.Edge{{Src: u, Dst: v, T: t, Lifetime: assign.Assign(x)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyQuery measures one full lazy-greedy query on a live TDN.
+func BenchmarkGreedyQuery(b *testing.B) {
+	in, err := datasets.Generate("brightkite", 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := baselines.NewGreedy(10, nil)
+	assign := lifetime.NewGeometric(0.002, 5000, 5)
+	for _, batch := range stream.Batches(in) {
+		var edges []stream.Edge
+		for _, x := range batch.Interactions {
+			edges = append(edges, stream.Edge{Src: x.Src, Dst: x.Dst, T: x.T, Lifetime: assign.Assign(x)})
+		}
+		if err := g.Step(batch.T, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Solution()
+	}
+}
+
+// BenchmarkDIMStep measures DIM's incremental sketch maintenance.
+// Lifetimes are bounded (≤200), so the live graph is bounded; the
+// tracker is recreated every 5000 steps to keep timestamps small.
+func BenchmarkDIMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var d *ris.DIM
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%5000 == 0 {
+			d = ris.NewDIM(10, 4, 6, nil)
+		}
+		t := int64(i%5000 + 1)
+		u := ids.NodeID(rng.Intn(500))
+		v := ids.NodeID(rng.Intn(500))
+		if u == v {
+			v = (v + 1) % 500
+		}
+		if err := d.Step(t, []stream.Edge{{Src: u, Dst: v, T: t, Lifetime: 1 + rng.Intn(200)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRRSetSample measures one reverse-reachable set draw.
+func BenchmarkRRSetSample(b *testing.B) {
+	g := graph.NewTDN(0)
+	if err := g.AdvanceTo(1); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		u := ids.NodeID(rng.Intn(3000))
+		v := ids.NodeID(rng.Intn(3000))
+		if u == v {
+			continue
+		}
+		if err := g.Add(stream.Edge{Src: u, Dst: v, T: 1, Lifetime: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w := ic.Snapshot(g)
+	s := ris.NewSampler(w, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}

@@ -1,0 +1,238 @@
+// Command benchfig regenerates the paper's tables and figures as TSV on
+// stdout.
+//
+// Usage:
+//
+//	benchfig -exp table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all
+//	         [-scale quick|default] [-steps N]
+//
+// "default" runs the paper-scale configurations (minutes); "quick" runs
+// reduced ones (seconds). -steps overrides the stream length of either
+// scale. Each experiment prints a commented header naming its panels and
+// parameters; see EXPERIMENTS.md for expected shapes.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"tdnstream/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig7 … fig14, ablation, or all")
+	scale := flag.String("scale", "default", "quick or default (paper-scale)")
+	steps := flag.Int64("steps", 0, "override stream length (0 = scale default)")
+	flag.Parse()
+
+	quick := false
+	switch *scale {
+	case "quick":
+		quick = true
+	case "default":
+	default:
+		fmt.Fprintf(os.Stderr, "benchfig: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(name string) error {
+		w := os.Stdout
+		switch name {
+		case "table1":
+			cfg := bench.DefaultTable1()
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunTable1(cfg, w)
+			return err
+		case "fig7":
+			cfg := bench.DefaultFig7()
+			if quick {
+				cfg = bench.QuickFig7()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunFig7(cfg, w)
+			return err
+		case "fig8", "fig9", "fig10":
+			cfg := bench.DefaultFig8()
+			if quick {
+				cfg = bench.QuickFig8()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			data, err := bench.RunFig8Data(cfg)
+			if err != nil {
+				return err
+			}
+			switch name {
+			case "fig8":
+				bench.Fig8From(cfg, data, w)
+			case "fig9":
+				bench.Fig9From(cfg, data, w)
+			case "fig10":
+				bench.Fig10From(cfg, data, w)
+			}
+			return nil
+		case "fig11":
+			cfg := bench.DefaultFig11()
+			if quick {
+				cfg = bench.QuickFig11()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunFig11(cfg, w)
+			return err
+		case "fig12":
+			cfg := bench.DefaultFig12()
+			if quick {
+				cfg = bench.QuickFig12()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunFig12(cfg, w)
+			return err
+		case "fig13":
+			cfg := bench.DefaultFig1314()
+			if quick {
+				cfg = bench.QuickFig1314()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunFig13(cfg, w)
+			return err
+		case "fig14":
+			cfg := bench.DefaultFig1314()
+			if quick {
+				cfg = bench.QuickFig1314()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunFig14(cfg, w)
+			return err
+		case "ablation":
+			cfg := bench.DefaultAblation()
+			if quick {
+				cfg = bench.QuickAblation()
+			}
+			if *steps > 0 {
+				cfg.Steps = *steps
+			}
+			_, err := bench.RunAblation(cfg, w)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *exp == "all" {
+		if err := runAll(quick, *steps); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", *exp, err)
+		os.Exit(1)
+	}
+}
+
+// runAll executes every experiment, computing the shared Fig 8-10 data
+// and the shared Fig 13/14 runs only once.
+func runAll(quick bool, steps int64) error {
+	w := os.Stdout
+	t1 := bench.DefaultTable1()
+	if steps > 0 {
+		t1.Steps = steps
+	}
+	if _, err := bench.RunTable1(t1, w); err != nil {
+		return fmt.Errorf("table1: %w", err)
+	}
+
+	f7 := bench.DefaultFig7()
+	if quick {
+		f7 = bench.QuickFig7()
+	}
+	if steps > 0 {
+		f7.Steps = steps
+	}
+	if _, err := bench.RunFig7(f7, w); err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+
+	f8 := bench.DefaultFig8()
+	if quick {
+		f8 = bench.QuickFig8()
+	}
+	if steps > 0 {
+		f8.Steps = steps
+	}
+	data, err := bench.RunFig8Data(f8)
+	if err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	bench.Fig8From(f8, data, w)
+	bench.Fig9From(f8, data, w)
+	bench.Fig10From(f8, data, w)
+
+	f11 := bench.DefaultFig11()
+	if quick {
+		f11 = bench.QuickFig11()
+	}
+	if steps > 0 {
+		f11.Steps = steps
+	}
+	if _, err := bench.RunFig11(f11, w); err != nil {
+		return fmt.Errorf("fig11: %w", err)
+	}
+
+	f12 := bench.DefaultFig12()
+	if quick {
+		f12 = bench.QuickFig12()
+	}
+	if steps > 0 {
+		f12.Steps = steps
+	}
+	if _, err := bench.RunFig12(f12, w); err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+
+	f1314 := bench.DefaultFig1314()
+	if quick {
+		f1314 = bench.QuickFig1314()
+	}
+	if steps > 0 {
+		f1314.Steps = steps
+	}
+	var b13, b14 bytes.Buffer
+	if _, err := bench.RunFig13And14(f1314, &b13, &b14); err != nil {
+		return fmt.Errorf("fig13/14: %w", err)
+	}
+	if _, err := w.Write(b13.Bytes()); err != nil {
+		return err
+	}
+	if _, err := w.Write(b14.Bytes()); err != nil {
+		return err
+	}
+
+	abl := bench.DefaultAblation()
+	if quick {
+		abl = bench.QuickAblation()
+	}
+	if steps > 0 {
+		abl.Steps = steps
+	}
+	if _, err := bench.RunAblation(abl, w); err != nil {
+		return fmt.Errorf("ablation: %w", err)
+	}
+	return nil
+}

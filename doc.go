@@ -1,0 +1,46 @@
+// Package tdnstream tracks influential nodes in time-decaying dynamic
+// interaction networks, reproducing the streaming algorithms of
+//
+//	Zhao, Shang, Wang, Lui, Zhang:
+//	"Tracking Influential Nodes in Time-Decaying Dynamic Interaction
+//	Networks", ICDE 2019 (arXiv:1810.07917).
+//
+// # Model
+//
+// Node interactions ⟨u, v, τ⟩ ("u influenced v at time τ") arrive as a
+// stream. The time-decaying dynamic interaction network (TDN) model
+// assigns each interaction a lifetime; the interaction participates in
+// the influence graph until the lifetime ticks down to zero, so outdated
+// evidence fades smoothly instead of falling off a sliding-window cliff.
+// The influence spread of a seed set S at time t is the number of nodes
+// reachable from S in the current graph — a monotone submodular
+// function, maximized under a cardinality budget k.
+//
+// # Trackers
+//
+// Three streaming algorithms implement the Tracker interface:
+//
+//   - NewSieveADN — addition-only networks (no decay), (1/2−ε)-approximate.
+//   - NewBasicReduction — general TDNs via L staggered sieves, (1/2−ε).
+//   - NewHistApprox — general TDNs via a smooth histogram of sieves,
+//     (1/3−ε) at a fraction of the cost; NewHistApproxRefined restores
+//     (1/2−ε) with an exact-head query refinement.
+//
+// Baselines from the paper's evaluation are available for comparison:
+// NewGreedy (lazy greedy re-run per query), NewRandom, and the
+// reverse-influence-sampling family NewDIM, NewIMM, NewTIMPlus.
+//
+// # Quick start
+//
+//	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)
+//	pipe := tdnstream.NewPipeline(tdnstream.NewHistApprox(10, 0.1, 10_000), assign)
+//	interactions, _ := tdnstream.Dataset("brightkite", 5000)
+//	_ = pipe.Run(interactions, func(t int64) error {
+//		sol := pipe.Solution()
+//		fmt.Println(t, sol.Value, sol.Seeds)
+//		return nil
+//	})
+//
+// See examples/ for runnable scenarios and EXPERIMENTS.md for the full
+// reproduction of the paper's tables and figures.
+package tdnstream

@@ -1,0 +1,59 @@
+package tdnstream_test
+
+import (
+	"fmt"
+
+	"tdnstream"
+)
+
+// ExamplePipeline demonstrates the basic tracking loop: feed interaction
+// batches, query at any step.
+func ExamplePipeline() {
+	tracker := tdnstream.NewHistApprox(2, 0.1, 100)
+	pipe := tdnstream.NewPipeline(tracker, tdnstream.ConstantLifetime(50))
+
+	// A hub (node 0) influencing three users, plus an isolated pair.
+	interactions := []tdnstream.Interaction{
+		{Src: 0, Dst: 10, T: 1},
+		{Src: 0, Dst: 11, T: 1},
+		{Src: 0, Dst: 12, T: 2},
+		{Src: 5, Dst: 6, T: 2},
+	}
+	if err := pipe.Run(interactions, nil); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sol := pipe.Solution()
+	fmt.Println("seeds:", sol.Seeds)
+	fmt.Println("spread:", sol.Value)
+	// Output:
+	// seeds: [0 5]
+	// spread: 6
+}
+
+// ExampleConstantLifetime shows the sliding-window special case: an edge
+// disappears exactly W steps after arrival.
+func ExampleConstantLifetime() {
+	tracker := tdnstream.NewHistApprox(1, 0.1, 10)
+	pipe := tdnstream.NewPipeline(tracker, tdnstream.ConstantLifetime(2))
+
+	_ = pipe.ObserveBatch(1, []tdnstream.Interaction{{Src: 1, Dst: 2, T: 1}})
+	fmt.Println("t=1:", pipe.Solution().Value)
+	_ = pipe.ObserveBatch(2, nil)
+	fmt.Println("t=2:", pipe.Solution().Value)
+	_ = pipe.ObserveBatch(3, nil) // the edge's 2-step window has passed
+	fmt.Println("t=3:", pipe.Solution().Value)
+	// Output:
+	// t=1: 2
+	// t=2: 2
+	// t=3: 0
+}
+
+// ExampleDict shows label interning for string-keyed data sources.
+func ExampleDict() {
+	dict := tdnstream.NewDict()
+	x := tdnstream.Interaction{Src: dict.ID("alice"), Dst: dict.ID("bob"), T: 1}
+	fmt.Println(x.Src, x.Dst, dict.Name(x.Src), dict.Name(x.Dst))
+	// Output:
+	// 0 1 alice bob
+}

@@ -1,0 +1,43 @@
+// Quickstart: track the 10 most influential nodes of a drifting
+// interaction stream with HISTAPPROX and geometric time decay.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdnstream"
+)
+
+func main() {
+	// A built-in synthetic stream: one interaction per time step.
+	interactions, err := tdnstream.Dataset("brightkite", 3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HISTAPPROX with budget k=10, granularity ε=0.1, max lifetime 10000.
+	tracker := tdnstream.NewHistApprox(10, 0.1, 10_000)
+
+	// Geometric decay: every live interaction is forgotten with
+	// probability p=0.002 per step (expected lifetime 500 steps).
+	pipe := tdnstream.NewPipeline(tracker, tdnstream.GeometricLifetime(0.002, 10_000, 42))
+
+	err = pipe.Run(interactions, func(t int64) error {
+		if t%500 == 0 {
+			sol := pipe.Solution()
+			fmt.Printf("t=%-5d spread=%-4d oracle-calls=%-8d seeds=%v\n",
+				t, sol.Value, pipe.OracleCalls(), sol.Seeds)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol := pipe.Solution()
+	fmt.Printf("\nfinal influential nodes (k=10): %v\n", sol.Seeds)
+	fmt.Printf("their influence spread f_t(S):  %d nodes\n", sol.Value)
+}

@@ -1,0 +1,128 @@
+// Window vs decay: the paper's Example 1. Alice has been influential for
+// a long time, then falls ill and goes silent for a while. A sliding
+// window forgets her the moment her last interaction leaves the window —
+// an abrupt, unstable judgement — while geometric decay lets her
+// accumulated influence fade smoothly, keeping her ranked during a
+// temporary absence.
+//
+//	go run ./examples/windowvsdecay
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tdnstream"
+)
+
+const (
+	alice       = tdnstream.NodeID(0)
+	firstFan    = 100
+	others      = 10 // background users 1..10
+	activeUntil = 900
+	silentUntil = 1500
+	steps       = 1800
+	k           = 3
+)
+
+// buildStream: Alice is retweeted every 3rd step until t=900, silent in
+// (900, 1500], then returns. Background users are retweeted steadily but
+// by fewer fans each.
+func buildStream(rng *rand.Rand) []tdnstream.Interaction {
+	var out []tdnstream.Interaction
+	fan := firstFan
+	for t := int64(1); t <= steps; t++ {
+		aliceActive := t <= activeUntil || t > silentUntil
+		if aliceActive && t%3 == 0 {
+			out = append(out, tdnstream.Interaction{Src: alice, Dst: tdnstream.NodeID(fan), T: t})
+			fan++
+		} else {
+			src := tdnstream.NodeID(1 + rng.Intn(others))
+			dst := tdnstream.NodeID(1000 + rng.Intn(40)) // small shared fan pool
+			out = append(out, tdnstream.Interaction{Src: src, Dst: dst, T: t})
+		}
+	}
+	return out
+}
+
+func contains(seeds []tdnstream.NodeID, u tdnstream.NodeID) bool {
+	for _, s := range seeds {
+		if s == u {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	const window = 180
+	// Geometric decay with the same expected lifetime as the window.
+	mkTrackers := func() (win, geo *tdnstream.Pipeline) {
+		win = tdnstream.NewPipeline(
+			tdnstream.NewHistApprox(k, 0.1, window),
+			tdnstream.ConstantLifetime(window),
+		)
+		geo = tdnstream.NewPipeline(
+			tdnstream.NewHistApprox(k, 0.1, 10*window),
+			tdnstream.GeometricLifetime(1.0/window, 10*window, 5),
+		)
+		return
+	}
+	win, geo := mkTrackers()
+	in := buildStream(rand.New(rand.NewSource(1)))
+
+	type status struct{ winHas, geoHas bool }
+	timeline := map[int64]status{}
+	checkpoints := []int64{600, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1650, 1800}
+
+	if err := win.Run(in, func(t int64) error {
+		for _, c := range checkpoints {
+			if t == c {
+				st := timeline[t]
+				st.winHas = contains(win.Solution().Seeds, alice)
+				timeline[t] = st
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := geo.Run(in, func(t int64) error {
+		for _, c := range checkpoints {
+			if t == c {
+				st := timeline[t]
+				st.geoHas = contains(geo.Solution().Seeds, alice)
+				timeline[t] = st
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Alice is active until t=%d, silent until t=%d, then returns.\n", activeUntil, silentUntil)
+	fmt.Printf("sliding window width and expected geometric lifetime are both %d steps.\n\n", window)
+	fmt.Println("is Alice among the tracked top-3?")
+	fmt.Println("t        sliding-window   geometric-decay")
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, c := range checkpoints {
+		st := timeline[c]
+		note := ""
+		if c == activeUntil {
+			note = "   <- Alice falls ill"
+		}
+		if c == silentUntil {
+			note = "   <- Alice returns"
+		}
+		fmt.Printf("%-8d %-16s %s%s\n", c, mark(st.winHas), mark(st.geoHas), note)
+	}
+	fmt.Println("\nthe window drops Alice shortly after her last interaction exits;")
+	fmt.Println("geometric decay keeps a fading fraction of her influence alive,")
+	fmt.Println("so a temporary absence does not erase a long history.")
+}

@@ -1,0 +1,236 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+func stepAll(t *testing.T, tr interface {
+	Step(int64, []stream.Edge) error
+}, tt int64, edges []stream.Edge) {
+	t.Helper()
+	if err := tr.Step(tt, edges); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPicksHubs(t *testing.T) {
+	g := NewGreedy(2, nil)
+	var edges []stream.Edge
+	// Two disjoint stars (sizes 6 and 4) plus an isolated pair.
+	for i := ids.NodeID(10); i < 16; i++ {
+		edges = append(edges, stream.Edge{Src: 0, Dst: i, T: 1, Lifetime: 10})
+	}
+	for i := ids.NodeID(20); i < 24; i++ {
+		edges = append(edges, stream.Edge{Src: 1, Dst: i, T: 1, Lifetime: 10})
+	}
+	edges = append(edges, stream.Edge{Src: 2, Dst: 3, T: 1, Lifetime: 10})
+	stepAll(t, g, 1, edges)
+	sol := g.Solution()
+	if len(sol.Seeds) != 2 || sol.Seeds[0] != 0 || sol.Seeds[1] != 1 {
+		t.Fatalf("seeds = %v, want [0 1]", sol.Seeds)
+	}
+	if sol.Value != 12 {
+		t.Fatalf("value = %d, want 12", sol.Value)
+	}
+}
+
+// Greedy must match brute-force OPT on structures where greedy is exact
+// (disjoint stars), and respect (1-1/e)·OPT generally.
+func TestGreedyNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		naive := &testutil.NaiveTDN{}
+		g := NewGreedy(3, nil)
+		var edges []stream.Edge
+		for i := 0; i < 20; i++ {
+			u := ids.NodeID(rng.Intn(12))
+			v := ids.NodeID(rng.Intn(12))
+			if u == v {
+				continue
+			}
+			e := stream.Edge{Src: u, Dst: v, T: 1, Lifetime: 5}
+			edges = append(edges, e)
+			naive.Add(e)
+		}
+		naive.AdvanceTo(1)
+		stepAll(t, g, 1, edges)
+		adj := testutil.Adjacency(naive.AlivePairs())
+		if len(adj) == 0 {
+			continue
+		}
+		opt := testutil.BruteForceOPT(adj, 3)
+		got := g.Solution().Value
+		if float64(got) < (1-1/2.718281828)*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: greedy %d < (1-1/e)·OPT = %.2f", trial, got, (1-1/2.718281828)*float64(opt))
+		}
+	}
+}
+
+// The solution value reported by greedy must equal f(S) recomputed
+// naively on the alive graph.
+func TestGreedyValueConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	naive := &testutil.NaiveTDN{}
+	g := NewGreedy(2, nil)
+	for tt := int64(1); tt <= 30; tt++ {
+		var edges []stream.Edge
+		for i := 0; i < rng.Intn(4); i++ {
+			u := ids.NodeID(rng.Intn(10))
+			v := ids.NodeID(rng.Intn(10))
+			if u == v {
+				continue
+			}
+			e := stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(4)}
+			edges = append(edges, e)
+			naive.Add(e)
+		}
+		naive.AdvanceTo(tt)
+		stepAll(t, g, tt, edges)
+		sol := g.Solution()
+		adj := testutil.Adjacency(naive.AlivePairs())
+		if want := testutil.Reach(adj, sol.Seeds); len(sol.Seeds) > 0 && sol.Value != want {
+			t.Fatalf("t=%d: reported %d, recomputed %d (seeds %v)", tt, sol.Value, want, sol.Seeds)
+		}
+	}
+}
+
+// Greedy on the TDN must see expirations.
+func TestGreedyRespectsExpiry(t *testing.T) {
+	g := NewGreedy(1, nil)
+	stepAll(t, g, 1, []stream.Edge{
+		{Src: 0, Dst: 1, T: 1, Lifetime: 1},
+		{Src: 0, Dst: 2, T: 1, Lifetime: 1},
+		{Src: 5, Dst: 6, T: 1, Lifetime: 10},
+	})
+	if v := g.Solution().Value; v != 3 {
+		t.Fatalf("t=1 value = %d, want 3", v)
+	}
+	stepAll(t, g, 2, nil)
+	sol := g.Solution()
+	if sol.Value != 2 || sol.Seeds[0] != 5 {
+		t.Fatalf("t=2 solution = %+v, want seed 5 value 2", sol)
+	}
+}
+
+// Lazy evaluation must not change results, only the number of calls:
+// compare against brute-force best-k on star structures and count calls.
+func TestGreedyOracleCallAccounting(t *testing.T) {
+	var c metrics.Counter
+	g := NewGreedy(2, &c)
+	var edges []stream.Edge
+	for i := ids.NodeID(10); i < 15; i++ {
+		edges = append(edges, stream.Edge{Src: 0, Dst: i, T: 1, Lifetime: 5})
+	}
+	stepAll(t, g, 1, edges)
+	c.Reset()
+	g.Solution()
+	calls := c.Value()
+	// 6 live nodes: 6 singleton calls + at most a handful of lazy
+	// recomputations + 2 accept merges.
+	if calls < 6 || calls > 20 {
+		t.Fatalf("greedy used %d calls, expected ≈ 8-ish", calls)
+	}
+}
+
+func TestGreedyEmptyGraph(t *testing.T) {
+	g := NewGreedy(3, nil)
+	if sol := g.Solution(); sol.Value != 0 || len(sol.Seeds) != 0 {
+		t.Fatalf("empty solution = %+v", sol)
+	}
+	stepAll(t, g, 1, []stream.Edge{{Src: 1, Dst: 2, T: 1, Lifetime: 1}})
+	stepAll(t, g, 5, nil) // everything expired
+	if sol := g.Solution(); sol.Value != 0 {
+		t.Fatalf("expired solution = %+v", sol)
+	}
+}
+
+func TestRandomBasics(t *testing.T) {
+	r := NewRandom(3, 42, nil)
+	if sol := r.Solution(); sol.Value != 0 {
+		t.Fatalf("empty random solution = %+v", sol)
+	}
+	var edges []stream.Edge
+	for i := ids.NodeID(1); i <= 10; i++ {
+		edges = append(edges, stream.Edge{Src: 0, Dst: i, T: 1, Lifetime: 3})
+	}
+	stepAll(t, r, 1, edges)
+	sol := r.Solution()
+	if len(sol.Seeds) != 3 {
+		t.Fatalf("picked %d seeds, want 3", len(sol.Seeds))
+	}
+	if sol.Value < 3 {
+		t.Fatalf("value = %d, want ≥ 3 (seeds count themselves)", sol.Value)
+	}
+	// fewer live nodes than k → all of them
+	r2 := NewRandom(5, 1, nil)
+	stepAll(t, r2, 1, []stream.Edge{{Src: 1, Dst: 2, T: 1, Lifetime: 2}})
+	if sol := r2.Solution(); len(sol.Seeds) != 2 {
+		t.Fatalf("picked %d seeds, want 2 (all live nodes)", len(sol.Seeds))
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	mk := func() *Random {
+		r := NewRandom(2, 7, nil)
+		var edges []stream.Edge
+		for i := ids.NodeID(1); i <= 9; i++ {
+			edges = append(edges, stream.Edge{Src: 0, Dst: i, T: 1, Lifetime: 3})
+		}
+		if err := r.Step(1, edges); err != nil {
+			panic(err)
+		}
+		return r
+	}
+	a, b := mk().Solution(), mk().Solution()
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatal("seed counts differ")
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+}
+
+// Random is (much) worse than greedy on skewed graphs — the relationship
+// the paper's Fig. 8 shows.
+func TestRandomBelowGreedy(t *testing.T) {
+	var edges []stream.Edge
+	for i := ids.NodeID(100); i < 160; i++ {
+		edges = append(edges, stream.Edge{Src: 0, Dst: i, T: 1, Lifetime: 5})
+	}
+	for i := ids.NodeID(200); i < 230; i++ {
+		edges = append(edges, stream.Edge{Src: 1, Dst: i, T: 1, Lifetime: 5})
+	}
+	g := NewGreedy(2, nil)
+	r := NewRandom(2, 3, nil)
+	stepAll(t, g, 1, edges)
+	stepAll(t, r, 1, edges)
+	gv := g.Solution().Value
+	var rTotal, trials = 0, 20
+	for i := 0; i < trials; i++ {
+		rTotal += r.Solution().Value
+	}
+	if avg := float64(rTotal) / float64(trials); avg >= float64(gv) {
+		t.Fatalf("random avg %.1f ≥ greedy %d on a skewed graph", avg, gv)
+	}
+}
+
+func TestBaselineTimeContract(t *testing.T) {
+	g := NewGreedy(1, nil)
+	stepAll(t, g, 5, nil)
+	if err := g.Step(5, nil); err == nil {
+		t.Fatal("greedy accepted repeated time")
+	}
+	r := NewRandom(1, 1, nil)
+	stepAll(t, r, 5, nil)
+	if err := r.Step(4, nil); err == nil {
+		t.Fatal("random accepted rewind")
+	}
+}

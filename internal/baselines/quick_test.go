@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// Property: greedy's reported value is always ≥ (1-1/e)·OPT and equals a
+// from-scratch f(S) of its own seeds on arbitrary random TDN states.
+func TestQuickGreedyGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		naive := &testutil.NaiveTDN{}
+		g := NewGreedy(2, nil)
+		tt := int64(1)
+		for round := 0; round < 3; round++ {
+			var edges []stream.Edge
+			for i := 0; i < 8; i++ {
+				u := ids.NodeID(rng.Intn(9))
+				v := ids.NodeID(rng.Intn(9))
+				if u == v {
+					continue
+				}
+				e := stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(4)}
+				edges = append(edges, e)
+				naive.Add(e)
+			}
+			naive.AdvanceTo(tt)
+			if g.Step(tt, edges) != nil {
+				return false
+			}
+			adj := testutil.Adjacency(naive.AlivePairs())
+			sol := g.Solution()
+			if len(adj) == 0 {
+				tt += int64(1 + rng.Intn(2))
+				continue
+			}
+			if len(sol.Seeds) > 0 && sol.Value != testutil.Reach(adj, sol.Seeds) {
+				return false
+			}
+			opt := testutil.BruteForceOPT(adj, 2)
+			if float64(sol.Value) < (1-1/2.718281828)*float64(opt)-1e-9 {
+				return false
+			}
+			tt += int64(1 + rng.Intn(2))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random selection never exceeds the budget, never repeats a
+// seed, and only picks live nodes.
+func TestQuickRandomWellFormed(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRandom(k, seed, nil)
+		naive := &testutil.NaiveTDN{}
+		for tt := int64(1); tt <= 10; tt++ {
+			var edges []stream.Edge
+			for i := 0; i < rng.Intn(5); i++ {
+				u := ids.NodeID(rng.Intn(10))
+				v := ids.NodeID(rng.Intn(10))
+				if u == v {
+					continue
+				}
+				e := stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(3)}
+				edges = append(edges, e)
+				naive.Add(e)
+			}
+			naive.AdvanceTo(tt)
+			if r.Step(tt, edges) != nil {
+				return false
+			}
+			sol := r.Solution()
+			if len(sol.Seeds) > k {
+				return false
+			}
+			alive := naive.AliveNodes()
+			seen := map[ids.NodeID]bool{}
+			for _, s := range sol.Seeds {
+				if seen[s] {
+					return false
+				}
+				seen[s] = true
+				if _, ok := alive[s]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

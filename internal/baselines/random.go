@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+)
+
+// Random picks k live nodes uniformly at random at each query — the
+// paper's lower-bar baseline.
+type Random struct {
+	k      int
+	rng    *rand.Rand
+	g      *graph.TDN
+	oracle *influence.Oracle
+	calls  *metrics.Counter
+	t      int64
+	begun  bool
+}
+
+// NewRandom returns a random-selection tracker with budget k and a
+// deterministic seed.
+func NewRandom(k int, seed int64, calls *metrics.Counter) *Random {
+	if k < 1 {
+		panic("baselines: k must be ≥ 1")
+	}
+	if calls == nil {
+		calls = &metrics.Counter{}
+	}
+	return &Random{k: k, rng: rand.New(rand.NewSource(seed)), calls: calls}
+}
+
+// Step implements core.Tracker.
+func (r *Random) Step(t int64, edges []stream.Edge) error {
+	if !r.begun {
+		r.begun = true
+		r.g = graph.NewTDN(t - 1)
+		r.oracle = influence.New(r.g, r.calls)
+	} else if t <= r.t {
+		return errTime(r.t, t)
+	}
+	r.t = t
+	if err := r.g.AdvanceTo(t); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		if err := r.g.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Solution implements core.Tracker: sample without replacement, then one
+// oracle call to report the spread.
+func (r *Random) Solution() core.Solution {
+	if r.g == nil || r.g.NumNodes() == 0 {
+		return core.Solution{}
+	}
+	nodes := r.g.SortedNodes()
+	r.rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	n := r.k
+	if n > len(nodes) {
+		n = len(nodes)
+	}
+	seeds := nodes[:n]
+	return core.Solution{Seeds: sortSeeds(seeds), Value: r.oracle.Spread(seeds...)}
+}
+
+// Calls implements core.Tracker.
+func (r *Random) Calls() *metrics.Counter { return r.calls }
+
+// Name implements core.Tracker.
+func (r *Random) Name() string { return "Random" }
+
+// errTime formats the shared monotone-time violation error.
+func errTime(prev, t int64) error {
+	return fmt.Errorf("baselines: time must be strictly increasing (got %d after %d)", t, prev)
+}
+
+// sortSeeds returns a sorted copy for deterministic output.
+func sortSeeds(s []ids.NodeID) []ids.NodeID {
+	out := append([]ids.NodeID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

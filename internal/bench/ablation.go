@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/lifetime"
+)
+
+// AblationConfig parameterizes the design-choice ablations that go
+// beyond the paper's figures: the RefineHead query refinement (paper
+// remark after Theorem 8) and the TDN lifetime families (paper §II-B
+// examples) under one fixed workload.
+type AblationConfig struct {
+	Dataset    string
+	Steps      int64
+	K          int
+	Eps        float64
+	L          int
+	P          float64
+	Seed       int64
+	QueryEvery int64
+}
+
+// DefaultAblation uses a mid-sized workload.
+func DefaultAblation() AblationConfig {
+	return AblationConfig{
+		Dataset: "brightkite", Steps: 2000, K: 10, Eps: 0.2,
+		L: 2000, P: 0.002, Seed: 8, QueryEvery: 1,
+	}
+}
+
+// QuickAblation is a reduced configuration.
+func QuickAblation() AblationConfig {
+	return AblationConfig{
+		Dataset: "brightkite", Steps: 400, K: 5, Eps: 0.2,
+		L: 400, P: 0.01, Seed: 8, QueryEvery: 1,
+	}
+}
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	Variant   string
+	MeanValue float64
+	Calls     uint64
+	Seconds   float64
+}
+
+// RunAblation compares HistApprox variants on one stream:
+//
+//   - plain vs RefineHead (quality gained vs query-time calls spent);
+//   - geometric vs window vs uniform vs zipf lifetimes at matched
+//     expected lifetime (how the decay family shapes cost and value).
+func RunAblation(cfg AblationConfig, w io.Writer) ([]AblationRow, error) {
+	in, err := datasets.Generate(cfg.Dataset, cfg.Steps)
+	if err != nil {
+		return nil, err
+	}
+	meanLife := int(1 / cfg.P)
+	if meanLife > cfg.L {
+		meanLife = cfg.L
+	}
+	variants := []struct {
+		name string
+		mk   func() core.Tracker
+		as   func() lifetime.Assigner
+	}{
+		{"hist/geometric", func() core.Tracker { return core.NewHistApprox(cfg.K, cfg.Eps, cfg.L, nil) },
+			func() lifetime.Assigner { return lifetime.NewGeometric(cfg.P, cfg.L, cfg.Seed) }},
+		{"hist+refine/geometric", func() core.Tracker {
+			h := core.NewHistApprox(cfg.K, cfg.Eps, cfg.L, nil)
+			h.RefineHead = true
+			return h
+		}, func() lifetime.Assigner { return lifetime.NewGeometric(cfg.P, cfg.L, cfg.Seed) }},
+		{"hist/window", func() core.Tracker { return core.NewHistApprox(cfg.K, cfg.Eps, cfg.L, nil) },
+			func() lifetime.Assigner { return lifetime.NewConstant(meanLife) }},
+		{"hist/uniform", func() core.Tracker { return core.NewHistApprox(cfg.K, cfg.Eps, cfg.L, nil) },
+			func() lifetime.Assigner { return lifetime.NewUniform(1, 2*meanLife, cfg.Seed) }},
+		{"hist/zipf", func() core.Tracker { return core.NewHistApprox(cfg.K, cfg.Eps, cfg.L, nil) },
+			func() lifetime.Assigner { return lifetime.NewZipf(1.2, cfg.L, cfg.Seed) }},
+		{"basic/geometric", func() core.Tracker { return core.NewBasicReduction(cfg.K, cfg.Eps, cfg.L, nil) },
+			func() lifetime.Assigner { return lifetime.NewGeometric(cfg.P, cfg.L, cfg.Seed) }},
+	}
+	if w != nil {
+		header(w, fmt.Sprintf("Ablation (%s, %d steps, k=%d, eps=%g)", cfg.Dataset, cfg.Steps, cfg.K, cfg.Eps),
+			"variant", "mean_value", "oracle_calls", "seconds")
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		res, err := RunTracker(v.mk(), in, v.as(), cfg.QueryEvery)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{
+			Variant:   v.name,
+			MeanValue: res.Values.Mean(),
+			Calls:     uint64(res.Calls.At(res.Calls.Len() - 1)),
+			Seconds:   res.Seconds,
+		}
+		rows = append(rows, row)
+		if w != nil {
+			tsv(w, row.Variant, row.MeanValue, row.Calls, row.Seconds)
+		}
+	}
+	return rows, nil
+}

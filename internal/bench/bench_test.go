@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/lifetime"
+)
+
+func TestRunTrackerQueriesAndCounts(t *testing.T) {
+	in, err := datasets.Generate("brightkite", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTracker(core.NewHistApprox(3, 0.2, 100, nil), in,
+		lifetime.NewGeometric(0.02, 100, 1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interactions != 200 {
+		t.Fatalf("processed %d interactions, want 200", res.Interactions)
+	}
+	// 200 steps, query every 10 → 20 query points (t=200 is both a
+	// multiple of 10 and the final step).
+	if res.Values.Len() != 20 {
+		t.Fatalf("%d query points, want 20", res.Values.Len())
+	}
+	if res.Calls.At(res.Calls.Len()-1) <= 0 {
+		t.Fatal("no oracle calls recorded")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not measured")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunTable1(Table1Config{Steps: 300}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Interactions != 300 {
+			t.Fatalf("%s: %d interactions, want 300", r.Dataset, r.Interactions)
+		}
+		if r.Nodes < 10 {
+			t.Fatalf("%s: implausible node count %d", r.Dataset, r.Nodes)
+		}
+		if r.PaperInteractions == 0 {
+			t.Fatalf("%s: missing paper stats", r.Dataset)
+		}
+	}
+	if !strings.Contains(buf.String(), "brightkite") {
+		t.Fatal("TSV output missing dataset rows")
+	}
+}
+
+// The Fig. 7 shape at quick scale: HistApprox must stay close in value
+// and far cheaper in calls.
+func TestFig7Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunFig7(QuickFig7(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ValueRatioHistToBase < 0.85 {
+			t.Fatalf("p=%g: value ratio %.3f below 0.85", r.P, r.ValueRatioHistToBase)
+		}
+		if r.CallRatioHistToBase > 0.6 {
+			t.Fatalf("p=%g: call ratio %.3f not clearly cheaper", r.P, r.CallRatioHistToBase)
+		}
+	}
+	// BasicReduction must get cheaper as p grows (fewer long lifetimes).
+	if rows[0].BasicCalls <= rows[1].BasicCalls {
+		t.Fatalf("BasicReduction calls did not drop with larger p: %d vs %d",
+			rows[0].BasicCalls, rows[1].BasicCalls)
+	}
+}
+
+// The Fig. 8/9/10 shapes at quick scale: greedy ≥ hist ≥ random in value;
+// hist uses fewer calls than greedy.
+func TestFig8910Shape(t *testing.T) {
+	cfg := QuickFig8()
+	data, err := RunFig8Data(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(cfg.Datasets) {
+		t.Fatalf("%d datasets, want %d", len(data), len(cfg.Datasets))
+	}
+	for _, d := range data {
+		greedy := d.Runs["greedy"].Values.Mean()
+		random := d.Runs["random"].Values.Mean()
+		if greedy <= random {
+			t.Fatalf("%s: greedy mean %.1f not above random %.1f", d.Dataset, greedy, random)
+		}
+		for _, key := range d.EpsKeys {
+			hist := d.Runs[key].Values.Mean()
+			if hist > greedy*1.001 {
+				t.Fatalf("%s: %s mean %.1f above greedy %.1f", d.Dataset, key, hist, greedy)
+			}
+			if hist < random {
+				t.Fatalf("%s: %s mean %.1f below random %.1f", d.Dataset, key, hist, random)
+			}
+			hc := d.Runs[key].Calls.At(d.Runs[key].Calls.Len() - 1)
+			gc := d.Runs["greedy"].Calls.At(d.Runs["greedy"].Calls.Len() - 1)
+			if hc >= gc {
+				t.Fatalf("%s: %s calls %.0f not below greedy %.0f", d.Dataset, key, hc, gc)
+			}
+		}
+	}
+	// Fig 9 rows derive cleanly.
+	var buf bytes.Buffer
+	rows := Fig9From(cfg, data, &buf)
+	if len(rows) != len(cfg.Datasets)*len(cfg.EpsList) {
+		t.Fatalf("fig9: %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 0.5 || r.Ratio > 1.05 {
+			t.Fatalf("fig9 %s eps=%g: implausible ratio %.3f", r.Dataset, r.Eps, r.Ratio)
+		}
+	}
+	Fig10From(cfg, data, &buf)
+	if !strings.Contains(buf.String(), "Fig 10") {
+		t.Fatal("fig10 output missing")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := RunFig11(QuickFig11(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ValueRatio < 0.5 {
+			t.Fatalf("k=%d: value ratio %.3f implausible", r.Param, r.ValueRatio)
+		}
+		if r.CallRatio <= 0 || r.CallRatio >= 1 {
+			t.Fatalf("k=%d: call ratio %.3f not in (0,1)", r.Param, r.CallRatio)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := RunFig12(QuickFig12(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ValueRatio < 0.5 {
+			t.Fatalf("L=%d: value ratio %.3f implausible", r.Param, r.ValueRatio)
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunAblation(QuickAblation(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+		if r.MeanValue <= 0 || r.Calls == 0 {
+			t.Fatalf("%s: degenerate row %+v", r.Variant, r)
+		}
+	}
+	plain, refined := byName["hist/geometric"], byName["hist+refine/geometric"]
+	if refined.MeanValue < plain.MeanValue {
+		t.Fatalf("refinement lowered value: %.1f < %.1f", refined.MeanValue, plain.MeanValue)
+	}
+	if refined.Calls <= plain.Calls {
+		t.Fatal("refinement should cost extra query-time calls")
+	}
+	basic := byName["basic/geometric"]
+	if basic.Calls <= plain.Calls {
+		t.Fatal("BasicReduction must cost more calls than HistApprox")
+	}
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Fatal("TSV output missing")
+	}
+}
+
+func TestFig1314Shape(t *testing.T) {
+	var b13, b14 bytes.Buffer
+	rows, err := RunFig13And14(QuickFig1314(), &b13, &b14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 dataset × 1 point × 5 methods.
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	byMethod := make(map[string]CompareRow)
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.Throughput <= 0 {
+			t.Fatalf("%s: zero throughput", r.Method)
+		}
+	}
+	if byMethod["HistApprox"].ValueRatio < 0.6 {
+		t.Fatalf("HistApprox ratio %.3f too low", byMethod["HistApprox"].ValueRatio)
+	}
+	if byMethod["greedy"].ValueRatio != 1 {
+		t.Fatal("greedy must be the ratio reference")
+	}
+	if !strings.Contains(b13.String(), "HistApprox") || !strings.Contains(b14.String(), "greedy") {
+		t.Fatal("figure outputs incomplete")
+	}
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tdnstream/internal/baselines"
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/lifetime"
+)
+
+// Fig11Config parameterizes the budget sweep (paper Fig. 11: ε=0.2,
+// L=10K, k ∈ {10 … 100}, Brightkite and Gowalla).
+type Fig11Config struct {
+	Datasets   []string
+	Steps      int64
+	Ks         []int
+	Eps        float64
+	L          int
+	P          float64
+	Seed       int64
+	QueryEvery int64
+}
+
+// DefaultFig11 uses the paper's parameters.
+func DefaultFig11() Fig11Config {
+	return Fig11Config{
+		Datasets: []string{"brightkite", "gowalla"},
+		Steps:    5000,
+		Ks:       []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Eps:      0.2, L: 10000, P: 0.001, Seed: 3, QueryEvery: 1,
+	}
+}
+
+// QuickFig11 is a reduced configuration.
+func QuickFig11() Fig11Config {
+	return Fig11Config{
+		Datasets: []string{"brightkite"},
+		Steps:    500,
+		Ks:       []int{5, 15},
+		Eps:      0.2, L: 1500, P: 0.002, Seed: 3, QueryEvery: 1,
+	}
+}
+
+// SweepRow is one point of Figs. 11/12: value and call ratios of
+// HistApprox to Greedy at one swept parameter value.
+type SweepRow struct {
+	Dataset    string
+	Param      int // k for Fig 11, L for Fig 12
+	ValueRatio float64
+	CallRatio  float64
+}
+
+// RunFig11 regenerates Fig. 11. Expected shape: value ratio stays high;
+// call ratio *improves* (drops) as k grows, because HistApprox scales
+// logarithmically with k while greedy scales linearly.
+func RunFig11(cfg Fig11Config, w io.Writer) ([]SweepRow, error) {
+	if w != nil {
+		header(w, fmt.Sprintf("Fig 11: HistApprox/greedy ratios vs k (eps=%g, L=%d)", cfg.Eps, cfg.L),
+			"dataset", "k", "value_ratio", "call_ratio")
+	}
+	var rows []SweepRow
+	for _, ds := range cfg.Datasets {
+		in, err := datasets.Generate(ds, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range cfg.Ks {
+			hist, err := RunTracker(core.NewHistApprox(k, cfg.Eps, cfg.L, nil),
+				in, lifetime.NewGeometric(cfg.P, cfg.L, cfg.Seed), cfg.QueryEvery)
+			if err != nil {
+				return nil, err
+			}
+			greedy, err := RunTracker(baselines.NewGreedy(k, nil),
+				in, lifetime.NewGeometric(cfg.P, cfg.L, cfg.Seed), cfg.QueryEvery)
+			if err != nil {
+				return nil, err
+			}
+			row := SweepRow{
+				Dataset:    ds,
+				Param:      k,
+				ValueRatio: hist.Values.RatioTo(greedy.Values).Mean(),
+			}
+			if g := greedy.Calls.At(greedy.Calls.Len() - 1); g > 0 {
+				row.CallRatio = hist.Calls.At(hist.Calls.Len()-1) / g
+			}
+			rows = append(rows, row)
+			if w != nil {
+				tsv(w, row.Dataset, row.Param, row.ValueRatio, row.CallRatio)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig12Config parameterizes the lifetime-bound sweep (paper Fig. 12:
+// ε=0.2, k=10, L ∈ {10K … 100K}).
+type Fig12Config struct {
+	Datasets   []string
+	Steps      int64
+	K          int
+	Eps        float64
+	Ls         []int
+	P          float64
+	Seed       int64
+	QueryEvery int64
+}
+
+// DefaultFig12 uses the paper's parameters.
+func DefaultFig12() Fig12Config {
+	return Fig12Config{
+		Datasets: []string{"brightkite", "gowalla"},
+		Steps:    5000, K: 10, Eps: 0.2,
+		Ls:   []int{10000, 20000, 40000, 60000, 80000, 100000},
+		P:    0.001,
+		Seed: 4, QueryEvery: 1,
+	}
+}
+
+// QuickFig12 is a reduced configuration.
+func QuickFig12() Fig12Config {
+	return Fig12Config{
+		Datasets: []string{"brightkite"},
+		Steps:    400, K: 5, Eps: 0.2,
+		Ls:   []int{200, 400},
+		P:    0.01,
+		Seed: 4, QueryEvery: 5,
+	}
+}
+
+// RunFig12 regenerates Fig. 12. Expected shape: both ratios roughly flat
+// in L (the histogram keeps O(ε⁻¹ log k) instances regardless of L).
+func RunFig12(cfg Fig12Config, w io.Writer) ([]SweepRow, error) {
+	if w != nil {
+		header(w, fmt.Sprintf("Fig 12: HistApprox/greedy ratios vs L (eps=%g, k=%d)", cfg.Eps, cfg.K),
+			"dataset", "L", "value_ratio", "call_ratio")
+	}
+	var rows []SweepRow
+	for _, ds := range cfg.Datasets {
+		in, err := datasets.Generate(ds, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		for _, L := range cfg.Ls {
+			hist, err := RunTracker(core.NewHistApprox(cfg.K, cfg.Eps, L, nil),
+				in, lifetime.NewGeometric(cfg.P, L, cfg.Seed), cfg.QueryEvery)
+			if err != nil {
+				return nil, err
+			}
+			greedy, err := RunTracker(baselines.NewGreedy(cfg.K, nil),
+				in, lifetime.NewGeometric(cfg.P, L, cfg.Seed), cfg.QueryEvery)
+			if err != nil {
+				return nil, err
+			}
+			row := SweepRow{
+				Dataset:    ds,
+				Param:      L,
+				ValueRatio: hist.Values.RatioTo(greedy.Values).Mean(),
+			}
+			if g := greedy.Calls.At(greedy.Calls.Len() - 1); g > 0 {
+				row.CallRatio = hist.Calls.At(hist.Calls.Len()-1) / g
+			}
+			rows = append(rows, row)
+			if w != nil {
+				tsv(w, row.Dataset, row.Param, row.ValueRatio, row.CallRatio)
+			}
+		}
+	}
+	return rows, nil
+}

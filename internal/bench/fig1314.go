@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tdnstream/internal/baselines"
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/lifetime"
+	"tdnstream/internal/ris"
+)
+
+// Fig1314Config parameterizes the cross-method comparison (paper Figs. 13
+// and 14: HistApprox ε=0.3, IMM/TIM+ ε=0.3, DIM β=32, greedy reference;
+// Twitter-Higgs and StackOverflow-c2q; k swept at fixed L and L swept at
+// fixed k; Geo(0.001) lifetimes; 10000 steps).
+type Fig1314Config struct {
+	Datasets []string
+	Steps    int64
+	// Ks is the budget sweep (panels a/c); L fixed at Ls[0].
+	Ks []int
+	// Ls is the lifetime-bound sweep (panels b/d); k fixed at Ks[0].
+	Ls         []int
+	HistEps    float64
+	RISEps     float64
+	DIMBeta    int
+	P          float64
+	Seed       int64
+	QueryEvery int64
+	// MaxRR caps RR-set pools for the static methods (laptop scale).
+	MaxRR int
+}
+
+// DefaultFig1314 follows the paper's parameters (queries every step, as
+// the paper's throughput measurements do), with 2000 steps and capped RR
+// pools to keep the static RIS baselines laptop-feasible (deviations
+// recorded in EXPERIMENTS.md; relative ordering is unaffected).
+func DefaultFig1314() Fig1314Config {
+	return Fig1314Config{
+		Datasets: []string{"twitter-higgs", "stackoverflow-c2q"},
+		Steps:    2000,
+		Ks:       []int{10, 20, 30, 40, 50},
+		Ls:       []int{10000, 20000, 30000, 40000, 50000},
+		HistEps:  0.3, RISEps: 0.3, DIMBeta: 32,
+		P: 0.001, Seed: 5, QueryEvery: 1, MaxRR: 1 << 14,
+	}
+}
+
+// QuickFig1314 is a reduced configuration.
+func QuickFig1314() Fig1314Config {
+	return Fig1314Config{
+		Datasets: []string{"twitter-higgs"},
+		Steps:    300,
+		Ks:       []int{5},
+		Ls:       []int{200},
+		HistEps:  0.3, RISEps: 0.3, DIMBeta: 2,
+		P: 0.01, Seed: 5, QueryEvery: 1, MaxRR: 1 << 10,
+	}
+}
+
+// CompareRow is one point of Fig. 13 (quality ratio vs greedy) and
+// Fig. 14 (throughput) for one method.
+type CompareRow struct {
+	Dataset    string
+	Sweep      string // "k" or "L"
+	Param      int
+	Method     string
+	ValueRatio float64
+	Throughput float64 // interactions per second, Step+Solution inclusive
+}
+
+// methodSet builds the five trackers for one (k, L) configuration.
+func (cfg Fig1314Config) methods(k, L int) []struct {
+	name string
+	mk   func() core.Tracker
+} {
+	return []struct {
+		name string
+		mk   func() core.Tracker
+	}{
+		{"HistApprox", func() core.Tracker { return core.NewHistApprox(k, cfg.HistEps, L, nil) }},
+		{"greedy", func() core.Tracker { return baselines.NewGreedy(k, nil) }},
+		{"DIM", func() core.Tracker { return ris.NewDIM(k, cfg.DIMBeta, cfg.Seed, nil) }},
+		{"IMM", func() core.Tracker {
+			return ris.NewIMM(k, ris.IMMOptions{Eps: cfg.RISEps, MaxRR: cfg.MaxRR}, cfg.Seed, nil)
+		}},
+		{"TIM+", func() core.Tracker {
+			return ris.NewTIMPlus(k, ris.TIMOptions{Eps: cfg.RISEps, MaxRR: cfg.MaxRR}, cfg.Seed, nil)
+		}},
+	}
+}
+
+// RunFig13And14 regenerates both figures from one set of runs: for every
+// dataset and swept parameter it runs all five methods on identical
+// streams, reporting the time-averaged f_t ratio to greedy (Fig. 13) and
+// the end-to-end throughput (Fig. 14).
+//
+// Expected shapes — Fig. 13: HistApprox, IMM and TIM+ high and stable,
+// DIM lower/less stable (especially on stackoverflow-c2q). Fig. 14:
+// HistApprox fastest, then greedy and DIM, IMM ≈ TIM+ slowest.
+func RunFig13And14(cfg Fig1314Config, w13, w14 io.Writer) ([]CompareRow, error) {
+	if w13 != nil {
+		header(w13, "Fig 13: solution-value ratio vs greedy",
+			"dataset", "sweep", "param", "method", "value_ratio")
+	}
+	if w14 != nil {
+		header(w14, "Fig 14: throughput (interactions/s)",
+			"dataset", "sweep", "param", "method", "throughput")
+	}
+	var rows []CompareRow
+	emit := func(r CompareRow) {
+		rows = append(rows, r)
+		if w13 != nil && r.Method != "greedy" {
+			tsv(w13, r.Dataset, r.Sweep, r.Param, r.Method, r.ValueRatio)
+		}
+		if w14 != nil {
+			tsv(w14, r.Dataset, r.Sweep, r.Param, r.Method, r.Throughput)
+		}
+	}
+	for _, ds := range cfg.Datasets {
+		in, err := datasets.Generate(ds, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		type point struct {
+			sweep string
+			k, L  int
+		}
+		var points []point
+		for _, k := range cfg.Ks {
+			points = append(points, point{"k", k, cfg.Ls[0]})
+		}
+		for i, L := range cfg.Ls {
+			if i == 0 && len(cfg.Ks) > 0 {
+				continue // (k=Ks[0], L=Ls[0]) already covered by the k sweep
+			}
+			points = append(points, point{"L", cfg.Ks[0], L})
+		}
+		for _, pt := range points {
+			results := make(map[string]RunResult)
+			for _, m := range cfg.methods(pt.k, pt.L) {
+				res, err := RunTracker(m.mk(), in, lifetime.NewGeometric(cfg.P, pt.L, cfg.Seed), cfg.QueryEvery)
+				if err != nil {
+					return nil, err
+				}
+				results[m.name] = res
+			}
+			greedy := results["greedy"]
+			for _, m := range cfg.methods(pt.k, pt.L) {
+				res := results[m.name]
+				param := pt.k
+				if pt.sweep == "L" {
+					param = pt.L
+				}
+				row := CompareRow{
+					Dataset: ds, Sweep: pt.sweep, Param: param, Method: m.name,
+					Throughput: res.Throughput(),
+				}
+				if m.name != "greedy" {
+					row.ValueRatio = res.Values.RatioTo(greedy.Values).Mean()
+				} else {
+					row.ValueRatio = 1
+				}
+				emit(row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RunFig13 prints only the quality panels.
+func RunFig13(cfg Fig1314Config, w io.Writer) ([]CompareRow, error) {
+	return RunFig13And14(cfg, w, nil)
+}
+
+// RunFig14 prints only the throughput panels.
+func RunFig14(cfg Fig1314Config, w io.Writer) ([]CompareRow, error) {
+	return RunFig13And14(cfg, nil, w)
+}
+
+// describe returns a one-line summary used by cmd/benchfig.
+func describe(cfg Fig1314Config) string {
+	return fmt.Sprintf("datasets=%v steps=%d ks=%v Ls=%v", cfg.Datasets, cfg.Steps, cfg.Ks, cfg.Ls)
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/lifetime"
+)
+
+// Fig7Config parameterizes the BasicReduction-vs-HistApprox comparison
+// (paper Fig. 7: ε=0.1, k=10, L=1000, Geo(p) lifetimes, 5000 steps,
+// Brightkite and Gowalla, p swept over {0.001 … 0.008}).
+type Fig7Config struct {
+	Datasets []string
+	Steps    int64
+	K        int
+	Eps      float64
+	L        int
+	Ps       []float64
+	Seed     int64
+}
+
+// DefaultFig7 uses the paper's parameters.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Datasets: []string{"brightkite", "gowalla"},
+		Steps:    5000, K: 10, Eps: 0.1, L: 1000,
+		Ps:   []float64{0.001, 0.002, 0.004, 0.006, 0.008},
+		Seed: 1,
+	}
+}
+
+// QuickFig7 is a reduced configuration for unit benches and smoke runs.
+func QuickFig7() Fig7Config {
+	return Fig7Config{
+		Datasets: []string{"brightkite"},
+		Steps:    600, K: 5, Eps: 0.1, L: 200,
+		Ps:   []float64{0.005, 0.02},
+		Seed: 1,
+	}
+}
+
+// Fig7Row is one point of Fig. 7's four panels: the time-averaged
+// solution value (7a/7c) and the total oracle calls (7b/7d) for both
+// algorithms at one p.
+type Fig7Row struct {
+	Dataset              string
+	P                    float64
+	BasicValue           float64
+	HistValue            float64
+	BasicCalls           uint64
+	HistCalls            uint64
+	ValueRatioHistToBase float64
+	CallRatioHistToBase  float64
+}
+
+// RunFig7 regenerates Fig. 7. The paper's observed shape: HistApprox's
+// value ratio ≥ 0.98; its call ratio < 0.1; BasicReduction's calls
+// decrease as p grows (short lifetimes fan out to fewer instances).
+func RunFig7(cfg Fig7Config, w io.Writer) ([]Fig7Row, error) {
+	if w != nil {
+		header(w, fmt.Sprintf("Fig 7: BasicReduction vs HistApprox (k=%d, eps=%g, L=%d, %d steps)",
+			cfg.K, cfg.Eps, cfg.L, cfg.Steps),
+			"dataset", "p", "basic_value", "hist_value", "basic_calls", "hist_calls",
+			"value_ratio", "call_ratio")
+	}
+	var rows []Fig7Row
+	for _, ds := range cfg.Datasets {
+		in, err := datasets.Generate(ds, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cfg.Ps {
+			basic, err := RunTracker(
+				core.NewBasicReduction(cfg.K, cfg.Eps, cfg.L, nil),
+				in, lifetime.NewGeometric(p, cfg.L, cfg.Seed), 1)
+			if err != nil {
+				return nil, err
+			}
+			hist, err := RunTracker(
+				core.NewHistApprox(cfg.K, cfg.Eps, cfg.L, nil),
+				in, lifetime.NewGeometric(p, cfg.L, cfg.Seed), 1)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig7Row{
+				Dataset:    ds,
+				P:          p,
+				BasicValue: basic.Values.Mean(),
+				HistValue:  hist.Values.Mean(),
+				BasicCalls: uint64(basic.Calls.At(basic.Calls.Len() - 1)),
+				HistCalls:  uint64(hist.Calls.At(hist.Calls.Len() - 1)),
+			}
+			if row.BasicValue > 0 {
+				row.ValueRatioHistToBase = row.HistValue / row.BasicValue
+			}
+			if row.BasicCalls > 0 {
+				row.CallRatioHistToBase = float64(row.HistCalls) / float64(row.BasicCalls)
+			}
+			rows = append(rows, row)
+			if w != nil {
+				tsv(w, row.Dataset, row.P, row.BasicValue, row.HistValue,
+					row.BasicCalls, row.HistCalls, row.ValueRatioHistToBase, row.CallRatioHistToBase)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tdnstream/internal/baselines"
+	"tdnstream/internal/core"
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/lifetime"
+	"tdnstream/internal/metrics"
+)
+
+// Fig8Config parameterizes the solution-quality-over-time experiments
+// (paper Figs. 8, 9 and 10: k=10, L=10K, 5000 steps, HistApprox at
+// ε ∈ {0.1, 0.15, 0.2} vs lazy Greedy and Random, six datasets).
+type Fig8Config struct {
+	Datasets   []string
+	Steps      int64
+	K          int
+	EpsList    []float64
+	L          int
+	P          float64 // geometric lifetime parameter
+	Seed       int64
+	QueryEvery int64
+	// Downsample thins printed series (plots only; stats use full series).
+	Downsample int
+}
+
+// DefaultFig8 uses the paper's parameters.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		Datasets: datasets.Names,
+		Steps:    5000, K: 10,
+		EpsList: []float64{0.1, 0.15, 0.2},
+		L:       10000, P: 0.001, Seed: 2, QueryEvery: 1, Downsample: 100,
+	}
+}
+
+// QuickFig8 is a reduced configuration for unit benches.
+func QuickFig8() Fig8Config {
+	return Fig8Config{
+		Datasets: []string{"brightkite", "twitter-hk"},
+		Steps:    700, K: 5,
+		EpsList: []float64{0.1, 0.2},
+		L:       2000, P: 0.002, Seed: 2, QueryEvery: 1, Downsample: 20,
+	}
+}
+
+// Fig8Data bundles all runs for one dataset. Keys: "greedy", "random",
+// and "hist(ε=…)" per epsilon.
+type Fig8Data struct {
+	Dataset string
+	Runs    map[string]RunResult
+	// EpsKeys lists the HistApprox run keys in EpsList order.
+	EpsKeys []string
+}
+
+// RunFig8Data executes the shared experiment behind Figs. 8-10.
+func RunFig8Data(cfg Fig8Config) ([]Fig8Data, error) {
+	var out []Fig8Data
+	for _, ds := range cfg.Datasets {
+		in, err := datasets.Generate(ds, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		data := Fig8Data{Dataset: ds, Runs: make(map[string]RunResult)}
+		mkAssign := func() lifetime.Assigner { return lifetime.NewGeometric(cfg.P, cfg.L, cfg.Seed) }
+
+		res, err := RunTracker(baselines.NewGreedy(cfg.K, nil), in, mkAssign(), cfg.QueryEvery)
+		if err != nil {
+			return nil, err
+		}
+		data.Runs["greedy"] = res
+
+		res, err = RunTracker(baselines.NewRandom(cfg.K, cfg.Seed, nil), in, mkAssign(), cfg.QueryEvery)
+		if err != nil {
+			return nil, err
+		}
+		data.Runs["random"] = res
+
+		for _, eps := range cfg.EpsList {
+			key := fmt.Sprintf("hist(eps=%g)", eps)
+			res, err = RunTracker(core.NewHistApprox(cfg.K, eps, cfg.L, nil), in, mkAssign(), cfg.QueryEvery)
+			if err != nil {
+				return nil, err
+			}
+			data.Runs[key] = res
+			data.EpsKeys = append(data.EpsKeys, key)
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// RunFig8 regenerates Fig. 8: solution value over time per dataset.
+// Expected shape: greedy on top, HistApprox close behind (lower for
+// larger ε), random far below.
+func RunFig8(cfg Fig8Config, w io.Writer) ([]Fig8Data, error) {
+	data, err := RunFig8Data(cfg)
+	if err != nil {
+		return nil, err
+	}
+	Fig8From(cfg, data, w)
+	return data, nil
+}
+
+// Fig8From prints Fig. 8 series from already-computed data.
+func Fig8From(cfg Fig8Config, data []Fig8Data, w io.Writer) {
+	if w == nil {
+		return
+	}
+	for _, d := range data {
+		cols := append([]string{"query_step", "greedy", "random"}, d.EpsKeys...)
+		header(w, fmt.Sprintf("Fig 8 (%s): solution value over time (k=%d, L=%d)", d.Dataset, cfg.K, cfg.L), cols...)
+		printSeriesRows(w, cfg, d, func(r RunResult) *metrics.Series { return r.Values })
+	}
+}
+
+// printSeriesRows emits one downsampled row per query point with the
+// column order used by RunFig8/RunFig10.
+func printSeriesRows(w io.Writer, cfg Fig8Config, d Fig8Data, pick func(RunResult) *metrics.Series) {
+	stride := cfg.Downsample
+	if stride < 1 {
+		stride = 1
+	}
+	greedy := pick(d.Runs["greedy"]).Downsample(stride)
+	random := pick(d.Runs["random"]).Downsample(stride)
+	hists := make([]*metrics.Series, len(d.EpsKeys))
+	for i, key := range d.EpsKeys {
+		hists[i] = pick(d.Runs[key]).Downsample(stride)
+	}
+	for i := 0; i < greedy.Len(); i++ {
+		row := []any{i * stride, greedy.At(i), random.At(i)}
+		for _, h := range hists {
+			row = append(row, h.At(i))
+		}
+		tsv(w, row...)
+	}
+}
+
+// Fig9Row is one bar of Fig. 9: the time-averaged ratio of HistApprox's
+// solution value to Greedy's.
+type Fig9Row struct {
+	Dataset string
+	Eps     float64
+	Ratio   float64
+}
+
+// RunFig9 regenerates Fig. 9 from Fig. 8's runs. Expected shape: ratios
+// near 1 (paper: ≥ ~0.85 everywhere), decreasing as ε grows.
+func RunFig9(cfg Fig8Config, w io.Writer) ([]Fig9Row, error) {
+	data, err := RunFig8Data(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := Fig9From(cfg, data, w)
+	return rows, nil
+}
+
+// Fig9From derives Fig. 9 rows from already-computed Fig. 8 data.
+func Fig9From(cfg Fig8Config, data []Fig8Data, w io.Writer) []Fig9Row {
+	if w != nil {
+		header(w, "Fig 9: time-averaged solution-value ratio vs greedy", "dataset", "eps", "ratio")
+	}
+	var rows []Fig9Row
+	for _, d := range data {
+		greedy := d.Runs["greedy"].Values
+		for i, key := range d.EpsKeys {
+			ratio := d.Runs[key].Values.RatioTo(greedy).Mean()
+			row := Fig9Row{Dataset: d.Dataset, Eps: cfg.EpsList[i], Ratio: ratio}
+			rows = append(rows, row)
+			if w != nil {
+				tsv(w, row.Dataset, row.Eps, row.Ratio)
+			}
+		}
+	}
+	return rows
+}
+
+// RunFig10 regenerates Fig. 10: the ratio of cumulative oracle calls of
+// HistApprox to Greedy over time. Expected shape: well below 1 and
+// decreasing with ε (paper: 5-15× fewer calls at ε=0.2).
+func RunFig10(cfg Fig8Config, w io.Writer) ([]Fig8Data, error) {
+	data, err := RunFig8Data(cfg)
+	if err != nil {
+		return nil, err
+	}
+	Fig10From(cfg, data, w)
+	return data, nil
+}
+
+// Fig10From prints Fig. 10 series from already-computed Fig. 8 data.
+func Fig10From(cfg Fig8Config, data []Fig8Data, w io.Writer) {
+	if w == nil {
+		return
+	}
+	for _, d := range data {
+		cols := append([]string{"query_step"}, d.EpsKeys...)
+		header(w, fmt.Sprintf("Fig 10 (%s): cumulative oracle-call ratio vs greedy", d.Dataset), cols...)
+		stride := cfg.Downsample
+		if stride < 1 {
+			stride = 1
+		}
+		greedy := d.Runs["greedy"].Calls
+		ratios := make([]*metrics.Series, len(d.EpsKeys))
+		for i, key := range d.EpsKeys {
+			ratios[i] = d.Runs[key].Calls.RatioTo(greedy).Downsample(stride)
+		}
+		for i := 0; i < ratios[0].Len(); i++ {
+			row := []any{i * stride}
+			for _, r := range ratios {
+				row = append(row, r.At(i))
+			}
+			tsv(w, row...)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package bench reproduces every table and figure of the paper's
+// evaluation (§V): one runner per exhibit, each printing the same
+// rows/series the paper plots as tab-separated values. DESIGN.md §5 maps
+// exhibits to runners; EXPERIMENTS.md records paper-vs-measured shapes.
+//
+// All runners follow the paper's experimental setup: one interaction per
+// time step, geometric lifetimes Geo(p) truncated at L, every tracker
+// fed an identical stream (identical lifetimes via identical assigner
+// seeds), solutions queried each step unless a runner says otherwise.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/lifetime"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+)
+
+// RunResult captures one tracker's trajectory over one stream.
+type RunResult struct {
+	Name string
+	// Values holds the solution value at each query point.
+	Values *metrics.Series
+	// Calls holds the cumulative oracle-call count at each query point.
+	Calls *metrics.Series
+	// Seconds is the wall-clock time spent in Step+Solution.
+	Seconds float64
+	// Interactions is the number of stream edges processed.
+	Interactions int
+}
+
+// Throughput returns processed interactions per second (the paper's
+// Fig. 14 metric, reported there as k-edges/s).
+func (r RunResult) Throughput() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.Interactions) / r.Seconds
+}
+
+// RunTracker drives tr over the interaction stream, assigning lifetimes
+// with assign, querying every queryEvery steps (and at the final step).
+// The paper's setup has one interaction per step, but the runner groups
+// by timestamp so batched streams also work.
+func RunTracker(tr core.Tracker, in []stream.Interaction, assign lifetime.Assigner, queryEvery int64) (RunResult, error) {
+	if queryEvery < 1 {
+		queryEvery = 1
+	}
+	res := RunResult{Name: tr.Name(), Values: &metrics.Series{}, Calls: &metrics.Series{}}
+	batches := stream.Batches(in)
+	start := time.Now()
+	for i, b := range batches {
+		edges := make([]stream.Edge, 0, len(b.Interactions))
+		for _, x := range b.Interactions {
+			edges = append(edges, stream.Edge{Src: x.Src, Dst: x.Dst, T: x.T, Lifetime: assign.Assign(x)})
+		}
+		if err := tr.Step(b.T, edges); err != nil {
+			return res, fmt.Errorf("bench: %s at t=%d: %w", tr.Name(), b.T, err)
+		}
+		res.Interactions += len(edges)
+		if b.T%queryEvery == 0 || i == len(batches)-1 {
+			sol := tr.Solution()
+			res.Values.Append(float64(sol.Value))
+			res.Calls.Append(float64(tr.Calls().Value()))
+		}
+	}
+	res.Seconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// tsv writes one tab-separated row.
+func tsv(w io.Writer, cols ...any) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(w, "%.4g", v)
+		default:
+			fmt.Fprint(w, v)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// header writes a commented TSV header line.
+func header(w io.Writer, title string, cols ...string) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprint(w, "# ")
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tdnstream/internal/datasets"
+	"tdnstream/internal/stream"
+)
+
+// Table1Config sizes the dataset-summary table.
+type Table1Config struct {
+	// Steps is the generated stream length per dataset.
+	Steps int64
+}
+
+// DefaultTable1 matches the experiment scale used throughout (5000-step
+// streams, the paper's run length).
+func DefaultTable1() Table1Config { return Table1Config{Steps: 5000} }
+
+// Table1Row summarizes one synthetic dataset next to the original trace.
+type Table1Row struct {
+	Dataset           string
+	Nodes             int
+	Interactions      int
+	PaperNodes        string
+	PaperInteractions int
+}
+
+// RunTable1 reproduces Table I: per-dataset node and interaction counts,
+// side by side with the numbers the paper reports for the original
+// traces (our generators are laptop-scale stand-ins; see DESIGN.md §4).
+func RunTable1(cfg Table1Config, w io.Writer) ([]Table1Row, error) {
+	if w != nil {
+		header(w, fmt.Sprintf("Table I: dataset summary (synthetic stand-ins, %d steps)", cfg.Steps),
+			"dataset", "nodes", "interactions", "paper_nodes", "paper_interactions")
+	}
+	var rows []Table1Row
+	for _, name := range datasets.Names {
+		in, err := datasets.Generate(name, cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+		st := stream.Summarize(in)
+		ps := datasets.PaperStats[name]
+		row := Table1Row{
+			Dataset:           name,
+			Nodes:             st.Nodes,
+			Interactions:      st.Interactions,
+			PaperNodes:        ps.Nodes,
+			PaperInteractions: ps.Interactions,
+		}
+		rows = append(rows, row)
+		if w != nil {
+			tsv(w, row.Dataset, row.Nodes, row.Interactions, row.PaperNodes, row.PaperInteractions)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// randomTDNStream drives a tracker and a naive reference simulator in
+// lockstep, returning a step function.
+type tdnDriver struct {
+	rng   *rand.Rand
+	naive *testutil.NaiveTDN
+	n     int
+	maxL  int
+	rate  int
+}
+
+func (d *tdnDriver) batch(t int64) []stream.Edge {
+	var out []stream.Edge
+	for i := 0; i < d.rng.Intn(d.rate+1); i++ {
+		u := ids.NodeID(d.rng.Intn(d.n))
+		v := ids.NodeID(d.rng.Intn(d.n))
+		if u == v {
+			continue
+		}
+		e := stream.Edge{Src: u, Dst: v, T: t, Lifetime: 1 + d.rng.Intn(d.maxL)}
+		out = append(out, e)
+		d.naive.Add(e)
+	}
+	d.naive.AdvanceTo(t)
+	return out
+}
+
+func (d *tdnDriver) aliveAdjacency() map[ids.NodeID][]ids.NodeID {
+	return testutil.Adjacency(d.naive.AlivePairs())
+}
+
+func TestBasicReductionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for L=0")
+		}
+	}()
+	NewBasicReduction(1, 0.1, 0, nil)
+}
+
+func TestBasicReductionTimeContract(t *testing.T) {
+	b := NewBasicReduction(2, 0.1, 5, nil)
+	if err := b.Step(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Step(3, nil); err == nil {
+		t.Fatal("repeated time accepted")
+	}
+	if err := b.Step(2, nil); err == nil {
+		t.Fatal("rewind accepted")
+	}
+	if err := b.Step(10, nil); err != nil {
+		t.Fatalf("time gap rejected: %v", err)
+	}
+}
+
+func TestBasicReductionMaintainsLInstances(t *testing.T) {
+	b := NewBasicReduction(2, 0.1, 7, nil)
+	for tt := int64(1); tt <= 20; tt++ {
+		if err := b.Step(tt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if b.NumInstances() != 7 {
+			t.Fatalf("t=%d: %d instances, want 7", tt, b.NumInstances())
+		}
+	}
+}
+
+// The head-instance invariant behind Theorem 4: at every step, instance
+// index 1 has processed exactly the currently alive edge pairs.
+func TestBasicReductionHeadInvariant(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(5)), naive: &testutil.NaiveTDN{}, n: 15, maxL: 6, rate: 4}
+	b := NewBasicReduction(2, 0.1, 6, nil)
+	for tt := int64(1); tt <= 120; tt++ {
+		if err := b.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		head := b.InstanceAt(1)
+		alive := d.naive.AlivePairs()
+		if head.Graph().NumEdges() != len(alive) {
+			t.Fatalf("t=%d: head has %d pairs, alive %d", tt, head.Graph().NumEdges(), len(alive))
+		}
+		for key := range alive {
+			u, v := ids.SplitEdgeKey(key)
+			if !head.Graph().HasEdge(u, v) {
+				t.Fatalf("t=%d: head missing alive edge %d→%d", tt, u, v)
+			}
+		}
+	}
+}
+
+// Every instance (not just the head) must hold exactly the alive edges
+// with remaining lifetime ≥ its index.
+func TestBasicReductionAllInstancesInvariant(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(6)), naive: &testutil.NaiveTDN{}, n: 12, maxL: 5, rate: 3}
+	b := NewBasicReduction(2, 0.1, 5, nil)
+	for tt := int64(1); tt <= 60; tt++ {
+		if err := b.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		for idx := 1; idx <= 5; idx++ {
+			inst := b.InstanceAt(idx)
+			want := make(map[uint64]struct{})
+			for _, e := range d.naive.Edges {
+				if e.T <= tt && e.Remaining(tt) >= idx {
+					want[ids.EdgeKey(e.Src, e.Dst)] = struct{}{}
+				}
+			}
+			if inst.Graph().NumEdges() != len(want) {
+				t.Fatalf("t=%d idx=%d: %d pairs, want %d", tt, idx, inst.Graph().NumEdges(), len(want))
+			}
+		}
+	}
+}
+
+// Theorem 4: (1/2−ε) guarantee on general TDNs, checked against
+// brute-force OPT on the alive graph at every step.
+func TestBasicReductionApproximationGuarantee(t *testing.T) {
+	const k = 3
+	eps := 0.1
+	for _, seed := range []int64{1, 2, 3} {
+		d := &tdnDriver{rng: rand.New(rand.NewSource(seed)), naive: &testutil.NaiveTDN{}, n: 11, maxL: 4, rate: 3}
+		b := NewBasicReduction(k, eps, 4, nil)
+		for tt := int64(1); tt <= 40; tt++ {
+			if err := b.Step(tt, d.batch(tt)); err != nil {
+				t.Fatal(err)
+			}
+			adj := d.aliveAdjacency()
+			if len(adj) == 0 {
+				continue
+			}
+			opt := testutil.BruteForceOPT(adj, k)
+			got := b.Solution().Value
+			if float64(got) < (0.5-eps)*float64(opt) {
+				t.Fatalf("seed %d t=%d: value %d < (1/2-ε)OPT = %.1f", seed, tt, got, (0.5-eps)*float64(opt))
+			}
+		}
+	}
+}
+
+// With L=1 every edge lives exactly one step: the solution must reflect
+// only the current batch.
+func TestBasicReductionWindowOne(t *testing.T) {
+	b := NewBasicReduction(1, 0.1, 1, nil)
+	if err := b.Step(1, []stream.Edge{
+		{Src: 0, Dst: 1, T: 1, Lifetime: 1},
+		{Src: 0, Dst: 2, T: 1, Lifetime: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Solution().Value; got != 3 {
+		t.Fatalf("t=1 value = %d, want 3", got)
+	}
+	if err := b.Step(2, []stream.Edge{{Src: 5, Dst: 6, T: 2, Lifetime: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol := b.Solution()
+	if sol.Value != 2 {
+		t.Fatalf("t=2 value = %d, want 2 (old star expired)", sol.Value)
+	}
+	if len(sol.Seeds) != 1 || sol.Seeds[0] != 5 {
+		t.Fatalf("t=2 seeds = %v, want [5]", sol.Seeds)
+	}
+}
+
+// Lifetimes beyond L are clamped: an edge with huge lifetime behaves like
+// lifetime L.
+func TestBasicReductionClampsLifetime(t *testing.T) {
+	b := NewBasicReduction(1, 0.1, 3, nil)
+	if err := b.Step(1, []stream.Edge{{Src: 1, Dst: 2, T: 1, Lifetime: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(2); tt <= 3; tt++ {
+		if err := b.Step(tt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if b.Solution().Value != 2 {
+			t.Fatalf("t=%d: edge should still be alive", tt)
+		}
+	}
+	if err := b.Step(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Solution().Value != 0 {
+		t.Fatal("clamped edge must expire after L=3 steps")
+	}
+}
+
+// After a long silent gap everything expires.
+func TestBasicReductionSilentGapExpiry(t *testing.T) {
+	b := NewBasicReduction(2, 0.1, 5, nil)
+	if err := b.Step(1, []stream.Edge{{Src: 1, Dst: 2, T: 1, Lifetime: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Step(50, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Solution().Value; got != 0 {
+		t.Fatalf("value = %d after gap, want 0", got)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+func TestExplainGainsSumToValue(t *testing.T) {
+	s := NewSieve(3, 0.1, nil)
+	// Two stars with overlap: hub 0 → {10..15}, hub 1 → {13..18}.
+	var batch []Pair
+	for i := ids.NodeID(10); i <= 15; i++ {
+		batch = append(batch, Pair{0, i})
+	}
+	for i := ids.NodeID(13); i <= 18; i++ {
+		batch = append(batch, Pair{1, i})
+	}
+	s.Feed(batch)
+	sol := s.Solution()
+	contribs := s.Explain()
+	if len(contribs) != len(sol.Seeds) {
+		t.Fatalf("%d contributions for %d seeds", len(contribs), len(sol.Seeds))
+	}
+	sum := 0
+	for _, c := range contribs {
+		sum += c.Gain
+		if c.Exclusive < c.Gain {
+			t.Fatalf("seed %d: exclusive %d < marginal gain %d", c.Seed, c.Exclusive, c.Gain)
+		}
+	}
+	if sum != sol.Value {
+		t.Fatalf("gains sum to %d, solution value %d", sum, sol.Value)
+	}
+	// Overlap must show: some seed's Gain < Exclusive (hubs share leaves).
+	if len(contribs) >= 2 {
+		sawOverlap := false
+		for _, c := range contribs {
+			if c.Gain < c.Exclusive {
+				sawOverlap = true
+			}
+		}
+		if !sawOverlap {
+			t.Fatal("overlapping stars should produce Gain < Exclusive for some seed")
+		}
+	}
+}
+
+func TestExplainEmpty(t *testing.T) {
+	if got := NewSieve(2, 0.1, nil).Explain(); got != nil {
+		t.Fatalf("empty sieve Explain = %v", got)
+	}
+	h := NewHistApprox(2, 0.1, 5, nil)
+	if got := h.Explain(); got != nil {
+		t.Fatalf("fresh HistApprox Explain = %v", got)
+	}
+	b := NewBasicReduction(2, 0.1, 5, nil)
+	if got := b.Explain(); got != nil {
+		t.Fatalf("fresh BasicReduction Explain = %v", got)
+	}
+}
+
+func TestExplainOnTrackers(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	d := &tdnDriver{rng: rng, naive: &testutil.NaiveTDN{}, n: 25, maxL: 8, rate: 5}
+	h := NewHistApprox(3, 0.2, 8, nil)
+	b := NewBasicReduction(3, 0.2, 8, nil)
+	var last []stream.Edge
+	for tt := int64(1); tt <= 40; tt++ {
+		batch := d.batch(tt)
+		last = batch
+		if err := h.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Step(tt, append([]stream.Edge(nil), batch...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = last
+	for name, tr := range map[string]interface{ Explain() []SeedContribution }{
+		"hist": h, "basic": b,
+	} {
+		contribs := tr.Explain()
+		var sol Solution
+		switch x := tr.(type) {
+		case *HistApprox:
+			sol = x.Solution()
+		case *BasicReduction:
+			sol = x.Solution()
+		}
+		if len(sol.Seeds) == 0 {
+			continue
+		}
+		sum := 0
+		for _, c := range contribs {
+			sum += c.Gain
+		}
+		if sum != sol.Value {
+			t.Fatalf("%s: contributions sum %d != value %d", name, sum, sol.Value)
+		}
+	}
+}

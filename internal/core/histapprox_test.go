@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+func TestHistApproxValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for L=0")
+		}
+	}()
+	NewHistApprox(1, 0.1, 0, nil)
+}
+
+func TestHistApproxTimeContract(t *testing.T) {
+	h := NewHistApprox(2, 0.1, 5, nil)
+	if err := h.Step(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Step(3, nil); err == nil {
+		t.Fatal("repeated time accepted")
+	}
+	if err := h.Step(1, nil); err == nil {
+		t.Fatal("rewind accepted")
+	}
+}
+
+// Kept-instance graph invariant: every histogram instance at index i must
+// hold exactly the alive edges with remaining lifetime ≥ i — the same
+// edge set a BasicReduction instance at the same index would hold. This
+// exercises creation-by-clone plus backlog feeding (paper Fig. 6c).
+func TestHistApproxInstanceEdgeSets(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(9)), naive: &testutil.NaiveTDN{}, n: 14, maxL: 8, rate: 4}
+	h := NewHistApprox(2, 0.1, 8, nil)
+	for tt := int64(1); tt <= 100; tt++ {
+		if err := h.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range h.Indices() {
+			inst := h.InstanceAt(idx)
+			want := make(map[uint64]struct{})
+			for _, e := range d.naive.Edges {
+				if e.T <= tt && e.Remaining(tt) >= idx {
+					want[ids.EdgeKey(e.Src, e.Dst)] = struct{}{}
+				}
+			}
+			if inst.Graph().NumEdges() != len(want) {
+				t.Fatalf("t=%d idx=%d: instance has %d pairs, want %d", tt, idx, inst.Graph().NumEdges(), len(want))
+			}
+			for key := range want {
+				u, v := ids.SplitEdgeKey(key)
+				if !inst.Graph().HasEdge(u, v) {
+					t.Fatalf("t=%d idx=%d: missing edge %d→%d", tt, idx, u, v)
+				}
+			}
+		}
+	}
+}
+
+// Smooth-histogram invariant (Theorem 6 / proof of Theorem 8): after each
+// step, for consecutive kept indices x_i < x_{i+1} < x_{i+2}:
+// g(x_{i+2}) < (1−ε)·g(x_i).
+func TestHistApproxSmoothHistogramInvariant(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(10)), naive: &testutil.NaiveTDN{}, n: 20, maxL: 15, rate: 5}
+	h := NewHistApprox(3, 0.2, 15, nil)
+	for tt := int64(1); tt <= 150; tt++ {
+		if err := h.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+2 < len(h.xs); i++ {
+			gi := float64(h.insts[h.xs[i]].Value())
+			gi2 := float64(h.insts[h.xs[i+2]].Value())
+			if gi2 >= (1-h.eps)*gi {
+				t.Fatalf("t=%d: g(x_%d)=%g ≥ (1-ε)g(x_%d)=%g — redundancy not reduced",
+					tt, i+2, gi2, i, (1-h.eps)*gi)
+			}
+		}
+	}
+}
+
+// The histogram must stay small: far fewer instances than L, bounded by
+// O(ε⁻¹ log(kΔ)).
+func TestHistApproxInstanceCountBounded(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(12)), naive: &testutil.NaiveTDN{}, n: 30, maxL: 60, rate: 6}
+	h := NewHistApprox(3, 0.2, 60, nil)
+	maxInst := 0
+	for tt := int64(1); tt <= 200; tt++ {
+		if err := h.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if h.NumInstances() > maxInst {
+			maxInst = h.NumInstances()
+		}
+	}
+	if maxInst >= 60 {
+		t.Fatalf("histogram kept %d instances — no better than BasicReduction's L", maxInst)
+	}
+	if maxInst > 40 {
+		t.Fatalf("histogram kept %d instances — redundancy reduction ineffective", maxInst)
+	}
+}
+
+// Theorem 7: (1/3−ε) guarantee on general TDNs vs brute-force OPT.
+func TestHistApproxApproximationGuarantee(t *testing.T) {
+	const k = 3
+	eps := 0.1
+	for _, seed := range []int64{4, 5, 6} {
+		d := &tdnDriver{rng: rand.New(rand.NewSource(seed)), naive: &testutil.NaiveTDN{}, n: 11, maxL: 5, rate: 3}
+		h := NewHistApprox(k, eps, 5, nil)
+		for tt := int64(1); tt <= 40; tt++ {
+			if err := h.Step(tt, d.batch(tt)); err != nil {
+				t.Fatal(err)
+			}
+			adj := d.aliveAdjacency()
+			if len(adj) == 0 {
+				continue
+			}
+			opt := testutil.BruteForceOPT(adj, k)
+			got := h.Solution().Value
+			if float64(got) < (1.0/3.0-eps)*float64(opt) {
+				t.Fatalf("seed %d t=%d: value %d < (1/3-ε)OPT = %.1f", seed, tt, got, (1.0/3.0-eps)*float64(opt))
+			}
+		}
+	}
+}
+
+// The RefineHead option restores the (1/2−ε) guarantee (paper remark
+// after Theorem 8).
+func TestHistApproxRefineHeadGuarantee(t *testing.T) {
+	const k = 3
+	eps := 0.1
+	for _, seed := range []int64{7, 8} {
+		d := &tdnDriver{rng: rand.New(rand.NewSource(seed)), naive: &testutil.NaiveTDN{}, n: 11, maxL: 5, rate: 3}
+		h := NewHistApprox(k, eps, 5, nil)
+		h.RefineHead = true
+		for tt := int64(1); tt <= 40; tt++ {
+			if err := h.Step(tt, d.batch(tt)); err != nil {
+				t.Fatal(err)
+			}
+			adj := d.aliveAdjacency()
+			if len(adj) == 0 {
+				continue
+			}
+			opt := testutil.BruteForceOPT(adj, k)
+			got := h.Solution().Value
+			if float64(got) < (0.5-eps)*float64(opt) {
+				t.Fatalf("seed %d t=%d: refined value %d < (1/2-ε)OPT = %.1f", seed, tt, got, (0.5-eps)*float64(opt))
+			}
+		}
+	}
+}
+
+// RefineHead must never *hurt* the reported value, and must not disturb
+// the tracker's persistent state.
+func TestHistApproxRefineHeadNonDestructive(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(13)), naive: &testutil.NaiveTDN{}, n: 14, maxL: 6, rate: 4}
+	h := NewHistApprox(2, 0.2, 6, nil)
+	for tt := int64(1); tt <= 60; tt++ {
+		if err := h.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		h.RefineHead = false
+		plain := h.Solution().Value
+		edgesBefore := 0
+		if len(h.xs) > 0 {
+			edgesBefore = h.insts[h.xs[0]].Graph().NumEdges()
+		}
+		h.RefineHead = true
+		refined := h.Solution().Value
+		if refined < plain {
+			t.Fatalf("t=%d: refined %d < plain %d", tt, refined, plain)
+		}
+		if len(h.xs) > 0 && h.insts[h.xs[0]].Graph().NumEdges() != edgesBefore {
+			t.Fatalf("t=%d: refinement mutated the head instance", tt)
+		}
+	}
+}
+
+// HistApprox tracks BasicReduction closely in practice (paper Fig. 7
+// reports ≥ 0.98 on real data; we assert a conservative bound on a seeded
+// random stream) while issuing far fewer oracle calls.
+func TestHistApproxCloseToBasicReductionCheaper(t *testing.T) {
+	const steps = 150
+	mk := func() *tdnDriver {
+		return &tdnDriver{rng: rand.New(rand.NewSource(77)), naive: &testutil.NaiveTDN{}, n: 40, maxL: 30, rate: 6}
+	}
+	bd := mk()
+	b := NewBasicReduction(3, 0.1, 30, nil)
+	var bVals float64
+	for tt := int64(1); tt <= steps; tt++ {
+		if err := b.Step(tt, bd.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		bVals += float64(b.Solution().Value)
+	}
+	hd := mk()
+	h := NewHistApprox(3, 0.1, 30, nil)
+	var hVals float64
+	for tt := int64(1); tt <= steps; tt++ {
+		if err := h.Step(tt, hd.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		hVals += float64(h.Solution().Value)
+	}
+	if hVals < 0.85*bVals {
+		t.Fatalf("HistApprox total value %.0f < 85%% of BasicReduction %.0f", hVals, bVals)
+	}
+	if h.Calls().Value() >= b.Calls().Value() {
+		t.Fatalf("HistApprox calls %d not below BasicReduction %d", h.Calls().Value(), b.Calls().Value())
+	}
+}
+
+// With L=1 every instance lives one step and is fed exactly the current
+// batch, so BasicReduction and HistApprox must produce *identical*
+// solutions (same pipeline, no clone/backlog or redundancy subtleties).
+func TestHistApproxMatchesBasicReductionAtL1(t *testing.T) {
+	mk := func() *tdnDriver {
+		return &tdnDriver{rng: rand.New(rand.NewSource(21)), naive: &testutil.NaiveTDN{}, n: 12, maxL: 1, rate: 5}
+	}
+	bd, hd := mk(), mk()
+	b := NewBasicReduction(2, 0.1, 1, nil)
+	h := NewHistApprox(2, 0.1, 1, nil)
+	for tt := int64(1); tt <= 60; tt++ {
+		if err := b.Step(tt, bd.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Step(tt, hd.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		bs, hs := b.Solution(), h.Solution()
+		if bs.Value != hs.Value {
+			t.Fatalf("t=%d: values diverged: basic=%d hist=%d", tt, bs.Value, hs.Value)
+		}
+		if len(bs.Seeds) != len(hs.Seeds) {
+			t.Fatalf("t=%d: seed counts diverged: %v vs %v", tt, bs.Seeds, hs.Seeds)
+		}
+		for i := range bs.Seeds {
+			if bs.Seeds[i] != hs.Seeds[i] {
+				t.Fatalf("t=%d: seeds diverged: %v vs %v", tt, bs.Seeds, hs.Seeds)
+			}
+		}
+	}
+}
+
+func TestHistApproxSilentGapExpiry(t *testing.T) {
+	h := NewHistApprox(2, 0.1, 5, nil)
+	if err := h.Step(1, []stream.Edge{{Src: 1, Dst: 2, T: 1, Lifetime: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Solution().Value; got != 2 {
+		t.Fatalf("value = %d, want 2", got)
+	}
+	if err := h.Step(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Solution().Value; got != 0 {
+		t.Fatalf("value = %d after gap, want 0", got)
+	}
+	if h.NumInstances() != 0 {
+		t.Fatalf("%d instances survive a total expiry", h.NumInstances())
+	}
+}
+
+func TestHistApproxClampsLifetime(t *testing.T) {
+	h := NewHistApprox(1, 0.1, 3, nil)
+	if err := h.Step(1, []stream.Edge{{Src: 1, Dst: 2, T: 1, Lifetime: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(2); tt <= 3; tt++ {
+		if err := h.Step(tt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if h.Solution().Value != 2 {
+			t.Fatalf("t=%d: clamped edge should be alive", tt)
+		}
+	}
+	if err := h.Step(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.Solution().Value != 0 {
+		t.Fatal("clamped edge must expire after L steps")
+	}
+}
+
+func TestHistApproxNames(t *testing.T) {
+	h := NewHistApprox(1, 0.1, 3, nil)
+	if h.Name() != "HistApprox" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	h.RefineHead = true
+	if h.Name() != "HistApprox+refine" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}

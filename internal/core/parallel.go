@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+)
+
+// Parallel sieve support — the paper's remark after Theorem 3: "Lines
+// 8-11 in Alg. 1 can be easily implemented using parallel computation to
+// further reduce the running time."
+//
+// For one affected node v, the threshold tests against different
+// candidates are independent: each candidate owns its member set and
+// reach set, and an acceptance mutates only that candidate. The parallel
+// mode therefore fans the candidate loop out to a fixed worker pool.
+// Each worker needs its own influence.Oracle (the oracle's scratch
+// buffers are not shareable) targeting the same instance graph; all
+// workers share the one atomic oracle-call counter, so cost accounting
+// is unchanged. Decisions are bit-for-bit identical to the serial sieve.
+
+// SetParallel enables (workers ≥ 2) or disables (workers ≤ 1) the
+// parallel candidate loop. It may be toggled between batches.
+func (s *Sieve) SetParallel(workers int) {
+	if workers <= 1 {
+		s.workers = 0
+		s.workerOracles = nil
+		return
+	}
+	s.workers = workers
+	s.workerOracles = make([]*influence.Oracle, workers)
+	for i := range s.workerOracles {
+		s.workerOracles[i] = influence.New(s.g, s.oracle.Calls())
+	}
+}
+
+// Parallel reports the configured worker count (0 = serial).
+func (s *Sieve) Parallel() int { return s.workers }
+
+// sieveNodeParallel runs the per-candidate threshold tests for one node
+// v across the worker pool. cands is the snapshot of candidates to test.
+func (s *Sieve) sieveNodeParallel(v nodeWithSingleton, cands []*sieveCand) {
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		oracle := s.workerOracles[w]
+		wg.Add(1)
+		go func(stride, offset int, o *influence.Oracle) {
+			defer wg.Done()
+			for i := offset; i < len(cands); i += stride {
+				s.testCandidate(o, cands[i], v)
+			}
+		}(s.workers, w, oracle)
+	}
+	wg.Wait()
+}
+
+// nodeWithSingleton pairs an affected node with its singleton spread
+// (the submodular screen bound).
+type nodeWithSingleton struct {
+	v  ids.NodeID
+	sv float64
+}
+
+// testCandidate applies Alg. 1 lines 9-11 for one (candidate, node)
+// pair using the given oracle.
+func (s *Sieve) testCandidate(o *influence.Oracle, c *sieveCand, n nodeWithSingleton) {
+	if len(c.members) >= s.k {
+		return
+	}
+	if _, in := c.inSet[n.v]; in {
+		return
+	}
+	θ := s.threshold(c.exp)
+	if n.sv < θ {
+		return // upper bound rules the test out: δ ≤ f({v}) < θ
+	}
+	gain := o.MarginalGain(c.reach, n.v, false)
+	if float64(gain) >= θ {
+		o.MarginalGain(c.reach, n.v, true)
+		c.members = append(c.members, n.v)
+		c.inSet[n.v] = struct{}{}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// Checkpoint mid-stream, restore, and verify the restored tracker makes
+// identical decisions on the remaining stream.
+func TestHistApproxSnapshotRoundTrip(t *testing.T) {
+	mk := func() *tdnDriver {
+		return &tdnDriver{rng: rand.New(rand.NewSource(61)), naive: &testutil.NaiveTDN{}, n: 25, maxL: 12, rate: 4}
+	}
+	dOrig, dRest := mk(), mk()
+	orig := NewHistApprox(3, 0.15, 12, nil)
+
+	// First half.
+	for tt := int64(1); tt <= 50; tt++ {
+		if err := orig.Step(tt, dOrig.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		dRest.batch(tt) // keep the drivers in lockstep
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadHistApproxSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Immediately after restore: identical answers.
+	so, sr := orig.Solution(), restored.Solution()
+	if so.Value != sr.Value || len(so.Seeds) != len(sr.Seeds) {
+		t.Fatalf("restore diverged: %+v vs %+v", so, sr)
+	}
+
+	// Second half: drive both with identical batches.
+	rng := rand.New(rand.NewSource(62))
+	drv := &tdnDriver{rng: rng, naive: &testutil.NaiveTDN{}, n: 25, maxL: 12, rate: 4}
+	for tt := int64(51); tt <= 120; tt++ {
+		batch := drv.batch(tt)
+		if err := orig.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+		so, sr := orig.Solution(), restored.Solution()
+		if so.Value != sr.Value {
+			t.Fatalf("t=%d: values diverged %d vs %d", tt, so.Value, sr.Value)
+		}
+		for i := range so.Seeds {
+			if so.Seeds[i] != sr.Seeds[i] {
+				t.Fatalf("t=%d: seeds diverged %v vs %v", tt, so.Seeds, sr.Seeds)
+			}
+		}
+	}
+}
+
+func TestBasicReductionSnapshotRoundTrip(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(63)), naive: &testutil.NaiveTDN{}, n: 20, maxL: 6, rate: 3}
+	orig := NewBasicReduction(2, 0.2, 6, nil)
+	for tt := int64(1); tt <= 30; tt++ {
+		if err := orig.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadBasicReductionSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumInstances() != orig.NumInstances() {
+		t.Fatalf("instances: %d vs %d", restored.NumInstances(), orig.NumInstances())
+	}
+	drv := &tdnDriver{rng: rand.New(rand.NewSource(64)), naive: &testutil.NaiveTDN{}, n: 20, maxL: 6, rate: 3}
+	for tt := int64(31); tt <= 80; tt++ {
+		batch := drv.batch(tt)
+		if err := orig.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+		if orig.Solution().Value != restored.Solution().Value {
+			t.Fatalf("t=%d: diverged", tt)
+		}
+	}
+}
+
+func TestSieveADNSnapshotRoundTrip(t *testing.T) {
+	orig := NewSieveADN(2, 0.1, nil)
+	feed := func(tr *SieveADN, tt int64) {
+		t.Helper()
+		r := rand.New(rand.NewSource(tt)) // deterministic per step
+		batch := randomEdges(tt, r)
+		if err := tr.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tt := int64(1); tt <= 40; tt++ {
+		feed(orig, tt)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSieveADNSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(41); tt <= 90; tt++ {
+		feed(orig, tt)
+		feed(restored, tt)
+		if orig.Solution().Value != restored.Solution().Value {
+			t.Fatalf("t=%d: diverged", tt)
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadHistApproxSnapshot(strings.NewReader("not a gob stream"), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBasicReductionSnapshot(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ReadSieveADNSnapshot(strings.NewReader("xx"), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Restored candidates must carry exact reach sets (f(S) recomputed, not
+// trusted from the wire).
+func TestSnapshotReachSetsExact(t *testing.T) {
+	d := &tdnDriver{rng: rand.New(rand.NewSource(66)), naive: &testutil.NaiveTDN{}, n: 18, maxL: 8, rate: 4}
+	orig := NewHistApprox(3, 0.2, 8, nil)
+	for tt := int64(1); tt <= 40; tt++ {
+		if err := orig.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadHistApproxSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dl := range restored.xs {
+		ri := restored.insts[dl]
+		oi := orig.insts[dl]
+		if ri.Value() != oi.Value() {
+			t.Fatalf("deadline %d: restored value %d != original %d", dl, ri.Value(), oi.Value())
+		}
+		if ri.Graph().NumEdges() != oi.Graph().NumEdges() {
+			t.Fatalf("deadline %d: graphs differ", dl)
+		}
+	}
+}
+
+// randomEdges builds a deterministic batch for SieveADN round trips.
+func randomEdges(tt int64, r *rand.Rand) []stream.Edge {
+	var out []stream.Edge
+	for i := 0; i < 1+r.Intn(3); i++ {
+		u := ids.NodeID(r.Intn(30))
+		v := ids.NodeID(r.Intn(30))
+		if u != v {
+			out = append(out, stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// Property: on arbitrary random ADN prefixes, the sieve's solution value
+// never falls below (1/2−ε)·OPT (Theorem 2, quick-checked).
+func TestQuickSieveGuarantee(t *testing.T) {
+	const n, k = 10, 2
+	eps := 0.2
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSieve(k, eps, nil)
+		adj := make(map[ids.NodeID][]ids.NodeID)
+		for step := 0; step < 12; step++ {
+			var batch []Pair
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				u := ids.NodeID(rng.Intn(n))
+				v := ids.NodeID(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				batch = append(batch, Pair{u, v})
+				adj[u] = append(adj[u], v)
+			}
+			s.Feed(batch)
+			if len(adj) == 0 {
+				continue
+			}
+			opt := testutil.BruteForceOPT(adj, k)
+			if float64(s.Solution().Value) < (0.5-eps)*float64(opt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HistApprox's head value never falls below (1/3−ε)·OPT on
+// arbitrary random TDN streams (Theorem 7, quick-checked).
+func TestQuickHistApproxGuarantee(t *testing.T) {
+	const n, k, L = 9, 2, 5
+	eps := 0.2
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		naive := &testutil.NaiveTDN{}
+		h := NewHistApprox(k, eps, L, nil)
+		for tt := int64(1); tt <= 25; tt++ {
+			var edges []stream.Edge
+			for i := 0; i < rng.Intn(4); i++ {
+				u := ids.NodeID(rng.Intn(n))
+				v := ids.NodeID(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				e := stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(L)}
+				edges = append(edges, e)
+				naive.Add(e)
+			}
+			naive.AdvanceTo(tt)
+			if h.Step(tt, edges) != nil {
+				return false
+			}
+			adj := testutil.Adjacency(naive.AlivePairs())
+			if len(adj) == 0 {
+				continue
+			}
+			opt := testutil.BruteForceOPT(adj, k)
+			if float64(h.Solution().Value) < (1.0/3.0-eps)*float64(opt) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solution seeds are always sorted, distinct, within budget,
+// and members of the instance graph.
+func TestQuickSolutionWellFormed(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%5
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSieve(k, 0.15, nil)
+		for step := 0; step < 15; step++ {
+			var batch []Pair
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				u := ids.NodeID(rng.Intn(20))
+				v := ids.NodeID(rng.Intn(20))
+				if u != v {
+					batch = append(batch, Pair{u, v})
+				}
+			}
+			s.Feed(batch)
+			sol := s.Solution()
+			if len(sol.Seeds) > k {
+				return false
+			}
+			for i := 1; i < len(sol.Seeds); i++ {
+				if sol.Seeds[i-1] >= sol.Seeds[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a plain head evaluates its seeds on a *subset* of the alive
+// edges (value ≤ true f_t of the seeds — the source of the 1/3−ε loss),
+// while the RefineHead query evaluates them on exactly the alive graph
+// (value == true f_t of its seeds).
+func TestQuickHistApproxValueVsTrueSpread(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		naive := &testutil.NaiveTDN{}
+		h := NewHistApprox(3, 0.2, 6, nil)
+		for tt := int64(1); tt <= 20; tt++ {
+			var edges []stream.Edge
+			for i := 0; i < rng.Intn(5); i++ {
+				u := ids.NodeID(rng.Intn(12))
+				v := ids.NodeID(rng.Intn(12))
+				if u == v {
+					continue
+				}
+				e := stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(6)}
+				edges = append(edges, e)
+				naive.Add(e)
+			}
+			naive.AdvanceTo(tt)
+			if h.Step(tt, edges) != nil {
+				return false
+			}
+			adj := testutil.Adjacency(naive.AlivePairs())
+
+			h.RefineHead = false
+			plain := h.Solution()
+			if len(plain.Seeds) > 0 && plain.Value > testutil.Reach(adj, plain.Seeds) {
+				return false // head graph is a subset: can never overcount
+			}
+			h.RefineHead = true
+			refined := h.Solution()
+			if len(refined.Seeds) > 0 && refined.Value != testutil.Reach(adj, refined.Seeds) {
+				return false // refined head sees exactly the alive graph
+			}
+			h.RefineHead = false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/testutil"
+)
+
+// Theorem 3 (space): a sieve stores at most k members per threshold and
+// O(ε⁻¹ log k) thresholds, so total stored members ≤ k·|Θ| at all times.
+func TestSieveSpaceBound(t *testing.T) {
+	k, eps := 7, 0.12
+	s := NewSieve(k, eps, nil)
+	rng := rand.New(rand.NewSource(71))
+	maxThresholds := int(math.Ceil(math.Log(float64(2*k))/math.Log1p(eps))) + 2
+	for step := 0; step < 300; step++ {
+		var batch []Pair
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			u := ids.NodeID(rng.Intn(100))
+			v := ids.NodeID(rng.Intn(100))
+			if u != v {
+				batch = append(batch, Pair{u, v})
+			}
+		}
+		s.Feed(batch)
+		if s.NumThresholds() > maxThresholds {
+			t.Fatalf("step %d: |Θ| = %d > bound %d", step, s.NumThresholds(), maxThresholds)
+		}
+		total := 0
+		for _, c := range s.cands {
+			if len(c.members) > k {
+				t.Fatalf("step %d: candidate exp=%d has %d > k members", step, c.exp, len(c.members))
+			}
+			if len(c.members) != len(c.inSet) {
+				t.Fatalf("step %d: member slice and set out of sync", step)
+			}
+			total += len(c.members)
+		}
+		if total > k*maxThresholds {
+			t.Fatalf("step %d: %d stored members exceed k·|Θ| = %d", step, total, k*maxThresholds)
+		}
+	}
+}
+
+// Theorem 8 (space): HistApprox keeps O(ε⁻¹ log k) instances — here we
+// pin the exact analytic form 2·log_{1/(1-ε)}(k·Δ)+4 using the observed
+// maximum solution value as Δ.
+func TestHistApproxSpaceBoundAnalytic(t *testing.T) {
+	k, eps, L := 5, 0.25, 80
+	h := NewHistApprox(k, eps, L, nil)
+	d := &tdnDriver{rng: rand.New(rand.NewSource(72)), naive: &testutil.NaiveTDN{}, n: 50, maxL: L, rate: 6}
+	maxVal := 1
+	for tt := int64(1); tt <= 300; tt++ {
+		if err := h.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if v := h.Solution().Value; v > maxVal {
+			maxVal = v
+		}
+		bound := int(2*math.Log(float64(k*maxVal))/-math.Log(1-eps)) + 4
+		if h.NumInstances() > bound {
+			t.Fatalf("t=%d: %d instances exceed smooth-histogram bound %d (Δ=%d)",
+				tt, h.NumInstances(), bound, maxVal)
+		}
+	}
+}
+
+// BasicReduction's instance count is exactly L after warm-up, never more
+// (Theorem 5's L-fold space factor is tight).
+func TestBasicReductionSpaceExactlyL(t *testing.T) {
+	const L = 23
+	b := NewBasicReduction(3, 0.2, L, nil)
+	d := &tdnDriver{rng: rand.New(rand.NewSource(73)), naive: &testutil.NaiveTDN{}, n: 30, maxL: L, rate: 3}
+	for tt := int64(1); tt <= 100; tt++ {
+		if err := b.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if b.NumInstances() != L {
+			t.Fatalf("t=%d: %d instances, want exactly %d", tt, b.NumInstances(), L)
+		}
+	}
+}
+
+// HistApprox keeps strictly fewer instances than BasicReduction would on
+// the same stream once L is non-trivial (the whole point of Alg. 3).
+func TestHistApproxFewerInstancesThanL(t *testing.T) {
+	const L = 60
+	h := NewHistApprox(3, 0.15, L, nil)
+	d := &tdnDriver{rng: rand.New(rand.NewSource(74)), naive: &testutil.NaiveTDN{}, n: 40, maxL: L, rate: 5}
+	peak := 0
+	for tt := int64(1); tt <= 250; tt++ {
+		if err := h.Step(tt, d.batch(tt)); err != nil {
+			t.Fatal(err)
+		}
+		if h.NumInstances() > peak {
+			peak = h.NumInstances()
+		}
+	}
+	if peak >= L {
+		t.Fatalf("histogram peaked at %d instances — no saving over L=%d", peak, L)
+	}
+}

@@ -1,0 +1,85 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"tdnstream/internal/stream"
+)
+
+// CheckinConfig parameterizes the LBSN check-in generator (Brightkite /
+// Gowalla stand-ins). A check-in by user u at place y is the interaction
+// ⟨y, u, t⟩ — the place influences the user (paper §V-A); tracking
+// influential nodes over this stream maintains the k most popular places.
+type CheckinConfig struct {
+	// Places and Users size the two node populations. Place ids occupy
+	// [0, Places), user ids [Places, Places+Users).
+	Places, Users int
+	// Steps is the stream length (one check-in per step).
+	Steps int64
+	// PlaceZipf / UserZipf skew popularity and activity (≈0.8-1.1 gives
+	// the heavy-tailed check-in counts LBSN traces show).
+	PlaceZipf, UserZipf float64
+	// TrendPeriod rotates a fresh set of TrendCount boosted ("trending")
+	// places every TrendPeriod steps with multiplier TrendBoost; this is
+	// the churn that makes the influential-place set drift over time.
+	TrendPeriod int64
+	TrendCount  int
+	TrendBoost  float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Brightkite is the default Brightkite-like configuration: fewer, more
+// concentrated places (the paper's Brightkite yields higher place
+// popularity values than Gowalla, Fig. 8a vs 8b).
+func Brightkite(steps int64) CheckinConfig {
+	return CheckinConfig{
+		Places: 400, Users: 1200, Steps: steps,
+		PlaceZipf: 1.05, UserZipf: 0.8,
+		TrendPeriod: 400, TrendCount: 8, TrendBoost: 600,
+		Seed: 101,
+	}
+}
+
+// Gowalla is the default Gowalla-like configuration: a larger, flatter
+// place population (lower peak popularity).
+func Gowalla(steps int64) CheckinConfig {
+	return CheckinConfig{
+		Places: 900, Users: 2000, Steps: steps,
+		PlaceZipf: 0.85, UserZipf: 0.8,
+		TrendPeriod: 500, TrendCount: 10, TrendBoost: 350,
+		Seed: 202,
+	}
+}
+
+// Checkin generates the stream.
+func Checkin(cfg CheckinConfig) []stream.Interaction {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	places := newZipfSampler(cfg.Places, cfg.PlaceZipf, rng)
+	users := newZipfSampler(cfg.Users, cfg.UserZipf, rng)
+
+	out := make([]stream.Interaction, 0, cfg.Steps)
+	var boosted []int
+	for t := int64(1); t <= cfg.Steps; t++ {
+		if cfg.TrendPeriod > 0 && (t-1)%cfg.TrendPeriod == 0 {
+			// Rotate the trending set: undo old boosts, apply new ones.
+			for _, p := range boosted {
+				places.Boost(p, 1/cfg.TrendBoost)
+			}
+			boosted = boosted[:0]
+			for i := 0; i < cfg.TrendCount; i++ {
+				p := rng.Intn(cfg.Places)
+				places.Boost(p, cfg.TrendBoost)
+				boosted = append(boosted, p)
+			}
+		}
+		place := places.Sample(rng)
+		user := users.Sample(rng)
+		out = append(out, stream.Interaction{
+			Src: node(0, place),
+			Dst: node(cfg.Places, user),
+			T:   t,
+		})
+	}
+	return out
+}

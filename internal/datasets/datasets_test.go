@@ -1,0 +1,226 @@
+package datasets
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range Names {
+		in, err := Generate(name, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(in) != 500 {
+			t.Fatalf("%s: %d interactions, want 500 (one per step)", name, len(in))
+		}
+		for i, x := range in {
+			if x.T != int64(i+1) {
+				t.Fatalf("%s: interaction %d has T=%d, want %d", name, i, x.T, i+1)
+			}
+			if err := x.Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 10); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := Generate("brightkite", 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Names {
+		a, err := Generate(name, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(name, 300)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: generation is not deterministic", name)
+		}
+	}
+}
+
+// Check-in streams are bipartite: sources are places, destinations users.
+func TestCheckinBipartite(t *testing.T) {
+	cfg := Brightkite(800)
+	in := Checkin(cfg)
+	for _, x := range in {
+		if int(x.Src) >= cfg.Places {
+			t.Fatalf("source %d is not a place (places are [0,%d))", x.Src, cfg.Places)
+		}
+		if int(x.Dst) < cfg.Places || int(x.Dst) >= cfg.Places+cfg.Users {
+			t.Fatalf("destination %d is not a user", x.Dst)
+		}
+	}
+}
+
+// Popularity must be heavy-tailed: the top 1% of places should collect a
+// disproportionate share of check-ins.
+func TestCheckinHeavyTail(t *testing.T) {
+	cfg := Brightkite(5000)
+	in := Checkin(cfg)
+	counts := make(map[ids.NodeID]int)
+	for _, x := range in {
+		counts[x.Src]++
+	}
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	top, total := 0, 0
+	max3 := []int{0, 0, 0}
+	for _, c := range all {
+		total += c
+		if c > max3[0] {
+			max3[0], max3[1], max3[2] = c, max3[0], max3[1]
+		} else if c > max3[1] {
+			max3[1], max3[2] = c, max3[1]
+		} else if c > max3[2] {
+			max3[2] = c
+		}
+	}
+	top = max3[0] + max3[1] + max3[2]
+	if share := float64(top) / float64(total); share < 0.05 {
+		t.Fatalf("top-3 places hold %.1f%% of check-ins — not heavy-tailed", share*100)
+	}
+}
+
+// Trending rotation: the most popular place of the first quarter should
+// usually differ from that of the last quarter (influential nodes drift).
+func TestCheckinTrendingRotates(t *testing.T) {
+	cfg := Brightkite(8000)
+	in := Checkin(cfg)
+	argmax := func(part []stream.Interaction) ids.NodeID {
+		counts := make(map[ids.NodeID]int)
+		for _, x := range part {
+			counts[x.Src]++
+		}
+		var best ids.NodeID
+		bestC := -1
+		for n, c := range counts {
+			if c > bestC || (c == bestC && n < best) {
+				best, bestC = n, c
+			}
+		}
+		return best
+	}
+	first := argmax(in[:2000])
+	last := argmax(in[6000:])
+	if first == last {
+		t.Fatalf("top place never changed (%d) — trend rotation ineffective", first)
+	}
+}
+
+// The Higgs burst must concentrate activity: interactions per author in
+// the burst window are far more skewed than before it.
+func TestHiggsBurstConcentration(t *testing.T) {
+	cfg := TwitterHiggs(6000)
+	in := Retweet(cfg)
+	topShare := func(part []stream.Interaction) float64 {
+		counts := make(map[ids.NodeID]int)
+		for _, x := range part {
+			counts[x.Src]++
+		}
+		best, total := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(best) / float64(total)
+	}
+	pre := topShare(in[:cfg.BurstAt-1])
+	burst := topShare(in[cfg.BurstAt-1 : cfg.BurstAt-1+cfg.BurstLen])
+	if burst <= pre {
+		t.Fatalf("burst window no more concentrated (%.3f) than baseline (%.3f)", burst, pre)
+	}
+}
+
+// Retweet streams must contain second-level cascades: edges whose source
+// was previously a destination of the same wave (multi-hop reachability).
+func TestRetweetHasCascades(t *testing.T) {
+	in := Retweet(TwitterHiggs(4000))
+	seenDst := make(map[ids.NodeID]bool)
+	secondLevel := 0
+	for _, x := range in {
+		if seenDst[x.Src] {
+			secondLevel++
+		}
+		seenDst[x.Dst] = true
+	}
+	if secondLevel < 100 {
+		t.Fatalf("only %d second-level retweets — cascades missing", secondLevel)
+	}
+}
+
+// c2a must repeat (poster, commenter) pairs more than c2q — the trace
+// difference the two datasets encode.
+func TestQADensityDifference(t *testing.T) {
+	q := QA(StackOverflowC2Q(6000))
+	a := QA(StackOverflowC2A(6000))
+	repeats := func(in []stream.Interaction) float64 {
+		pairs := make(map[uint64]int)
+		for _, x := range in {
+			pairs[ids.EdgeKey(x.Src, x.Dst)]++
+		}
+		rep := 0
+		for _, c := range pairs {
+			if c > 1 {
+				rep += c - 1
+			}
+		}
+		return float64(rep) / float64(len(in))
+	}
+	rq, ra := repeats(q), repeats(a)
+	if ra <= rq {
+		t.Fatalf("c2a repeat rate %.3f not above c2q %.3f", ra, rq)
+	}
+}
+
+func TestZipfSamplerBoostAndRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := newZipfSampler(10, 1.0, rng)
+	z.Boost(3, 1000)
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if z.Sample(rng) == 3 {
+			hits++
+		}
+	}
+	if hits < 1500 {
+		t.Fatalf("boosted entity drawn only %d/2000 times", hits)
+	}
+	z.Boost(3, 1.0/1000)
+	hits = 0
+	for i := 0; i < 2000; i++ {
+		if z.Sample(rng) == 3 {
+			hits++
+		}
+	}
+	if hits > 1000 {
+		t.Fatalf("un-boosted entity still drawn %d/2000 times", hits)
+	}
+}
+
+func TestPaperStatsCoverAllNames(t *testing.T) {
+	for _, name := range Names {
+		if _, ok := PaperStats[name]; !ok {
+			t.Fatalf("PaperStats missing %s", name)
+		}
+	}
+}

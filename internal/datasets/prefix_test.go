@@ -1,0 +1,45 @@
+package datasets
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Prefix stability: generating a longer stream and truncating must equal
+// generating the shorter stream directly — so experiments at different
+// lengths see the same history. Holds for every dataset except
+// twitter-higgs, whose burst position intentionally scales with the
+// stream length (the Higgs event sits at 2/5 of whatever horizon is
+// generated).
+func TestGeneratePrefixStable(t *testing.T) {
+	for _, name := range Names {
+		if name == "twitter-higgs" {
+			continue
+		}
+		long, err := Generate(name, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short, err := Generate(name, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(long[:500], short) {
+			t.Fatalf("%s: prefix of longer stream differs from shorter stream", name)
+		}
+	}
+}
+
+// The Higgs burst position scales with the horizon — two lengths place
+// the burst at different absolute steps, so prefixes intentionally
+// diverge after the earlier burst point.
+func TestHiggsBurstScalesWithHorizon(t *testing.T) {
+	a := TwitterHiggs(1000)
+	b := TwitterHiggs(2000)
+	if a.BurstAt == b.BurstAt {
+		t.Fatal("burst position should scale with stream length")
+	}
+	if a.BurstAt != 400 || b.BurstAt != 800 {
+		t.Fatalf("burst positions %d/%d, want 400/800", a.BurstAt, b.BurstAt)
+	}
+}

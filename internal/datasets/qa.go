@@ -1,0 +1,107 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// QAConfig parameterizes the Stack Overflow comment generator
+// (StackOverflow-c2q / -c2a stand-ins). A comment by user v on user u's
+// question (c2q) or answer (c2a) is the interaction ⟨u, v, t⟩. The two
+// traces differ mainly in pair density: comment threads under answers
+// run deeper, so c2a repeats (poster, commenter) pairs more often and
+// chains commenters into short discussions.
+type QAConfig struct {
+	// Users is the population size.
+	Users int
+	// Steps is the stream length (one comment per step).
+	Steps int64
+	// PosterZipf / CommenterZipf skew who posts and who comments.
+	PosterZipf, CommenterZipf float64
+	// RepeatP is the probability a comment continues a recent thread
+	// (re-using its (poster, commenter) pair → multi-edges).
+	RepeatP float64
+	// ChainP is the probability a comment replies to the previous
+	// commenter instead of the poster (discussion chains; higher in c2a).
+	ChainP float64
+	// ThreadMemory bounds how many recent threads stay active.
+	ThreadMemory int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// StackOverflowC2Q is the default comments-on-questions configuration.
+func StackOverflowC2Q(steps int64) QAConfig {
+	return QAConfig{
+		Users: 3000, Steps: steps,
+		PosterZipf: 0.9, CommenterZipf: 0.7,
+		RepeatP: 0.15, ChainP: 0.1, ThreadMemory: 50,
+		Seed: 505,
+	}
+}
+
+// StackOverflowC2A is the default comments-on-answers configuration:
+// deeper threads, more repeated pairs.
+func StackOverflowC2A(steps int64) QAConfig {
+	return QAConfig{
+		Users: 3000, Steps: steps,
+		PosterZipf: 0.9, CommenterZipf: 0.7,
+		RepeatP: 0.35, ChainP: 0.3, ThreadMemory: 80,
+		Seed: 606,
+	}
+}
+
+type qaThread struct {
+	poster        ids.NodeID
+	lastCommenter ids.NodeID
+}
+
+// QA generates the stream.
+func QA(cfg QAConfig) []stream.Interaction {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	posters := newZipfSampler(cfg.Users, cfg.PosterZipf, rng)
+	commenters := newZipfSampler(cfg.Users, cfg.CommenterZipf, rng)
+
+	var threads []qaThread
+	out := make([]stream.Interaction, 0, cfg.Steps)
+	for t := int64(1); t <= cfg.Steps; t++ {
+		var src, dst ids.NodeID
+		switch {
+		case len(threads) > 0 && rng.Float64() < cfg.RepeatP:
+			// Continue a recent thread: same poster, possibly same pair.
+			th := threads[rng.Intn(len(threads))]
+			src = th.poster
+			dst = th.lastCommenter
+			if rng.Float64() < 0.5 { // half the time a fresh commenter joins
+				dst = ids.NodeID(commenters.Sample(rng))
+			}
+		case len(threads) > 0 && rng.Float64() < cfg.ChainP:
+			// Reply to the previous commenter (they become the source).
+			th := threads[rng.Intn(len(threads))]
+			src = th.lastCommenter
+			dst = ids.NodeID(commenters.Sample(rng))
+		default:
+			// Fresh post and first comment.
+			src = ids.NodeID(posters.Sample(rng))
+			dst = ids.NodeID(commenters.Sample(rng))
+			threads = append(threads, qaThread{poster: src})
+			if len(threads) > cfg.ThreadMemory {
+				threads = threads[len(threads)-cfg.ThreadMemory:]
+			}
+		}
+		if src == dst {
+			dst = ids.NodeID((int(dst) + 1) % cfg.Users)
+			if src == dst {
+				dst = ids.NodeID((int(dst) + 1) % cfg.Users)
+			}
+		}
+		// Record the commenter on a random active thread for chaining.
+		if len(threads) > 0 {
+			threads[rng.Intn(len(threads))].lastCommenter = dst
+		}
+		out = append(out, stream.Interaction{Src: src, Dst: dst, T: t})
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package datasets
+
+import (
+	"testing"
+
+	"tdnstream/internal/stream"
+)
+
+func TestRebatchShapes(t *testing.T) {
+	in, err := Generate("brightkite", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Rebatch(in, 10)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d vs %d", len(out), len(in))
+	}
+	batches := stream.Batches(out)
+	if len(batches) != 10 {
+		t.Fatalf("%d batches, want 10", len(batches))
+	}
+	for i, b := range batches {
+		if b.T != int64(i+1) {
+			t.Fatalf("batch %d at T=%d, want %d", i, b.T, i+1)
+		}
+		if len(b.Interactions) != 10 {
+			t.Fatalf("batch %d size %d, want 10", i, len(b.Interactions))
+		}
+	}
+	// Order preserved: endpoints match pairwise.
+	for i := range in {
+		if in[i].Src != out[i].Src || in[i].Dst != out[i].Dst {
+			t.Fatalf("row %d reordered", i)
+		}
+	}
+}
+
+func TestRebatchUneven(t *testing.T) {
+	in, err := Generate("gowalla", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Rebatch(in, 10)
+	batches := stream.Batches(out)
+	if len(batches) != 3 {
+		t.Fatalf("%d batches, want 3 (10+10+5)", len(batches))
+	}
+	if len(batches[2].Interactions) != 5 {
+		t.Fatalf("tail batch size %d, want 5", len(batches[2].Interactions))
+	}
+	if got := Rebatch(in, 0); got[0].T != 1 || got[1].T != 2 {
+		t.Fatal("perStep<1 should behave as 1")
+	}
+}

@@ -1,0 +1,76 @@
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"tdnstream/internal/stream"
+)
+
+// Names lists the six datasets in the order of the paper's Table I.
+var Names = []string{
+	"brightkite",
+	"gowalla",
+	"twitter-higgs",
+	"twitter-hk",
+	"stackoverflow-c2q",
+	"stackoverflow-c2a",
+}
+
+// PaperStats records the node/interaction counts the paper's Table I
+// reports for the original traces, for side-by-side display.
+var PaperStats = map[string]struct {
+	Nodes        string
+	Interactions int
+}{
+	"brightkite":        {"51,406 users / 772,966 places", 4747281},
+	"gowalla":           {"107,092 users / 1,280,969 places", 6442892},
+	"twitter-higgs":     {"304,198", 555481},
+	"twitter-hk":        {"49,808", 2930439},
+	"stackoverflow-c2q": {"1,627,635", 13664641},
+	"stackoverflow-c2a": {"1,639,761", 17535031},
+}
+
+// Rebatch compresses a one-interaction-per-step stream so that perStep
+// consecutive interactions share each timestamp — the batched-arrival
+// regime the TDN model also supports (paper §II-A: "we allow a batch of
+// node interactions arriving at the same time"). Timestamps are
+// renumbered 1,2,3,…; the relative interaction order is preserved.
+func Rebatch(in []stream.Interaction, perStep int) []stream.Interaction {
+	if perStep < 1 {
+		perStep = 1
+	}
+	out := make([]stream.Interaction, len(in))
+	for i, x := range in {
+		x.T = int64(i/perStep) + 1
+		out[i] = x
+	}
+	return out
+}
+
+// Generate produces the named dataset with the given stream length (one
+// interaction per step, per the paper's setup). Unknown names error with
+// the list of valid ones.
+func Generate(name string, steps int64) ([]stream.Interaction, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("datasets: steps must be ≥ 1, got %d", steps)
+	}
+	switch name {
+	case "brightkite":
+		return Checkin(Brightkite(steps)), nil
+	case "gowalla":
+		return Checkin(Gowalla(steps)), nil
+	case "twitter-higgs":
+		return Retweet(TwitterHiggs(steps)), nil
+	case "twitter-hk":
+		return Retweet(TwitterHK(steps)), nil
+	case "stackoverflow-c2q":
+		return QA(StackOverflowC2Q(steps)), nil
+	case "stackoverflow-c2a":
+		return QA(StackOverflowC2A(steps)), nil
+	default:
+		valid := append([]string(nil), Names...)
+		sort.Strings(valid)
+		return nil, fmt.Errorf("datasets: unknown dataset %q (valid: %v)", name, valid)
+	}
+}

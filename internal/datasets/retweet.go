@@ -1,0 +1,144 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// RetweetConfig parameterizes the Twitter retweet/mention generator
+// (Twitter-Higgs / Twitter-HK stand-ins). A retweet of author a by user r
+// is the interaction ⟨a, r, t⟩. Tweets trigger cascades: direct
+// retweeters, and with probability CascadeP second-level retweeters of
+// the retweeter — producing the multi-hop reachability structure that
+// distinguishes influence spread from plain degree.
+type RetweetConfig struct {
+	// Users is the population size (ids [0, Users)).
+	Users int
+	// Steps is the stream length (one interaction per step).
+	Steps int64
+	// AuthorZipf skews who gets retweeted.
+	AuthorZipf float64
+	// MaxFanout bounds direct retweeters of a popular author's tweet.
+	MaxFanout int
+	// CascadeP is the probability a retweeter spawns a second-level
+	// cascade of up to MaxFanout/4 further retweets.
+	CascadeP float64
+	// BurstAt/BurstLen/BurstFactor describe a global activity burst (the
+	// Higgs announcement): within [BurstAt, BurstAt+BurstLen) cascade
+	// sizes are multiplied by BurstFactor and concentrated on a handful
+	// of "discovery" authors. BurstAt = 0 disables (Twitter-HK).
+	BurstAt, BurstLen int64
+	BurstFactor       int
+	// DriftPeriod re-ranks a slice of author popularity every DriftPeriod
+	// steps (slow community drift, Twitter-HK). 0 disables.
+	DriftPeriod int64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// TwitterHiggs is the default Higgs-like configuration: one global burst
+// around 40% of the stream.
+func TwitterHiggs(steps int64) RetweetConfig {
+	return RetweetConfig{
+		Users: 2500, Steps: steps,
+		AuthorZipf: 1.0, MaxFanout: 12, CascadeP: 0.35,
+		BurstAt: steps * 2 / 5, BurstLen: steps / 8, BurstFactor: 4,
+		Seed: 303,
+	}
+}
+
+// TwitterHK is the default HK-like configuration: no global burst, slow
+// popularity drift. The real trace is sparse at any instant (49.8K users,
+// ~10³ live interactions), so the stand-in keeps the population large
+// enough that backward closures stay small.
+func TwitterHK(steps int64) RetweetConfig {
+	return RetweetConfig{
+		Users: 2500, Steps: steps,
+		AuthorZipf: 0.9, MaxFanout: 6, CascadeP: 0.25,
+		DriftPeriod: 600,
+		Seed:        404,
+	}
+}
+
+// Retweet generates the stream.
+func Retweet(cfg RetweetConfig) []stream.Interaction {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	authors := newZipfSampler(cfg.Users, cfg.AuthorZipf, rng)
+	maxW := authors.MaxWeight()
+
+	// Pending cascade interactions waiting for their time step: the
+	// stream emits exactly one interaction per step, so cascades unroll
+	// over the following steps — bursty arrival, like real retweet waves.
+	var pending []stream.Interaction
+	// Burst "discovery" authors (set lazily when the burst starts).
+	var burstAuthors []int
+
+	out := make([]stream.Interaction, 0, cfg.Steps)
+	for t := int64(1); t <= cfg.Steps; t++ {
+		if cfg.DriftPeriod > 0 && t%cfg.DriftPeriod == 0 {
+			// Popularity drift: swap a few authors' weights around.
+			for i := 0; i < cfg.Users/20+1; i++ {
+				a, b := rng.Intn(cfg.Users), rng.Intn(cfg.Users)
+				wa, wb := authors.Weight(a), authors.Weight(b)
+				if wa > 0 && wb > 0 {
+					authors.Boost(a, wb/wa)
+					authors.Boost(b, wa/wb)
+				}
+			}
+		}
+		inBurst := cfg.BurstFactor > 1 && t >= cfg.BurstAt && t < cfg.BurstAt+cfg.BurstLen
+		if inBurst && burstAuthors == nil {
+			for i := 0; i < 3; i++ {
+				burstAuthors = append(burstAuthors, authors.Sample(rng))
+			}
+		}
+
+		if len(pending) == 0 {
+			// New tweet: choose the author and unroll its cascade.
+			var author int
+			if inBurst {
+				author = burstAuthors[rng.Intn(len(burstAuthors))]
+			} else {
+				author = authors.Sample(rng)
+			}
+			pop := authors.Weight(author) / maxW // ∈ (0,1]
+			fanout := 1 + rng.Intn(1+int(pop*float64(cfg.MaxFanout)))
+			if inBurst {
+				fanout *= cfg.BurstFactor
+			}
+			for i := 0; i < fanout; i++ {
+				r := rng.Intn(cfg.Users)
+				if r == author {
+					continue
+				}
+				pending = append(pending, stream.Interaction{Src: ids.NodeID(author), Dst: ids.NodeID(r)})
+				if rng.Float64() < cfg.CascadeP {
+					sub := 1 + rng.Intn(1+cfg.MaxFanout/4)
+					for j := 0; j < sub; j++ {
+						r2 := rng.Intn(cfg.Users)
+						if r2 == r {
+							continue
+						}
+						pending = append(pending, stream.Interaction{Src: ids.NodeID(r), Dst: ids.NodeID(r2)})
+					}
+				}
+			}
+		}
+
+		if len(pending) == 0 { // cascade degenerated to nothing
+			a, b := rng.Intn(cfg.Users), rng.Intn(cfg.Users)
+			if a == b {
+				b = (b + 1) % cfg.Users
+			}
+			pending = append(pending, stream.Interaction{Src: ids.NodeID(a), Dst: ids.NodeID(b)})
+		}
+
+		x := pending[0]
+		pending = pending[1:]
+		x.T = t
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package datasets generates the six seeded synthetic interaction streams
+// standing in for the traces of the paper's Table I (see DESIGN.md §4 for
+// the substitution rationale):
+//
+//	brightkite, gowalla            — LBSN check-ins (place → user)
+//	twitter-higgs, twitter-hk      — retweet cascades (author → retweeter)
+//	stackoverflow-c2q, -c2a        — comments (poster → commenter)
+//
+// All generators emit exactly one interaction per time step (T = 1,2,…),
+// matching the paper's experimental setup ("we assume one interaction
+// arrives at a time", §V-B), and are deterministic given their seed.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"tdnstream/internal/ids"
+)
+
+// zipfSampler draws indices 0..n-1 with Pr(i) ∝ (perm(i)+1)^(-s), where
+// perm is a seeded permutation so "rank 0" is a random identity. Weights
+// can be boosted (trending entities) and the CDF rebuilt cheaply.
+type zipfSampler struct {
+	weights []float64
+	cdf     []float64
+	dirty   bool
+}
+
+// newZipfSampler builds a sampler over n entities with exponent s and a
+// seeded rank permutation.
+func newZipfSampler(n int, s float64, rng *rand.Rand) *zipfSampler {
+	ranks := rng.Perm(n)
+	z := &zipfSampler{weights: make([]float64, n), cdf: make([]float64, n), dirty: true}
+	for i := 0; i < n; i++ {
+		z.weights[i] = math.Pow(float64(ranks[i]+1), -s)
+	}
+	z.rebuild()
+	return z
+}
+
+func (z *zipfSampler) rebuild() {
+	var sum float64
+	for i, w := range z.weights {
+		sum += w
+		z.cdf[i] = sum
+	}
+	z.dirty = false
+}
+
+// Boost multiplies entity i's weight by factor.
+func (z *zipfSampler) Boost(i int, factor float64) {
+	z.weights[i] *= factor
+	z.dirty = true
+}
+
+// Sample draws one index.
+func (z *zipfSampler) Sample(rng *rand.Rand) int {
+	if z.dirty {
+		z.rebuild()
+	}
+	total := z.cdf[len(z.cdf)-1]
+	u := rng.Float64() * total
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns entity i's current weight.
+func (z *zipfSampler) Weight(i int) float64 { return z.weights[i] }
+
+// MaxWeight returns the current maximum weight.
+func (z *zipfSampler) MaxWeight() float64 {
+	m := 0.0
+	for _, w := range z.weights {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// node converts an entity index plus base offset into a NodeID.
+func node(base, i int) ids.NodeID { return ids.NodeID(base + i) }

@@ -1,0 +1,148 @@
+// Package graph provides the two dynamic-graph representations the
+// reproduction is built on:
+//
+//   - ADN: an addition-only dynamic interaction network (paper Example 3).
+//     Each SIEVEADN instance owns one; edges only accumulate, which is the
+//     property (f_t(S) never decreases) that the sieve's approximation
+//     proof relies on.
+//   - TDN: the general time-decaying dynamic interaction network
+//     (paper §II-B) with per-edge lifetimes and smooth expiry, used as the
+//     global graph view by the baselines (Greedy, Random, RIS family) and
+//     as the backlog store HISTAPPROX feeds new instances from.
+//
+// Both store directed multigraphs without self-loops; for reachability
+// queries parallel edges collapse, so ADN dedups pairs while TDN keeps
+// multiplicity counts (needed both for expiry and for the IC edge
+// probabilities p_uv = 2/(1+e^{-0.2x})-1).
+package graph
+
+import (
+	"tdnstream/internal/ids"
+)
+
+// ADN is an append-only directed graph. The zero value is not usable; call
+// NewADN.
+type ADN struct {
+	out   map[ids.NodeID][]ids.NodeID
+	in    map[ids.NodeID][]ids.NodeID
+	pairs map[uint64]struct{}
+	nodes map[ids.NodeID]struct{}
+	// nodeCap is an exclusive upper bound on node ids seen, used by the
+	// influence oracle to size its generation-stamped scratch slices.
+	nodeCap int
+	// interactions counts every fed edge including duplicates of the same
+	// directed pair (multi-edges in the paper's model).
+	interactions int
+}
+
+// NewADN returns an empty addition-only graph.
+func NewADN() *ADN {
+	return &ADN{
+		out:   make(map[ids.NodeID][]ids.NodeID),
+		in:    make(map[ids.NodeID][]ids.NodeID),
+		pairs: make(map[uint64]struct{}),
+		nodes: make(map[ids.NodeID]struct{}),
+	}
+}
+
+// AddEdge inserts the directed edge u→v, reporting whether the pair was
+// new (parallel edges are recorded in the interaction count only).
+// Self-loops are ignored, matching the TDN model's no-self-influence rule.
+func (g *ADN) AddEdge(u, v ids.NodeID) bool {
+	if u == v {
+		return false
+	}
+	g.interactions++
+	g.touch(u)
+	g.touch(v)
+	key := ids.EdgeKey(u, v)
+	if _, dup := g.pairs[key]; dup {
+		return false
+	}
+	g.pairs[key] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	return true
+}
+
+func (g *ADN) touch(n ids.NodeID) {
+	if _, ok := g.nodes[n]; !ok {
+		g.nodes[n] = struct{}{}
+	}
+	if int(n)+1 > g.nodeCap {
+		g.nodeCap = int(n) + 1
+	}
+}
+
+// OutNeighbors visits the distinct out-neighbors of u.
+func (g *ADN) OutNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
+	for _, v := range g.out[u] {
+		visit(v)
+	}
+}
+
+// InNeighbors visits the distinct in-neighbors of u.
+func (g *ADN) InNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
+	for _, v := range g.in[u] {
+		visit(v)
+	}
+}
+
+// NodeCap returns an exclusive upper bound on node ids present.
+func (g *ADN) NodeCap() int { return g.nodeCap }
+
+// NumNodes reports the number of distinct nodes touched by any edge.
+func (g *ADN) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of distinct directed pairs.
+func (g *ADN) NumEdges() int { return len(g.pairs) }
+
+// NumInteractions reports all fed edges including parallel duplicates.
+func (g *ADN) NumInteractions() int { return g.interactions }
+
+// HasEdge reports whether the directed pair u→v is present.
+func (g *ADN) HasEdge(u, v ids.NodeID) bool {
+	_, ok := g.pairs[ids.EdgeKey(u, v)]
+	return ok
+}
+
+// Nodes visits every node present in the graph.
+func (g *ADN) Nodes(visit func(n ids.NodeID)) {
+	for n := range g.nodes {
+		visit(n)
+	}
+}
+
+// Pairs visits every distinct directed pair.
+func (g *ADN) Pairs(visit func(u, v ids.NodeID)) {
+	for k := range g.pairs {
+		u, v := ids.SplitEdgeKey(k)
+		visit(u, v)
+	}
+}
+
+// Clone deep-copies the graph; HISTAPPROX uses this when a new instance is
+// created from its successor (paper Fig. 6c).
+func (g *ADN) Clone() *ADN {
+	c := &ADN{
+		out:          make(map[ids.NodeID][]ids.NodeID, len(g.out)),
+		in:           make(map[ids.NodeID][]ids.NodeID, len(g.in)),
+		pairs:        make(map[uint64]struct{}, len(g.pairs)),
+		nodes:        make(map[ids.NodeID]struct{}, len(g.nodes)),
+		nodeCap:      g.nodeCap,
+		interactions: g.interactions,
+	}
+	for u, vs := range g.out {
+		c.out[u] = append([]ids.NodeID(nil), vs...)
+	}
+	for v, us := range g.in {
+		c.in[v] = append([]ids.NodeID(nil), us...)
+	}
+	for k := range g.pairs {
+		c.pairs[k] = struct{}{}
+	}
+	for n := range g.nodes {
+		c.nodes[n] = struct{}{}
+	}
+	return c
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+func TestADNAddEdgeDedup(t *testing.T) {
+	g := NewADN()
+	if !g.AddEdge(1, 2) {
+		t.Fatal("first insert should be new")
+	}
+	if g.AddEdge(1, 2) {
+		t.Fatal("duplicate pair should not be new")
+	}
+	if !g.AddEdge(2, 1) {
+		t.Fatal("reverse direction is a distinct pair")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.NumInteractions() != 3 {
+		t.Fatalf("NumInteractions = %d, want 3", g.NumInteractions())
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+}
+
+func TestADNIgnoresSelfLoop(t *testing.T) {
+	g := NewADN()
+	if g.AddEdge(5, 5) {
+		t.Fatal("self-loop should be rejected")
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("self-loop must not touch the graph")
+	}
+}
+
+func TestADNNeighbors(t *testing.T) {
+	g := NewADN()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(4, 2)
+	var outs []ids.NodeID
+	g.OutNeighbors(1, func(v ids.NodeID) { outs = append(outs, v) })
+	if len(outs) != 2 {
+		t.Fatalf("out(1) = %v", outs)
+	}
+	var ins []ids.NodeID
+	g.InNeighbors(2, func(v ids.NodeID) { ins = append(ins, v) })
+	if len(ins) != 2 {
+		t.Fatalf("in(2) = %v", ins)
+	}
+	if g.NodeCap() != 5 {
+		t.Fatalf("NodeCap = %d, want 5", g.NodeCap())
+	}
+}
+
+func TestADNHasEdgeAndPairs(t *testing.T) {
+	g := NewADN()
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatal("HasEdge direction broken")
+	}
+	count := 0
+	g.Pairs(func(u, v ids.NodeID) { count++ })
+	if count != 2 {
+		t.Fatalf("Pairs visited %d, want 2", count)
+	}
+}
+
+func TestADNCloneIsDeep(t *testing.T) {
+	g := NewADN()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := g.Clone()
+	c.AddEdge(3, 4)
+	if g.HasEdge(3, 4) {
+		t.Fatal("mutating clone leaked into original")
+	}
+	if g.NumEdges() != 2 || c.NumEdges() != 3 {
+		t.Fatalf("edges: orig %d clone %d", g.NumEdges(), c.NumEdges())
+	}
+	// appending to a cloned adjacency slice must not clobber the original
+	c.AddEdge(1, 5)
+	n := 0
+	g.OutNeighbors(1, func(ids.NodeID) { n++ })
+	if n != 1 {
+		t.Fatalf("original out(1) grew to %d after clone mutation", n)
+	}
+}

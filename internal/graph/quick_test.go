@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// Property: for any random edge list, the ADN's distinct-pair count
+// matches a reference set, out/in adjacency are mirror images, and
+// HasEdge agrees with insertion history.
+func TestQuickADNInsertion(t *testing.T) {
+	f := func(seed int64, nEdges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewADN()
+		ref := make(map[uint64]bool)
+		for i := 0; i < int(nEdges); i++ {
+			u := ids.NodeID(rng.Intn(12))
+			v := ids.NodeID(rng.Intn(12))
+			isNew := g.AddEdge(u, v)
+			if u == v {
+				if isNew {
+					return false // self-loops never count as new
+				}
+				continue
+			}
+			key := ids.EdgeKey(u, v)
+			if isNew == ref[key] {
+				return false // novelty report must match history
+			}
+			ref[key] = true
+		}
+		if g.NumEdges() != len(ref) {
+			return false
+		}
+		// mirror: v ∈ out(u) ⟺ u ∈ in(v)
+		ok := true
+		g.Pairs(func(u, v ids.NodeID) {
+			foundOut, foundIn := false, false
+			g.OutNeighbors(u, func(x ids.NodeID) {
+				if x == v {
+					foundOut = true
+				}
+			})
+			g.InNeighbors(v, func(x ids.NodeID) {
+				if x == u {
+					foundIn = true
+				}
+			})
+			if !foundOut || !foundIn || !g.HasEdge(u, v) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cloning then mutating the clone never changes the original's
+// pair set.
+func TestQuickADNCloneIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewADN()
+		for i := 0; i < 20; i++ {
+			g.AddEdge(ids.NodeID(rng.Intn(10)), ids.NodeID(rng.Intn(10)))
+		}
+		before := g.NumEdges()
+		c := g.Clone()
+		for i := 0; i < 20; i++ {
+			c.AddEdge(ids.NodeID(10+rng.Intn(10)), ids.NodeID(rng.Intn(20)))
+		}
+		return g.NumEdges() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a TDN advanced through an arbitrary schedule of arrivals and
+// clock jumps always matches the naive rescan simulator.
+func TestQuickTDNMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewTDN(0)
+		naive := &testutil.NaiveTDN{}
+		now := int64(0)
+		for i := 0; i < 50; i++ {
+			now += int64(1 + rng.Intn(3)) // jumps allowed
+			if g.AdvanceTo(now) != nil {
+				return false
+			}
+			naive.AdvanceTo(now)
+			for j := 0; j < rng.Intn(4); j++ {
+				u := ids.NodeID(rng.Intn(8))
+				v := ids.NodeID(rng.Intn(8))
+				if u == v {
+					continue
+				}
+				e := stream.Edge{Src: u, Dst: v, T: now, Lifetime: 1 + rng.Intn(6)}
+				if g.Add(e) != nil {
+					return false
+				}
+				naive.Add(e)
+			}
+			want := naive.AlivePairs()
+			total := 0
+			for k, c := range want {
+				u, v := ids.SplitEdgeKey(k)
+				if g.Multiplicity(u, v) != c {
+					return false
+				}
+				total += c
+			}
+			if g.NumAliveEdges() != total {
+				return false
+			}
+			if g.NumNodes() != len(naive.AliveNodes()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: expiry-range iteration partitions the live edges — the union
+// over disjoint ranges equals the full live set, with no duplicates.
+func TestQuickTDNExpiryRangePartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewTDN(0)
+		if g.AdvanceTo(1) != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			u := ids.NodeID(rng.Intn(10))
+			v := ids.NodeID(rng.Intn(10))
+			if u == v {
+				continue
+			}
+			if g.Add(stream.Edge{Src: u, Dst: v, T: 1, Lifetime: 1 + rng.Intn(20)}) != nil {
+				return false
+			}
+		}
+		mid := int64(1 + rng.Intn(22))
+		count := 0
+		g.ForEachEdgeExpiringIn(0, mid, func(stream.Edge) { count++ })
+		g.ForEachEdgeExpiringIn(mid, 1<<40, func(stream.Edge) { count++ })
+		return count == g.NumAliveEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

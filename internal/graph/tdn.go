@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// TDN is the general time-decaying dynamic interaction network of paper
+// §II-B: a directed multigraph where every edge carries a lifetime that
+// ticks down each step; edges are removed when it reaches zero, and nodes
+// disappear when their last edge does.
+//
+// Edges are bucketed by expiry time (T + lifetime) so advancing the clock
+// by one step expires exactly one bucket. Adjacency keeps multiplicity
+// counts because (a) parallel interactions are allowed, and (b) the IC
+// baselines derive edge probabilities from the live multiplicity.
+type TDN struct {
+	out     map[ids.NodeID]map[ids.NodeID]int
+	in      map[ids.NodeID]map[ids.NodeID]int
+	refs    map[ids.NodeID]int // live edge endpoints per node
+	buckets map[int64][]stream.Edge
+	now     int64
+	alive   int // live edge instances (with multiplicity)
+	nodeCap int
+}
+
+// NewTDN returns an empty TDN positioned at time now.
+func NewTDN(now int64) *TDN {
+	return &TDN{
+		out:     make(map[ids.NodeID]map[ids.NodeID]int),
+		in:      make(map[ids.NodeID]map[ids.NodeID]int),
+		refs:    make(map[ids.NodeID]int),
+		buckets: make(map[int64][]stream.Edge),
+		now:     now,
+	}
+}
+
+// Now returns the TDN's current time.
+func (g *TDN) Now() int64 { return g.now }
+
+// Add inserts an edge arriving at the current time step. The edge must
+// carry a positive lifetime and must not be a self-loop or arrive in the
+// past; violations are reported as errors because they indicate a stream
+// wiring bug.
+func (g *TDN) Add(e stream.Edge) error {
+	if e.Src == e.Dst {
+		return fmt.Errorf("graph: self-loop edge %d→%d", e.Src, e.Dst)
+	}
+	if e.Lifetime < 1 {
+		return fmt.Errorf("graph: non-positive lifetime %d", e.Lifetime)
+	}
+	if e.T != g.now {
+		return fmt.Errorf("graph: edge timestamped %d added at time %d", e.T, g.now)
+	}
+	g.buckets[e.Expiry()] = append(g.buckets[e.Expiry()], e)
+	g.link(e.Src, e.Dst)
+	return nil
+}
+
+func (g *TDN) link(u, v ids.NodeID) {
+	m := g.out[u]
+	if m == nil {
+		m = make(map[ids.NodeID]int)
+		g.out[u] = m
+	}
+	m[v]++
+	m = g.in[v]
+	if m == nil {
+		m = make(map[ids.NodeID]int)
+		g.in[v] = m
+	}
+	m[u]++
+	g.refs[u]++
+	g.refs[v]++
+	g.alive++
+	for _, n := range [2]ids.NodeID{u, v} {
+		if int(n)+1 > g.nodeCap {
+			g.nodeCap = int(n) + 1
+		}
+	}
+}
+
+func (g *TDN) unlink(u, v ids.NodeID) {
+	if m := g.out[u]; m != nil {
+		if m[v]--; m[v] == 0 {
+			delete(m, v)
+			if len(m) == 0 {
+				delete(g.out, u)
+			}
+		}
+	}
+	if m := g.in[v]; m != nil {
+		if m[u]--; m[u] == 0 {
+			delete(m, u)
+			if len(m) == 0 {
+				delete(g.in, v)
+			}
+		}
+	}
+	for _, n := range [2]ids.NodeID{u, v} {
+		if g.refs[n]--; g.refs[n] == 0 {
+			delete(g.refs, n)
+		}
+	}
+	g.alive--
+}
+
+// Restore inserts an edge that arrived in the past but is still alive at
+// the current time — used when reconstructing a TDN from a snapshot.
+func (g *TDN) Restore(e stream.Edge) error {
+	if e.Src == e.Dst {
+		return fmt.Errorf("graph: self-loop edge %d→%d", e.Src, e.Dst)
+	}
+	if e.T > g.now || e.Expiry() <= g.now {
+		return fmt.Errorf("graph: edge [%d,%d) not alive at restore time %d", e.T, e.Expiry(), g.now)
+	}
+	g.buckets[e.Expiry()] = append(g.buckets[e.Expiry()], e)
+	g.link(e.Src, e.Dst)
+	return nil
+}
+
+// AdvanceTo moves the clock forward to t, expiring every edge whose
+// remaining lifetime reaches zero on the way. Moving backwards is an error.
+func (g *TDN) AdvanceTo(t int64) error {
+	if t < g.now {
+		return fmt.Errorf("graph: cannot rewind TDN from %d to %d", g.now, t)
+	}
+	for tt := g.now + 1; tt <= t; tt++ {
+		if bucket, ok := g.buckets[tt]; ok {
+			for _, e := range bucket {
+				g.unlink(e.Src, e.Dst)
+			}
+			delete(g.buckets, tt)
+		}
+	}
+	g.now = t
+	return nil
+}
+
+// OutNeighbors visits the distinct live out-neighbors of u.
+func (g *TDN) OutNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
+	for v := range g.out[u] {
+		visit(v)
+	}
+}
+
+// InNeighbors visits the distinct live in-neighbors of u.
+func (g *TDN) InNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
+	for v := range g.in[u] {
+		visit(v)
+	}
+}
+
+// Multiplicity returns the number of live parallel edges u→v (the x in the
+// IC probability p_uv = 2/(1+e^{-0.2x})-1).
+func (g *TDN) Multiplicity(u, v ids.NodeID) int { return g.out[u][v] }
+
+// NodeCap returns an exclusive upper bound on node ids ever seen.
+func (g *TDN) NodeCap() int { return g.nodeCap }
+
+// Alive reports whether node n currently has at least one live edge.
+func (g *TDN) Alive(n ids.NodeID) bool { return g.refs[n] > 0 }
+
+// OutDegree returns the number of distinct live out-neighbors of u.
+func (g *TDN) OutDegree(u ids.NodeID) int { return len(g.out[u]) }
+
+// InDegree returns the number of distinct live in-neighbors of u.
+func (g *TDN) InDegree(u ids.NodeID) int { return len(g.in[u]) }
+
+// NumNodes reports the number of currently live nodes.
+func (g *TDN) NumNodes() int { return len(g.refs) }
+
+// NumAliveEdges reports live edge instances including multiplicity.
+func (g *TDN) NumAliveEdges() int { return g.alive }
+
+// Nodes visits every live node.
+func (g *TDN) Nodes(visit func(n ids.NodeID)) {
+	for n := range g.refs {
+		visit(n)
+	}
+}
+
+// SortedNodes returns the live nodes in ascending id order (deterministic
+// iteration for seeded baselines).
+func (g *TDN) SortedNodes() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(g.refs))
+	for n := range g.refs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachLiveEdge visits every live edge instance (with multiplicity).
+func (g *TDN) ForEachLiveEdge(visit func(e stream.Edge)) {
+	for exp, bucket := range g.buckets {
+		if exp <= g.now {
+			continue // defensive: should have been expired
+		}
+		for _, e := range bucket {
+			visit(e)
+		}
+	}
+}
+
+// ForEachEdgeExpiringIn visits live edges with expiry in [lo, hi) — i.e.
+// remaining lifetime in [lo-now, hi-now). HISTAPPROX uses this to feed a
+// newly created instance the backlog {e ∈ E_t : l ≤ l_e < l*} (Alg. 3
+// line 15).
+func (g *TDN) ForEachEdgeExpiringIn(lo, hi int64, visit func(e stream.Edge)) {
+	if hi-lo < int64(len(g.buckets)) {
+		// Narrow range: walk the expiry slots directly.
+		for exp := lo; exp < hi; exp++ {
+			if exp <= g.now {
+				continue
+			}
+			for _, e := range g.buckets[exp] {
+				visit(e)
+			}
+		}
+		return
+	}
+	// Wide range: walking the map once is cheaper. Sort bucket keys so
+	// visit order is deterministic.
+	keys := make([]int64, 0, len(g.buckets))
+	for exp := range g.buckets {
+		if exp > g.now && exp >= lo && exp < hi {
+			keys = append(keys, exp)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, exp := range keys {
+		for _, e := range g.buckets[exp] {
+			visit(e)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// TestPaperFig2 reproduces the worked example of the paper's Figure 2:
+// nine edges with explicit lifetimes; the alive edge sets at time t and
+// t+1 must match the figure exactly.
+func TestPaperFig2(t *testing.T) {
+	const u1, u2, u3, u4, u5, u6, u7 = 1, 2, 3, 4, 5, 6, 7
+	const t0 = int64(100) // the figure's "t"
+	g := NewTDN(t0)
+	add := func(u, v ids.NodeID, tt int64, l int) {
+		t.Helper()
+		if err := g.Add(stream.Edge{Src: u, Dst: v, T: tt, Lifetime: l}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Edges arriving at time t (e1..e6).
+	add(u1, u2, t0, 1)
+	add(u1, u3, t0, 1)
+	add(u1, u4, t0, 2)
+	add(u5, u3, t0, 3)
+	add(u6, u4, t0, 1)
+	add(u6, u7, t0, 1)
+
+	// G_t: all six edges alive, all seven nodes present.
+	if g.NumAliveEdges() != 6 {
+		t.Fatalf("G_t alive edges = %d, want 6", g.NumAliveEdges())
+	}
+	if g.NumNodes() != 7 {
+		t.Fatalf("G_t nodes = %d, want 7", g.NumNodes())
+	}
+
+	// Advance to t+1: e1,e2,e5,e6 (lifetime 1) expire; add e7,e8,e9.
+	if err := g.AdvanceTo(t0 + 1); err != nil {
+		t.Fatal(err)
+	}
+	add(u5, u2, t0+1, 1)
+	add(u7, u4, t0+1, 2)
+	add(u7, u6, t0+1, 3)
+
+	// G_{t+1} per the figure: e3 (u1→u4, lifetime now 1), e4 (u5→u3, now 2),
+	// e7, e8, e9.
+	if g.NumAliveEdges() != 5 {
+		t.Fatalf("G_{t+1} alive edges = %d, want 5", g.NumAliveEdges())
+	}
+	wantPairs := map[[2]ids.NodeID]bool{
+		{u1, u4}: true, {u5, u3}: true, {u5, u2}: true, {u7, u4}: true, {u7, u6}: true,
+	}
+	g.ForEachLiveEdge(func(e stream.Edge) {
+		if !wantPairs[[2]ids.NodeID{e.Src, e.Dst}] {
+			t.Fatalf("unexpected live edge %d→%d", e.Src, e.Dst)
+		}
+		delete(wantPairs, [2]ids.NodeID{e.Src, e.Dst})
+	})
+	if len(wantPairs) != 0 {
+		t.Fatalf("missing live edges: %v", wantPairs)
+	}
+	// u1 must still be present (e3 alive) but after t+2 it disappears.
+	if err := g.AdvanceTo(t0 + 2); err != nil {
+		t.Fatal(err)
+	}
+	alive := map[ids.NodeID]bool{}
+	g.Nodes(func(n ids.NodeID) { alive[n] = true })
+	if alive[u1] {
+		t.Fatal("u1 should be gone at t+2 (its last edge e3 expired)")
+	}
+	if !alive[u5] || !alive[u3] {
+		t.Fatal("e4 (u5→u3, lifetime 3) should still be alive at t+2")
+	}
+}
+
+func TestTDNValidation(t *testing.T) {
+	g := NewTDN(0)
+	if err := g.Add(stream.Edge{Src: 1, Dst: 1, T: 0, Lifetime: 1}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.Add(stream.Edge{Src: 1, Dst: 2, T: 0, Lifetime: 0}); err == nil {
+		t.Fatal("zero lifetime accepted")
+	}
+	if err := g.Add(stream.Edge{Src: 1, Dst: 2, T: 5, Lifetime: 1}); err == nil {
+		t.Fatal("future-timestamped edge accepted")
+	}
+	if err := g.AdvanceTo(-3); err == nil {
+		t.Fatal("rewind accepted")
+	}
+}
+
+func TestTDNMultiplicity(t *testing.T) {
+	g := NewTDN(0)
+	for i := 0; i < 3; i++ {
+		if err := g.Add(stream.Edge{Src: 1, Dst: 2, T: 0, Lifetime: 2 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Multiplicity(1, 2); got != 3 {
+		t.Fatalf("Multiplicity = %d, want 3", got)
+	}
+	if err := g.AdvanceTo(2); err != nil { // first copy (lifetime 2) expires at t=2
+		t.Fatal(err)
+	}
+	if got := g.Multiplicity(1, 2); got != 2 {
+		t.Fatalf("after expiry Multiplicity = %d, want 2", got)
+	}
+	// Out-neighbor iteration still visits v exactly once.
+	n := 0
+	g.OutNeighbors(1, func(ids.NodeID) { n++ })
+	if n != 1 {
+		t.Fatalf("OutNeighbors visited %d, want 1", n)
+	}
+}
+
+func TestTDNExpiryRange(t *testing.T) {
+	g := NewTDN(10)
+	for l := 1; l <= 5; l++ {
+		if err := g.Add(stream.Edge{Src: ids.NodeID(l), Dst: ids.NodeID(l + 10), T: 10, Lifetime: l}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Edges with remaining lifetime in [2,4) at t=10 → expiry in [12,14).
+	var got []int
+	g.ForEachEdgeExpiringIn(12, 14, func(e stream.Edge) { got = append(got, e.Lifetime) })
+	if len(got) != 2 || (got[0] != 2 && got[1] != 2) || (got[0] != 3 && got[1] != 3) {
+		t.Fatalf("expiry range visited lifetimes %v, want [2 3]", got)
+	}
+	// Wide range should cover everything alive.
+	count := 0
+	g.ForEachEdgeExpiringIn(0, 1<<40, func(stream.Edge) { count++ })
+	if count != 5 {
+		t.Fatalf("wide range visited %d, want 5", count)
+	}
+}
+
+// Property test: TDN matches the naive rescan simulator on a random
+// stream with random lifetimes — alive pair multiset and alive node set
+// agree at every step.
+func TestTDNMatchesNaiveSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := NewTDN(0)
+	naive := &testutil.NaiveTDN{}
+	for step := int64(1); step <= 200; step++ {
+		if err := g.AdvanceTo(step); err != nil {
+			t.Fatal(err)
+		}
+		naive.AdvanceTo(step)
+		for i := 0; i < rng.Intn(5); i++ {
+			u := ids.NodeID(rng.Intn(20))
+			v := ids.NodeID(rng.Intn(20))
+			if u == v {
+				continue
+			}
+			e := stream.Edge{Src: u, Dst: v, T: step, Lifetime: 1 + rng.Intn(8)}
+			if err := g.Add(e); err != nil {
+				t.Fatal(err)
+			}
+			naive.Add(e)
+		}
+		wantPairs := naive.AlivePairs()
+		gotPairs := make(map[uint64]int)
+		g.ForEachLiveEdge(func(e stream.Edge) { gotPairs[ids.EdgeKey(e.Src, e.Dst)]++ })
+		if len(gotPairs) != len(wantPairs) {
+			t.Fatalf("t=%d: %d live pairs, want %d", step, len(gotPairs), len(wantPairs))
+		}
+		for k, c := range wantPairs {
+			if gotPairs[k] != c {
+				u, v := ids.SplitEdgeKey(k)
+				t.Fatalf("t=%d: pair %d→%d count %d, want %d", step, u, v, gotPairs[k], c)
+			}
+		}
+		wantNodes := naive.AliveNodes()
+		if g.NumNodes() != len(wantNodes) {
+			t.Fatalf("t=%d: %d nodes, want %d", step, g.NumNodes(), len(wantNodes))
+		}
+		// Adjacency counts must round-trip with multiplicity.
+		for k, c := range wantPairs {
+			u, v := ids.SplitEdgeKey(k)
+			if g.Multiplicity(u, v) != c {
+				t.Fatalf("t=%d: multiplicity(%d,%d) = %d, want %d", step, u, v, g.Multiplicity(u, v), c)
+			}
+		}
+	}
+}
+
+// Paper §II-B: with geometric lifetimes Geo(p) and m arrivals per step the
+// expected live-edge count is bounded by ~m/p. Spot check the memory bound.
+func TestTDNGeometricMemoryBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const p, m = 0.05, 20
+	g := NewTDN(0)
+	geoLifetime := func() int {
+		l := 1
+		for rng.Float64() > p && l < 10000 {
+			l++
+		}
+		return l
+	}
+	maxAlive := 0
+	for step := int64(1); step <= 800; step++ {
+		if err := g.AdvanceTo(step); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			u := ids.NodeID(rng.Intn(1000))
+			v := ids.NodeID(rng.Intn(1000))
+			if u == v {
+				continue
+			}
+			if err := g.Add(stream.Edge{Src: u, Dst: v, T: step, Lifetime: geoLifetime()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if g.NumAliveEdges() > maxAlive {
+			maxAlive = g.NumAliveEdges()
+		}
+	}
+	bound := int(3 * float64(m) / p) // 3× the O(m/p) expectation
+	if maxAlive > bound {
+		t.Fatalf("alive edges peaked at %d, exceeding 3×(m/p) = %d", maxAlive, bound)
+	}
+	if maxAlive < int(0.5*float64(m)/p) {
+		t.Fatalf("alive edges peaked at %d — suspiciously below m/p = %d; expiry too aggressive?", maxAlive, int(float64(m)/p))
+	}
+}

@@ -1,0 +1,113 @@
+package ic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+func TestProb(t *testing.T) {
+	if Prob(0) != 0 {
+		t.Fatalf("Prob(0) = %g, want 0", Prob(0))
+	}
+	if Prob(-3) != 0 {
+		t.Fatal("negative multiplicity must give 0")
+	}
+	// p(1) = 2/(1+e^{-0.2}) − 1 ≈ 0.0997
+	if got := Prob(1); math.Abs(got-0.0997) > 1e-3 {
+		t.Fatalf("Prob(1) = %g, want ≈ 0.0997", got)
+	}
+	prev := 0.0
+	for x := 1; x <= 50; x++ {
+		p := Prob(x)
+		if p <= prev || p >= 1 {
+			t.Fatalf("Prob(%d) = %g not strictly increasing in (0,1)", x, p)
+		}
+		prev = p
+	}
+	if Prob(100) < 0.999 {
+		t.Fatalf("Prob(100) = %g, want ≈ 1", Prob(100))
+	}
+}
+
+func buildTDN(t *testing.T, edges []stream.Edge) *graph.TDN {
+	t.Helper()
+	g := graph.NewTDN(0)
+	if err := g.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := g.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSnapshot(t *testing.T) {
+	g := buildTDN(t, []stream.Edge{
+		{Src: 1, Dst: 2, T: 1, Lifetime: 5},
+		{Src: 1, Dst: 2, T: 1, Lifetime: 5}, // multiplicity 2
+		{Src: 2, Dst: 3, T: 1, Lifetime: 5},
+	})
+	w := Snapshot(g)
+	if w.N() != 3 {
+		t.Fatalf("N = %d, want 3", w.N())
+	}
+	if len(w.Out[1]) != 1 || w.Out[1][0].To != 2 {
+		t.Fatalf("Out[1] = %+v", w.Out[1])
+	}
+	if got, want := w.Out[1][0].P, Prob(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p(1→2) = %g, want %g (multiplicity 2)", got, want)
+	}
+	if len(w.In[2]) != 1 || w.In[2][0].To != 1 {
+		t.Fatalf("In[2] = %+v", w.In[2])
+	}
+	if math.Abs(w.In[2][0].P-w.Out[1][0].P) > 1e-12 {
+		t.Fatal("forward and reverse probabilities disagree")
+	}
+}
+
+// MC spread of a deterministic chain (p≈1) approaches the chain length;
+// with p≈0 it approaches the seed count.
+func TestMonteCarloSpreadExtremes(t *testing.T) {
+	var hot []stream.Edge
+	for i := 0; i < 30; i++ { // multiplicity 30 → p ≈ 0.995
+		hot = append(hot, stream.Edge{Src: 1, Dst: 2, T: 1, Lifetime: 5})
+		hot = append(hot, stream.Edge{Src: 2, Dst: 3, T: 1, Lifetime: 5})
+	}
+	w := Snapshot(buildTDN(t, hot))
+	rng := rand.New(rand.NewSource(1))
+	if got := w.MonteCarloSpread([]ids.NodeID{1}, 2000, rng); got < 2.9 {
+		t.Fatalf("hot chain spread = %g, want ≈ 3", got)
+	}
+	cold := Snapshot(buildTDN(t, []stream.Edge{
+		{Src: 1, Dst: 2, T: 1, Lifetime: 5},
+		{Src: 2, Dst: 3, T: 1, Lifetime: 5},
+	}))
+	if got := cold.MonteCarloSpread([]ids.NodeID{1}, 2000, rng); got > 1.3 {
+		t.Fatalf("cold chain spread = %g, want ≈ 1.1", got)
+	}
+}
+
+// Analytic check: star hub with p on each of d spokes has expected spread
+// 1 + d·p.
+func TestMonteCarloSpreadAnalytic(t *testing.T) {
+	const d = 10
+	var edges []stream.Edge
+	for i := 2; i < 2+d; i++ {
+		edges = append(edges, stream.Edge{Src: 1, Dst: ids.NodeID(i), T: 1, Lifetime: 5})
+	}
+	w := Snapshot(buildTDN(t, edges))
+	p := Prob(1)
+	want := 1 + d*p
+	rng := rand.New(rand.NewSource(2))
+	got := w.MonteCarloSpread([]ids.NodeID{1}, 20000, rng)
+	if math.Abs(got-want) > 0.15 {
+		t.Fatalf("spread = %g, want ≈ %g", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package ids
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictAssignsDenseIDs(t *testing.T) {
+	d := NewDict()
+	names := []string{"alice", "bob", "carol", "alice", "bob", "dave"}
+	want := []NodeID{0, 1, 2, 0, 1, 3}
+	for i, n := range names {
+		if got := d.ID(n); got != want[i] {
+			t.Fatalf("ID(%q) = %d, want %d", n, got, want[i])
+		}
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", d.Len())
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		id := d.ID(name)
+		if d.Name(id) != name {
+			t.Fatalf("Name(ID(%q)) = %q", name, d.Name(id))
+		}
+	}
+}
+
+func TestDictLookupDoesNotIntern(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("ghost"); ok {
+		t.Fatal("Lookup of unknown name reported ok")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Lookup interned a name: Len() = %d", d.Len())
+	}
+	d.ID("real")
+	if id, ok := d.Lookup("real"); !ok || id != 0 {
+		t.Fatalf("Lookup(real) = %d, %v", id, ok)
+	}
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	f := func(u, v uint32) bool {
+		a, b := SplitEdgeKey(EdgeKey(NodeID(u), NodeID(v)))
+		return a == NodeID(u) && b == NodeID(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeKeyDirected(t *testing.T) {
+	if EdgeKey(1, 2) == EdgeKey(2, 1) {
+		t.Fatal("EdgeKey must distinguish direction")
+	}
+}

@@ -1,0 +1,296 @@
+// Package influence implements the paper's influence-spread oracle:
+//
+//	f_t(S) = |{v : v reachable from S in G_t}|   (Definition 3)
+//
+// f_t is normalized, monotone and submodular (Theorem 1), which is what
+// every algorithm in this module exploits. An "oracle call" — the paper's
+// efficiency unit — is one evaluation of f_t; each exported evaluation
+// method increments the shared metrics.Counter exactly once.
+//
+// Two implementation ideas keep millions of evaluations affordable:
+//
+//  1. Generation-stamped visited slices indexed by dense NodeID, so a BFS
+//     allocates nothing in steady state.
+//  2. Reach-set closure: R(S) is closed under reachability, so the
+//     marginal gain f(S∪{v})−f(S) equals the size of a BFS from v that
+//     never expands nodes already in R(S) — exact, and proportional to
+//     the *new* region only. Sieve candidates cache R(S) and keep it
+//     current incrementally as edges arrive.
+package influence
+
+import (
+	"tdnstream/internal/ids"
+	"tdnstream/internal/metrics"
+)
+
+// Graph is the adjacency view the oracle traverses. Both graph.ADN and
+// graph.TDN implement it.
+type Graph interface {
+	// OutNeighbors visits the distinct out-neighbors of u.
+	OutNeighbors(u ids.NodeID, visit func(v ids.NodeID))
+	// InNeighbors visits the distinct in-neighbors of u.
+	InNeighbors(u ids.NodeID, visit func(v ids.NodeID))
+	// NodeCap returns an exclusive upper bound on node ids present.
+	NodeCap() int
+}
+
+// ReachSet is a materialized R(S): the set of nodes reachable from a seed
+// set, including the seeds. It is closed under reachability by
+// construction, which is the invariant MarginalGain depends on.
+type ReachSet struct {
+	m map[ids.NodeID]struct{}
+}
+
+// NewReachSet returns an empty reach set.
+func NewReachSet() *ReachSet { return &ReachSet{m: make(map[ids.NodeID]struct{})} }
+
+// Contains reports membership.
+func (r *ReachSet) Contains(n ids.NodeID) bool { _, ok := r.m[n]; return ok }
+
+// Len returns |R(S)| = f(S).
+func (r *ReachSet) Len() int { return len(r.m) }
+
+// add inserts a node (package-private: only the oracle may grow a reach
+// set, preserving closure).
+func (r *ReachSet) add(n ids.NodeID) { r.m[n] = struct{}{} }
+
+// Clone deep-copies the set.
+func (r *ReachSet) Clone() *ReachSet {
+	c := &ReachSet{m: make(map[ids.NodeID]struct{}, len(r.m))}
+	for n := range r.m {
+		c.m[n] = struct{}{}
+	}
+	return c
+}
+
+// Reset empties the set in place.
+func (r *ReachSet) Reset() { clear(r.m) }
+
+// ForEach visits every member.
+func (r *ReachSet) ForEach(visit func(n ids.NodeID)) {
+	for n := range r.m {
+		visit(n)
+	}
+}
+
+// Endpoints is a bare directed pair, the edge shape Update consumes.
+type Endpoints struct {
+	Src, Dst ids.NodeID
+}
+
+// Oracle evaluates f_t over one Graph. It is not safe for concurrent use;
+// the optional parallel sieve gives each worker its own Oracle sharing one
+// counter (Counter is atomic).
+type Oracle struct {
+	g       Graph
+	calls   *metrics.Counter
+	visited []uint32
+	gen     uint32
+	queue   []ids.NodeID
+	delta   []ids.NodeID
+}
+
+// New returns an oracle over g counting calls into c (c may be nil, in
+// which case a private counter is used).
+func New(g Graph, c *metrics.Counter) *Oracle {
+	if c == nil {
+		c = &metrics.Counter{}
+	}
+	return &Oracle{g: g, calls: c}
+}
+
+// Calls returns the shared oracle-call counter.
+func (o *Oracle) Calls() *metrics.Counter { return o.calls }
+
+// Graph returns the underlying graph view.
+func (o *Oracle) Graph() Graph { return o.g }
+
+// Retarget points the oracle at a different graph (used after cloning an
+// instance, whose oracle must traverse the cloned graph).
+func (o *Oracle) Retarget(g Graph) { o.g = g }
+
+func (o *Oracle) nextGen() uint32 {
+	if o.gen == ^uint32(0) {
+		for i := range o.visited {
+			o.visited[i] = 0
+		}
+		o.gen = 0
+	}
+	o.gen++
+	o.grow(o.g.NodeCap())
+	return o.gen
+}
+
+// grow widens the visited scratch to cover node ids < n. Queries may name
+// seeds the graph has never seen (f of an absent node is just 1), so entry
+// points also grow for their explicit seeds.
+func (o *Oracle) grow(n int) {
+	if n > len(o.visited) {
+		grown := make([]uint32, n+n/2+8)
+		copy(grown, o.visited)
+		o.visited = grown
+	}
+}
+
+// Spread evaluates f_t(seeds) with a forward BFS. One oracle call.
+func (o *Oracle) Spread(seeds ...ids.NodeID) int {
+	o.calls.Inc()
+	gen := o.nextGen()
+	q := o.queue[:0]
+	count := 0
+	for _, s := range seeds {
+		o.grow(int(s) + 1)
+		if o.visited[s] != gen {
+			o.visited[s] = gen
+			count++
+			q = append(q, s)
+		}
+	}
+	for len(q) > 0 {
+		u := q[len(q)-1]
+		q = q[:len(q)-1]
+		o.g.OutNeighbors(u, func(v ids.NodeID) {
+			if o.visited[v] != gen {
+				o.visited[v] = gen
+				count++
+				q = append(q, v)
+			}
+		})
+	}
+	o.queue = q[:0]
+	return count
+}
+
+// FillReachSet evaluates f_t(seeds), materializing R(seeds) into dst
+// (which is reset first). One oracle call. Returns |R(seeds)|.
+func (o *Oracle) FillReachSet(dst *ReachSet, seeds ...ids.NodeID) int {
+	o.calls.Inc()
+	dst.Reset()
+	gen := o.nextGen()
+	q := o.queue[:0]
+	for _, s := range seeds {
+		o.grow(int(s) + 1)
+		if o.visited[s] != gen {
+			o.visited[s] = gen
+			dst.add(s)
+			q = append(q, s)
+		}
+	}
+	for len(q) > 0 {
+		u := q[len(q)-1]
+		q = q[:len(q)-1]
+		o.g.OutNeighbors(u, func(v ids.NodeID) {
+			if o.visited[v] != gen {
+				o.visited[v] = gen
+				dst.add(v)
+				q = append(q, v)
+			}
+		})
+	}
+	o.queue = q[:0]
+	return dst.Len()
+}
+
+// expand runs a BFS from the queued frontier, skipping nodes in rs, and
+// returns the newly discovered nodes (including the frontier itself).
+// Assumes frontier nodes are stamped with gen and not in rs.
+func (o *Oracle) expand(q []ids.NodeID, gen uint32, rs *ReachSet) []ids.NodeID {
+	delta := o.delta[:0]
+	delta = append(delta, q...)
+	for len(q) > 0 {
+		u := q[len(q)-1]
+		q = q[:len(q)-1]
+		o.g.OutNeighbors(u, func(w ids.NodeID) {
+			if o.visited[w] == gen || rs.Contains(w) {
+				return
+			}
+			o.visited[w] = gen
+			delta = append(delta, w)
+			q = append(q, w)
+		})
+	}
+	o.queue = q[:0]
+	o.delta = delta
+	return delta
+}
+
+// MarginalGain evaluates f(S∪{v}) − f(S) given the materialized, current
+// R(S). Because R(S) is closed under reachability, the BFS from v never
+// needs to expand a node already in rs. One oracle call.
+//
+// When merge is true the newly reached nodes are added to rs, turning it
+// into R(S∪{v}) — callers use this when the sieve accepts v.
+func (o *Oracle) MarginalGain(rs *ReachSet, v ids.NodeID, merge bool) int {
+	o.calls.Inc()
+	if rs.Contains(v) {
+		return 0
+	}
+	gen := o.nextGen()
+	o.grow(int(v) + 1)
+	q := append(o.queue[:0], v)
+	o.visited[v] = gen
+	delta := o.expand(q, gen, rs)
+	if merge {
+		for _, n := range delta {
+			rs.add(n)
+		}
+	}
+	return len(delta)
+}
+
+// Update re-evaluates R(S) in place after new edges were added to the
+// graph: for each edge (u,w) whose source u is already in R(S),
+// everything reachable from w joins R(S). Counted as one oracle call if a
+// re-evaluation was needed, zero otherwise — matching the paper's
+// "number of evaluations of f_t". Returns true if the set grew.
+func (o *Oracle) Update(rs *ReachSet, edges []Endpoints) bool {
+	gen := o.nextGen()
+	q := o.queue[:0]
+	for _, e := range edges {
+		if rs.Contains(e.Src) && !rs.Contains(e.Dst) && o.visited[e.Dst] != gen {
+			o.visited[e.Dst] = gen
+			q = append(q, e.Dst)
+		}
+	}
+	if len(q) == 0 {
+		o.queue = q
+		return false
+	}
+	o.calls.Inc()
+	delta := o.expand(q, gen, rs)
+	for _, n := range delta {
+		rs.add(n)
+	}
+	return len(delta) > 0
+}
+
+// Affected returns every node whose influence spread may have changed
+// after edges with the given source endpoints were inserted: all nodes
+// that can reach any source (the paper's V̄_t, Alg. 1 line 3). Computed
+// with one multi-source reverse BFS; it is graph bookkeeping, not an f_t
+// evaluation, so it does not count as an oracle call.
+func (o *Oracle) Affected(sources []ids.NodeID) []ids.NodeID {
+	gen := o.nextGen()
+	q := o.queue[:0]
+	var out []ids.NodeID
+	for _, s := range sources {
+		if o.visited[s] != gen {
+			o.visited[s] = gen
+			out = append(out, s)
+			q = append(q, s)
+		}
+	}
+	for len(q) > 0 {
+		u := q[len(q)-1]
+		q = q[:len(q)-1]
+		o.g.InNeighbors(u, func(v ids.NodeID) {
+			if o.visited[v] != gen {
+				o.visited[v] = gen
+				out = append(out, v)
+				q = append(q, v)
+			}
+		})
+	}
+	o.queue = q[:0]
+	return out
+}

@@ -1,0 +1,157 @@
+package influence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ids"
+)
+
+// randomGraphAndSets builds a random digraph plus two random node sets.
+func randomGraphAndSets(seed int64) (*graph.ADN, []ids.NodeID, []ids.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewADN()
+	const n = 14
+	for i := 0; i < 30; i++ {
+		u := ids.NodeID(rng.Intn(n))
+		v := ids.NodeID(rng.Intn(n))
+		g.AddEdge(u, v)
+	}
+	pick := func() []ids.NodeID {
+		var out []ids.NodeID
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.25 {
+				out = append(out, ids.NodeID(v))
+			}
+		}
+		return out
+	}
+	return g, pick(), pick()
+}
+
+// Property: f(∅)=0, f monotone under set union, and the union bound
+// f(S∪T) ≤ f(S)+f(T) (all implied by f = |R(·)| but checked end-to-end
+// through the oracle machinery).
+func TestQuickSpreadSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		g, S, T := randomGraphAndSets(seed)
+		if g.NodeCap() == 0 {
+			return true
+		}
+		o := New(g, nil)
+		if o.Spread() != 0 {
+			return false
+		}
+		fS := o.Spread(S...)
+		fT := o.Spread(T...)
+		union := append(append([]ids.NodeID{}, S...), T...)
+		fU := o.Spread(union...)
+		if fU < fS || fU < fT { // monotone
+			return false
+		}
+		if fU > fS+fT { // union bound
+			return false
+		}
+		return fS >= 0 && (len(S) == 0) == (fS == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FillReachSet and Spread agree, and the reach set is closed
+// under one-step expansion.
+func TestQuickReachSetAgreesWithSpread(t *testing.T) {
+	f := func(seed int64) bool {
+		g, S, _ := randomGraphAndSets(seed)
+		if g.NodeCap() == 0 || len(S) == 0 {
+			return true
+		}
+		o := New(g, nil)
+		rs := NewReachSet()
+		n := o.FillReachSet(rs, S...)
+		if n != o.Spread(S...) || n != rs.Len() {
+			return false
+		}
+		closed := true
+		rs.ForEach(func(u ids.NodeID) {
+			g.OutNeighbors(u, func(v ids.NodeID) {
+				if !rs.Contains(v) {
+					closed = false
+				}
+			})
+		})
+		return closed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for every node v, MarginalGain(R(S), v) = f(S∪{v}) − f(S),
+// and merging yields exactly R(S∪{v}).
+func TestQuickMarginalGainConsistent(t *testing.T) {
+	f := func(seed int64, vRaw uint8) bool {
+		g, S, _ := randomGraphAndSets(seed)
+		if g.NodeCap() == 0 || len(S) == 0 {
+			return true
+		}
+		v := ids.NodeID(int(vRaw) % 14)
+		o := New(g, nil)
+		rs := NewReachSet()
+		fS := o.FillReachSet(rs, S...)
+		gain := o.MarginalGain(rs, v, true) // merge
+		fSv := o.Spread(append(append([]ids.NodeID{}, S...), v)...)
+		if fS+gain != fSv {
+			return false
+		}
+		return rs.Len() == fSv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Update after random edge insertions leaves R(S) equal to a
+// from-scratch recomputation.
+func TestQuickUpdateEqualsRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		g, S, _ := randomGraphAndSets(seed)
+		if g.NodeCap() == 0 || len(S) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		o := New(g, nil)
+		rs := NewReachSet()
+		o.FillReachSet(rs, S...)
+		var eps []Endpoints
+		for i := 0; i < 5; i++ {
+			u := ids.NodeID(rng.Intn(14))
+			v := ids.NodeID(rng.Intn(14))
+			if u == v {
+				continue
+			}
+			if g.AddEdge(u, v) {
+				eps = append(eps, Endpoints{Src: u, Dst: v})
+			}
+		}
+		o.Update(rs, eps)
+		fresh := NewReachSet()
+		o.FillReachSet(fresh, S...)
+		if rs.Len() != fresh.Len() {
+			return false
+		}
+		same := true
+		fresh.ForEach(func(n ids.NodeID) {
+			if !rs.Contains(n) {
+				same = false
+			}
+		})
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package influence
+
+import (
+	"testing"
+
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// The oracle must see expirations when traversing a TDN: spreads shrink
+// as edges die, and V̄t shrinks accordingly.
+func TestOracleOverExpiringTDN(t *testing.T) {
+	g := graph.NewTDN(0)
+	o := New(g, nil)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AdvanceTo(1))
+	// chain 1→2→3 with staggered lifetimes, plus a parallel edge.
+	must(g.Add(stream.Edge{Src: 1, Dst: 2, T: 1, Lifetime: 3}))
+	must(g.Add(stream.Edge{Src: 2, Dst: 3, T: 1, Lifetime: 1}))
+	must(g.Add(stream.Edge{Src: 2, Dst: 3, T: 1, Lifetime: 2}))
+
+	if got := o.Spread(1); got != 3 {
+		t.Fatalf("t=1: f({1}) = %d, want 3", got)
+	}
+	must(g.AdvanceTo(2)) // first 2→3 copy dies; the second keeps the path
+	if got := o.Spread(1); got != 3 {
+		t.Fatalf("t=2: f({1}) = %d, want 3 (multi-edge keeps path alive)", got)
+	}
+	must(g.AdvanceTo(3)) // 2→3 gone entirely
+	if got := o.Spread(1); got != 2 {
+		t.Fatalf("t=3: f({1}) = %d, want 2", got)
+	}
+	// Affected of source 2 at t=3: nodes reaching 2 = {1, 2}.
+	aff := o.Affected([]ids.NodeID{2})
+	if len(aff) != 2 {
+		t.Fatalf("t=3: affected = %v, want {1,2}", aff)
+	}
+	must(g.AdvanceTo(4)) // everything gone
+	if got := o.Spread(1); got != 1 {
+		t.Fatalf("t=4: f({1}) = %d, want 1 (isolated seed counts itself)", got)
+	}
+}
+
+// Reach sets over a TDN are NOT maintained across expirations by Update
+// (which only handles additions); a fresh FillReachSet must be used
+// after the clock moves. This test documents that contract.
+func TestReachSetContractOnTDN(t *testing.T) {
+	g := graph.NewTDN(0)
+	o := New(g, nil)
+	if err := g.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(stream.Edge{Src: 1, Dst: 2, T: 1, Lifetime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewReachSet()
+	if n := o.FillReachSet(rs, 1); n != 2 {
+		t.Fatalf("f({1}) = %d, want 2", n)
+	}
+	if err := g.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	// The cached set is now stale (too large) — recompute.
+	if rs.Len() != 2 {
+		t.Fatal("cached set should still hold the stale value")
+	}
+	if n := o.FillReachSet(rs, 1); n != 1 {
+		t.Fatalf("after expiry f({1}) = %d, want 1", n)
+	}
+}
+
+// Generation-counter wraparound: when gen hits its ceiling the visited
+// scratch must be cleared and traversals stay correct.
+func TestOracleGenerationWraparound(t *testing.T) {
+	g := graph.NewADN()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	o := New(g, nil)
+	if got := o.Spread(1); got != 3 {
+		t.Fatalf("pre-wrap Spread = %d", got)
+	}
+	o.gen = ^uint32(0) - 1 // force the wrap on the next two queries
+	if got := o.Spread(1); got != 3 {
+		t.Fatalf("at-ceiling Spread = %d", got)
+	}
+	if got := o.Spread(1); got != 3 {
+		t.Fatalf("post-wrap Spread = %d", got)
+	}
+	if o.gen >= ^uint32(0)-1 {
+		t.Fatalf("gen did not reset: %d", o.gen)
+	}
+	rs := NewReachSet()
+	if n := o.FillReachSet(rs, 2); n != 2 {
+		t.Fatalf("post-wrap FillReachSet = %d", n)
+	}
+}

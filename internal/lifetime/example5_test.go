@@ -1,0 +1,112 @@
+package lifetime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/stream"
+)
+
+// Paper Example 5 equivalence: "at each time step, delete each existing
+// edge with probability p" is distributionally identical to assigning
+// geometric lifetimes Pr(l) = (1-p)^(l-1)·p at arrival.
+//
+// We simulate both processes over the same arrival schedule and compare
+// the time-averaged number of alive edges, which should agree within
+// sampling noise (and match the analytic m/p steady state).
+func TestExample5DeletionEquivalence(t *testing.T) {
+	const (
+		p     = 0.05
+		m     = 8    // arrivals per step
+		steps = 4000 // long enough to average out noise
+		warm  = 500  // discard the ramp-up
+	)
+
+	// Process A: geometric lifetimes assigned at arrival.
+	assignRng := rand.New(rand.NewSource(1))
+	geomAlive := func() float64 {
+		g := NewGeometric(p, 1<<20, 2)
+		_ = assignRng
+		type edge struct{ expiry int64 }
+		var alive []edge
+		var sum float64
+		var n int
+		for tt := int64(1); tt <= steps; tt++ {
+			// expire
+			kept := alive[:0]
+			for _, e := range alive {
+				if e.expiry > tt {
+					kept = append(kept, e)
+				}
+			}
+			alive = kept
+			for i := 0; i < m; i++ {
+				l := g.Assign(stream.Interaction{Src: 1, Dst: 2, T: tt})
+				alive = append(alive, edge{expiry: tt + int64(l)})
+			}
+			if tt > warm {
+				sum += float64(len(alive))
+				n++
+			}
+		}
+		return sum / float64(n)
+	}()
+
+	// Process B: per-step independent deletion with probability p.
+	delRng := rand.New(rand.NewSource(3))
+	delAlive := func() float64 {
+		count := 0
+		var sum float64
+		var n int
+		for tt := int64(1); tt <= steps; tt++ {
+			// delete each existing edge independently w.p. p
+			survivors := 0
+			for i := 0; i < count; i++ {
+				if delRng.Float64() >= p {
+					survivors++
+				}
+			}
+			count = survivors + m
+			if tt > warm {
+				sum += float64(count)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}()
+
+	analytic := float64(m) / p
+	for name, got := range map[string]float64{"geometric": geomAlive, "deletion": delAlive} {
+		if math.Abs(got-analytic)/analytic > 0.1 {
+			t.Fatalf("%s process averages %.1f alive edges, want ≈ %.1f (m/p)", name, got, analytic)
+		}
+	}
+	if math.Abs(geomAlive-delAlive)/analytic > 0.1 {
+		t.Fatalf("processes diverge: geometric %.1f vs deletion %.1f", geomAlive, delAlive)
+	}
+}
+
+// The same equivalence at the survival-function level: the fraction of
+// edges surviving ≥ l steps under geometric assignment is (1-p)^(l-1).
+func TestGeometricSurvivalFunction(t *testing.T) {
+	const p = 0.1
+	g := NewGeometric(p, 1<<20, 9)
+	const n = 200000
+	survive := make([]int, 12)
+	for i := 0; i < n; i++ {
+		l := g.Assign(stream.Interaction{Src: 1, Dst: 2})
+		for s := 1; s <= 11; s++ {
+			if l >= s {
+				survive[s]++
+			}
+		}
+	}
+	for s := 1; s <= 11; s++ {
+		got := float64(survive[s]) / n
+		want := math.Pow(1-p, float64(s-1))
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pr(l ≥ %d) = %.4f, want %.4f", s, got, want)
+		}
+	}
+}

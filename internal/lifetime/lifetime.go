@@ -1,0 +1,171 @@
+// Package lifetime implements the TDN model's configuration knob: how each
+// arriving interaction is assigned a lifetime (paper §II-B).
+//
+// A lifetime l ∈ {1..L} is the number of time steps the edge survives; it
+// decays by one per step and the edge is removed when it reaches zero.
+// Different assigners recover the paper's special cases:
+//
+//   - Constant(W): every edge lives W steps — the sliding-window model
+//     (paper Example 4).
+//   - Geometric(p, L): lifetimes ~ Geo(p) truncated at L — equivalent to
+//     deleting every existing edge independently with probability p per
+//     step (paper Example 5); this is the assignment used throughout the
+//     paper's evaluation.
+//   - Uniform(lo, hi): exercises the model's generality.
+//   - Zipf(s, L): heavy-tailed lifetimes; a few "important" interactions
+//     persist far longer.
+//
+// Assigners are deterministic given their seed, so every experiment is
+// reproducible.
+package lifetime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tdnstream/internal/stream"
+)
+
+// Assigner maps an arriving interaction to a lifetime in {1..Max()}.
+type Assigner interface {
+	// Assign returns the lifetime for interaction x.
+	Assign(x stream.Interaction) int
+	// Max returns the upper bound L on assigned lifetimes.
+	Max() int
+	// String describes the assigner for experiment logs.
+	String() string
+}
+
+// Constant assigns every edge the same lifetime W (sliding-window TDN).
+type Constant struct{ W int }
+
+// NewConstant returns a sliding-window assigner of width w (w ≥ 1).
+func NewConstant(w int) Constant {
+	if w < 1 {
+		panic("lifetime: window width must be ≥ 1")
+	}
+	return Constant{W: w}
+}
+
+// Assign implements Assigner.
+func (c Constant) Assign(stream.Interaction) int { return c.W }
+
+// Max implements Assigner.
+func (c Constant) Max() int { return c.W }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%d)", c.W) }
+
+// Geometric assigns lifetimes from Geo(p) truncated at L:
+// Pr(l) ∝ (1-p)^(l-1) p for l = 1..L.
+type Geometric struct {
+	P   float64
+	L   int
+	rng *rand.Rand
+}
+
+// NewGeometric returns a geometric assigner with forgetting probability p,
+// truncation L and a deterministic seed.
+func NewGeometric(p float64, L int, seed int64) *Geometric {
+	if p <= 0 || p >= 1 {
+		panic("lifetime: geometric p must be in (0,1)")
+	}
+	if L < 1 {
+		panic("lifetime: geometric L must be ≥ 1")
+	}
+	return &Geometric{P: p, L: L, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Assign implements Assigner. Sampling uses the standard inversion
+// l = 1 + floor(ln U / ln(1-p)), clamped to [1, L].
+func (g *Geometric) Assign(stream.Interaction) int {
+	u := g.rng.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	l := 1 + int(math.Floor(math.Log(u)/math.Log(1-g.P)))
+	if l < 1 {
+		l = 1
+	}
+	if l > g.L {
+		l = g.L
+	}
+	return l
+}
+
+// Max implements Assigner.
+func (g *Geometric) Max() int { return g.L }
+
+func (g *Geometric) String() string { return fmt.Sprintf("geo(p=%g,L=%d)", g.P, g.L) }
+
+// Uniform assigns lifetimes uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi int
+	rng    *rand.Rand
+}
+
+// NewUniform returns a uniform assigner over [lo, hi].
+func NewUniform(lo, hi int, seed int64) *Uniform {
+	if lo < 1 || hi < lo {
+		panic("lifetime: need 1 ≤ lo ≤ hi")
+	}
+	return &Uniform{Lo: lo, Hi: hi, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Assign implements Assigner.
+func (u *Uniform) Assign(stream.Interaction) int {
+	return u.Lo + u.rng.Intn(u.Hi-u.Lo+1)
+}
+
+// Max implements Assigner.
+func (u *Uniform) Max() int { return u.Hi }
+
+func (u *Uniform) String() string { return fmt.Sprintf("uniform(%d,%d)", u.Lo, u.Hi) }
+
+// Zipf assigns lifetime l with probability ∝ l^(-s), l = 1..L.
+type Zipf struct {
+	S   float64
+	L   int
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf returns a Zipf assigner with exponent s > 0 truncated at L.
+func NewZipf(s float64, L int, seed int64) *Zipf {
+	if s <= 0 {
+		panic("lifetime: zipf exponent must be > 0")
+	}
+	if L < 1 {
+		panic("lifetime: zipf L must be ≥ 1")
+	}
+	cdf := make([]float64, L)
+	var sum float64
+	for l := 1; l <= L; l++ {
+		sum += math.Pow(float64(l), -s)
+		cdf[l-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{S: s, L: L, cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Assign implements Assigner via binary search on the precomputed CDF.
+func (z *Zipf) Assign(stream.Interaction) int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Max implements Assigner.
+func (z *Zipf) Max() int { return z.L }
+
+func (z *Zipf) String() string { return fmt.Sprintf("zipf(s=%g,L=%d)", z.S, z.L) }

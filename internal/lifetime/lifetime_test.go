@@ -1,0 +1,162 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"tdnstream/internal/stream"
+)
+
+var probe = stream.Interaction{Src: 1, Dst: 2, T: 0}
+
+func TestConstant(t *testing.T) {
+	c := NewConstant(7)
+	for i := 0; i < 10; i++ {
+		if got := c.Assign(probe); got != 7 {
+			t.Fatalf("Assign = %d, want 7", got)
+		}
+	}
+	if c.Max() != 7 {
+		t.Fatalf("Max = %d", c.Max())
+	}
+}
+
+func TestConstantPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConstant(0)
+}
+
+func TestGeometricBounds(t *testing.T) {
+	g := NewGeometric(0.05, 50, 1)
+	for i := 0; i < 20000; i++ {
+		l := g.Assign(probe)
+		if l < 1 || l > 50 {
+			t.Fatalf("lifetime %d out of [1,50]", l)
+		}
+	}
+}
+
+// The truncated geometric mean is E[min(Geo(p),L)] = (1-(1-p)^L)/p.
+func TestGeometricMeanMatchesTheory(t *testing.T) {
+	p, L := 0.01, 1000
+	g := NewGeometric(p, L, 42)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(g.Assign(probe))
+	}
+	got := sum / n
+	want := (1 - math.Pow(1-p, float64(L))) / p
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("mean = %.2f, want ≈ %.2f", got, want)
+	}
+}
+
+// Paper Example 5: lifetimes ~ Geo(p) are equivalent to deleting each
+// existing edge with probability p per step. We check Pr(l=1) ≈ p and the
+// memoryless ratio Pr(l=k+1)/Pr(l=k) ≈ 1-p.
+func TestGeometricMemoryless(t *testing.T) {
+	p := 0.2
+	g := NewGeometric(p, 1000, 7)
+	const n = 400000
+	hist := make(map[int]int)
+	for i := 0; i < n; i++ {
+		hist[g.Assign(probe)]++
+	}
+	p1 := float64(hist[1]) / n
+	if math.Abs(p1-p) > 0.01 {
+		t.Fatalf("Pr(l=1) = %.4f, want ≈ %.2f", p1, p)
+	}
+	for k := 1; k <= 3; k++ {
+		ratio := float64(hist[k+1]) / float64(hist[k])
+		if math.Abs(ratio-(1-p)) > 0.03 {
+			t.Fatalf("Pr(l=%d)/Pr(l=%d) = %.4f, want ≈ %.2f", k+1, k, ratio, 1-p)
+		}
+	}
+}
+
+func TestGeometricDeterministicBySeed(t *testing.T) {
+	a := NewGeometric(0.1, 100, 5)
+	b := NewGeometric(0.1, 100, 5)
+	for i := 0; i < 1000; i++ {
+		if a.Assign(probe) != b.Assign(probe) {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestGeometricValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGeometric(0, 10, 1) },
+		func() { NewGeometric(1, 10, 1) },
+		func() { NewGeometric(0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUniformBoundsAndCoverage(t *testing.T) {
+	u := NewUniform(3, 6, 9)
+	seen := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		l := u.Assign(probe)
+		if l < 3 || l > 6 {
+			t.Fatalf("lifetime %d out of [3,6]", l)
+		}
+		seen[l] = true
+	}
+	for l := 3; l <= 6; l++ {
+		if !seen[l] {
+			t.Fatalf("lifetime %d never produced", l)
+		}
+	}
+	if u.Max() != 6 {
+		t.Fatalf("Max = %d", u.Max())
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	z := NewZipf(2.0, 100, 11)
+	const n = 100000
+	hist := make(map[int]int)
+	for i := 0; i < n; i++ {
+		l := z.Assign(probe)
+		if l < 1 || l > 100 {
+			t.Fatalf("lifetime %d out of range", l)
+		}
+		hist[l]++
+	}
+	// With s=2, Pr(1) = 1/ζ_100(2) ≈ 0.645.
+	p1 := float64(hist[1]) / n
+	if p1 < 0.58 || p1 > 0.71 {
+		t.Fatalf("Pr(l=1) = %.3f, want ≈ 0.645", p1)
+	}
+	if hist[1] <= hist[2] || hist[2] <= hist[4] {
+		t.Fatal("zipf histogram not decreasing")
+	}
+}
+
+func TestStringDescriptions(t *testing.T) {
+	cases := map[string]Assigner{
+		"const(5)":         NewConstant(5),
+		"geo(p=0.1,L=10)":  NewGeometric(0.1, 10, 1),
+		"uniform(1,4)":     NewUniform(1, 4, 1),
+		"zipf(s=1.5,L=20)": NewZipf(1.5, 20, 1),
+	}
+	for want, a := range cases {
+		if a.String() != want {
+			t.Fatalf("String() = %q, want %q", a.String(), want)
+		}
+	}
+}

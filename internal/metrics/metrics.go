@@ -1,0 +1,103 @@
+// Package metrics provides the measurement primitives used across the
+// reproduction: oracle-call counters and small streaming statistics.
+//
+// The paper evaluates computational efficiency primarily by the number of
+// oracle calls — evaluations of the influence function f_t — because that
+// count is independent of hardware and of whether an implementation is
+// serial or parallel (§V-C). Every component that evaluates f_t holds a
+// *Counter and increments it once per evaluation; experiment runners read
+// and reset it between phases.
+package metrics
+
+import "sync/atomic"
+
+// Counter counts oracle calls. It is safe for concurrent use so the
+// optional parallel-sieve mode can share one counter across goroutines.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one call.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n calls.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the number of calls counted so far.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() uint64 { return c.n.Swap(0) }
+
+// Series accumulates a numeric series (one point per time step) and offers
+// the aggregations the paper plots: running values, cumulative sums, and
+// time-averaged means.
+type Series struct {
+	vals []float64
+}
+
+// Append adds one observation.
+func (s *Series) Append(v float64) { s.vals = append(s.vals, v) }
+
+// Len reports the number of observations.
+func (s *Series) Len() int { return len(s.vals) }
+
+// At returns the i-th observation.
+func (s *Series) At(i int) float64 { return s.vals[i] }
+
+// Values returns the backing slice (not a copy).
+func (s *Series) Values() []float64 { return s.vals }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Cumulative returns the running prefix sums as a new series.
+func (s *Series) Cumulative() *Series {
+	out := &Series{vals: make([]float64, len(s.vals))}
+	var sum float64
+	for i, v := range s.vals {
+		sum += v
+		out.vals[i] = sum
+	}
+	return out
+}
+
+// RatioTo returns the pointwise ratio s[i]/other[i]; points where other is
+// zero yield 0. Series must have equal length.
+func (s *Series) RatioTo(other *Series) *Series {
+	if len(s.vals) != len(other.vals) {
+		panic("metrics: RatioTo on series of different lengths")
+	}
+	out := &Series{vals: make([]float64, len(s.vals))}
+	for i, v := range s.vals {
+		if other.vals[i] != 0 {
+			out.vals[i] = v / other.vals[i]
+		}
+	}
+	return out
+}
+
+// Downsample keeps every stride-th point (always keeping the last), which
+// the figure printers use so 5000-step series stay plottable as TSV.
+func (s *Series) Downsample(stride int) *Series {
+	if stride <= 1 || len(s.vals) == 0 {
+		return &Series{vals: append([]float64(nil), s.vals...)}
+	}
+	out := &Series{}
+	for i := 0; i < len(s.vals); i += stride {
+		out.Append(s.vals[i])
+	}
+	if (len(s.vals)-1)%stride != 0 {
+		out.Append(s.vals[len(s.vals)-1])
+	}
+	return out
+}

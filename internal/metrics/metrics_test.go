@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero Counter should read 0")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	if prev := c.Reset(); prev != 5 {
+		t.Fatalf("Reset() = %d, want 5", prev)
+	}
+	if c.Value() != 0 {
+		t.Fatal("Counter not zero after Reset")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("Value() = %d, want %d", got, workers*each)
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 {
+		t.Fatal("empty series mean should be 0")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Append(v)
+	}
+	if got := s.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("Mean() = %v, want 2.5", got)
+	}
+}
+
+func TestSeriesCumulative(t *testing.T) {
+	var s Series
+	for _, v := range []float64{1, 2, 3} {
+		s.Append(v)
+	}
+	c := s.Cumulative()
+	want := []float64{1, 3, 6}
+	for i, w := range want {
+		if c.At(i) != w {
+			t.Fatalf("Cumulative()[%d] = %v, want %v", i, c.At(i), w)
+		}
+	}
+}
+
+func TestSeriesRatioTo(t *testing.T) {
+	a, b := &Series{}, &Series{}
+	a.Append(1)
+	a.Append(4)
+	a.Append(9)
+	b.Append(2)
+	b.Append(0)
+	b.Append(3)
+	r := a.RatioTo(b)
+	want := []float64{0.5, 0, 3}
+	for i, w := range want {
+		if r.At(i) != w {
+			t.Fatalf("RatioTo[%d] = %v, want %v", i, r.At(i), w)
+		}
+	}
+}
+
+func TestSeriesRatioToLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	a, b := &Series{}, &Series{}
+	a.Append(1)
+	a.RatioTo(b)
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i))
+	}
+	d := s.Downsample(4)
+	want := []float64{0, 4, 8, 9} // every 4th plus the final point
+	if d.Len() != len(want) {
+		t.Fatalf("Downsample len = %d, want %d (%v)", d.Len(), len(want), d.Values())
+	}
+	for i, w := range want {
+		if d.At(i) != w {
+			t.Fatalf("Downsample[%d] = %v, want %v", i, d.At(i), w)
+		}
+	}
+	// stride 1 copies
+	c := s.Downsample(1)
+	if c.Len() != s.Len() {
+		t.Fatal("stride-1 downsample should copy")
+	}
+	c.Values()[0] = 99
+	if s.At(0) == 99 {
+		t.Fatal("stride-1 downsample must not alias the source")
+	}
+}

@@ -1,0 +1,314 @@
+package ris
+
+import (
+	"math/rand"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+)
+
+// DIM is a reproduction of the dynamically-updatable sketch index of
+// Ohsaka et al. (VLDB'16) adapted to the TDN setting. It keeps a pool of
+// reverse sketches (RR sets rooted at random live nodes) and updates them
+// incrementally as edge probabilities change with interaction arrivals
+// and expiries:
+//
+//   - p_uv increase (new interaction): every sketch containing v but not
+//     u flips a coin with the residual probability (p'−p)/(1−p); on
+//     success the sketch is extended by a reverse BFS from u.
+//   - p_uv decrease (interaction expiry): sketches containing both u and
+//     v may have used the edge and are regenerated from their root. (The
+//     original tracks traversed edges per sketch; regeneration is a
+//     conservative simplification — see DESIGN.md §4.)
+//   - Dead roots (nodes whose last edge expired) trigger regeneration at
+//     a fresh uniform root, and a small fraction of sketches is refreshed
+//     each step so the root distribution tracks the live node set.
+//
+// The paper sets DIM's sketch-budget parameter β = 32; the pool holds
+// β·64 sketches.
+type DIM struct {
+	k     int
+	beta  int
+	rng   *rand.Rand
+	calls *metrics.Counter
+
+	g      *graph.TDN
+	oracle *influence.Oracle
+	t      int64
+	begun  bool
+
+	sketches   []*dimSketch
+	containing map[ids.NodeID]map[int]struct{} // node -> sketch indices
+	buckets    map[int64][]pairKey             // expiry -> pairs, to observe decreases
+
+	// RefreshFrac of the pool is re-rooted each step (default 0.02).
+	RefreshFrac float64
+
+	// nodesCache holds the live node list for the current step, so pool
+	// maintenance does not re-sort per sketch.
+	nodesCache  []ids.NodeID
+	nodesCacheT int64
+}
+
+type pairKey struct{ u, v ids.NodeID }
+
+type dimSketch struct {
+	root  ids.NodeID
+	nodes map[ids.NodeID]struct{}
+}
+
+// NewDIM returns a DIM tracker with budget k and sketch multiplier beta
+// (the paper uses β=32). calls receives one increment per f_t evaluation
+// used to value reported solutions.
+func NewDIM(k, beta int, seed int64, calls *metrics.Counter) *DIM {
+	if k < 1 || beta < 1 {
+		panic("ris: DIM needs k ≥ 1 and beta ≥ 1")
+	}
+	if calls == nil {
+		calls = &metrics.Counter{}
+	}
+	return &DIM{
+		k:           k,
+		beta:        beta,
+		rng:         rand.New(rand.NewSource(seed)),
+		calls:       calls,
+		containing:  make(map[ids.NodeID]map[int]struct{}),
+		buckets:     make(map[int64][]pairKey),
+		RefreshFrac: 0.02,
+	}
+}
+
+func (d *DIM) poolTarget() int { return d.beta * 64 }
+
+// prob reads the current IC probability of pair (u,v) from the live TDN.
+func (d *DIM) prob(u, v ids.NodeID) float64 { return ic.Prob(d.g.Multiplicity(u, v)) }
+
+// Step implements core.Tracker.
+func (d *DIM) Step(t int64, edges []stream.Edge) error {
+	if !d.begun {
+		d.begun = true
+		d.g = graph.NewTDN(t - 1)
+		d.oracle = influence.New(d.g, d.calls)
+	} else if t <= d.t {
+		return errTime(d.t, t)
+	}
+
+	// 1. Collect pairs whose probability will drop due to expiry in
+	// (prev, t], then advance the graph (performing the expiry).
+	decreased := make(map[pairKey]struct{})
+	for tt := d.t + 1; tt <= t; tt++ {
+		for _, p := range d.buckets[tt] {
+			decreased[p] = struct{}{}
+		}
+		delete(d.buckets, tt)
+	}
+	d.t = t
+	if err := d.g.AdvanceTo(t); err != nil {
+		return err
+	}
+
+	// 2. Regenerate sketches plausibly using a weakened edge: those
+	// containing both endpoints.
+	if len(decreased) > 0 {
+		for idx, sk := range d.sketches {
+			if sk == nil {
+				continue
+			}
+			for p := range decreased {
+				if _, okU := sk.nodes[p.u]; !okU {
+					continue
+				}
+				if _, okV := sk.nodes[p.v]; !okV {
+					continue
+				}
+				d.regenerate(idx)
+				break
+			}
+		}
+	}
+
+	// 3. Insert arrivals; each is a probability increase on its pair.
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		pOld := d.prob(e.Src, e.Dst)
+		if err := d.g.Add(e); err != nil {
+			return err
+		}
+		d.buckets[e.Expiry()] = append(d.buckets[e.Expiry()], pairKey{e.Src, e.Dst})
+		pNew := d.prob(e.Src, e.Dst)
+		if pNew <= pOld {
+			continue
+		}
+		residual := (pNew - pOld) / (1 - pOld)
+		for idx := range d.containing[e.Dst] {
+			sk := d.sketches[idx]
+			if _, has := sk.nodes[e.Src]; has {
+				continue
+			}
+			if d.rng.Float64() < residual {
+				d.extend(idx, e.Src)
+			}
+		}
+	}
+
+	// 4. Pool maintenance: re-root dead sketches, refresh a fraction, and
+	// top the pool up to target while live nodes exist.
+	d.maintainPool()
+	return nil
+}
+
+// reverseSample draws the coin-flipped reverse closure of root on the
+// current graph.
+func (d *DIM) reverseSample(root ids.NodeID, into map[ids.NodeID]struct{}) {
+	into[root] = struct{}{}
+	stack := []ids.NodeID{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d.g.InNeighbors(v, func(u ids.NodeID) {
+			if _, seen := into[u]; seen {
+				return
+			}
+			if d.rng.Float64() < d.prob(u, v) {
+				into[u] = struct{}{}
+				stack = append(stack, u)
+			}
+		})
+	}
+}
+
+// extend grows sketch idx by the reverse closure reachable from u.
+func (d *DIM) extend(idx int, u ids.NodeID) {
+	sk := d.sketches[idx]
+	before := len(sk.nodes)
+	d.reverseSample(u, sk.nodes)
+	if len(sk.nodes) != before {
+		for n := range sk.nodes {
+			d.index(n, idx)
+		}
+	}
+}
+
+// regenerate re-draws sketch idx from its root (or a fresh live root when
+// the old one died).
+func (d *DIM) regenerate(idx int) {
+	sk := d.sketches[idx]
+	for n := range sk.nodes {
+		if s := d.containing[n]; s != nil {
+			delete(s, idx)
+		}
+	}
+	root := sk.root
+	if !d.alive(root) {
+		r, ok := d.randomLiveNode()
+		if !ok {
+			d.sketches[idx] = &dimSketch{root: root, nodes: map[ids.NodeID]struct{}{}}
+			return
+		}
+		root = r
+	}
+	fresh := &dimSketch{root: root, nodes: make(map[ids.NodeID]struct{})}
+	d.sketches[idx] = fresh
+	d.reverseSample(root, fresh.nodes)
+	for n := range fresh.nodes {
+		d.index(n, idx)
+	}
+}
+
+func (d *DIM) index(n ids.NodeID, idx int) {
+	s := d.containing[n]
+	if s == nil {
+		s = make(map[int]struct{})
+		d.containing[n] = s
+	}
+	s[idx] = struct{}{}
+}
+
+func (d *DIM) alive(n ids.NodeID) bool { return d.g.Alive(n) }
+
+func (d *DIM) randomLiveNode() (ids.NodeID, bool) {
+	if d.nodesCacheT != d.t || len(d.nodesCache) != d.g.NumNodes() {
+		d.nodesCache = d.g.SortedNodes()
+		d.nodesCacheT = d.t
+	}
+	if len(d.nodesCache) == 0 {
+		return 0, false
+	}
+	return d.nodesCache[d.rng.Intn(len(d.nodesCache))], true
+}
+
+func (d *DIM) maintainPool() {
+	if d.g.NumNodes() == 0 {
+		return
+	}
+	// Re-root dead sketches.
+	for idx, sk := range d.sketches {
+		if sk != nil && !d.alive(sk.root) {
+			d.regenerate(idx)
+		}
+	}
+	// Refresh a small fraction so roots track the live node set.
+	if n := int(d.RefreshFrac * float64(len(d.sketches))); n > 0 {
+		for i := 0; i < n; i++ {
+			idx := d.rng.Intn(len(d.sketches))
+			if r, ok := d.randomLiveNode(); ok {
+				d.sketches[idx].root = r
+				d.regenerate(idx)
+			}
+		}
+	}
+	// Top up to target.
+	for len(d.sketches) < d.poolTarget() {
+		r, ok := d.randomLiveNode()
+		if !ok {
+			break
+		}
+		sk := &dimSketch{root: r, nodes: make(map[ids.NodeID]struct{})}
+		d.sketches = append(d.sketches, sk)
+		idx := len(d.sketches) - 1
+		d.reverseSample(r, sk.nodes)
+		for n := range sk.nodes {
+			d.index(n, idx)
+		}
+	}
+}
+
+// Solution implements core.Tracker: greedy max coverage over the sketch
+// pool; the reported value is f_t(S) on the live graph (one oracle call),
+// matching how the paper scores every method.
+func (d *DIM) Solution() core.Solution {
+	if d.g == nil || d.g.NumNodes() == 0 {
+		return core.Solution{}
+	}
+	col := NewCollection()
+	for _, sk := range d.sketches {
+		if sk != nil && len(sk.nodes) > 0 {
+			set := make([]ids.NodeID, 0, len(sk.nodes))
+			for n := range sk.nodes {
+				set = append(set, n)
+			}
+			col.Add(set)
+		}
+	}
+	seeds, _ := col.SelectMaxCoverage(d.k)
+	if len(seeds) == 0 {
+		return core.Solution{}
+	}
+	return core.Solution{Seeds: seeds, Value: d.oracle.Spread(seeds...)}
+}
+
+// Calls implements core.Tracker.
+func (d *DIM) Calls() *metrics.Counter { return d.calls }
+
+// Name implements core.Tracker.
+func (d *DIM) Name() string { return "DIM" }
+
+// NumSketches reports the current pool size (testing hook).
+func (d *DIM) NumSketches() int { return len(d.sketches) }

@@ -1,0 +1,96 @@
+package ris
+
+import (
+	"math"
+	"math/rand"
+
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+)
+
+// IMMOptions tunes the IMM selection. Zero values take defaults.
+type IMMOptions struct {
+	// Eps is IMM's ε (the paper's experiments use 0.3).
+	Eps float64
+	// Ell is the confidence exponent ℓ (failure prob n^-ℓ); default 1.
+	Ell float64
+	// MaxRR caps the number of RR sets for laptop-scale practicality; the
+	// cap is a documented substitution (DESIGN.md §4). Default 1 << 17.
+	MaxRR int
+}
+
+func (o *IMMOptions) defaults() {
+	if o.Eps == 0 {
+		o.Eps = 0.3
+	}
+	if o.Ell == 0 {
+		o.Ell = 1
+	}
+	if o.MaxRR == 0 {
+		o.MaxRR = 1 << 17
+	}
+}
+
+// IMMSelect runs the IMM algorithm (Tang et al., KDD'15) on a weighted
+// snapshot: phase 1 estimates a lower bound LB on OPT by iterative
+// halving with a martingale stopping rule; phase 2 draws θ = λ*/LB RR
+// sets and greedily solves max coverage.
+func IMMSelect(w *ic.WGraph, k int, opt IMMOptions, rng *rand.Rand) []ids.NodeID {
+	opt.defaults()
+	n := w.N()
+	if n == 0 {
+		return nil
+	}
+	if n <= k {
+		return append([]ids.NodeID(nil), w.Nodes...)
+	}
+	eps := opt.Eps
+	epsP := math.Sqrt2 * eps
+	logCnk := logChoose(n, k)
+	lnN := math.Log(float64(n))
+	ell := opt.Ell
+	// λ' from IMM Eq. (9).
+	lamP := (2 + 2.0/3.0*epsP) * (logCnk + ell*lnN + math.Log(math.Max(math.Log2(float64(n)), 1))) * float64(n) / (epsP * epsP)
+
+	sampler := NewSampler(w, rng)
+	col := NewCollection()
+	LB := 1.0
+	rounds := int(math.Ceil(math.Log2(float64(n))))
+	for i := 1; i < rounds; i++ {
+		x := float64(n) / math.Pow(2, float64(i))
+		theta := int(math.Ceil(lamP / x))
+		if theta > opt.MaxRR {
+			theta = opt.MaxRR
+		}
+		for col.Len() < theta {
+			col.Add(sampler.Sample())
+		}
+		_, frac := col.SelectMaxCoverage(k)
+		if float64(n)*frac >= (1+epsP)*x {
+			LB = float64(n) * frac / (1 + epsP)
+			break
+		}
+		if col.Len() >= opt.MaxRR {
+			if est := float64(n) * frac / (1 + epsP); est > LB {
+				LB = est
+			}
+			break
+		}
+	}
+
+	// Phase 2: θ = λ*/LB with λ* from IMM Eq. (6).
+	alpha := math.Sqrt(ell*lnN + math.Log(2))
+	beta := math.Sqrt((1 - 1/math.E) * (logCnk + ell*lnN + math.Log(2)))
+	lamStar := 2 * float64(n) * sq((1-1/math.E)*alpha+beta) / (eps * eps)
+	theta := int(math.Ceil(lamStar / LB))
+	if theta > opt.MaxRR {
+		theta = opt.MaxRR
+	}
+	for col.Len() < theta {
+		col.Add(sampler.Sample())
+	}
+	seeds, _ := col.SelectMaxCoverage(k)
+	return seeds
+}
+
+func sq(x float64) float64 { return x * x }

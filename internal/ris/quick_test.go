@@ -1,0 +1,152 @@
+package ris
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+func randomWeighted(seed int64) *ic.WGraph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewTDN(0)
+	if err := g.AdvanceTo(1); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 40; i++ {
+		u := ids.NodeID(rng.Intn(10))
+		v := ids.NodeID(rng.Intn(10))
+		if u == v {
+			continue
+		}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			if err := g.Add(stream.Edge{Src: u, Dst: v, T: 1, Lifetime: 10}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return ic.Snapshot(g)
+}
+
+// Property: every RR set contains its root, only live nodes, and no
+// duplicates.
+func TestQuickRRSetWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWeighted(seed)
+		if w.N() == 0 {
+			return true
+		}
+		live := make(map[ids.NodeID]bool, w.N())
+		for _, n := range w.Nodes {
+			live[n] = true
+		}
+		s := NewSampler(w, rand.New(rand.NewSource(seed^7)))
+		for i := 0; i < 20; i++ {
+			root := w.Nodes[i%w.N()]
+			set := s.SampleFrom(root)
+			if len(set) == 0 || set[0] != root {
+				return false
+			}
+			seen := make(map[ids.NodeID]bool, len(set))
+			for _, n := range set {
+				if seen[n] || !live[n] {
+					return false
+				}
+				seen[n] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy max coverage is monotone in k and never exceeds full
+// coverage; selected seeds are distinct.
+func TestQuickMaxCoverageMonotone(t *testing.T) {
+	f := func(seed int64, nSets uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCollection()
+		for i := 0; i < 1+int(nSets)%30; i++ {
+			var set []ids.NodeID
+			seen := map[ids.NodeID]bool{}
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				n := ids.NodeID(rng.Intn(12))
+				if !seen[n] {
+					seen[n] = true
+					set = append(set, n)
+				}
+			}
+			c.Add(set)
+		}
+		prev := 0.0
+		for k := 1; k <= 6; k++ {
+			seeds, frac := c.SelectMaxCoverage(k)
+			if frac < prev || frac > 1.0000001 {
+				return false
+			}
+			prev = frac
+			dup := map[ids.NodeID]bool{}
+			for _, s := range seeds {
+				if dup[s] {
+					return false
+				}
+				dup[s] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DIM pool stays consistent under arbitrary streams — the
+// containing index matches sketch membership exactly.
+func TestQuickDIMIndexConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDIM(2, 1, seed, nil)
+		for tt := int64(1); tt <= 25; tt++ {
+			var edges []stream.Edge
+			for i := 0; i < rng.Intn(4); i++ {
+				u := ids.NodeID(rng.Intn(8))
+				v := ids.NodeID(rng.Intn(8))
+				if u == v {
+					continue
+				}
+				edges = append(edges, stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(5)})
+			}
+			if d.Step(tt, edges) != nil {
+				return false
+			}
+		}
+		// index ⊆ sketches and sketches ⊆ index
+		for n, set := range d.containing {
+			for idx := range set {
+				if idx >= len(d.sketches) {
+					return false
+				}
+				if _, ok := d.sketches[idx].nodes[n]; !ok {
+					return false
+				}
+			}
+		}
+		for idx, sk := range d.sketches {
+			for n := range sk.nodes {
+				if _, ok := d.containing[n][idx]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package ris
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// hotStar returns a TDN star 0→{1..d} where every spoke carries mult
+// parallel interactions (probability Prob(mult)).
+func hotStar(t *testing.T, d, mult int) *graph.TDN {
+	t.Helper()
+	g := graph.NewTDN(0)
+	if err := g.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= d; i++ {
+		for j := 0; j < mult; j++ {
+			if err := g.Add(stream.Edge{Src: 0, Dst: ids.NodeID(i), T: 1, Lifetime: 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := math.Exp(logChoose(5, 2)); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("C(5,2) = %g, want 10", got)
+	}
+	if got := math.Exp(logChoose(10, 0)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("C(10,0) = %g, want 1", got)
+	}
+	if !math.IsInf(logChoose(3, 5), -1) {
+		t.Fatal("C(3,5) should be log 0")
+	}
+}
+
+// The fundamental RIS identity: Pr[random RR set intersects S] =
+// spread(S)/n. Compare the RR estimate against Monte-Carlo simulation.
+func TestRRSetEstimatorUnbiased(t *testing.T) {
+	g := graph.NewTDN(0)
+	if err := g.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Random graph with varied multiplicities.
+	for i := 0; i < 60; i++ {
+		u := ids.NodeID(rng.Intn(12))
+		v := ids.NodeID(rng.Intn(12))
+		if u == v {
+			continue
+		}
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			if err := g.Add(stream.Edge{Src: u, Dst: v, T: 1, Lifetime: 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w := ic.Snapshot(g)
+	if w.N() < 5 {
+		t.Skip("degenerate random graph")
+	}
+	seeds := []ids.NodeID{w.Nodes[0], w.Nodes[1]}
+	const rr = 30000
+	sampler := NewSampler(w, rand.New(rand.NewSource(4)))
+	hits := 0
+	for i := 0; i < rr; i++ {
+		set := sampler.Sample()
+		for _, n := range set {
+			if n == seeds[0] || n == seeds[1] {
+				hits++
+				break
+			}
+		}
+	}
+	est := float64(hits) / rr * float64(w.N())
+	mc := w.MonteCarloSpread(seeds, 20000, rand.New(rand.NewSource(5)))
+	if math.Abs(est-mc) > 0.15*mc+0.2 {
+		t.Fatalf("RR estimate %g vs MC %g — estimator biased", est, mc)
+	}
+}
+
+func TestCollectionMaxCoverage(t *testing.T) {
+	c := NewCollection()
+	c.Add([]ids.NodeID{1, 2})
+	c.Add([]ids.NodeID{1, 3})
+	c.Add([]ids.NodeID{4})
+	c.Add([]ids.NodeID{4, 5})
+	seeds, frac := c.SelectMaxCoverage(2)
+	// 1 covers two sets, 4 covers two sets → coverage 4/4.
+	if len(seeds) != 2 || frac != 1.0 {
+		t.Fatalf("seeds=%v frac=%g, want two seeds covering everything", seeds, frac)
+	}
+	if !(seeds[0] == 1 && seeds[1] == 4) {
+		t.Fatalf("seeds = %v, want [1 4]", seeds)
+	}
+	// k larger than useful: stops early.
+	seeds, _ = c.SelectMaxCoverage(10)
+	if len(seeds) > 4 {
+		t.Fatalf("selected %d seeds, should stop once coverage is exhausted", len(seeds))
+	}
+}
+
+func TestCollectionEmpty(t *testing.T) {
+	c := NewCollection()
+	seeds, frac := c.SelectMaxCoverage(3)
+	if seeds != nil || frac != 0 {
+		t.Fatalf("empty collection gave %v %g", seeds, frac)
+	}
+}
+
+func TestIMMSelectFindsHub(t *testing.T) {
+	g := hotStar(t, 12, 25) // p ≈ 0.987 per spoke
+	w := ic.Snapshot(g)
+	seeds := IMMSelect(w, 1, IMMOptions{Eps: 0.3, MaxRR: 1 << 14}, rand.New(rand.NewSource(6)))
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("IMM picked %v, want hub [0]", seeds)
+	}
+}
+
+func TestIMMSelectSmallGraphReturnsAll(t *testing.T) {
+	g := hotStar(t, 2, 1)
+	w := ic.Snapshot(g)
+	seeds := IMMSelect(w, 5, IMMOptions{}, rand.New(rand.NewSource(7)))
+	if len(seeds) != 3 {
+		t.Fatalf("n≤k should return all nodes, got %v", seeds)
+	}
+	if IMMSelect(ic.Snapshot(graph.NewTDN(0)), 2, IMMOptions{}, rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("empty graph should give nil")
+	}
+}
+
+func TestTIMPlusSelectFindsHub(t *testing.T) {
+	g := hotStar(t, 12, 25)
+	w := ic.Snapshot(g)
+	seeds := TIMPlusSelect(w, 1, TIMOptions{Eps: 0.3, MaxRR: 1 << 14}, rand.New(rand.NewSource(8)))
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("TIM+ picked %v, want hub [0]", seeds)
+	}
+}
+
+// Two hot stars, k=2: both RIS methods must find both hubs.
+func TestRISSelectTwoHubs(t *testing.T) {
+	g := graph.NewTDN(0)
+	if err := g.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	for hub, base := range map[ids.NodeID]int{0: 10, 1: 30} {
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 25; j++ {
+				if err := g.Add(stream.Edge{Src: hub, Dst: ids.NodeID(base + i), T: 1, Lifetime: 100}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	w := ic.Snapshot(g)
+	imm := IMMSelect(w, 2, IMMOptions{Eps: 0.3, MaxRR: 1 << 14}, rand.New(rand.NewSource(9)))
+	if len(imm) != 2 || imm[0] != 0 || imm[1] != 1 {
+		t.Fatalf("IMM picked %v, want [0 1]", imm)
+	}
+	tim := TIMPlusSelect(w, 2, TIMOptions{Eps: 0.3, MaxRR: 1 << 14}, rand.New(rand.NewSource(10)))
+	if len(tim) != 2 || tim[0] != 0 || tim[1] != 1 {
+		t.Fatalf("TIM+ picked %v, want [0 1]", tim)
+	}
+}
+
+func TestIMMTrackerLifecycle(t *testing.T) {
+	tr := NewIMM(1, IMMOptions{MaxRR: 1 << 12}, 11, nil)
+	if sol := tr.Solution(); sol.Value != 0 {
+		t.Fatalf("empty solution = %+v", sol)
+	}
+	var edges []stream.Edge
+	for i := 1; i <= 8; i++ {
+		for j := 0; j < 20; j++ {
+			edges = append(edges, stream.Edge{Src: 0, Dst: ids.NodeID(i), T: 1, Lifetime: 2})
+		}
+	}
+	if err := tr.Step(1, edges); err != nil {
+		t.Fatal(err)
+	}
+	sol := tr.Solution()
+	if len(sol.Seeds) != 1 || sol.Seeds[0] != 0 {
+		t.Fatalf("IMM tracker picked %v", sol.Seeds)
+	}
+	if sol.Value != 9 {
+		t.Fatalf("f_t value = %d, want 9 (hub reaches whole star)", sol.Value)
+	}
+	// expiry
+	if err := tr.Step(10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sol := tr.Solution(); sol.Value != 0 {
+		t.Fatalf("post-expiry solution = %+v", sol)
+	}
+	if err := tr.Step(10, nil); err == nil {
+		t.Fatal("repeated time accepted")
+	}
+	if tr.Name() != "IMM" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+}
+
+func TestTIMPlusTrackerLifecycle(t *testing.T) {
+	tr := NewTIMPlus(1, TIMOptions{MaxRR: 1 << 12}, 12, nil)
+	var edges []stream.Edge
+	for i := 1; i <= 8; i++ {
+		for j := 0; j < 20; j++ {
+			edges = append(edges, stream.Edge{Src: 0, Dst: ids.NodeID(i), T: 1, Lifetime: 2})
+		}
+	}
+	if err := tr.Step(1, edges); err != nil {
+		t.Fatal(err)
+	}
+	sol := tr.Solution()
+	if len(sol.Seeds) != 1 || sol.Seeds[0] != 0 || sol.Value != 9 {
+		t.Fatalf("TIM+ tracker solution = %+v", sol)
+	}
+	if tr.Name() != "TIM+" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+}
+
+func TestDIMTrackerFindsHubAndAdapts(t *testing.T) {
+	tr := NewDIM(1, 4, 13, nil) // small pool for test speed
+	var edges []stream.Edge
+	for i := 1; i <= 8; i++ {
+		for j := 0; j < 20; j++ {
+			edges = append(edges, stream.Edge{Src: 0, Dst: ids.NodeID(i), T: 1, Lifetime: 3})
+		}
+	}
+	if err := tr.Step(1, edges); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSketches() != 4*64 {
+		t.Fatalf("pool = %d, want %d", tr.NumSketches(), 4*64)
+	}
+	sol := tr.Solution()
+	if len(sol.Seeds) != 1 || sol.Seeds[0] != 0 {
+		t.Fatalf("DIM picked %v, want hub [0]", sol.Seeds)
+	}
+	if sol.Value != 9 {
+		t.Fatalf("value = %d, want 9", sol.Value)
+	}
+	// Star expires; a new hot star appears elsewhere. DIM must follow.
+	var edges2 []stream.Edge
+	for i := 21; i <= 28; i++ {
+		for j := 0; j < 20; j++ {
+			edges2 = append(edges2, stream.Edge{Src: 20, Dst: ids.NodeID(i), T: 6, Lifetime: 5})
+		}
+	}
+	if err := tr.Step(6, edges2); err != nil {
+		t.Fatal(err)
+	}
+	sol = tr.Solution()
+	if len(sol.Seeds) != 1 || sol.Seeds[0] != 20 {
+		t.Fatalf("after shift DIM picked %v, want [20]", sol.Seeds)
+	}
+}
+
+func TestDIMTimeContract(t *testing.T) {
+	tr := NewDIM(1, 1, 1, nil)
+	if err := tr.Step(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Step(2, nil); err == nil {
+		t.Fatal("repeated time accepted")
+	}
+	if tr.Name() != "DIM" {
+		t.Fatalf("Name = %q", tr.Name())
+	}
+}
+
+// Probability-increase updates: feeding the same pair repeatedly should
+// monotonically raise the chance spokes' sketches contain the hub, without
+// full regeneration. We check sketches containing leaf 1 mostly contain 0
+// after many repeats.
+func TestDIMIncrementalIncrease(t *testing.T) {
+	tr := NewDIM(1, 2, 17, nil)
+	if err := tr.Step(1, []stream.Edge{{Src: 0, Dst: 1, T: 1, Lifetime: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(2); tt <= 30; tt++ {
+		if err := tr.Step(tt, []stream.Edge{{Src: 0, Dst: 1, T: tt, Lifetime: 1000}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// p(29 interactions) ≈ 0.994: nearly every sketch rooted at 1 must
+	// have absorbed 0 through incremental coin flips.
+	with, total := 0, 0
+	for _, sk := range tr.sketches {
+		if sk.root != 1 {
+			continue
+		}
+		total++
+		if _, ok := sk.nodes[0]; ok {
+			with++
+		}
+	}
+	if total == 0 {
+		t.Skip("no sketches rooted at the leaf (tiny pool)")
+	}
+	if float64(with) < 0.8*float64(total) {
+		t.Fatalf("only %d/%d leaf sketches contain the hub after saturation", with, total)
+	}
+}

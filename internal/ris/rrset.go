@@ -1,0 +1,160 @@
+// Package ris implements the reverse-influence-sampling substrate and the
+// three RIS-family baselines the paper compares against (§V-C):
+//
+//   - IMM  (Tang et al., KDD'15): martingale-based sampling, re-run on
+//     the current snapshot per query.
+//   - TIM+ (Tang et al., SIGMOD'14): two-phase KPT estimation, re-run on
+//     the current snapshot per query.
+//   - DIM  (Ohsaka et al., VLDB'16): a persistent pool of reverse
+//     sketches updated incrementally as the network changes.
+//
+// The shared substrate is the RR (reverse-reachable) set: a reverse BFS
+// from a uniformly random live node where each in-edge (u,v) is crossed
+// with probability p_uv. The fraction of RR sets hit by a seed set S is
+// an unbiased estimator of E[spread(S)]/n under the IC model.
+package ris
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+)
+
+// Sampler draws RR sets from a weighted snapshot.
+type Sampler struct {
+	W   *ic.WGraph
+	Rng *rand.Rand
+
+	visited []uint32
+	gen     uint32
+	queue   []ids.NodeID
+}
+
+// NewSampler returns a sampler over w.
+func NewSampler(w *ic.WGraph, rng *rand.Rand) *Sampler {
+	return &Sampler{W: w, Rng: rng, visited: make([]uint32, w.Cap)}
+}
+
+// SampleFrom draws the RR set rooted at a given node.
+func (s *Sampler) SampleFrom(root ids.NodeID) []ids.NodeID {
+	s.gen++
+	if s.gen == 0 { // wrapped
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.gen = 1
+	}
+	if int(root) >= len(s.visited) {
+		grown := make([]uint32, int(root)+64)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+	set := []ids.NodeID{root}
+	s.visited[root] = s.gen
+	q := append(s.queue[:0], root)
+	for len(q) > 0 {
+		v := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, e := range s.W.In[v] {
+			if s.visited[e.To] == s.gen {
+				continue
+			}
+			if s.Rng.Float64() < e.P {
+				s.visited[e.To] = s.gen
+				set = append(set, e.To)
+				q = append(q, e.To)
+			}
+		}
+	}
+	s.queue = q[:0]
+	return set
+}
+
+// Sample draws one RR set rooted at a uniformly random live node.
+// Returns nil when the graph has no live nodes.
+func (s *Sampler) Sample() []ids.NodeID {
+	if s.W.N() == 0 {
+		return nil
+	}
+	return s.SampleFrom(s.W.Nodes[s.Rng.Intn(s.W.N())])
+}
+
+// Collection accumulates RR sets and answers max-coverage queries.
+type Collection struct {
+	sets   [][]ids.NodeID
+	covers map[ids.NodeID][]int32 // node -> indices of sets containing it
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{covers: make(map[ids.NodeID][]int32)}
+}
+
+// Add appends one RR set.
+func (c *Collection) Add(set []ids.NodeID) {
+	idx := int32(len(c.sets))
+	c.sets = append(c.sets, set)
+	for _, n := range set {
+		c.covers[n] = append(c.covers[n], idx)
+	}
+}
+
+// Len reports the number of stored sets.
+func (c *Collection) Len() int { return len(c.sets) }
+
+// SelectMaxCoverage greedily picks ≤ k nodes maximizing the number of
+// covered RR sets; it returns the seeds and the covered fraction
+// (coverage/|R|, the FR(S) of the IMM paper).
+func (c *Collection) SelectMaxCoverage(k int) ([]ids.NodeID, float64) {
+	if len(c.sets) == 0 {
+		return nil, 0
+	}
+	covered := make([]bool, len(c.sets))
+	// degree = current marginal coverage per node
+	degree := make(map[ids.NodeID]int, len(c.covers))
+	for n, sets := range c.covers {
+		degree[n] = len(sets)
+	}
+	var seeds []ids.NodeID
+	total := 0
+	for round := 0; round < k; round++ {
+		var best ids.NodeID
+		bestDeg := -1
+		for n, d := range degree {
+			if d > bestDeg || (d == bestDeg && n < best) {
+				best, bestDeg = n, d
+			}
+		}
+		if bestDeg <= 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		for _, idx := range c.covers[best] {
+			if covered[idx] {
+				continue
+			}
+			covered[idx] = true
+			total++
+			for _, member := range c.sets[idx] {
+				degree[member]--
+			}
+		}
+		delete(degree, best)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return seeds, float64(total) / float64(len(c.sets))
+}
+
+// logChoose returns ln C(n,k) via lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}

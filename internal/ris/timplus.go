@@ -1,0 +1,98 @@
+package ris
+
+import (
+	"math"
+	"math/rand"
+
+	"tdnstream/internal/ic"
+	"tdnstream/internal/ids"
+)
+
+// TIMOptions tunes the TIM+ selection. Zero values take defaults.
+type TIMOptions struct {
+	// Eps is TIM+'s ε (the paper's experiments use 0.3).
+	Eps float64
+	// Ell is the confidence exponent ℓ; default 1.
+	Ell float64
+	// MaxRR caps RR sets (documented substitution, DESIGN.md §4).
+	MaxRR int
+}
+
+func (o *TIMOptions) defaults() {
+	if o.Eps == 0 {
+		o.Eps = 0.3
+	}
+	if o.Ell == 0 {
+		o.Ell = 1
+	}
+	if o.MaxRR == 0 {
+		o.MaxRR = 1 << 17
+	}
+}
+
+// TIMPlusSelect runs the two-phase TIM+ algorithm (Tang et al.,
+// SIGMOD'14): phase 1 estimates KPT (a lower bound on OPT up to a
+// constant) from the width statistic of sampled RR sets; phase 2 draws
+// θ = λ/KPT RR sets and greedily solves max coverage.
+func TIMPlusSelect(w *ic.WGraph, k int, opt TIMOptions, rng *rand.Rand) []ids.NodeID {
+	opt.defaults()
+	n := w.N()
+	if n == 0 {
+		return nil
+	}
+	if n <= k {
+		return append([]ids.NodeID(nil), w.Nodes...)
+	}
+	// Live directed edge count m (weighted pairs).
+	m := 0
+	for _, u := range w.Nodes {
+		m += len(w.Out[u])
+	}
+	if m == 0 {
+		return append([]ids.NodeID(nil), w.Nodes[:k]...)
+	}
+
+	eps := opt.Eps
+	ell := opt.Ell
+	lnN := math.Log(float64(n))
+	sampler := NewSampler(w, rng)
+
+	// Phase 1: KPT estimation (TIM Alg. 2). κ(R) = 1 − (1 − width(R)/m)^k.
+	kpt := 1.0
+	log2n := int(math.Ceil(math.Log2(float64(n))))
+	for i := 1; i < log2n; i++ {
+		ci := int(math.Ceil((6*ell*lnN + 6*math.Log(math.Max(float64(log2n), 2))) * math.Pow(2, float64(i))))
+		if ci > opt.MaxRR {
+			ci = opt.MaxRR
+		}
+		var sum float64
+		for j := 0; j < ci; j++ {
+			set := sampler.Sample()
+			width := 0
+			for _, v := range set {
+				width += len(w.In[v])
+			}
+			sum += 1 - math.Pow(1-float64(width)/float64(m), float64(k))
+		}
+		if sum/float64(ci) > 1/math.Pow(2, float64(i)) {
+			kpt = float64(n) * sum / (2 * float64(ci))
+			break
+		}
+		if ci >= opt.MaxRR {
+			break
+		}
+	}
+
+	// Phase 2: θ = λ/KPT with λ = (8+2ε)·n·(ℓ·ln n + ln C(n,k) + ln 2)/ε².
+	lambda := (8 + 2*eps) * float64(n) * (ell*lnN + logChoose(n, k) + math.Log(2)) / (eps * eps)
+	theta := int(math.Ceil(lambda / kpt))
+	if theta > opt.MaxRR {
+		theta = opt.MaxRR
+	}
+	col := NewCollection()
+	for col.Len() < theta {
+		col.Add(sampler.Sample())
+	}
+	seeds, _ := col.SelectMaxCoverage(k)
+	return seeds
+}

@@ -1,0 +1,136 @@
+package ris
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ic"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+)
+
+// snapshotTracker maintains the global TDN for the static RIS methods
+// (IMM, TIM+), which re-run on a fresh weighted snapshot at every query —
+// exactly how the paper deploys them on dynamic data.
+type snapshotTracker struct {
+	g      *graph.TDN
+	oracle *influence.Oracle
+	calls  *metrics.Counter
+	t      int64
+	begun  bool
+}
+
+func (s *snapshotTracker) step(t int64, edges []stream.Edge) error {
+	if !s.begun {
+		s.begun = true
+		s.g = graph.NewTDN(t - 1)
+		s.oracle = influence.New(s.g, s.calls)
+	} else if t <= s.t {
+		return errTime(s.t, t)
+	}
+	s.t = t
+	if err := s.g.AdvanceTo(t); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		if err := s.g.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func errTime(prev, t int64) error {
+	return fmt.Errorf("ris: time must be strictly increasing (got %d after %d)", t, prev)
+}
+
+// IMMTracker wraps IMMSelect as a core.Tracker.
+type IMMTracker struct {
+	snapshotTracker
+	k   int
+	opt IMMOptions
+	rng *rand.Rand
+}
+
+// NewIMM returns an IMM tracker with budget k.
+func NewIMM(k int, opt IMMOptions, seed int64, calls *metrics.Counter) *IMMTracker {
+	if k < 1 {
+		panic("ris: k must be ≥ 1")
+	}
+	if calls == nil {
+		calls = &metrics.Counter{}
+	}
+	tr := &IMMTracker{k: k, opt: opt, rng: rand.New(rand.NewSource(seed))}
+	tr.calls = calls
+	return tr
+}
+
+// Step implements core.Tracker.
+func (m *IMMTracker) Step(t int64, edges []stream.Edge) error { return m.step(t, edges) }
+
+// Solution implements core.Tracker: run IMM on the current snapshot and
+// value its seeds with f_t (one oracle call), the paper's quality metric.
+func (m *IMMTracker) Solution() core.Solution {
+	if m.g == nil || m.g.NumNodes() == 0 {
+		return core.Solution{}
+	}
+	seeds := IMMSelect(ic.Snapshot(m.g), m.k, m.opt, m.rng)
+	if len(seeds) == 0 {
+		return core.Solution{}
+	}
+	return core.Solution{Seeds: seeds, Value: m.oracle.Spread(seeds...)}
+}
+
+// Calls implements core.Tracker.
+func (m *IMMTracker) Calls() *metrics.Counter { return m.calls }
+
+// Name implements core.Tracker.
+func (m *IMMTracker) Name() string { return "IMM" }
+
+// TIMPlusTracker wraps TIMPlusSelect as a core.Tracker.
+type TIMPlusTracker struct {
+	snapshotTracker
+	k   int
+	opt TIMOptions
+	rng *rand.Rand
+}
+
+// NewTIMPlus returns a TIM+ tracker with budget k.
+func NewTIMPlus(k int, opt TIMOptions, seed int64, calls *metrics.Counter) *TIMPlusTracker {
+	if k < 1 {
+		panic("ris: k must be ≥ 1")
+	}
+	if calls == nil {
+		calls = &metrics.Counter{}
+	}
+	tr := &TIMPlusTracker{k: k, opt: opt, rng: rand.New(rand.NewSource(seed))}
+	tr.calls = calls
+	return tr
+}
+
+// Step implements core.Tracker.
+func (m *TIMPlusTracker) Step(t int64, edges []stream.Edge) error { return m.step(t, edges) }
+
+// Solution implements core.Tracker.
+func (m *TIMPlusTracker) Solution() core.Solution {
+	if m.g == nil || m.g.NumNodes() == 0 {
+		return core.Solution{}
+	}
+	seeds := TIMPlusSelect(ic.Snapshot(m.g), m.k, m.opt, m.rng)
+	if len(seeds) == 0 {
+		return core.Solution{}
+	}
+	return core.Solution{Seeds: seeds, Value: m.oracle.Spread(seeds...)}
+}
+
+// Calls implements core.Tracker.
+func (m *TIMPlusTracker) Calls() *metrics.Counter { return m.calls }
+
+// Name implements core.Tracker.
+func (m *TIMPlusTracker) Name() string { return "TIM+" }

@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tdnstream/internal/ids"
+)
+
+// WriteCSV encodes interactions as "src,dst,t" rows using the string labels
+// from dict (or raw numeric ids when dict is nil). This is the interchange
+// format of cmd/datagen and cmd/influtrack.
+func WriteCSV(w io.Writer, in []Interaction, dict *ids.Dict) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for _, x := range in {
+		var rec [3]string
+		if dict != nil {
+			rec[0] = dict.Name(x.Src)
+			rec[1] = dict.Name(x.Dst)
+		} else {
+			rec[0] = strconv.FormatUint(uint64(x.Src), 10)
+			rec[1] = strconv.FormatUint(uint64(x.Dst), 10)
+		}
+		rec[2] = strconv.FormatInt(x.T, 10)
+		if err := cw.Write(rec[:]); err != nil {
+			return fmt.Errorf("stream: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("stream: flush csv: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "src,dst,t" rows, interning node labels through dict.
+// Self-loop rows are rejected with an error naming the offending line.
+func ReadCSV(r io.Reader, dict *ids.Dict) ([]Interaction, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.ReuseRecord = true
+	var out []Interaction
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: read csv: %w", err)
+		}
+		line++
+		t, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad timestamp %q: %w", line, rec[2], err)
+		}
+		x := Interaction{Src: dict.ID(rec[0]), Dst: dict.ID(rec[1]), T: t}
+		if err := x.Validate(); err != nil {
+			return nil, fmt.Errorf("stream: line %d: %w", line, err)
+		}
+		out = append(out, x)
+	}
+}

@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that everything it
+// accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,1\nb,c,2\n")
+	f.Add("x,y,-5\n")
+	f.Add("")
+	f.Add("a,a,1\n")
+	f.Add("one,two,three\n")
+	f.Add("\"q\"\"uoted\",other,9\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		dict := ids.NewDict()
+		in, err := ReadCSV(strings.NewReader(data), dict)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, x := range in {
+			if x.Src == x.Dst {
+				t.Fatalf("accepted self-loop %+v", x)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in, dict); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		dict2 := ids.NewDict()
+		again, err := ReadCSV(&buf, dict2)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again) != len(in) {
+			t.Fatalf("round trip lost rows: %d vs %d", len(again), len(in))
+		}
+	})
+}
+
+// FuzzBatches checks batching never drops or duplicates interactions for
+// arbitrary timestamp orders.
+func FuzzBatches(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1})
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, ts []byte) {
+		in := make([]Interaction, len(ts))
+		for i, b := range ts {
+			in[i] = Interaction{Src: ids.NodeID(i), Dst: ids.NodeID(i + 1000), T: int64(b)}
+		}
+		total := 0
+		prev := int64(-1)
+		for _, batch := range Batches(in) {
+			if batch.T <= prev {
+				t.Fatal("batch times not strictly increasing")
+			}
+			prev = batch.T
+			total += len(batch.Interactions)
+		}
+		if total != len(in) {
+			t.Fatalf("batching lost interactions: %d vs %d", total, len(in))
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdnstream/internal/ids"
+)
+
+// Property: Batches preserves every interaction, emits strictly
+// increasing batch times, and each batch is time-uniform.
+func TestQuickBatchesPartition(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 60
+		in := make([]Interaction, 0, n)
+		for i := 0; i < n; i++ {
+			in = append(in, Interaction{
+				Src: ids.NodeID(rng.Intn(10)),
+				Dst: ids.NodeID(10 + rng.Intn(10)),
+				T:   int64(rng.Intn(15)),
+			})
+		}
+		bs := Batches(in)
+		total := 0
+		prev := int64(-1 << 62)
+		for _, b := range bs {
+			if b.T <= prev {
+				return false
+			}
+			prev = b.T
+			if len(b.Interactions) == 0 {
+				return false
+			}
+			for _, x := range b.Interactions {
+				if x.T != b.T {
+					return false
+				}
+			}
+			total += len(b.Interactions)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize counts are consistent: Nodes ≤ Src+Dst counts,
+// Interactions == len, and time bounds bracket every timestamp.
+func TestQuickSummarizeConsistent(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%40
+		in := make([]Interaction, 0, n)
+		for i := 0; i < n; i++ {
+			in = append(in, Interaction{
+				Src: ids.NodeID(rng.Intn(8)),
+				Dst: ids.NodeID(8 + rng.Intn(8)),
+				T:   int64(rng.Intn(100)),
+			})
+		}
+		st := Summarize(in)
+		if st.Interactions != n {
+			return false
+		}
+		if st.Nodes > st.SrcNodes+st.DstNodes {
+			return false
+		}
+		for _, x := range in {
+			if x.T < st.FirstT || x.T > st.LastT {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an Edge is alive exactly for Lifetime consecutive steps.
+func TestQuickEdgeAliveWindow(t *testing.T) {
+	f := func(tRaw uint16, lRaw uint8) bool {
+		e := Edge{Src: 1, Dst: 2, T: int64(tRaw), Lifetime: 1 + int(lRaw)%50}
+		aliveSteps := 0
+		for tt := e.T - 2; tt <= e.Expiry()+2; tt++ {
+			if e.Remaining(tt) > 0 && tt >= e.T {
+				aliveSteps++
+			}
+		}
+		return aliveSteps == e.Lifetime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

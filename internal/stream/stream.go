@@ -1,0 +1,152 @@
+// Package stream defines the node-interaction stream: the input of every
+// algorithm in this module (paper Definition 2).
+//
+// An interaction ⟨u, v, τ⟩ records that node u exerted influence on node v
+// at discrete time τ (u retweeted by v, place u checked into by user v, …).
+// Interactions arrive in chronological order; several may share a
+// timestamp, forming the per-step batch Ē_t that the trackers consume.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"tdnstream/internal/ids"
+)
+
+// Interaction is one observed node interaction ⟨u, v, τ⟩: Src influenced
+// Dst at time T (paper Definition 1).
+type Interaction struct {
+	Src ids.NodeID
+	Dst ids.NodeID
+	T   int64
+}
+
+// Edge is an interaction that has been admitted into a TDN and assigned a
+// lifetime (paper §II-B). At time t ≥ T its remaining lifetime is
+// Lifetime-(t-T); it is alive while T ≤ t < T+Lifetime.
+type Edge struct {
+	Src      ids.NodeID
+	Dst      ids.NodeID
+	T        int64
+	Lifetime int
+}
+
+// Expiry returns the first time step at which the edge is no longer alive.
+func (e Edge) Expiry() int64 { return e.T + int64(e.Lifetime) }
+
+// Remaining returns the lifetime left at time t (≤ 0 means expired).
+func (e Edge) Remaining(t int64) int { return int(e.Expiry() - t) }
+
+// Validate reports whether the interaction is admissible: the TDN model
+// forbids self-loops (a node cannot influence itself).
+func (i Interaction) Validate() error {
+	if i.Src == i.Dst {
+		return fmt.Errorf("stream: self-loop interaction on node %d at t=%d", i.Src, i.T)
+	}
+	return nil
+}
+
+// Batch is the set of interactions sharing one time step.
+type Batch struct {
+	T            int64
+	Interactions []Interaction
+}
+
+// Batches groups a chronologically sorted interaction slice into per-step
+// batches. It sorts a copy if the input is unsorted, so the caller's slice
+// is never mutated.
+func Batches(in []Interaction) []Batch {
+	if len(in) == 0 {
+		return nil
+	}
+	if !sort.SliceIsSorted(in, func(a, b int) bool { return in[a].T < in[b].T }) {
+		cp := append([]Interaction(nil), in...)
+		sort.SliceStable(cp, func(a, b int) bool { return cp[a].T < cp[b].T })
+		in = cp
+	}
+	var out []Batch
+	start := 0
+	for i := 1; i <= len(in); i++ {
+		if i == len(in) || in[i].T != in[start].T {
+			out = append(out, Batch{T: in[start].T, Interactions: in[start:i]})
+			start = i
+		}
+	}
+	return out
+}
+
+// Source yields per-step batches in strictly increasing time order; it is
+// how datasets, CSV files and generators feed trackers without
+// materializing the whole stream.
+type Source interface {
+	// Next returns the next batch, or ok=false when the stream ends.
+	Next() (Batch, bool)
+}
+
+// SliceSource replays a pre-batched stream.
+type SliceSource struct {
+	batches []Batch
+	pos     int
+}
+
+// NewSliceSource wraps interactions (any order) into a replayable Source.
+func NewSliceSource(in []Interaction) *SliceSource {
+	return &SliceSource{batches: Batches(in)}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Batch, bool) {
+	if s.pos >= len(s.batches) {
+		return Batch{}, false
+	}
+	b := s.batches[s.pos]
+	s.pos++
+	return b, true
+}
+
+// Reset rewinds the source to the first batch.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len reports the number of batches.
+func (s *SliceSource) Len() int { return len(s.batches) }
+
+// Stats summarizes a stream: distinct nodes and interaction count
+// (the two columns of the paper's Table I).
+type Stats struct {
+	Nodes        int
+	SrcNodes     int
+	DstNodes     int
+	Interactions int
+	FirstT       int64
+	LastT        int64
+}
+
+// Summarize scans interactions and computes Stats.
+func Summarize(in []Interaction) Stats {
+	var st Stats
+	if len(in) == 0 {
+		return st
+	}
+	seen := make(map[ids.NodeID]struct{})
+	src := make(map[ids.NodeID]struct{})
+	dst := make(map[ids.NodeID]struct{})
+	st.FirstT, st.LastT = in[0].T, in[0].T
+	for _, x := range in {
+		seen[x.Src] = struct{}{}
+		seen[x.Dst] = struct{}{}
+		src[x.Src] = struct{}{}
+		dst[x.Dst] = struct{}{}
+		if x.T < st.FirstT {
+			st.FirstT = x.T
+		}
+		if x.T > st.LastT {
+			st.LastT = x.T
+		}
+	}
+	st.Nodes = len(seen)
+	st.SrcNodes = len(src)
+	st.DstNodes = len(dst)
+	st.Interactions = len(in)
+	return st
+}

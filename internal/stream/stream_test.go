@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+func TestBatchesGroupsByTime(t *testing.T) {
+	in := []Interaction{
+		{Src: 1, Dst: 2, T: 5},
+		{Src: 2, Dst: 3, T: 5},
+		{Src: 3, Dst: 4, T: 7},
+		{Src: 4, Dst: 5, T: 9},
+		{Src: 5, Dst: 6, T: 9},
+		{Src: 6, Dst: 7, T: 9},
+	}
+	bs := Batches(in)
+	if len(bs) != 3 {
+		t.Fatalf("got %d batches, want 3", len(bs))
+	}
+	wantTimes := []int64{5, 7, 9}
+	wantSizes := []int{2, 1, 3}
+	for i, b := range bs {
+		if b.T != wantTimes[i] || len(b.Interactions) != wantSizes[i] {
+			t.Fatalf("batch %d = (t=%d, n=%d), want (t=%d, n=%d)",
+				i, b.T, len(b.Interactions), wantTimes[i], wantSizes[i])
+		}
+	}
+}
+
+func TestBatchesSortsUnsortedInputWithoutMutating(t *testing.T) {
+	in := []Interaction{
+		{Src: 1, Dst: 2, T: 9},
+		{Src: 2, Dst: 3, T: 5},
+	}
+	orig := append([]Interaction(nil), in...)
+	bs := Batches(in)
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatal("Batches mutated its input")
+	}
+	if bs[0].T != 5 || bs[1].T != 9 {
+		t.Fatalf("batches not time-sorted: %+v", bs)
+	}
+}
+
+func TestBatchesEmpty(t *testing.T) {
+	if Batches(nil) != nil {
+		t.Fatal("Batches(nil) should be nil")
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	if err := (Interaction{Src: 3, Dst: 3, T: 1}).Validate(); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := (Interaction{Src: 3, Dst: 4, T: 1}).Validate(); err != nil {
+		t.Fatalf("valid interaction rejected: %v", err)
+	}
+}
+
+func TestEdgeExpiryAndRemaining(t *testing.T) {
+	e := Edge{Src: 1, Dst: 2, T: 10, Lifetime: 3}
+	if e.Expiry() != 13 {
+		t.Fatalf("Expiry() = %d, want 13", e.Expiry())
+	}
+	// Alive at t in [10,13): remaining 3,2,1, then 0.
+	for tt, want := range map[int64]int{10: 3, 11: 2, 12: 1, 13: 0, 14: -1} {
+		if got := e.Remaining(tt); got != want {
+			t.Fatalf("Remaining(%d) = %d, want %d", tt, got, want)
+		}
+	}
+}
+
+func TestSliceSourceReplay(t *testing.T) {
+	in := []Interaction{
+		{Src: 1, Dst: 2, T: 1},
+		{Src: 2, Dst: 3, T: 2},
+	}
+	s := NewSliceSource(in)
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+	var times []int64
+	for {
+		b, ok := s.Next()
+		if !ok {
+			break
+		}
+		times = append(times, b.T)
+	}
+	if !reflect.DeepEqual(times, []int64{1, 2}) {
+		t.Fatalf("times = %v", times)
+	}
+	s.Reset()
+	if b, ok := s.Next(); !ok || b.T != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	in := []Interaction{
+		{Src: 10, Dst: 20, T: 3},
+		{Src: 10, Dst: 30, T: 1},
+		{Src: 20, Dst: 10, T: 8},
+	}
+	st := Summarize(in)
+	if st.Nodes != 3 || st.Interactions != 3 {
+		t.Fatalf("Nodes=%d Interactions=%d", st.Nodes, st.Interactions)
+	}
+	if st.SrcNodes != 2 || st.DstNodes != 3 {
+		t.Fatalf("SrcNodes=%d DstNodes=%d", st.SrcNodes, st.DstNodes)
+	}
+	if st.FirstT != 1 || st.LastT != 8 {
+		t.Fatalf("FirstT=%d LastT=%d", st.FirstT, st.LastT)
+	}
+	if got := Summarize(nil); got.Nodes != 0 || got.Interactions != 0 {
+		t.Fatalf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestCSVRoundTripWithDict(t *testing.T) {
+	dict := ids.NewDict()
+	in := []Interaction{
+		{Src: dict.ID("higgs"), Dst: dict.ID("alice"), T: 1},
+		{Src: dict.ID("higgs"), Dst: dict.ID("bob"), T: 2},
+		{Src: dict.ID("bob"), Dst: dict.ID("alice"), T: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in, dict); err != nil {
+		t.Fatal(err)
+	}
+	dict2 := ids.NewDict()
+	got, err := ReadCSV(&buf, dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if dict.Name(in[i].Src) != dict2.Name(got[i].Src) ||
+			dict.Name(in[i].Dst) != dict2.Name(got[i].Dst) ||
+			in[i].T != got[i].T {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, in[i], got[i])
+		}
+	}
+}
+
+func TestCSVRoundTripNumeric(t *testing.T) {
+	in := []Interaction{{Src: 7, Dst: 9, T: 42}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "7,9,42" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	dict := ids.NewDict()
+	if _, err := ReadCSV(strings.NewReader("a,b,notatime\n"), dict); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,a,1\n"), dict); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n"), dict); err == nil {
+		t.Fatal("short record accepted")
+	}
+}

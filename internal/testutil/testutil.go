@@ -1,0 +1,181 @@
+// Package testutil provides reference implementations used only by tests:
+// a naive TDN simulator, naive reachability, brute-force optimal seed
+// search, and random stream builders. Everything here is deliberately
+// simple and slow — the point is to be obviously correct so the real
+// implementations can be checked against it.
+package testutil
+
+import (
+	"math/rand"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// NaiveTDN tracks alive edges by rescanning the full edge list on every
+// advance — an obviously correct model of the paper's lifetime semantics
+// (edge alive at t iff τ ≤ t < τ+l).
+type NaiveTDN struct {
+	Edges []stream.Edge
+	Now   int64
+}
+
+// Add records an arriving edge.
+func (n *NaiveTDN) Add(e stream.Edge) { n.Edges = append(n.Edges, e) }
+
+// AdvanceTo moves the clock.
+func (n *NaiveTDN) AdvanceTo(t int64) { n.Now = t }
+
+// AlivePairs returns multiset counts of live directed pairs.
+func (n *NaiveTDN) AlivePairs() map[uint64]int {
+	out := make(map[uint64]int)
+	for _, e := range n.Edges {
+		if e.T <= n.Now && n.Now < e.Expiry() {
+			out[ids.EdgeKey(e.Src, e.Dst)]++
+		}
+	}
+	return out
+}
+
+// AliveNodes returns the set of nodes with at least one live edge.
+func (n *NaiveTDN) AliveNodes() map[ids.NodeID]struct{} {
+	out := make(map[ids.NodeID]struct{})
+	for _, e := range n.Edges {
+		if e.T <= n.Now && n.Now < e.Expiry() {
+			out[e.Src] = struct{}{}
+			out[e.Dst] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Adjacency builds a dedup'd out-adjacency from directed pairs.
+func Adjacency(pairs map[uint64]int) map[ids.NodeID][]ids.NodeID {
+	adj := make(map[ids.NodeID][]ids.NodeID)
+	seen := make(map[uint64]struct{})
+	for k := range pairs {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		u, v := ids.SplitEdgeKey(k)
+		adj[u] = append(adj[u], v)
+	}
+	return adj
+}
+
+// Reach returns |R(S)| — the number of nodes reachable from seeds
+// (including the seeds) over the given adjacency. This is the reference
+// implementation of the paper's f_t.
+func Reach(adj map[ids.NodeID][]ids.NodeID, seeds []ids.NodeID) int {
+	visited := make(map[ids.NodeID]struct{})
+	var queue []ids.NodeID
+	for _, s := range seeds {
+		if _, ok := visited[s]; !ok {
+			visited[s] = struct{}{}
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if _, ok := visited[v]; !ok {
+				visited[v] = struct{}{}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(visited)
+}
+
+// Nodes returns the sorted distinct nodes present in the adjacency
+// (sources and sinks).
+func Nodes(adj map[ids.NodeID][]ids.NodeID) []ids.NodeID {
+	set := make(map[ids.NodeID]struct{})
+	for u, vs := range adj {
+		set[u] = struct{}{}
+		for _, v := range vs {
+			set[v] = struct{}{}
+		}
+	}
+	out := make([]ids.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tiny inputs only
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// BruteForceOPT exhaustively searches every subset of size ≤ k and returns
+// the maximum reach value. Exponential — callers keep |nodes| ≤ ~16.
+func BruteForceOPT(adj map[ids.NodeID][]ids.NodeID, k int) int {
+	nodes := Nodes(adj)
+	best := 0
+	var rec func(start int, chosen []ids.NodeID)
+	rec = func(start int, chosen []ids.NodeID) {
+		if len(chosen) > 0 {
+			if v := Reach(adj, chosen); v > best {
+				best = v
+			}
+		}
+		if len(chosen) == k {
+			return
+		}
+		for i := start; i < len(nodes); i++ {
+			rec(i+1, append(chosen, nodes[i]))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+// RandomStream generates a seeded uniform random interaction stream:
+// rate interactions per step for steps steps over n nodes.
+func RandomStream(rng *rand.Rand, n int, steps, rate int) []stream.Interaction {
+	var out []stream.Interaction
+	for t := 1; t <= steps; t++ {
+		for i := 0; i < rate; i++ {
+			u := ids.NodeID(rng.Intn(n))
+			v := ids.NodeID(rng.Intn(n))
+			for v == u {
+				v = ids.NodeID(rng.Intn(n))
+			}
+			out = append(out, stream.Interaction{Src: u, Dst: v, T: int64(t)})
+		}
+	}
+	return out
+}
+
+// RandomDAGAdjacency builds a random adjacency over n nodes with edge
+// probability p, edges only from lower to higher id (acyclic, handy for
+// quick-check style tests that want varied reachability structure).
+func RandomDAGAdjacency(rng *rand.Rand, n int, p float64) map[ids.NodeID][]ids.NodeID {
+	adj := make(map[ids.NodeID][]ids.NodeID)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				adj[ids.NodeID(u)] = append(adj[ids.NodeID(u)], ids.NodeID(v))
+			}
+		}
+	}
+	return adj
+}
+
+// RandomDigraphAdjacency builds a random directed adjacency (cycles
+// allowed) over n nodes with edge probability p.
+func RandomDigraphAdjacency(rng *rand.Rand, n int, p float64) map[ids.NodeID][]ids.NodeID {
+	adj := make(map[ids.NodeID][]ids.NodeID)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				adj[ids.NodeID(u)] = append(adj[ids.NodeID(u)], ids.NodeID(v))
+			}
+		}
+	}
+	return adj
+}

@@ -1,0 +1,75 @@
+package tdnstream_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdnstream"
+)
+
+func TestSaveLoadTrackerThroughFacade(t *testing.T) {
+	in, err := tdnstream.Dataset("gowalla", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := in[:300], in[300:]
+
+	for _, mk := range []func() tdnstream.Tracker{
+		func() tdnstream.Tracker { return tdnstream.NewHistApprox(4, 0.2, 200) },
+		func() tdnstream.Tracker { return tdnstream.NewHistApproxRefined(4, 0.2, 200) },
+		func() tdnstream.Tracker { return tdnstream.NewBasicReduction(4, 0.2, 50) },
+		func() tdnstream.Tracker { return tdnstream.NewSieveADN(4, 0.2) },
+	} {
+		orig := mk()
+		pipeA := tdnstream.NewPipeline(orig, tdnstream.GeometricLifetime(0.01, 200, 9))
+		if err := pipeA.Run(first, nil); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tdnstream.SaveTracker(&buf, orig); err != nil {
+			t.Fatalf("%s: %v", orig.Name(), err)
+		}
+		restored, err := tdnstream.LoadTracker(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name(), err)
+		}
+		if restored.Name() != orig.Name() {
+			t.Fatalf("kind lost: %q vs %q", restored.Name(), orig.Name())
+		}
+
+		// Resume both with identical lifetimes: the assigner must also be
+		// replayed from the same state, so rebuild fresh assigners and
+		// burn the first half's draws.
+		assignA := tdnstream.GeometricLifetime(0.01, 200, 10)
+		assignB := tdnstream.GeometricLifetime(0.01, 200, 10)
+		pa := tdnstream.NewPipeline(orig, assignA)
+		pb := tdnstream.NewPipeline(restored, assignB)
+		for i := range second {
+			batch := second[i : i+1]
+			if err := pa.ObserveBatch(batch[0].T, batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := pb.ObserveBatch(batch[0].T, batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sa, sb := pa.Solution(), pb.Solution()
+		if sa.Value != sb.Value {
+			t.Fatalf("%s: diverged after restore: %d vs %d", orig.Name(), sa.Value, sb.Value)
+		}
+	}
+}
+
+func TestSaveTrackerUnsupported(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tdnstream.SaveTracker(&buf, tdnstream.NewGreedy(2)); err == nil {
+		t.Fatal("greedy snapshot should be unsupported")
+	}
+}
+
+func TestLoadTrackerGarbage(t *testing.T) {
+	if _, err := tdnstream.LoadTracker(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package tdnstream_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdnstream"
+)
+
+func TestPipelineEndToEnd(t *testing.T) {
+	in, err := tdnstream.Dataset("brightkite", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := tdnstream.NewPipeline(
+		tdnstream.NewHistApprox(5, 0.2, 100),
+		tdnstream.GeometricLifetime(0.02, 100, 1),
+	)
+	steps := 0
+	if err := pipe.Run(in, func(tt int64) error { steps++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 400 {
+		t.Fatalf("ran %d steps, want 400", steps)
+	}
+	sol := pipe.Solution()
+	if sol.Value <= 0 || len(sol.Seeds) == 0 {
+		t.Fatalf("no solution after run: %+v", sol)
+	}
+	if len(sol.Seeds) > 5 {
+		t.Fatalf("budget exceeded: %d seeds", len(sol.Seeds))
+	}
+	if pipe.OracleCalls() == 0 {
+		t.Fatal("no oracle calls recorded")
+	}
+	if pipe.Now() != 400 {
+		t.Fatalf("Now() = %d, want 400", pipe.Now())
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	pipe := tdnstream.NewPipeline(tdnstream.NewHistApprox(2, 0.1, 10), tdnstream.ConstantLifetime(3))
+	if err := pipe.ObserveBatch(1, []tdnstream.Interaction{{Src: 1, Dst: 1, T: 1}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := pipe.ObserveBatch(1, []tdnstream.Interaction{{Src: 1, Dst: 2, T: 9}}); err == nil {
+		t.Fatal("mistimed interaction accepted")
+	}
+	if err := pipe.ObserveBatch(1, []tdnstream.Interaction{{Src: 1, Dst: 2, T: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.ObserveBatch(1, nil); err == nil {
+		t.Fatal("repeated time accepted")
+	}
+}
+
+func TestNewPipelinePanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tdnstream.NewPipeline(nil, nil)
+}
+
+func TestAllTrackerConstructors(t *testing.T) {
+	in, err := tdnstream.Dataset("twitter-hk", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackers := []tdnstream.Tracker{
+		tdnstream.NewSieveADN(3, 0.2),
+		tdnstream.NewBasicReduction(3, 0.2, 30),
+		tdnstream.NewHistApprox(3, 0.2, 30),
+		tdnstream.NewHistApproxRefined(3, 0.2, 30),
+		tdnstream.NewGreedy(3),
+		tdnstream.NewRandom(3, 7),
+		tdnstream.NewDIM(3, 2, 7),
+		tdnstream.NewIMM(3, 0.3, 7),
+		tdnstream.NewTIMPlus(3, 0.3, 7),
+	}
+	for _, tr := range trackers {
+		pipe := tdnstream.NewPipeline(tr, tdnstream.GeometricLifetime(0.05, 30, 2))
+		if err := pipe.Run(in, nil); err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		sol := pipe.Solution()
+		if len(sol.Seeds) > 3 {
+			t.Fatalf("%s: budget exceeded (%d seeds)", tr.Name(), len(sol.Seeds))
+		}
+		if sol.Value < 0 {
+			t.Fatalf("%s: negative value", tr.Name())
+		}
+	}
+}
+
+func TestDatasetNamesAndErrors(t *testing.T) {
+	names := tdnstream.DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("DatasetNames() = %v", names)
+	}
+	if _, err := tdnstream.Dataset("not-a-dataset", 10); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	dict := tdnstream.NewDict()
+	in := []tdnstream.Interaction{
+		{Src: dict.ID("p1"), Dst: dict.ID("u1"), T: 1},
+		{Src: dict.ID("p1"), Dst: dict.ID("u2"), T: 2},
+	}
+	var buf bytes.Buffer
+	if err := tdnstream.WriteCSV(&buf, in, dict); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tdnstream.ReadCSV(strings.NewReader(buf.String()), tdnstream.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip lost rows: %d", len(got))
+	}
+}
+
+func TestLifetimeConstructors(t *testing.T) {
+	probe := tdnstream.Interaction{Src: 1, Dst: 2, T: 0}
+	for _, a := range []tdnstream.Assigner{
+		tdnstream.ConstantLifetime(5),
+		tdnstream.GeometricLifetime(0.1, 50, 1),
+		tdnstream.UniformLifetime(2, 9, 1),
+		tdnstream.ZipfLifetime(1.5, 40, 1),
+	} {
+		l := a.Assign(probe)
+		if l < 1 || l > a.Max() {
+			t.Fatalf("%s: lifetime %d out of [1,%d]", a.String(), l, a.Max())
+		}
+	}
+}
+
+// The headline behaviour of the whole library: on a drifting stream,
+// HistApprox's influential set follows the drift while staying close to
+// greedy's quality.
+func TestHistApproxTracksGreedyOnDrift(t *testing.T) {
+	in, err := tdnstream.Dataset("brightkite", 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := tdnstream.NewPipeline(tdnstream.NewHistApprox(5, 0.1, 200), tdnstream.GeometricLifetime(0.01, 200, 3))
+	greedy := tdnstream.NewPipeline(tdnstream.NewGreedy(5), tdnstream.GeometricLifetime(0.01, 200, 3))
+	var histSum, greedySum float64
+	samples := 0
+	err = hist.Run(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// drive greedy separately (identical lifetimes by same seed)
+	err = greedy.Run(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histSum += float64(hist.Solution().Value)
+	greedySum += float64(greedy.Solution().Value)
+	samples++
+	if histSum < 0.7*greedySum {
+		t.Fatalf("HistApprox value %.0f below 70%% of greedy %.0f", histSum, greedySum)
+	}
+}
+
+func TestExplainFacade(t *testing.T) {
+	tr := tdnstream.NewHistApprox(2, 0.1, 50)
+	pipe := tdnstream.NewPipeline(tr, tdnstream.ConstantLifetime(50))
+	if got := tdnstream.Explain(tr); got != nil {
+		t.Fatalf("Explain before data = %v", got)
+	}
+	if err := pipe.ObserveBatch(1, []tdnstream.Interaction{
+		{Src: 0, Dst: 1, T: 1}, {Src: 0, Dst: 2, T: 1}, {Src: 5, Dst: 6, T: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	contribs := tdnstream.Explain(tr)
+	sum := 0
+	for _, c := range contribs {
+		sum += c.Gain
+	}
+	if sum != pipe.Solution().Value {
+		t.Fatalf("contribution sum %d != value %d", sum, pipe.Solution().Value)
+	}
+	// Baselines do not support it.
+	if got := tdnstream.Explain(tdnstream.NewGreedy(2)); got != nil {
+		t.Fatal("greedy should not support Explain")
+	}
+}
+
+// Batched arrivals end to end: the same interactions compressed to 20
+// per step still respect all tracker contracts.
+func TestRebatchEndToEnd(t *testing.T) {
+	in, err := tdnstream.Dataset("twitter-higgs", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := tdnstream.Rebatch(in, 20)
+	pipe := tdnstream.NewPipeline(tdnstream.NewHistApprox(5, 0.2, 50), tdnstream.GeometricLifetime(0.05, 50, 4))
+	steps := 0
+	if err := pipe.Run(batched, func(tt int64) error { steps++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 20 {
+		t.Fatalf("ran %d steps, want 20", steps)
+	}
+	if sol := pipe.Solution(); sol.Value <= 0 || len(sol.Seeds) > 5 {
+		t.Fatalf("bad solution %+v", sol)
+	}
+}
