@@ -30,6 +30,17 @@
 // NewGreedy (lazy greedy re-run per query), NewRandom, and the
 // reverse-influence-sampling family NewDIM, NewIMM, NewTIMPlus.
 //
+// # Performance
+//
+// The hot paths run on dense, index-addressed containers: node ids are
+// dense uint32s (internal/ids), reach sets are growable bitsets with
+// word-copy cloning, the addition-only graph stores paged slice-backed
+// adjacency with copy-on-write cloning (so HISTAPPROX instance creation
+// costs O(nodes/page) instead of O(edges)), and the influence oracle
+// reuses generation-stamped scratch so steady-state BFS evaluations do
+// not allocate. scripts/bench_pr1.sh records the micro-benchmark
+// trajectory into BENCH_PR1.json.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

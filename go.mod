@@ -1,0 +1,3 @@
+module tdnstream
+
+go 1.22

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+	"tdnstream/internal/testutil"
+)
+
+// Equivalence property tests for the dense-container refactor: the bitset
+// reach sets and copy-on-write clones must be behaviorally invisible —
+// trackers produce bit-for-bit the same solutions as fully independent
+// deep copies would, on random edge streams with fixed RNG seeds.
+
+// solutionKey renders a Solution for comparison (seeds are sorted by
+// contract).
+func solutionKey(s Solution) string {
+	return fmt.Sprintf("%v=%d", s.Seeds, s.Value)
+}
+
+// deepCopyHist round-trips a HistApprox through its snapshot, producing a
+// genuinely independent replica: the restore path rebuilds every instance
+// graph edge-by-edge and re-materializes reach sets, sharing no memory
+// with the original. Any copy-on-write aliasing bug in Sieve.Clone /
+// ADN.Clone shows up as divergence between the two on the remaining
+// stream.
+func deepCopyHist(t *testing.T, h *HistApprox) *HistApprox {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := h.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadHistApproxSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestQuickHistApproxCoWMatchesDeepCopy runs HISTAPPROX over random TDN
+// streams; at several checkpoints it forks an independent deep copy and
+// verifies original and replica emit identical Solution() on every
+// subsequent step. RefineHead is enabled so every query exercises the
+// clone-and-feed path on top of the per-step instance cloning.
+func TestQuickHistApproxCoWMatchesDeepCopy(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		d := &tdnDriver{rng: rand.New(rand.NewSource(seed)), naive: &testutil.NaiveTDN{}, n: 40, maxL: 12, rate: 6}
+		h := NewHistApprox(3, 0.2, 12, nil)
+		h.RefineHead = true
+		var replicas []*HistApprox
+		for tt := int64(1); tt <= 120; tt++ {
+			batch := d.batch(tt)
+			if err := h.Step(tt, batch); err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range replicas {
+				if err := r.Step(tt, batch); err != nil {
+					t.Fatal(err)
+				}
+				if got, want := solutionKey(r.Solution()), solutionKey(h.Solution()); got != want {
+					t.Fatalf("seed %d t=%d: replica %d solution %s, original %s", seed, tt, i, got, want)
+				}
+				if r.NumInstances() != h.NumInstances() {
+					t.Fatalf("seed %d t=%d: replica %d has %d instances, original %d",
+						seed, tt, i, r.NumInstances(), h.NumInstances())
+				}
+			}
+			if tt%40 == 0 && len(replicas) < 3 {
+				replicas = append(replicas, deepCopyHist(t, h))
+			}
+		}
+	}
+}
+
+// TestQuickSieveCloneMatchesDeepCopy forks a warm sieve both ways — the
+// copy-on-write Clone and an independent rebuild from persisted state —
+// and feeds all three (original included) identical divergent batches:
+// solutions and values must stay identical throughout, and feeding the
+// original must never leak into its clone or vice versa.
+func TestQuickSieveCloneMatchesDeepCopy(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 60
+		s := NewSieve(3, 0.2, nil)
+		randBatch := func(m int) []Pair {
+			out := make([]Pair, 0, m)
+			for i := 0; i < m; i++ {
+				out = append(out, Pair{Src: ids.NodeID(rng.Intn(n)), Dst: ids.NodeID(rng.Intn(n))})
+			}
+			return out
+		}
+		for i := 0; i < 30; i++ {
+			s.Feed(randBatch(4))
+		}
+
+		cow := s.Clone()
+		snap := s.snapshot()
+		deep, err := restoreSieve(snap, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deep.Graph().NumInteractions() != s.Graph().NumInteractions() {
+			t.Fatalf("seed %d: restore lost interactions: %d, want %d",
+				seed, deep.Graph().NumInteractions(), s.Graph().NumInteractions())
+		}
+		if got, want := solutionKey(cow.Solution()), solutionKey(s.Solution()); got != want {
+			t.Fatalf("seed %d: clone solution %s, original %s", seed, got, want)
+		}
+		if got, want := solutionKey(deep.Solution()), solutionKey(s.Solution()); got != want {
+			t.Fatalf("seed %d: deep copy solution %s, original %s", seed, got, want)
+		}
+
+		// Shared-prefix divergence: same follow-up stream through all
+		// three; then extra edges only into the original.
+		for i := 0; i < 20; i++ {
+			b := randBatch(3)
+			s.Feed(b)
+			cow.Feed(b)
+			deep.Feed(b)
+			if got, want := solutionKey(cow.Solution()), solutionKey(deep.Solution()); got != want {
+				t.Fatalf("seed %d step %d: CoW clone %s, deep copy %s", seed, i, got, want)
+			}
+			if cow.Value() != deep.Value() || cow.NumThresholds() != deep.NumThresholds() {
+				t.Fatalf("seed %d step %d: clone value/thresholds diverged from deep copy", seed, i)
+			}
+		}
+		before := solutionKey(cow.Solution())
+		for i := 0; i < 10; i++ {
+			s.Feed(randBatch(5))
+		}
+		if got := solutionKey(cow.Solution()); got != before {
+			t.Fatalf("seed %d: feeding the original changed its clone's solution %s → %s", seed, before, got)
+		}
+	}
+}
+
+// TestQuickTrackersUnchangedBySharedState cross-checks the three sieve
+// trackers against a second, freshly constructed run of themselves on the
+// same recorded stream — guarding against any hidden global state in the
+// dense containers (scratch pools, shared pages) bleeding across tracker
+// instances created in the same process.
+func TestQuickTrackersUnchangedBySharedState(t *testing.T) {
+	record := func(seed int64) [][]stream.Edge {
+		d := &tdnDriver{rng: rand.New(rand.NewSource(seed)), naive: &testutil.NaiveTDN{}, n: 30, maxL: 10, rate: 5}
+		var steps [][]stream.Edge
+		for tt := int64(1); tt <= 80; tt++ {
+			steps = append(steps, d.batch(tt))
+		}
+		return steps
+	}
+	run := func(mk func() Tracker, steps [][]stream.Edge) []string {
+		tr := mk()
+		var out []string
+		for i, batch := range steps {
+			if err := tr.Step(int64(i+1), batch); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, solutionKey(tr.Solution()))
+		}
+		return out
+	}
+	makers := map[string]func() Tracker{
+		"SieveADN":   func() Tracker { return NewSieveADN(3, 0.2, nil) },
+		"HistApprox": func() Tracker { return NewHistApprox(3, 0.2, 10, nil) },
+		"Basic":      func() Tracker { return NewBasicReduction(3, 0.2, 10, nil) },
+	}
+	steps := record(7)
+	for name, mk := range makers {
+		a, b := run(mk, steps), run(mk, steps)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: t=%d first run %s, second run %s", name, i+1, a[i], b[i])
+			}
+		}
+	}
+}

@@ -68,6 +68,7 @@ func restoreSieve(snap sieveSnap, calls *metrics.Counter) (*Sieve, error) {
 		u, v := ids.SplitEdgeKey(key)
 		s.g.AddEdge(u, v)
 	}
+	s.g.RestoreInteractions(snap.Interactions)
 	s.delta = snap.Delta
 	for _, cs := range snap.Cands {
 		c := &sieveCand{
@@ -81,6 +82,7 @@ func restoreSieve(snap sieveSnap, calls *metrics.Counter) (*Sieve, error) {
 		}
 		c.reach = newReachFor(s, cs.Members)
 		s.cands[cs.Exp] = c
+		s.candsDirty = true
 	}
 	return s, nil
 }

@@ -4,7 +4,11 @@
 //   - ADN: an addition-only dynamic interaction network (paper Example 3).
 //     Each SIEVEADN instance owns one; edges only accumulate, which is the
 //     property (f_t(S) never decreases) that the sieve's approximation
-//     proof relies on.
+//     proof relies on. Adjacency is dense and paged — fixed-size blocks of
+//     []NodeID neighbor lists indexed by NodeID (ids are dense via
+//     ids.Dict) — and Clone is copy-on-write at page granularity, so
+//     cloning costs O(nodes/pageSize) and divergence is paid lazily, one
+//     small page copy per touched node block.
 //   - TDN: the general time-decaying dynamic interaction network
 //     (paper §II-B) with per-edge lifetimes and smooth expiry, used as the
 //     global graph view by the baselines (Greedy, Random, RIS family) and
@@ -17,16 +21,109 @@
 package graph
 
 import (
+	"math/bits"
+
 	"tdnstream/internal/ids"
 )
 
-// ADN is an append-only directed graph. The zero value is not usable; call
-// NewADN.
+// dedupScanLimit is the out-degree above which AddEdge stops linear-
+// scanning out[u] for duplicates and builds a per-node hash set instead.
+// The build is O(deg) but happens at most once per node per ADN lifetime
+// (clones drop the cache and rebuild lazily, which costs the same order
+// as their first copy-on-write divergence on that node anyway).
+const dedupScanLimit = 32
+
+const (
+	pageBits = 6 // 64 neighbor lists per page
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// adjPage is one fixed-size block of per-node neighbor lists.
+type adjPage [pageSize][]ids.NodeID
+
+// adjacency is a paged dense map NodeID → []NodeID with copy-on-write
+// sharing. Pages referenced by more than one adjacency (after Clone) are
+// immutable; writable() copies a page — capacity-clamping every neighbor
+// slice header in the copy so later appends reallocate privately instead
+// of colliding in a shared backing array — before the first mutation.
+type adjacency struct {
+	pages []*adjPage
+	// owned[i] reports that pages[i] is referenced by this adjacency
+	// alone and may be mutated in place.
+	owned []bool
+}
+
+// slice returns n's neighbor list (nil if none).
+func (a *adjacency) slice(n ids.NodeID) []ids.NodeID {
+	pi := int(n) >> pageBits
+	if pi >= len(a.pages) {
+		return nil
+	}
+	p := a.pages[pi]
+	if p == nil {
+		return nil
+	}
+	return p[int(n)&pageMask]
+}
+
+// writable returns a pointer to n's slot inside a page this adjacency
+// exclusively owns, growing the page table and copying a shared page as
+// needed.
+func (a *adjacency) writable(n ids.NodeID) *[]ids.NodeID {
+	pi := int(n) >> pageBits
+	if pi >= len(a.pages) {
+		grown := make([]*adjPage, pi+pi/2+2)
+		copy(grown, a.pages)
+		a.pages = grown
+		grownOwned := make([]bool, len(grown))
+		copy(grownOwned, a.owned)
+		a.owned = grownOwned
+	}
+	p := a.pages[pi]
+	switch {
+	case p == nil:
+		p = new(adjPage)
+		a.pages[pi] = p
+		a.owned[pi] = true
+	case !a.owned[pi]:
+		cp := *p
+		for i, s := range cp {
+			cp[i] = s[:len(s):len(s)]
+		}
+		p = &cp
+		a.pages[pi] = p
+		a.owned[pi] = true
+	}
+	return &p[int(n)&pageMask]
+}
+
+// share returns a copy-on-write duplicate and demotes the receiver's
+// pages to shared: after share, both sides copy a page before mutating
+// it, so neither can publish writes into the other's view.
+func (a *adjacency) share() adjacency {
+	for i := range a.owned {
+		a.owned[i] = false
+	}
+	return adjacency{
+		pages: append([]*adjPage(nil), a.pages...),
+		owned: make([]bool, len(a.pages)),
+	}
+}
+
+// ADN is an append-only directed graph. The zero value is ready to use;
+// NewADN exists for symmetry with NewTDN.
 type ADN struct {
-	out   map[ids.NodeID][]ids.NodeID
-	in    map[ids.NodeID][]ids.NodeID
-	pairs map[uint64]struct{}
-	nodes map[ids.NodeID]struct{}
+	out adjacency
+	in  adjacency
+	// present is a bitset of node ids touched by any edge.
+	present  []uint64
+	numNodes int
+	numPairs int
+	// dedup holds lazily built out-neighbor hash sets for high-degree
+	// nodes. It is private to one ADN — never handed to a Clone — and
+	// purely an accelerator: the out slices stay the source of truth.
+	dedup map[ids.NodeID]map[ids.NodeID]struct{}
 	// nodeCap is an exclusive upper bound on node ids seen, used by the
 	// influence oracle to size its generation-stamped scratch slices.
 	nodeCap int
@@ -36,14 +133,7 @@ type ADN struct {
 }
 
 // NewADN returns an empty addition-only graph.
-func NewADN() *ADN {
-	return &ADN{
-		out:   make(map[ids.NodeID][]ids.NodeID),
-		in:    make(map[ids.NodeID][]ids.NodeID),
-		pairs: make(map[uint64]struct{}),
-		nodes: make(map[ids.NodeID]struct{}),
-	}
-}
+func NewADN() *ADN { return &ADN{} }
 
 // AddEdge inserts the directed edge u→v, reporting whether the pair was
 // new (parallel edges are recorded in the interaction count only).
@@ -55,94 +145,176 @@ func (g *ADN) AddEdge(u, v ids.NodeID) bool {
 	g.interactions++
 	g.touch(u)
 	g.touch(v)
-	key := ids.EdgeKey(u, v)
-	if _, dup := g.pairs[key]; dup {
+	if g.hasOut(u, v) {
 		return false
 	}
-	g.pairs[key] = struct{}{}
-	g.out[u] = append(g.out[u], v)
-	g.in[v] = append(g.in[v], u)
+	outU := g.out.writable(u)
+	*outU = append(*outU, v)
+	inV := g.in.writable(v)
+	*inV = append(*inV, u)
+	if d := g.dedup[u]; d != nil {
+		d[v] = struct{}{}
+	}
+	g.numPairs++
 	return true
 }
 
-func (g *ADN) touch(n ids.NodeID) {
-	if _, ok := g.nodes[n]; !ok {
-		g.nodes[n] = struct{}{}
+// containsOut reports whether v is an out-neighbor of u without mutating
+// the graph: the per-node hash set when one exists, a linear scan
+// otherwise. Safe for concurrent readers.
+func (g *ADN) containsOut(u, v ids.NodeID) bool {
+	if d := g.dedup[u]; d != nil {
+		_, dup := d[v]
+		return dup
 	}
-	if int(n)+1 > g.nodeCap {
-		g.nodeCap = int(n) + 1
+	for _, w := range g.out.slice(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// hasOut is the AddEdge-path variant of containsOut: once u's out-degree
+// crosses dedupScanLimit it builds the per-node hash set so subsequent
+// insertions probe in O(1). Mutates g.dedup — writers only.
+func (g *ADN) hasOut(u, v ids.NodeID) bool {
+	if d := g.dedup[u]; d != nil {
+		_, dup := d[v]
+		return dup
+	}
+	ns := g.out.slice(u)
+	if len(ns) <= dedupScanLimit {
+		for _, w := range ns {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	d := make(map[ids.NodeID]struct{}, 2*len(ns))
+	for _, w := range ns {
+		d[w] = struct{}{}
+	}
+	if g.dedup == nil {
+		g.dedup = make(map[ids.NodeID]map[ids.NodeID]struct{})
+	}
+	g.dedup[u] = d
+	_, dup := d[v]
+	return dup
+}
+
+// touch records node n in the presence bitset and the id bound.
+func (g *ADN) touch(n ids.NodeID) {
+	i := int(n)
+	if i >= g.nodeCap {
+		g.nodeCap = i + 1
+	}
+	w := i >> 6
+	if w >= len(g.present) {
+		grown := make([]uint64, w+w/2+1)
+		copy(grown, g.present)
+		g.present = grown
+	}
+	if mask := uint64(1) << (n & 63); g.present[w]&mask == 0 {
+		g.present[w] |= mask
+		g.numNodes++
 	}
 }
 
 // OutNeighbors visits the distinct out-neighbors of u.
 func (g *ADN) OutNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
-	for _, v := range g.out[u] {
+	for _, v := range g.out.slice(u) {
 		visit(v)
 	}
 }
 
 // InNeighbors visits the distinct in-neighbors of u.
 func (g *ADN) InNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
-	for _, v := range g.in[u] {
+	for _, v := range g.in.slice(u) {
 		visit(v)
 	}
 }
+
+// OutSlice returns the distinct out-neighbors of u (influence.SliceGraph
+// fast path). The slice is append-only; callers must not mutate it.
+func (g *ADN) OutSlice(u ids.NodeID) []ids.NodeID { return g.out.slice(u) }
+
+// InSlice returns the distinct in-neighbors of u (influence.SliceGraph
+// fast path). The slice is append-only; callers must not mutate it.
+func (g *ADN) InSlice(u ids.NodeID) []ids.NodeID { return g.in.slice(u) }
 
 // NodeCap returns an exclusive upper bound on node ids present.
 func (g *ADN) NodeCap() int { return g.nodeCap }
 
 // NumNodes reports the number of distinct nodes touched by any edge.
-func (g *ADN) NumNodes() int { return len(g.nodes) }
+func (g *ADN) NumNodes() int { return g.numNodes }
 
 // NumEdges reports the number of distinct directed pairs.
-func (g *ADN) NumEdges() int { return len(g.pairs) }
+func (g *ADN) NumEdges() int { return g.numPairs }
 
 // NumInteractions reports all fed edges including parallel duplicates.
 func (g *ADN) NumInteractions() int { return g.interactions }
 
-// HasEdge reports whether the directed pair u→v is present.
+// RestoreInteractions overrides the interaction count after a snapshot
+// restore, which replays only distinct pairs and would otherwise lose the
+// multi-edge total. It never lowers the count below what replay recorded.
+func (g *ADN) RestoreInteractions(total int) {
+	if total > g.interactions {
+		g.interactions = total
+	}
+}
+
+// HasEdge reports whether the directed pair u→v is present. It never
+// mutates the graph, so concurrent readers are safe.
 func (g *ADN) HasEdge(u, v ids.NodeID) bool {
-	_, ok := g.pairs[ids.EdgeKey(u, v)]
-	return ok
+	if u == v {
+		return false
+	}
+	return g.containsOut(u, v)
 }
 
-// Nodes visits every node present in the graph.
+// Nodes visits every node present in the graph, in ascending id order.
 func (g *ADN) Nodes(visit func(n ids.NodeID)) {
-	for n := range g.nodes {
-		visit(n)
+	for w, word := range g.present {
+		base := ids.NodeID(w) << 6
+		for word != 0 {
+			visit(base + ids.NodeID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
 	}
 }
 
-// Pairs visits every distinct directed pair.
+// Pairs visits every distinct directed pair, grouped by source in
+// ascending id order (insertion order within one source).
 func (g *ADN) Pairs(visit func(u, v ids.NodeID)) {
-	for k := range g.pairs {
-		u, v := ids.SplitEdgeKey(k)
-		visit(u, v)
+	for pi, p := range g.out.pages {
+		if p == nil {
+			continue
+		}
+		base := ids.NodeID(pi) << pageBits
+		for off, vs := range p {
+			for _, v := range vs {
+				visit(base+ids.NodeID(off), v)
+			}
+		}
 	}
 }
 
-// Clone deep-copies the graph; HISTAPPROX uses this when a new instance is
-// created from its successor (paper Fig. 6c).
+// Clone returns a copy-on-write copy of the graph in O(nodes/pageSize);
+// HISTAPPROX uses this when a new instance is created from its successor
+// (paper Fig. 6c, Alg. 3 lines 9-16). Original and clone share adjacency
+// pages; whichever side first mutates a shared page copies it (see
+// adjacency.writable), so divergence cost is proportional to the node
+// blocks actually touched afterwards, never to total edges.
 func (g *ADN) Clone() *ADN {
-	c := &ADN{
-		out:          make(map[ids.NodeID][]ids.NodeID, len(g.out)),
-		in:           make(map[ids.NodeID][]ids.NodeID, len(g.in)),
-		pairs:        make(map[uint64]struct{}, len(g.pairs)),
-		nodes:        make(map[ids.NodeID]struct{}, len(g.nodes)),
+	return &ADN{
+		out:          g.out.share(),
+		in:           g.in.share(),
+		present:      append([]uint64(nil), g.present...),
+		numNodes:     g.numNodes,
+		numPairs:     g.numPairs,
 		nodeCap:      g.nodeCap,
 		interactions: g.interactions,
 	}
-	for u, vs := range g.out {
-		c.out[u] = append([]ids.NodeID(nil), vs...)
-	}
-	for v, us := range g.in {
-		c.in[v] = append([]ids.NodeID(nil), us...)
-	}
-	for k := range g.pairs {
-		c.pairs[k] = struct{}{}
-	}
-	for n := range g.nodes {
-		c.nodes[n] = struct{}{}
-	}
-	return c
 }

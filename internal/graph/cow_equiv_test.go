@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+// refADN is the pre-paging reference implementation of the addition-only
+// graph: map-of-slices adjacency, a pair-dedup set, and a deep Clone. The
+// property tests below drive it in lockstep with the paged copy-on-write
+// ADN and require behavioral identity at every step.
+type refADN struct {
+	out          map[ids.NodeID][]ids.NodeID
+	in           map[ids.NodeID][]ids.NodeID
+	pairs        map[uint64]struct{}
+	nodes        map[ids.NodeID]struct{}
+	nodeCap      int
+	interactions int
+}
+
+func newRefADN() *refADN {
+	return &refADN{
+		out:   make(map[ids.NodeID][]ids.NodeID),
+		in:    make(map[ids.NodeID][]ids.NodeID),
+		pairs: make(map[uint64]struct{}),
+		nodes: make(map[ids.NodeID]struct{}),
+	}
+}
+
+func (g *refADN) addEdge(u, v ids.NodeID) bool {
+	if u == v {
+		return false
+	}
+	g.interactions++
+	for _, n := range [2]ids.NodeID{u, v} {
+		g.nodes[n] = struct{}{}
+		if int(n)+1 > g.nodeCap {
+			g.nodeCap = int(n) + 1
+		}
+	}
+	key := ids.EdgeKey(u, v)
+	if _, dup := g.pairs[key]; dup {
+		return false
+	}
+	g.pairs[key] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	return true
+}
+
+func (g *refADN) clone() *refADN {
+	c := newRefADN()
+	c.nodeCap = g.nodeCap
+	c.interactions = g.interactions
+	for u, vs := range g.out {
+		c.out[u] = append([]ids.NodeID(nil), vs...)
+	}
+	for v, us := range g.in {
+		c.in[v] = append([]ids.NodeID(nil), us...)
+	}
+	for k := range g.pairs {
+		c.pairs[k] = struct{}{}
+	}
+	for n := range g.nodes {
+		c.nodes[n] = struct{}{}
+	}
+	return c
+}
+
+func sortedIDs(s []ids.NodeID) []ids.NodeID {
+	out := append([]ids.NodeID(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkSameGraph asserts full observable equivalence between an ADN and
+// the reference.
+func checkSameGraph(t *testing.T, tag string, g *ADN, ref *refADN) {
+	t.Helper()
+	if g.NumEdges() != len(ref.pairs) {
+		t.Fatalf("%s: NumEdges = %d, want %d", tag, g.NumEdges(), len(ref.pairs))
+	}
+	if g.NumNodes() != len(ref.nodes) {
+		t.Fatalf("%s: NumNodes = %d, want %d", tag, g.NumNodes(), len(ref.nodes))
+	}
+	if g.NumInteractions() != ref.interactions {
+		t.Fatalf("%s: NumInteractions = %d, want %d", tag, g.NumInteractions(), ref.interactions)
+	}
+	if g.NodeCap() != ref.nodeCap {
+		t.Fatalf("%s: NodeCap = %d, want %d", tag, g.NodeCap(), ref.nodeCap)
+	}
+	for n := 0; n < ref.nodeCap; n++ {
+		u := ids.NodeID(n)
+		gotOut := sortedIDs(g.OutSlice(u))
+		wantOut := sortedIDs(ref.out[u])
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("%s: node %d out-degree = %d, want %d", tag, u, len(gotOut), len(wantOut))
+		}
+		for i := range gotOut {
+			if gotOut[i] != wantOut[i] {
+				t.Fatalf("%s: node %d out-neighbors %v, want %v", tag, u, gotOut, wantOut)
+			}
+		}
+		gotIn := sortedIDs(g.InSlice(u))
+		wantIn := sortedIDs(ref.in[u])
+		if len(gotIn) != len(wantIn) {
+			t.Fatalf("%s: node %d in-degree = %d, want %d", tag, u, len(gotIn), len(wantIn))
+		}
+		for i := range gotIn {
+			if gotIn[i] != wantIn[i] {
+				t.Fatalf("%s: node %d in-neighbors %v, want %v", tag, u, gotIn, wantIn)
+			}
+		}
+	}
+	pairCount := 0
+	g.Pairs(func(u, v ids.NodeID) {
+		pairCount++
+		if _, ok := ref.pairs[ids.EdgeKey(u, v)]; !ok {
+			t.Fatalf("%s: Pairs visited absent edge %d→%d", tag, u, v)
+		}
+	})
+	if pairCount != len(ref.pairs) {
+		t.Fatalf("%s: Pairs visited %d edges, want %d", tag, pairCount, len(ref.pairs))
+	}
+	nodeCount := 0
+	g.Nodes(func(n ids.NodeID) {
+		nodeCount++
+		if _, ok := ref.nodes[n]; !ok {
+			t.Fatalf("%s: Nodes visited absent node %d", tag, n)
+		}
+	})
+	if nodeCount != len(ref.nodes) {
+		t.Fatalf("%s: Nodes visited %d nodes, want %d", tag, nodeCount, len(ref.nodes))
+	}
+}
+
+// TestQuickADNCoWEquivalence drives a random forest of clones — edges
+// interleaved with Clone calls, every copy fed its own divergent stream —
+// and checks each (ADN, reference) pair stays observably identical. This
+// is the property the copy-on-write page sharing must not break: no write
+// to one graph may become visible in any other.
+func TestQuickADNCoWEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 220 // spans multiple adjacency pages and bitset words
+		type pair struct {
+			g   *ADN
+			ref *refADN
+		}
+		pool := []pair{{NewADN(), newRefADN()}}
+		for op := 0; op < 1500; op++ {
+			p := pool[rng.Intn(len(pool))]
+			switch {
+			case rng.Float64() < 0.02 && len(pool) < 12:
+				pool = append(pool, pair{p.g.Clone(), p.ref.clone()})
+			default:
+				// Skew sources so some nodes cross dedupScanLimit and some
+				// AddEdge calls are duplicates or self-loops.
+				u := ids.NodeID(rng.Intn(n) * rng.Intn(2))
+				v := ids.NodeID(rng.Intn(n))
+				got := p.g.AddEdge(u, v)
+				want := p.ref.addEdge(u, v)
+				if got != want {
+					t.Fatalf("seed %d op %d: AddEdge(%d,%d) = %v, want %v", seed, op, u, v, got, want)
+				}
+				if hg, hw := p.g.HasEdge(u, v), u != v; hg != hw {
+					t.Fatalf("seed %d op %d: HasEdge(%d,%d) = %v, want %v", seed, op, u, v, hg, hw)
+				}
+			}
+		}
+		for i, p := range pool {
+			checkSameGraph(t, tagOf(seed, i), p.g, p.ref)
+		}
+	}
+}
+
+func tagOf(seed int64, i int) string {
+	return "seed " + string(rune('0'+seed)) + " graph " + string(rune('a'+i))
+}

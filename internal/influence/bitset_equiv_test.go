@@ -1,0 +1,154 @@
+package influence
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdnstream/internal/graph"
+	"tdnstream/internal/ids"
+)
+
+// refSet is the pre-bitset reference ReachSet: a plain hash set with a
+// deep clone. The property test drives it in lockstep with the bitset
+// implementation through the oracle's own mutation paths.
+type refSet map[ids.NodeID]struct{}
+
+// TestAffectedUnseenSource pins the contract shared by every entry
+// point: querying a node id the graph has never seen must not panic —
+// the scratch grows for explicit arguments (f of an absent node is 1,
+// and the only node reaching an absent node is itself).
+func TestAffectedUnseenSource(t *testing.T) {
+	g := graph.NewADN()
+	g.AddEdge(1, 2)
+	o := New(g, nil)
+	got := o.Affected([]ids.NodeID{900})
+	if len(got) != 1 || got[0] != 900 {
+		t.Fatalf("Affected(unseen) = %v, want [900]", got)
+	}
+}
+
+// TestQuickBitsetReachSetEquivalence grows a random graph while
+// maintaining one candidate reach set through FillReachSet, Update and
+// merging MarginalGain — exactly the sieve's usage — and mirrors every
+// observable of the bitset set against the reference hash set.
+func TestQuickBitsetReachSetEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Node ids stretch past several 64-bit words, including ids the
+		// graph has never seen (bitset must grow on demand).
+		const n = 400
+		g := graph.NewADN()
+		o := New(g, nil)
+		rs := NewReachSet()
+		ref := refSet{}
+
+		refill := func() {
+			seeds := []ids.NodeID{ids.NodeID(rng.Intn(n)), ids.NodeID(rng.Intn(n))}
+			o.FillReachSet(rs, seeds...)
+			clear(ref)
+			for _, s := range seeds {
+				ref[s] = struct{}{}
+			}
+			// Naive closure: iterate until fixpoint.
+			for changed := true; changed; {
+				changed = false
+				g.Pairs(func(u, v ids.NodeID) {
+					if _, ok := ref[u]; ok {
+						if _, ok := ref[v]; !ok {
+							ref[v] = struct{}{}
+							changed = true
+						}
+					}
+				})
+			}
+		}
+		refill()
+
+		for op := 0; op < 800; op++ {
+			switch rng.Intn(10) {
+			case 0:
+				refill()
+			case 1:
+				// Merging marginal gain: rs must become R(S ∪ {v}).
+				v := ids.NodeID(rng.Intn(n))
+				before := rs.Len()
+				gain := o.MarginalGain(rs, v, true)
+				if rs.Len() != before+gain {
+					t.Fatalf("seed %d op %d: merge gain %d but Len %d→%d", seed, op, gain, before, rs.Len())
+				}
+				ref[v] = struct{}{}
+				for changed := true; changed; {
+					changed = false
+					g.Pairs(func(a, b ids.NodeID) {
+						if _, ok := ref[a]; ok {
+							if _, ok := ref[b]; !ok {
+								ref[b] = struct{}{}
+								changed = true
+							}
+						}
+					})
+				}
+			default:
+				// Feed an edge and refresh incrementally via Update.
+				u := ids.NodeID(rng.Intn(n))
+				v := ids.NodeID(rng.Intn(n))
+				if g.AddEdge(u, v) {
+					o.Update(rs, []Endpoints{{Src: u, Dst: v}})
+					if _, ok := ref[u]; ok {
+						for changed := true; changed; {
+							changed = false
+							g.Pairs(func(a, b ids.NodeID) {
+								if _, ok := ref[a]; ok {
+									if _, ok := ref[b]; !ok {
+										ref[b] = struct{}{}
+										changed = true
+									}
+								}
+							})
+						}
+					}
+				}
+			}
+
+			if rs.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len = %d, want %d", seed, op, rs.Len(), len(ref))
+			}
+			for m := range ref {
+				if !rs.Contains(m) {
+					t.Fatalf("seed %d op %d: missing member %d", seed, op, m)
+				}
+			}
+			visited := 0
+			last := ids.NodeID(0)
+			rs.ForEach(func(m ids.NodeID) {
+				if visited > 0 && m <= last {
+					t.Fatalf("seed %d op %d: ForEach not ascending (%d after %d)", seed, op, m, last)
+				}
+				last = m
+				visited++
+				if _, ok := ref[m]; !ok {
+					t.Fatalf("seed %d op %d: ForEach visited non-member %d", seed, op, m)
+				}
+			})
+			if visited != len(ref) {
+				t.Fatalf("seed %d op %d: ForEach visited %d, want %d", seed, op, visited, len(ref))
+			}
+		}
+
+		// Clone independence: mutating the clone leaves the original (and
+		// vice versa) untouched, matching the old deep-copy semantics.
+		c := rs.Clone()
+		if c.Len() != rs.Len() {
+			t.Fatalf("seed %d: clone Len = %d, want %d", seed, c.Len(), rs.Len())
+		}
+		grown := o.MarginalGain(c, ids.NodeID(n+64), true) // new isolated node
+		if grown != 1 || c.Len() != rs.Len()+1 || rs.Contains(ids.NodeID(n+64)) {
+			t.Fatalf("seed %d: clone mutation leaked (gain=%d)", seed, grown)
+		}
+		c.Reset()
+		if c.Len() != 0 || rs.Len() != len(ref) {
+			t.Fatalf("seed %d: Reset leaked across clone", seed)
+		}
+		c.ForEach(func(m ids.NodeID) { t.Fatalf("seed %d: reset set visited %d", seed, m) })
+	}
+}

@@ -7,7 +7,7 @@
 // efficiency unit — is one evaluation of f_t; each exported evaluation
 // method increments the shared metrics.Counter exactly once.
 //
-// Two implementation ideas keep millions of evaluations affordable:
+// Three implementation ideas keep millions of evaluations affordable:
 //
 //  1. Generation-stamped visited slices indexed by dense NodeID, so a BFS
 //     allocates nothing in steady state.
@@ -16,9 +16,17 @@
 //     never expands nodes already in R(S) — exact, and proportional to
 //     the *new* region only. Sieve candidates cache R(S) and keep it
 //     current incrementally as edges arrive.
+//  3. Dense containers: ReachSet is a growable bitset ([]uint64 + count),
+//     so the per-visited-edge membership probe is a shift+mask instead of
+//     a map lookup and Clone is a single word-array copy; graphs that
+//     expose slice-backed adjacency (SliceGraph, e.g. graph.ADN) are
+//     traversed by ranging over the neighbor slice directly, with no
+//     per-node callback.
 package influence
 
 import (
+	"math/bits"
+
 	"tdnstream/internal/ids"
 	"tdnstream/internal/metrics"
 )
@@ -34,42 +42,78 @@ type Graph interface {
 	NodeCap() int
 }
 
+// SliceGraph is an optional fast path: graphs whose adjacency is
+// slice-backed expose it directly so the BFS inner loop ranges over a
+// []NodeID instead of paying an interface call plus closure per node.
+// Returned slices must stay valid and immutable for the duration of the
+// traversal (graph.ADN satisfies this; its slices are append-only).
+type SliceGraph interface {
+	Graph
+	// OutSlice returns the distinct out-neighbors of u (nil if none).
+	OutSlice(u ids.NodeID) []ids.NodeID
+	// InSlice returns the distinct in-neighbors of u (nil if none).
+	InSlice(u ids.NodeID) []ids.NodeID
+}
+
 // ReachSet is a materialized R(S): the set of nodes reachable from a seed
 // set, including the seeds. It is closed under reachability by
 // construction, which is the invariant MarginalGain depends on.
+//
+// Representation: a growable bitset indexed by dense NodeID plus a member
+// count, so Contains is a shift+mask, Clone is one []uint64 copy, and
+// Reset keeps the capacity for reuse.
 type ReachSet struct {
-	m map[ids.NodeID]struct{}
+	words []uint64
+	count int
 }
 
 // NewReachSet returns an empty reach set.
-func NewReachSet() *ReachSet { return &ReachSet{m: make(map[ids.NodeID]struct{})} }
+func NewReachSet() *ReachSet { return &ReachSet{} }
 
 // Contains reports membership.
-func (r *ReachSet) Contains(n ids.NodeID) bool { _, ok := r.m[n]; return ok }
+func (r *ReachSet) Contains(n ids.NodeID) bool {
+	w := int(n >> 6)
+	return w < len(r.words) && r.words[w]&(1<<(n&63)) != 0
+}
 
 // Len returns |R(S)| = f(S).
-func (r *ReachSet) Len() int { return len(r.m) }
+func (r *ReachSet) Len() int { return r.count }
 
 // add inserts a node (package-private: only the oracle may grow a reach
 // set, preserving closure).
-func (r *ReachSet) add(n ids.NodeID) { r.m[n] = struct{}{} }
-
-// Clone deep-copies the set.
-func (r *ReachSet) Clone() *ReachSet {
-	c := &ReachSet{m: make(map[ids.NodeID]struct{}, len(r.m))}
-	for n := range r.m {
-		c.m[n] = struct{}{}
+func (r *ReachSet) add(n ids.NodeID) {
+	w := int(n >> 6)
+	if w >= len(r.words) {
+		grown := make([]uint64, w+w/2+1)
+		copy(grown, r.words)
+		r.words = grown
 	}
-	return c
+	mask := uint64(1) << (n & 63)
+	if r.words[w]&mask == 0 {
+		r.words[w] |= mask
+		r.count++
+	}
 }
 
-// Reset empties the set in place.
-func (r *ReachSet) Reset() { clear(r.m) }
+// Clone deep-copies the set: one word-array copy, O(NodeCap/64).
+func (r *ReachSet) Clone() *ReachSet {
+	return &ReachSet{words: append([]uint64(nil), r.words...), count: r.count}
+}
 
-// ForEach visits every member.
+// Reset empties the set in place, keeping its capacity.
+func (r *ReachSet) Reset() {
+	clear(r.words)
+	r.count = 0
+}
+
+// ForEach visits every member in ascending NodeID order.
 func (r *ReachSet) ForEach(visit func(n ids.NodeID)) {
-	for n := range r.m {
-		visit(n)
+	for w, word := range r.words {
+		base := ids.NodeID(w) << 6
+		for word != 0 {
+			visit(base + ids.NodeID(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
 	}
 }
 
@@ -83,11 +127,14 @@ type Endpoints struct {
 // counter (Counter is atomic).
 type Oracle struct {
 	g       Graph
+	sg      SliceGraph // non-nil when g exposes slice-backed adjacency
 	calls   *metrics.Counter
 	visited []uint32
 	gen     uint32
 	queue   []ids.NodeID
 	delta   []ids.NodeID
+	// affected is the reusable output buffer of Affected.
+	affected []ids.NodeID
 }
 
 // New returns an oracle over g counting calls into c (c may be nil, in
@@ -96,7 +143,9 @@ func New(g Graph, c *metrics.Counter) *Oracle {
 	if c == nil {
 		c = &metrics.Counter{}
 	}
-	return &Oracle{g: g, calls: c}
+	o := &Oracle{g: g, calls: c}
+	o.sg, _ = g.(SliceGraph)
+	return o
 }
 
 // Calls returns the shared oracle-call counter.
@@ -107,7 +156,10 @@ func (o *Oracle) Graph() Graph { return o.g }
 
 // Retarget points the oracle at a different graph (used after cloning an
 // instance, whose oracle must traverse the cloned graph).
-func (o *Oracle) Retarget(g Graph) { o.g = g }
+func (o *Oracle) Retarget(g Graph) {
+	o.g = g
+	o.sg, _ = g.(SliceGraph)
+}
 
 func (o *Oracle) nextGen() uint32 {
 	if o.gen == ^uint32(0) {
@@ -146,16 +198,31 @@ func (o *Oracle) Spread(seeds ...ids.NodeID) int {
 			q = append(q, s)
 		}
 	}
-	for len(q) > 0 {
-		u := q[len(q)-1]
-		q = q[:len(q)-1]
-		o.g.OutNeighbors(u, func(v ids.NodeID) {
+	if o.sg != nil {
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, v := range o.sg.OutSlice(u) {
+				if o.visited[v] != gen {
+					o.visited[v] = gen
+					count++
+					q = append(q, v)
+				}
+			}
+		}
+	} else {
+		visit := func(v ids.NodeID) {
 			if o.visited[v] != gen {
 				o.visited[v] = gen
 				count++
 				q = append(q, v)
 			}
-		})
+		}
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			o.g.OutNeighbors(u, visit)
+		}
 	}
 	o.queue = q[:0]
 	return count
@@ -176,16 +243,31 @@ func (o *Oracle) FillReachSet(dst *ReachSet, seeds ...ids.NodeID) int {
 			q = append(q, s)
 		}
 	}
-	for len(q) > 0 {
-		u := q[len(q)-1]
-		q = q[:len(q)-1]
-		o.g.OutNeighbors(u, func(v ids.NodeID) {
+	if o.sg != nil {
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, v := range o.sg.OutSlice(u) {
+				if o.visited[v] != gen {
+					o.visited[v] = gen
+					dst.add(v)
+					q = append(q, v)
+				}
+			}
+		}
+	} else {
+		visit := func(v ids.NodeID) {
 			if o.visited[v] != gen {
 				o.visited[v] = gen
 				dst.add(v)
 				q = append(q, v)
 			}
-		})
+		}
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			o.g.OutNeighbors(u, visit)
+		}
 	}
 	o.queue = q[:0]
 	return dst.Len()
@@ -197,17 +279,33 @@ func (o *Oracle) FillReachSet(dst *ReachSet, seeds ...ids.NodeID) int {
 func (o *Oracle) expand(q []ids.NodeID, gen uint32, rs *ReachSet) []ids.NodeID {
 	delta := o.delta[:0]
 	delta = append(delta, q...)
-	for len(q) > 0 {
-		u := q[len(q)-1]
-		q = q[:len(q)-1]
-		o.g.OutNeighbors(u, func(w ids.NodeID) {
+	if o.sg != nil {
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, w := range o.sg.OutSlice(u) {
+				if o.visited[w] == gen || rs.Contains(w) {
+					continue
+				}
+				o.visited[w] = gen
+				delta = append(delta, w)
+				q = append(q, w)
+			}
+		}
+	} else {
+		visit := func(w ids.NodeID) {
 			if o.visited[w] == gen || rs.Contains(w) {
 				return
 			}
 			o.visited[w] = gen
 			delta = append(delta, w)
 			q = append(q, w)
-		})
+		}
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			o.g.OutNeighbors(u, visit)
+		}
 	}
 	o.queue = q[:0]
 	o.delta = delta
@@ -269,28 +367,48 @@ func (o *Oracle) Update(rs *ReachSet, edges []Endpoints) bool {
 // that can reach any source (the paper's V̄_t, Alg. 1 line 3). Computed
 // with one multi-source reverse BFS; it is graph bookkeeping, not an f_t
 // evaluation, so it does not count as an oracle call.
+//
+// The returned slice is scratch owned by the oracle: it is valid until
+// the next Affected call and must not be retained or mutated.
 func (o *Oracle) Affected(sources []ids.NodeID) []ids.NodeID {
 	gen := o.nextGen()
 	q := o.queue[:0]
-	var out []ids.NodeID
+	out := o.affected[:0]
 	for _, s := range sources {
+		o.grow(int(s) + 1)
 		if o.visited[s] != gen {
 			o.visited[s] = gen
 			out = append(out, s)
 			q = append(q, s)
 		}
 	}
-	for len(q) > 0 {
-		u := q[len(q)-1]
-		q = q[:len(q)-1]
-		o.g.InNeighbors(u, func(v ids.NodeID) {
+	if o.sg != nil {
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			for _, v := range o.sg.InSlice(u) {
+				if o.visited[v] != gen {
+					o.visited[v] = gen
+					out = append(out, v)
+					q = append(q, v)
+				}
+			}
+		}
+	} else {
+		visit := func(v ids.NodeID) {
 			if o.visited[v] != gen {
 				o.visited[v] = gen
 				out = append(out, v)
 				q = append(q, v)
 			}
-		})
+		}
+		for len(q) > 0 {
+			u := q[len(q)-1]
+			q = q[:len(q)-1]
+			o.g.InNeighbors(u, visit)
+		}
 	}
 	o.queue = q[:0]
+	o.affected = out
 	return out
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench_pr1.sh [output.json] [benchtime]
+#
+# Runs the PR-1 hot-path micro-benchmark set (influence oracle + sieve
+# cloning/feeding) and writes the parsed results as JSON, so the perf
+# trajectory of the dense-data-structure work is recorded per commit.
+# Default output is BENCH_PR1.latest.json — deliberately NOT the curated
+# BENCH_PR1.json, which holds the recorded before/after baseline of PR 1
+# and should only be edited by hand. benchtime defaults to 1s (pass e.g.
+# "10x" for a fast smoke run in CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.latest.json}"
+benchtime="${2:-1s}"
+pattern='BenchmarkMarginalGain|BenchmarkReachSetClone|BenchmarkReachSetContains|BenchmarkOracleUpdate|BenchmarkAffected|BenchmarkSieveClone|BenchmarkSieveCloneFeed|BenchmarkSieveFeed|BenchmarkHistApproxStep'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test ./internal/influence/ ./internal/core/ -run '^$' \
+  -bench "$pattern" -benchtime "$benchtime" -count 1 | tee "$raw"
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr1-dense-hot-path\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"benchtime\": \"$benchtime\","
+    awk '/^cpu:/ { sub(/^cpu: */, ""); printf "  \"cpu\": \"%s\",\n", $0; exit }' "$raw"
+    echo "  \"benchmarks\": ["
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        bytes = "null"; allocs = "null"
+        for (i = 4; i < NF; i++) {
+            if ($(i + 1) == "B/op") bytes = $i
+            if ($(i + 1) == "allocs/op") allocs = $i
+        }
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, $2, $3, bytes, allocs
+    }
+    END { printf "\n" }
+    ' "$raw"
+    echo "  ]"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
