@@ -1,30 +1,46 @@
 // Command influtrack streams an interaction dataset through a tracker
 // and periodically reports the current influential nodes.
 //
-// Input is either a built-in synthetic dataset (-dataset) or a CSV file
-// of "src,dst,t" rows (-csv, with string node labels).
+// Input is a built-in synthetic dataset (-dataset), a CSV file of
+// "src,dst,t" rows (-csv), or an NDJSON file of {"src","dst","t"} records
+// (-ndjson). Pass "-" as the -csv or -ndjson path to read from stdin, so
+// the batch CLI can be fed by the same producers as the influtrackd
+// daemon:
+//
+//	datagen -dataset brightkite -steps 5000 | influtrack -csv - -algo histapprox -k 10
 //
 // Usage:
 //
 //	influtrack -dataset brightkite -steps 5000 -algo histapprox -k 10 \
 //	           -eps 0.1 -L 10000 -p 0.001 -report 500
 //	influtrack -csv interactions.csv -algo greedy -k 5
+//	influtrack -ndjson - -algo sieveadn -k 10
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"tdnstream"
 )
 
+// openInput resolves an input path, with "-" meaning stdin.
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
 func main() {
 	dataset := flag.String("dataset", "brightkite", "built-in dataset name")
-	csvPath := flag.String("csv", "", "CSV file of src,dst,t rows (overrides -dataset)")
+	csvPath := flag.String("csv", "", `CSV file of src,dst,t rows ("-" = stdin; overrides -dataset)`)
+	ndjsonPath := flag.String("ndjson", "", `NDJSON file of {"src","dst","t"} records ("-" = stdin; overrides -dataset)`)
 	steps := flag.Int64("steps", 5000, "stream length for built-in datasets")
-	algo := flag.String("algo", "histapprox", "sieveadn | basicreduction | histapprox | histapprox-refined | greedy | random | dim | imm | timplus")
+	algo := flag.String("algo", "histapprox", strings.Join(tdnstream.TrackerAlgos(), " | "))
 	k := flag.Int("k", 10, "seed budget")
 	eps := flag.Float64("eps", 0.1, "approximation granularity ε")
 	L := flag.Int("L", 10000, "maximum lifetime")
@@ -35,49 +51,42 @@ func main() {
 	workers := flag.Int("parallel", 0, "parallel sieve workers (0 = serial; sieve-based algorithms only)")
 	flag.Parse()
 
-	var tracker tdnstream.Tracker
-	switch strings.ToLower(*algo) {
-	case "sieveadn":
-		tracker = tdnstream.NewSieveADN(*k, *eps)
-	case "basicreduction":
-		tracker = tdnstream.NewBasicReduction(*k, *eps, *L)
-	case "histapprox":
-		tracker = tdnstream.NewHistApprox(*k, *eps, *L)
-	case "histapprox-refined":
-		tracker = tdnstream.NewHistApproxRefined(*k, *eps, *L)
-	case "greedy":
-		tracker = tdnstream.NewGreedy(*k)
-	case "random":
-		tracker = tdnstream.NewRandom(*k, *seed)
-	case "dim":
-		tracker = tdnstream.NewDIM(*k, 32, *seed)
-	case "imm":
-		tracker = tdnstream.NewIMM(*k, 0.3, *seed)
-	case "timplus":
-		tracker = tdnstream.NewTIMPlus(*k, 0.3, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "influtrack: unknown algorithm %q\n", *algo)
+	// Only forward -eps when the user set it, so TrackerSpec can apply its
+	// per-algorithm defaults (0.1 for the sieve family, the paper's 0.3
+	// for imm/timplus).
+	specEps := 0.0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "eps" {
+			specEps = *eps
+		}
+	})
+	tracker, err := tdnstream.TrackerSpec{
+		Algo: *algo, K: *k, Eps: specEps, L: *L, Seed: *seed, Workers: *workers,
+	}.New()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "influtrack: %v\n", err)
 		os.Exit(2)
-	}
-	if *workers >= 2 {
-		tracker = tdnstream.WithParallelSieve(tracker, *workers)
 	}
 
 	var (
 		in   []tdnstream.Interaction
 		dict *tdnstream.Dict
-		err  error
 	)
-	if *csvPath != "" {
-		f, ferr := os.Open(*csvPath)
+	switch {
+	case *csvPath != "" || *ndjsonPath != "":
+		path, read := *csvPath, tdnstream.ReadCSV
+		if *ndjsonPath != "" {
+			path, read = *ndjsonPath, tdnstream.ReadNDJSON
+		}
+		f, ferr := openInput(path)
 		if ferr != nil {
 			fmt.Fprintf(os.Stderr, "influtrack: %v\n", ferr)
 			os.Exit(1)
 		}
 		dict = tdnstream.NewDict()
-		in, err = tdnstream.ReadCSV(f, dict)
+		in, err = read(f, dict)
 		f.Close()
-	} else {
+	default:
 		in, err = tdnstream.Dataset(*dataset, *steps)
 	}
 	if err != nil {
@@ -85,11 +94,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	var assign tdnstream.Assigner
+	lspec := tdnstream.LifetimeSpec{Policy: "geometric", P: *p, L: *L, Seed: *seed}
 	if *window > 0 {
-		assign = tdnstream.ConstantLifetime(*window)
-	} else {
-		assign = tdnstream.GeometricLifetime(*p, *L, *seed)
+		lspec = tdnstream.LifetimeSpec{Policy: "constant", Window: *window}
+	}
+	assign, err := lspec.New()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "influtrack: %v\n", err)
+		os.Exit(2)
 	}
 
 	pipe := tdnstream.NewPipeline(tracker, assign)

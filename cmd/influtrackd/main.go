@@ -1,0 +1,253 @@
+// Command influtrackd serves tracker streams over HTTP: interactions are
+// POSTed as NDJSON or CSV bodies and the current influential nodes are
+// read back without blocking ingestion.
+//
+// Each -stream flag hosts one named tracker; the flag's value is a
+// comma-separated key=value list:
+//
+//	name=demo            stream name (required)
+//	algo=histapprox      sieveadn | basicreduction | histapprox | histapprox-refined |
+//	                     greedy | random | dim | imm | timplus
+//	k=10 eps=0.1 L=1000  tracker parameters (L required for the reduction family)
+//	beta=32 workers=0    dim fanout / parallel sieve workers
+//	lifetime=geometric   constant | geometric | uniform | zipf
+//	window=0 p=0.001     constant width / geometric forgetting probability
+//	lo=1 hi=100 s=1.1    uniform bounds / zipf exponent
+//	seed=42              RNG seed (lifetimes and randomized algorithms)
+//	time=event           event (records carry t) | arrival (server-clocked steps)
+//
+// Usage:
+//
+//	influtrackd -addr :8080 \
+//	    -stream "name=demo,algo=histapprox,k=10,eps=0.1,L=1000,lifetime=geometric,p=0.001" \
+//	    -stream "name=adn,algo=sieveadn,k=5,eps=0.2,lifetime=constant,window=1000,time=arrival"
+//
+//	curl -X POST --data-binary @interactions.ndjson \
+//	    -H 'Content-Type: application/x-ndjson' 'localhost:8080/v1/ingest?stream=demo'
+//	curl 'localhost:8080/v1/topk?stream=demo'
+//
+// On SIGTERM/SIGINT the daemon stops accepting traffic, drains every
+// ingest queue, and — when -checkpoint-dir is set — writes one checkpoint
+// per stream, which the next start restores automatically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"tdnstream"
+	"tdnstream/internal/server"
+)
+
+// streamFlags collects repeated -stream values.
+type streamFlags []string
+
+func (s *streamFlags) String() string { return strings.Join(*s, "; ") }
+func (s *streamFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseStreamSpec turns a "k1=v1,k2=v2" flag value into a StreamSpec.
+func parseStreamSpec(arg string) (server.StreamSpec, error) {
+	spec := server.StreamSpec{
+		Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: 10},
+		Lifetime: tdnstream.LifetimeSpec{Policy: "geometric"},
+	}
+	for _, kv := range strings.Split(arg, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("bad stream option %q (want key=value)", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		toInt := func() (int, error) { return strconv.Atoi(val) }
+		toFloat := func() (float64, error) { return strconv.ParseFloat(val, 64) }
+		var err error
+		switch strings.ToLower(key) {
+		case "name":
+			spec.Name = val
+		case "algo":
+			spec.Tracker.Algo = val
+		case "k":
+			spec.Tracker.K, err = toInt()
+		case "eps":
+			spec.Tracker.Eps, err = toFloat()
+		case "l", "maxlife":
+			spec.Tracker.L, err = toInt()
+			spec.Lifetime.L = spec.Tracker.L
+		case "beta":
+			spec.Tracker.Beta, err = toInt()
+		case "workers", "parallel":
+			spec.Tracker.Workers, err = toInt()
+		case "lifetime":
+			spec.Lifetime.Policy = val
+		case "window":
+			spec.Lifetime.Window, err = toInt()
+			if spec.Lifetime.Window > 0 {
+				spec.Lifetime.Policy = "constant"
+			}
+		case "p":
+			spec.Lifetime.P, err = toFloat()
+		case "lo":
+			spec.Lifetime.Lo, err = toInt()
+		case "hi":
+			spec.Lifetime.Hi, err = toInt()
+		case "s":
+			spec.Lifetime.S, err = toFloat()
+		case "seed":
+			var n int
+			n, err = toInt()
+			spec.Tracker.Seed = int64(n)
+			spec.Lifetime.Seed = int64(n)
+		case "time":
+			spec.TimeMode = val
+		default:
+			return spec, fmt.Errorf("unknown stream option %q", key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("bad value for stream option %q: %v", key, err)
+		}
+	}
+	if spec.Name == "" {
+		return spec, errors.New("stream needs name=")
+	}
+	return spec, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 256, "per-stream ingest queue depth (chunks)")
+	chunkSize := flag.Int("chunk", 4096, "records per ingest chunk")
+	maxBody := flag.Int64("max-body", 256<<20, "maximum ingest body bytes")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	ckptDir := flag.String("checkpoint-dir", "", "save stream checkpoints here on shutdown and restore them on start")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queues")
+	var streams streamFlags
+	flag.Var(&streams, "stream", "hosted stream spec (repeatable); see command doc")
+	flag.Parse()
+
+	if len(streams) == 0 {
+		streams = streamFlags{"name=default,algo=histapprox,k=10,eps=0.1,L=1000,lifetime=geometric,p=0.001,seed=42"}
+	}
+	cfg := server.Config{
+		QueueDepth:   *queue,
+		MaxChunk:     *chunkSize,
+		MaxBodyBytes: *maxBody,
+		RetryAfter:   *retryAfter,
+	}
+	for _, arg := range streams {
+		spec, err := parseStreamSpec(arg)
+		if err != nil {
+			log.Fatalf("influtrackd: -stream %q: %v", arg, err)
+		}
+		cfg.Streams = append(cfg.Streams, spec)
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("influtrackd: %v", err)
+	}
+	if *ckptDir != "" {
+		if err := restoreCheckpoints(srv, *ckptDir); err != nil {
+			log.Fatalf("influtrackd: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("influtrackd: serving %d stream(s) on %s", len(cfg.Streams), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("influtrackd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, drain queues, checkpoint, exit.
+	log.Printf("influtrackd: shutting down — draining ingest queues")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("influtrackd: http shutdown: %v", err)
+	}
+	if *ckptDir != "" {
+		if err := saveCheckpoints(srv, shutdownCtx, *ckptDir); err != nil {
+			log.Printf("influtrackd: checkpoint: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("influtrackd: drain: %v", err)
+	}
+	log.Printf("influtrackd: bye")
+}
+
+// checkpointPath names a stream's checkpoint file.
+func checkpointPath(dir, stream string) string {
+	return filepath.Join(dir, stream+".ckpt")
+}
+
+// restoreCheckpoints loads <dir>/<stream>.ckpt for every configured stream
+// that has one.
+func restoreCheckpoints(srv *server.Server, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return os.MkdirAll(dir, 0o755)
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		name, err := srv.Restore(context.Background(), data)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", e.Name(), err)
+		}
+		log.Printf("influtrackd: restored stream %q from %s", name, e.Name())
+	}
+	return nil
+}
+
+// saveCheckpoints writes one checkpoint per hosted stream. Queues must
+// still be live (called before Close) so the worker can serialize between
+// chunks.
+func saveCheckpoints(srv *server.Server, ctx context.Context, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range srv.StreamNames() {
+		data, err := srv.Checkpoint(ctx, name)
+		if err != nil {
+			return fmt.Errorf("stream %q: %w", name, err)
+		}
+		if err := os.WriteFile(checkpointPath(dir, name), data, 0o644); err != nil {
+			return err
+		}
+		log.Printf("influtrackd: checkpointed stream %q (%d bytes)", name, len(data))
+	}
+	return nil
+}

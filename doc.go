@@ -41,6 +41,24 @@
 // not allocate. scripts/bench_pr1.sh records the micro-benchmark
 // trajectory into BENCH_PR1.json.
 //
+// # Serving
+//
+// cmd/influtrackd turns the library into an online service: it hosts
+// named tracker streams behind an HTTP API (internal/server). Producers
+// POST interactions as NDJSON or CSV bodies to /v1/ingest; each stream
+// routes them through a bounded queue into a dedicated worker goroutine
+// that drives a Pipeline in batches, and GET /v1/topk answers from an
+// atomically-swapped solution snapshot, so queries never block — and are
+// never blocked by — ingestion. A full queue surfaces as 429 +
+// Retry-After (explicit backpressure instead of unbounded buffering),
+// /healthz and /metrics expose liveness and Prometheus counters (queue
+// depth, batch latency, steps/sec, oracle calls), admin endpoints
+// checkpoint and restore streams through the same gob persistence as
+// SaveTracker/LoadTracker, and SIGTERM drains every queue before exit.
+// TrackerSpec and LifetimeSpec name algorithms and decay policies so the
+// daemon, the batch CLI and embedders build trackers the same way. See
+// examples/serving for an in-process walkthrough.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

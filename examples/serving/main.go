@@ -1,0 +1,146 @@
+// Serving: the tracker as an online service. This example starts the
+// influtrackd serving layer in-process, streams a synthetic interaction
+// dataset into it over HTTP (NDJSON, exactly like a remote producer
+// would), queries the live top-k while ingestion runs, then checkpoints
+// the stream and restores it into a second server — the restart story of
+// a production tracker.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"tdnstream"
+	"tdnstream/internal/server"
+)
+
+const (
+	k       = 5
+	steps   = 3000
+	maxLife = 500
+)
+
+// serve starts an HTTP listener for a server on a random localhost port.
+func serve(s *server.Server) (base string, shutdown func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx) // stop accepting…
+		s.Close()        // …then drain every ingest queue
+	}
+}
+
+func main() {
+	srv, err := server.New(server.Config{
+		Streams: []server.StreamSpec{{
+			Name:     "demo",
+			Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: k, Eps: 0.15, L: maxLife},
+			Lifetime: tdnstream.LifetimeSpec{Policy: "geometric", P: 0.005, L: maxLife, Seed: 7},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, shutdown := serve(srv)
+	defer shutdown()
+
+	// A producer: the built-in dataset rendered as NDJSON, POSTed in two
+	// halves like a live feed.
+	interactions, err := tdnstream.Dataset("gowalla", steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	post := func(part []tdnstream.Interaction) {
+		var body bytes.Buffer
+		if err := tdnstream.WriteNDJSON(&body, part, nil); err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/ingest?stream=demo", "application/x-ndjson", &body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			log.Fatalf("ingest: %s: %s", resp.Status, msg)
+		}
+	}
+	topk := func(base string) string {
+		resp, err := http.Get(base + "/v1/topk?stream=demo")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return string(bytes.TrimSpace(out))
+	}
+	// Ingestion is asynchronous — POST returns once the records are
+	// queued, not processed. A producer that wants read-your-writes polls
+	// the stream info until the queue drains.
+	quiesce := func() {
+		type info struct {
+			QueueDepth int    `json:"queue_depth"`
+			Ingested   uint64 `json:"ingested"`
+			Processed  uint64 `json:"processed"`
+		}
+		for {
+			resp, err := http.Get(base + "/v1/streams")
+			if err != nil {
+				log.Fatal(err)
+			}
+			var body struct {
+				Streams []info `json:"streams"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if st := body.Streams[0]; st.QueueDepth == 0 && st.Processed >= st.Ingested {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	post(interactions[:steps/2])
+	quiesce()
+	fmt.Println("after first half: ", topk(base))
+	post(interactions[steps/2:])
+	quiesce()
+	fmt.Println("after second half:", topk(base))
+
+	// Checkpoint the live stream and restore it into a brand-new server —
+	// same top-k, no replay of the 3000-step history.
+	ckpt, err := srv.Checkpoint(context.Background(), "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d bytes\n", len(ckpt))
+
+	srv2, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base2, shutdown2 := serve(srv2)
+	defer shutdown2()
+	if _, err := srv2.Restore(context.Background(), ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("restored server:  ", topk(base2))
+}

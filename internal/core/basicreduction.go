@@ -126,6 +126,10 @@ func (b *BasicReduction) Calls() *metrics.Counter { return b.calls }
 // Name implements Tracker.
 func (b *BasicReduction) Name() string { return "BasicReduction" }
 
+// Now returns the time of the most recent step (0 before any data). A
+// restored tracker resumes from here: the next step must use a later time.
+func (b *BasicReduction) Now() int64 { return b.t }
+
 // NumInstances reports the live instance count (= L once warmed up).
 func (b *BasicReduction) NumInstances() int { return len(b.insts) }
 

@@ -43,7 +43,13 @@ type HistApprox struct {
 
 	workers int // parallel candidate loop for all instances (0 = serial)
 
-	groups map[int][]stream.Edge // per-lifetime batch grouping, reused
+	// Per-lifetime batch grouping scratch. The map is keyed afresh each
+	// step (lifetime classes vary batch to batch), so retired group slices
+	// park on groupPool and are handed back to whichever classes the next
+	// batch contains — steady-state steps allocate no per-class slices.
+	groups    map[int][]stream.Edge
+	groupPool [][]stream.Edge
+	lifetimes []int // sorted lifetime classes of the current batch, reused
 }
 
 // SetParallel turns the parallel candidate loop on (workers ≥ 2) or off
@@ -106,11 +112,12 @@ func (h *HistApprox) Step(t int64, edges []stream.Edge) error {
 	}
 
 	// Group the batch by (clamped) lifetime; process groups in ascending
-	// lifetime order (Alg. 3 line 3).
-	for l := range h.groups {
+	// lifetime order (Alg. 3 line 3). Group slices come from groupPool.
+	for l, g := range h.groups {
+		h.groupPool = append(h.groupPool, g[:0])
 		delete(h.groups, l)
 	}
-	lifetimes := make([]int, 0, 8)
+	h.lifetimes = h.lifetimes[:0]
 	for _, e := range edges {
 		if e.Src == e.Dst {
 			continue
@@ -123,21 +130,27 @@ func (h *HistApprox) Step(t int64, edges []stream.Edge) error {
 		if l < 1 {
 			continue
 		}
-		if _, seen := h.groups[l]; !seen {
-			lifetimes = append(lifetimes, l)
+		g, seen := h.groups[l]
+		if !seen {
+			h.lifetimes = append(h.lifetimes, l)
+			if n := len(h.groupPool); n > 0 {
+				g = h.groupPool[n-1]
+				h.groupPool[n-1] = nil
+				h.groupPool = h.groupPool[:n-1]
+			}
 		}
-		h.groups[l] = append(h.groups[l], e)
+		h.groups[l] = append(g, e)
 	}
-	sort.Ints(lifetimes)
+	sort.Ints(h.lifetimes)
 
-	for _, l := range lifetimes {
+	for _, l := range h.lifetimes {
 		h.processGroup(l, h.groups[l])
 	}
 
 	// Only now admit the batch into the store: backlog feeds during group
 	// processing must see past edges only (current groups are routed by
 	// the group loop itself, so adding earlier would double-feed).
-	for _, l := range lifetimes {
+	for _, l := range h.lifetimes {
 		for _, e := range h.groups[l] {
 			if err := h.store.Add(e); err != nil {
 				return err
@@ -252,6 +265,10 @@ func (h *HistApprox) Name() string {
 	}
 	return "HistApprox"
 }
+
+// Now returns the time of the most recent step (0 before any data). A
+// restored tracker resumes from here: the next step must use a later time.
+func (h *HistApprox) Now() int64 { return h.t }
 
 // NumInstances reports how many instances the histogram currently keeps
 // (tested against the O(ε⁻¹ log k) bound of Theorem 8).

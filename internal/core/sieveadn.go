@@ -46,5 +46,9 @@ func (s *SieveADN) Name() string { return "SieveADN" }
 // Sieve exposes the underlying instance (used by tests).
 func (s *SieveADN) Sieve() *Sieve { return s.sieve }
 
+// Now returns the time of the most recent step (0 before any data). A
+// restored tracker resumes from here: the next step must use a later time.
+func (s *SieveADN) Now() int64 { return s.t }
+
 // SetParallel turns the parallel candidate loop on (workers ≥ 2) or off.
 func (s *SieveADN) SetParallel(workers int) { s.sieve.SetParallel(workers) }

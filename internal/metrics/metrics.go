@@ -9,7 +9,10 @@
 // and reset it between phases.
 package metrics
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Counter counts oracle calls. It is safe for concurrent use so the
 // optional parallel-sieve mode can share one counter across goroutines.
@@ -28,6 +31,48 @@ func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Reset zeroes the counter and returns the previous value.
 func (c *Counter) Reset() uint64 { return c.n.Swap(0) }
+
+// EWMA is an exponentially-weighted moving average stored as atomic
+// float bits, so one goroutine can feed observations (a serving worker
+// recording batch throughput) while others read the smoothed value (a
+// /metrics scrape). The zero value is ready to use and reads as 0 until
+// the first observation.
+type EWMA struct {
+	bits atomic.Uint64
+	// Alpha is the smoothing factor in (0, 1]; 0 means the default 0.2.
+	// Set it before the first Observe, if at all.
+	Alpha float64
+}
+
+// Observe folds one observation into the average. The first observation
+// initializes the average rather than being smoothed toward zero.
+func (e *EWMA) Observe(v float64) {
+	alpha := e.Alpha
+	if alpha == 0 {
+		alpha = 0.2
+	}
+	for {
+		old := e.bits.Load()
+		next := v
+		if old != 0 {
+			next = alpha*v + (1-alpha)*math.Float64frombits(old)
+		}
+		// Bit pattern 0 is the "no observation yet" sentinel, so an
+		// observed average of exactly 0.0 is stored as -0.0 — it reads
+		// back as 0 and behaves as 0 in the smoothing arithmetic, but
+		// does not reset the initialization state.
+		bits := math.Float64bits(next)
+		if bits == 0 {
+			bits = math.Float64bits(math.Copysign(0, -1))
+		}
+		if e.bits.CompareAndSwap(old, bits) {
+			return
+		}
+	}
+}
+
+// Value returns the current smoothed value (0 before any observation).
+func (e *EWMA) Value() float64 { return math.Float64frombits(e.bits.Load()) }
 
 // Series accumulates a numeric series (one point per time step) and offers
 // the aggregations the paper plots: running values, cumulative sums, and

@@ -6,6 +6,63 @@ import (
 	"testing"
 )
 
+func TestEWMAFirstObservationInitializes(t *testing.T) {
+	var e EWMA
+	if e.Value() != 0 {
+		t.Fatalf("zero value reads %g, want 0", e.Value())
+	}
+	e.Observe(100)
+	if e.Value() != 100 {
+		t.Fatalf("after first observation: %g, want 100 (not smoothed toward 0)", e.Value())
+	}
+	e.Observe(0)
+	want := 0.8 * 100.0
+	if math.Abs(e.Value()-want) > 1e-9 {
+		t.Fatalf("after second observation: %g, want %g", e.Value(), want)
+	}
+}
+
+func TestEWMAZeroObservationIsNotReset(t *testing.T) {
+	var e EWMA
+	e.Observe(0) // a real observation of 0, not "uninitialized"
+	if e.Value() != 0 {
+		t.Fatalf("after Observe(0): %g, want 0", e.Value())
+	}
+	e.Observe(100)
+	want := 0.2 * 100.0 // smoothed against the observed 0, not initialized to 100
+	if math.Abs(e.Value()-want) > 1e-9 {
+		t.Fatalf("after Observe(0), Observe(100): %g, want %g", e.Value(), want)
+	}
+}
+
+func TestEWMACustomAlpha(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	e.Observe(10)
+	e.Observe(20)
+	if math.Abs(e.Value()-15) > 1e-9 {
+		t.Fatalf("alpha 0.5: %g, want 15", e.Value())
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	var e EWMA
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(50)
+				_ = e.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Value() != 50 {
+		t.Fatalf("constant stream: %g, want 50", e.Value())
+	}
+}
+
 func TestCounterBasics(t *testing.T) {
 	var c Counter
 	if c.Value() != 0 {

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"mime"
+	"strings"
+
+	"tdnstream"
+	"tdnstream/internal/stream"
+)
+
+// Ingest body content types. NDJSON is the default when no Content-Type
+// is sent.
+const (
+	ctNDJSON = "application/x-ndjson"
+	ctJSONL  = "application/jsonl"
+	ctCSV    = "text/csv"
+)
+
+// recordReaderFor picks a decoder for the request's Content-Type.
+func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, error) {
+	if contentType == "" {
+		return stream.NewNDJSONReader(body), nil
+	}
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad Content-Type %q: %w", contentType, err)
+	}
+	switch strings.ToLower(mt) {
+	case ctNDJSON, ctJSONL, "application/json", "text/plain":
+		return stream.NewNDJSONReader(body), nil
+	case ctCSV, "application/csv":
+		return stream.NewCSVReader(body), nil
+	default:
+		return nil, fmt.Errorf("server: unsupported Content-Type %q (want %s or %s)",
+			mt, ctNDJSON, ctCSV)
+	}
+}
+
+// ingestBody streams records from rr into the worker's queue in chunks of
+// roughly maxChunk rows, interning labels as it goes. It returns how many
+// records were accepted; err distinguishes decode failures (malformed
+// input) from backpressure (errQueueFull) and shutdown (errStreamClosed).
+// Decoding is incremental: a chunked POST of unbounded length is admitted
+// chunk by chunk, so a slow tracker surfaces as 429 — not as memory
+// growth.
+//
+// For event-time streams a chunk never ends mid-timestamp: TDN time is
+// strictly increasing, so once the worker steps past t any stragglers at
+// t would be dropped as stale. Chunks therefore stretch past maxChunk
+// until the timestamp changes. (Across requests the same applies —
+// producers must not split one timestamp over two POSTs.)
+func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, err error) {
+	timeMode := w.state.Load().timeMode
+	rows := make([]tdnstream.Interaction, 0, maxChunk)
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		if err := w.enqueue(chunk{rows: rows}); err != nil {
+			return err
+		}
+		accepted += len(rows)
+		rows = make([]tdnstream.Interaction, 0, maxChunk)
+		return nil
+	}
+	for {
+		src, dst, t, rerr := rr.Read()
+		if rerr == io.EOF {
+			return accepted, flush()
+		}
+		if rerr != nil {
+			w.m.malformed.Add(1)
+			if ferr := flush(); ferr != nil {
+				return accepted, ferr
+			}
+			return accepted, rerr
+		}
+		if src == dst {
+			w.m.malformed.Add(1)
+			if ferr := flush(); ferr != nil {
+				return accepted, ferr
+			}
+			return accepted, fmt.Errorf("server: self-loop interaction on %q", src)
+		}
+		if len(rows) >= maxChunk &&
+			(timeMode != TimeEvent || t != rows[len(rows)-1].T) {
+			if ferr := flush(); ferr != nil {
+				return accepted, ferr
+			}
+		}
+		rows = append(rows, tdnstream.Interaction{
+			Src: w.labels.intern(src),
+			Dst: w.labels.intern(dst),
+			T:   t,
+		})
+	}
+}

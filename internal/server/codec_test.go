@@ -1,0 +1,110 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"tdnstream"
+	"tdnstream/internal/stream"
+)
+
+func testWorker(t *testing.T, spec StreamSpec, cfg Config) *worker {
+	t.Helper()
+	w, err := newWorker(spec, cfg.withDefaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.stop)
+	return w
+}
+
+func TestRecordReaderForContentTypes(t *testing.T) {
+	for ct, wantErr := range map[string]bool{
+		"":                                false,
+		"application/x-ndjson":            false,
+		"application/jsonl":               false,
+		"text/csv":                        false,
+		"text/csv; charset=utf-8":         false,
+		"application/csv":                 false,
+		"TEXT/CSV":                        false,
+		"application/protobuf":            true,
+		"multipart/form-data; boundary=x": true,
+	} {
+		_, err := recordReaderFor(ct, strings.NewReader(""))
+		if (err != nil) != wantErr {
+			t.Errorf("Content-Type %q: err = %v, wantErr = %v", ct, err, wantErr)
+		}
+	}
+}
+
+// TestIngestChunkingKeepsTimestampGroupsWhole: an event-time chunk never
+// ends mid-timestamp, even when the group is larger than MaxChunk —
+// otherwise the group's tail would be dropped as stale by the worker.
+func TestIngestChunkingKeepsTimestampGroupsWhole(t *testing.T) {
+	w := testWorker(t, testSpec("chunks"), Config{QueueDepth: 64})
+
+	// 10 records at t=1, then 10 at t=2, with MaxChunk 4.
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		b.WriteString(`{"src":"a` + string(rune('a'+i)) + `","dst":"hub","t":1}` + "\n")
+	}
+	for i := 0; i < 10; i++ {
+		b.WriteString(`{"src":"b` + string(rune('a'+i)) + `","dst":"hub","t":2}` + "\n")
+	}
+	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(b.String())), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 20 {
+		t.Fatalf("accepted %d, want 20", accepted)
+	}
+	waitProcessed(t, w, 20)
+	if w.m.staleDrop.Load() != 0 {
+		t.Fatalf("stale drops on intact groups: %d", w.m.staleDrop.Load())
+	}
+	if w.m.processed.Load() != 20 {
+		t.Fatalf("processed %d, want 20", w.m.processed.Load())
+	}
+	if got := w.m.steps.Load(); got != 2 {
+		t.Fatalf("steps %d, want 2 (one per timestamp)", got)
+	}
+}
+
+// Arrival-mode chunks split exactly at MaxChunk — timestamps don't matter.
+func TestIngestChunkingArrival(t *testing.T) {
+	spec := testSpec("arrchunks")
+	spec.TimeMode = TimeArrival
+	spec.Tracker = tdnstream.TrackerSpec{Algo: "sieveadn", K: 2, Eps: 0.5}
+	w := testWorker(t, spec, Config{QueueDepth: 64})
+
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		b.WriteString(`{"src":"x` + string(rune('a'+i)) + `","dst":"hub"}` + "\n")
+	}
+	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(b.String())), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 10 {
+		t.Fatalf("accepted %d, want 10", accepted)
+	}
+	waitProcessed(t, w, 10)
+	if got := w.m.steps.Load(); got != 3 { // chunks of 4+4+2
+		t.Fatalf("steps %d, want 3", got)
+	}
+}
+
+func TestIngestBodyDecodeErrorKeepsPrefix(t *testing.T) {
+	w := testWorker(t, testSpec("badbody"), Config{QueueDepth: 64})
+	body := "{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\nnot json\n"
+	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(body)), 4)
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	if accepted != 1 {
+		t.Fatalf("accepted %d, want the valid prefix of 1", accepted)
+	}
+	if w.m.malformed.Load() != 1 {
+		t.Fatalf("malformed = %d, want 1", w.m.malformed.Load())
+	}
+}

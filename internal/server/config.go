@@ -1,0 +1,113 @@
+// Package server is the online serving layer: an HTTP service that hosts
+// named tracker streams, accepts streamed interactions (NDJSON or CSV
+// bodies on POST /v1/ingest), routes them through a bounded per-stream
+// ingest queue into a worker goroutine that drives the library Pipeline in
+// batches, and answers GET /v1/topk from an atomically-swapped Solution
+// snapshot so queries never block ingestion.
+//
+// The shape follows live-stream servers (ingest endpoints feeding
+// per-stream workers, snapshot read paths, explicit backpressure): when a
+// stream's queue is full the ingest endpoint answers 429 with Retry-After
+// instead of stalling the connection, and SIGTERM drains every queue
+// before the process exits. Admin endpoints expose checkpoint save and
+// restore wired to the library's gob persistence, so a service can restart
+// without replaying the interaction history.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"tdnstream"
+)
+
+// Time modes for a stream: how ingested records map to TDN time steps.
+const (
+	// TimeEvent: records carry explicit timestamps ("t" in NDJSON, the
+	// third CSV column); the worker groups consecutive records by t into
+	// per-step batches. Records at or before the stream's current time are
+	// dropped (counted in the stale_dropped metric) — TDN time is strictly
+	// increasing. Deterministic: replaying the same body yields the same
+	// tracker state, which is what the end-to-end tests pin.
+	TimeEvent = "event"
+	// TimeArrival: record timestamps are ignored (producers may omit "t");
+	// each enqueued chunk becomes one step at the next server-side step
+	// number. This is the live-service mode — concurrent producers need no
+	// clock coordination.
+	TimeArrival = "arrival"
+)
+
+// StreamSpec describes one hosted tracker stream.
+type StreamSpec struct {
+	// Name identifies the stream in every endpoint's ?stream= parameter.
+	Name string `json:"name"`
+	// Tracker picks the algorithm (see tdnstream.TrackerAlgos).
+	Tracker tdnstream.TrackerSpec `json:"tracker"`
+	// Lifetime picks the decay policy (see tdnstream.LifetimePolicies).
+	Lifetime tdnstream.LifetimeSpec `json:"lifetime"`
+	// TimeMode is TimeEvent (default) or TimeArrival.
+	TimeMode string `json:"time_mode,omitempty"`
+}
+
+// validate checks the serving-level fields; tracker and lifetime
+// parameters are validated by their constructors when buildState runs
+// them for real.
+func (s StreamSpec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("server: stream needs a name")
+	}
+	switch s.TimeMode {
+	case "", TimeEvent, TimeArrival:
+	default:
+		return fmt.Errorf("server: stream %q: unknown time mode %q (want %q or %q)",
+			s.Name, s.TimeMode, TimeEvent, TimeArrival)
+	}
+	return nil
+}
+
+func (s StreamSpec) timeMode() string {
+	if s.TimeMode == "" {
+		return TimeEvent
+	}
+	return s.TimeMode
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueDepth bounds each stream's ingest queue, in chunks (default 256).
+	// A full queue is the backpressure signal: ingest answers 429.
+	QueueDepth int
+	// MaxChunk bounds how many records one enqueued chunk holds (default
+	// 4096). Larger chunks amortize queue traffic; smaller chunks bound
+	// worker batch latency.
+	MaxChunk int
+	// MaxBodyBytes bounds one ingest request body (default 256 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// SnapshotEvery refreshes the read snapshot every N processed chunks
+	// (default 1 — after every chunk).
+	SnapshotEvery int
+	// Streams are created at construction; more can be added over HTTP
+	// (POST /v1/streams) or with AddStream.
+	Streams []StreamSpec
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxChunk <= 0 {
+		c.MaxChunk = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 1
+	}
+	return c
+}

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tdnstream"
+)
+
+// buildMux wires the HTTP API onto a ServeMux, wrapped with status-class
+// accounting for the /metrics request counters.
+func (s *Server) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
+	mux.HandleFunc("DELETE /v1/streams/{name}", s.handleDeleteStream)
+	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /v1/admin/restore", s.handleRestore)
+	return s.countStatuses(mux)
+}
+
+// statusRecorder captures the response status for request accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) countStatuses(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		switch {
+		case rec.status >= 500:
+			s.req5xx.Add(1)
+		case rec.status >= 400:
+			s.req4xx.Add(1)
+		default:
+			s.req2xx.Add(1)
+		}
+	})
+}
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the API's JSON error shape.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// namedStream resolves the ?stream= parameter, writing the error response
+// itself when the stream is missing or unknown.
+func (s *Server) namedStream(w http.ResponseWriter, r *http.Request) (*worker, bool) {
+	name := r.URL.Query().Get("stream")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?stream= parameter")
+		return nil, false
+	}
+	wk, ok := s.stream(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return nil, false
+	}
+	return wk, true
+}
+
+// ingestResponse summarizes one ingest request.
+type ingestResponse struct {
+	Stream   string `json:"stream"`
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleIngest streams the request body into the stream's bounded queue.
+// A full queue yields 429 with Retry-After (with the count admitted so
+// far, so producers can resume); malformed input yields 400.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	wk, ok := s.namedStream(w, r)
+	if !ok {
+		return
+	}
+	rr, err := recordReaderFor(r.Header.Get("Content-Type"), http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusUnsupportedMediaType, "%v", err)
+		return
+	}
+	accepted, err := ingestBody(wk, rr, s.cfg.MaxChunk)
+	resp := ingestResponse{Stream: wk.name, Accepted: accepted}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		resp.Error = "ingest queue full"
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	case errors.Is(err, errStreamClosed):
+		resp.Error = "stream shutting down"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, resp)
+	}
+}
+
+// seedJSON is one solution seed with its resolved label.
+type seedJSON struct {
+	ID    tdnstream.NodeID `json:"id"`
+	Label string           `json:"label,omitempty"`
+}
+
+// topKResponse is the read-path answer: the current snapshot.
+type topKResponse struct {
+	Stream      string     `json:"stream"`
+	Algo        string     `json:"algo"`
+	T           int64      `json:"t"`
+	Steps       uint64     `json:"steps"`
+	Processed   uint64     `json:"processed"`
+	OracleCalls uint64     `json:"oracle_calls"`
+	Value       int        `json:"value"`
+	Seeds       []seedJSON `json:"seeds"`
+}
+
+func (s *Server) snapshotResponse(wk *worker, snap *Snapshot, limit int) topKResponse {
+	resp := topKResponse{
+		Stream:      snap.Stream,
+		Algo:        snap.Algo,
+		T:           snap.T,
+		Steps:       snap.Steps,
+		Processed:   snap.Processed,
+		OracleCalls: snap.OracleCalls,
+		Value:       snap.Solution.Value,
+		Seeds:       []seedJSON{},
+	}
+	for i, id := range snap.Solution.Seeds {
+		if limit > 0 && i >= limit {
+			break
+		}
+		resp.Seeds = append(resp.Seeds, seedJSON{ID: id, Label: wk.labels.name(id)})
+	}
+	return resp
+}
+
+// handleTopK serves the current influential nodes from the atomically-
+// swapped snapshot: no locks shared with the ingest path, no tracker work.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	wk, ok := s.namedStream(w, r)
+	if !ok {
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, s.snapshotResponse(wk, wk.snapshot(), limit))
+}
+
+// contributionJSON is one seed's share of the solution spread.
+type contributionJSON struct {
+	ID        tdnstream.NodeID `json:"id"`
+	Label     string           `json:"label,omitempty"`
+	Gain      int              `json:"gain"`
+	Exclusive int              `json:"exclusive"`
+}
+
+// handleExplain decomposes the current solution into per-seed
+// contributions. Unlike /v1/topk this runs on the worker goroutine (it
+// costs tracker oracle calls), so it waits behind in-flight chunks.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	wk, ok := s.namedStream(w, r)
+	if !ok {
+		return
+	}
+	var contribs []tdnstream.SeedContribution
+	err := wk.do(r.Context(), func() {
+		contribs = tdnstream.Explain(wk.state.Load().tracker)
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if contribs == nil {
+		writeError(w, http.StatusUnprocessableEntity,
+			"stream %q: tracker %q does not support explain (or has no data yet)",
+			wk.name, wk.snapshot().Algo)
+		return
+	}
+	out := make([]contributionJSON, 0, len(contribs))
+	for _, c := range contribs {
+		out = append(out, contributionJSON{
+			ID: c.Seed, Label: wk.labels.name(c.Seed), Gain: c.Gain, Exclusive: c.Exclusive,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream": wk.name, "contributions": out})
+}
+
+// streamInfo is one stream's entry in /v1/streams and /healthz.
+type streamInfo struct {
+	Name       string `json:"name"`
+	Algo       string `json:"algo"`
+	TimeMode   string `json:"time_mode"`
+	T          int64  `json:"t"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_capacity"`
+	Ingested   uint64 `json:"ingested"`
+	Processed  uint64 `json:"processed"`
+	Steps      uint64 `json:"steps"`
+	Value      int    `json:"value"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+func (s *Server) infoFor(wk *worker) streamInfo {
+	snap := wk.snapshot()
+	return streamInfo{
+		Name:       wk.name,
+		Algo:       snap.Algo,
+		TimeMode:   wk.state.Load().timeMode,
+		T:          snap.T,
+		QueueDepth: len(wk.queue),
+		QueueCap:   cap(wk.queue),
+		Ingested:   wk.m.ingested.Load(),
+		Processed:  wk.m.processed.Load(),
+		Steps:      wk.m.steps.Load(),
+		Value:      snap.Solution.Value,
+		LastError:  wk.lastError(),
+	}
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	infos := []streamInfo{}
+	for _, name := range s.StreamNames() {
+		if wk, ok := s.stream(name); ok {
+			infos = append(infos, s.infoFor(wk))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": infos})
+}
+
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	var spec StreamSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad stream spec: %v", err)
+		return
+	}
+	if err := s.AddStream(spec); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"stream": spec.Name})
+}
+
+func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.RemoveStream(name); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stream": name, "status": "removed"})
+}
+
+// handleCheckpoint serializes a stream's state as a binary body that
+// /v1/admin/restore (on this or any other server) accepts.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	wk, ok := s.namedStream(w, r)
+	if !ok {
+		return
+	}
+	var data []byte
+	var cerr error
+	if err := wk.do(r.Context(), func() { data, cerr = wk.checkpoint() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if cerr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", cerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleRestore applies a checkpoint body, creating the stream if this
+// server does not host it yet.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read checkpoint: %v", err)
+		return
+	}
+	name, err := s.Restore(r.Context(), data)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := map[string]any{"stream": name, "restored": true}
+	if wk, ok := s.stream(name); ok { // can vanish under a racing DELETE
+		resp["info"] = s.infoFor(wk)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	infos := []streamInfo{}
+	for _, name := range s.StreamNames() {
+		if wk, ok := s.stream(name); ok {
+			infos = append(infos, s.infoFor(wk))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"streams":        infos,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}

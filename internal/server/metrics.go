@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"tdnstream/internal/metrics"
+)
+
+// streamMetrics are the per-stream counters and gauges exported on
+// /metrics. Everything is atomic: the worker writes while handlers read.
+type streamMetrics struct {
+	ingested    atomic.Uint64 // records accepted into the queue
+	rejected    atomic.Uint64 // records refused by backpressure (429)
+	malformed   atomic.Uint64 // records refused by decode errors (400)
+	staleDrop   atomic.Uint64 // event-mode records at or before stream time
+	processed   atomic.Uint64 // records fed to the tracker
+	steps       atomic.Uint64 // tracker steps taken
+	chunks      atomic.Uint64 // chunks drained from the queue
+	batchNanos  atomic.Uint64 // cumulative worker time processing chunks
+	lastBatchNs atomic.Uint64 // latency of the most recent chunk
+	stepsPerSec metrics.EWMA  // smoothed step throughput
+	rowsPerSec  metrics.EWMA  // smoothed record throughput
+}
+
+// observeChunk records one drained chunk: n records, s steps, d spent.
+func (m *streamMetrics) observeChunk(n, s int, d time.Duration) {
+	m.processed.Add(uint64(n))
+	m.steps.Add(uint64(s))
+	m.chunks.Add(1)
+	ns := uint64(d.Nanoseconds())
+	m.batchNanos.Add(ns)
+	m.lastBatchNs.Store(ns)
+	if d > 0 {
+		sec := d.Seconds()
+		m.stepsPerSec.Observe(float64(s) / sec)
+		m.rowsPerSec.Observe(float64(n) / sec)
+	}
+}
+
+// writeMetrics renders the Prometheus text exposition for every stream.
+func (s *Server) writeMetrics(w io.Writer) {
+	type row struct {
+		name string
+		w    *worker
+	}
+	s.mu.RLock()
+	rows := make([]row, 0, len(s.streams))
+	for name, wk := range s.streams {
+		rows = append(rows, row{name, wk})
+	}
+	s.mu.RUnlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP influtrackd_uptime_seconds Seconds since the server was constructed.\n")
+	p("# TYPE influtrackd_uptime_seconds gauge\n")
+	p("influtrackd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	p("# HELP influtrackd_streams Number of hosted tracker streams.\n")
+	p("# TYPE influtrackd_streams gauge\n")
+	p("influtrackd_streams %d\n", len(rows))
+	p("# HELP influtrackd_http_requests_total HTTP requests served, by status class.\n")
+	p("# TYPE influtrackd_http_requests_total counter\n")
+	for i, n := range []*atomic.Uint64{&s.req2xx, &s.req4xx, &s.req5xx} {
+		p("influtrackd_http_requests_total{class=\"%dxx\"} %d\n", i+2, n.Load())
+	}
+
+	gauge := func(name, help string) {
+		p("# HELP influtrackd_%s %s\n# TYPE influtrackd_%s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		p("# HELP influtrackd_%s %s\n# TYPE influtrackd_%s counter\n", name, help, name)
+	}
+
+	counter("ingested_records_total", "Records accepted into the ingest queue.")
+	for _, r := range rows {
+		p("influtrackd_ingested_records_total{stream=%q} %d\n", r.name, r.w.m.ingested.Load())
+	}
+	counter("rejected_records_total", "Records refused by backpressure (429).")
+	for _, r := range rows {
+		p("influtrackd_rejected_records_total{stream=%q} %d\n", r.name, r.w.m.rejected.Load())
+	}
+	counter("malformed_records_total", "Records refused by decode errors (400).")
+	for _, r := range rows {
+		p("influtrackd_malformed_records_total{stream=%q} %d\n", r.name, r.w.m.malformed.Load())
+	}
+	counter("stale_dropped_total", "Event-mode records dropped for arriving at or before stream time.")
+	for _, r := range rows {
+		p("influtrackd_stale_dropped_total{stream=%q} %d\n", r.name, r.w.m.staleDrop.Load())
+	}
+	counter("processed_records_total", "Records fed to the tracker.")
+	for _, r := range rows {
+		p("influtrackd_processed_records_total{stream=%q} %d\n", r.name, r.w.m.processed.Load())
+	}
+	counter("steps_total", "Tracker steps taken.")
+	for _, r := range rows {
+		p("influtrackd_steps_total{stream=%q} %d\n", r.name, r.w.m.steps.Load())
+	}
+	counter("oracle_calls_total", "Influence-function evaluations (the paper's cost metric).")
+	for _, r := range rows {
+		p("influtrackd_oracle_calls_total{stream=%q} %d\n", r.name, r.w.oracleCalls())
+	}
+	gauge("queue_depth", "Chunks waiting in the ingest queue.")
+	for _, r := range rows {
+		p("influtrackd_queue_depth{stream=%q} %d\n", r.name, len(r.w.queue))
+	}
+	gauge("queue_capacity", "Ingest queue capacity, in chunks.")
+	for _, r := range rows {
+		p("influtrackd_queue_capacity{stream=%q} %d\n", r.name, cap(r.w.queue))
+	}
+	gauge("steps_per_sec", "Smoothed tracker step throughput.")
+	for _, r := range rows {
+		p("influtrackd_steps_per_sec{stream=%q} %g\n", r.name, r.w.m.stepsPerSec.Value())
+	}
+	gauge("records_per_sec", "Smoothed record processing throughput.")
+	for _, r := range rows {
+		p("influtrackd_records_per_sec{stream=%q} %g\n", r.name, r.w.m.rowsPerSec.Value())
+	}
+	gauge("batch_latency_seconds", "Worker time spent on the most recent chunk.")
+	for _, r := range rows {
+		p("influtrackd_batch_latency_seconds{stream=%q} %g\n", r.name,
+			float64(r.w.m.lastBatchNs.Load())/1e9)
+	}
+	gauge("topk_value", "Influence spread of the current solution snapshot.")
+	for _, r := range rows {
+		if snap := r.w.snapshot(); snap != nil {
+			p("influtrackd_topk_value{stream=%q} %d\n", r.name, snap.Solution.Value)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server hosts named tracker streams behind an HTTP API:
+//
+//	POST   /v1/ingest?stream=NAME    NDJSON or CSV body → bounded queue (429 when full)
+//	GET    /v1/topk?stream=NAME      current influential nodes, from the read snapshot
+//	GET    /v1/explain?stream=NAME   per-seed contribution breakdown
+//	GET    /v1/streams               list hosted streams
+//	POST   /v1/streams               create a stream (JSON StreamSpec body)
+//	DELETE /v1/streams/{name}        drain and remove a stream
+//	POST   /v1/admin/checkpoint?stream=NAME   checkpoint → binary body
+//	POST   /v1/admin/restore         checkpoint body → restored stream
+//	GET    /healthz                  liveness + per-stream queue state
+//	GET    /metrics                  Prometheus text exposition
+//
+// Construct with New, serve Handler() with any http.Server, and call
+// Close to drain every stream before exit.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.RWMutex
+	streams map[string]*worker
+	closed  bool
+
+	req2xx, req4xx, req5xx atomic.Uint64
+
+	handler http.Handler
+}
+
+// New builds a server hosting cfg.Streams.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		streams: make(map[string]*worker),
+	}
+	s.handler = s.buildMux()
+	for _, spec := range cfg.Streams {
+		if err := s.AddStream(spec); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// AddStream creates and starts a new hosted stream.
+func (s *Server) AddStream(spec StreamSpec) error {
+	return s.addWorker(spec, nil)
+}
+
+func (s *Server) addWorker(spec StreamSpec, ckpt *checkpointEnvelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errStreamClosed
+	}
+	if _, dup := s.streams[spec.Name]; dup {
+		return fmt.Errorf("server: stream %q already exists", spec.Name)
+	}
+	w, err := newWorker(spec, s.cfg, ckpt)
+	if err != nil {
+		return err
+	}
+	s.streams[spec.Name] = w
+	return nil
+}
+
+// RemoveStream drains a stream's queue and stops its worker.
+func (s *Server) RemoveStream(name string) error {
+	s.mu.Lock()
+	w, ok := s.streams[name]
+	delete(s.streams, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: unknown stream %q", name)
+	}
+	w.stop()
+	return nil
+}
+
+// stream looks a worker up by name.
+func (s *Server) stream(name string) (*worker, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.streams[name]
+	return w, ok
+}
+
+// StreamNames returns the hosted stream names, sorted.
+func (s *Server) StreamNames() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		out = append(out, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Close drains every stream: ingest queues are closed, queued chunks are
+// processed to completion, final snapshots are published, workers exit.
+// Stop accepting HTTP traffic (http.Server.Shutdown) before calling Close
+// so no enqueue races the drain; late enqueues fail cleanly with 503
+// rather than being lost silently.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	workers := make([]*worker, 0, len(s.streams))
+	for _, w := range s.streams {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.stop()
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Checkpoint serializes one stream's state (tracker + labels + clock), for
+// embedders that bypass HTTP (cmd/influtrackd's shutdown checkpointing).
+func (s *Server) Checkpoint(ctx context.Context, name string) ([]byte, error) {
+	w, ok := s.stream(name)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown stream %q", name)
+	}
+	var data []byte
+	var cerr error
+	if err := w.do(ctx, func() { data, cerr = w.checkpoint() }); err != nil {
+		return nil, err
+	}
+	return data, cerr
+}
+
+// Restore applies a checkpoint: into the named stream if it is hosted,
+// otherwise by creating the stream from the spec embedded in the
+// checkpoint. Returns the stream name.
+func (s *Server) Restore(ctx context.Context, data []byte) (string, error) {
+	env, err := decodeCheckpoint(data)
+	if err != nil {
+		return "", err
+	}
+	if w, ok := s.stream(env.Spec.Name); ok {
+		var rerr error
+		if err := w.do(ctx, func() { rerr = w.restore(env) }); err != nil {
+			return "", err
+		}
+		return env.Spec.Name, rerr
+	}
+	return env.Spec.Name, s.addWorker(env.Spec, env)
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+
+	"tdnstream"
+)
+
+// Snapshot is the read-side view of one stream, swapped atomically by the
+// worker after processing a chunk. Query handlers load the pointer and
+// serve from it without touching the tracker, so reads never block — or
+// are blocked by — ingestion.
+type Snapshot struct {
+	Stream      string
+	Algo        string
+	T           int64  // tracker time of the snapshot
+	Steps       uint64 // tracker steps taken so far
+	Processed   uint64 // records fed to the tracker so far
+	OracleCalls uint64
+	Solution    tdnstream.Solution
+}
+
+// labelTable is a concurrency-safe wrapper around the library Dict: the
+// ingest path interns labels (handler goroutines) while query handlers
+// resolve ids back to names.
+type labelTable struct {
+	mu   sync.RWMutex
+	dict *tdnstream.Dict
+}
+
+func newLabelTable() *labelTable {
+	return &labelTable{dict: tdnstream.NewDict()}
+}
+
+// intern maps a label to its dense NodeID, assigning one on first sight.
+func (lt *labelTable) intern(name string) tdnstream.NodeID {
+	lt.mu.RLock()
+	id, ok := lt.dict.Lookup(name)
+	lt.mu.RUnlock()
+	if ok {
+		return id
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.dict.ID(name)
+}
+
+// name resolves an id back to its label ("" if the id was never assigned).
+func (lt *labelTable) name(id tdnstream.NodeID) string {
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
+	if int(id) >= lt.dict.Len() {
+		return ""
+	}
+	return lt.dict.Name(id)
+}
+
+// names returns every interned label in id order (the checkpoint form).
+func (lt *labelTable) names() []string {
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
+	out := make([]string, lt.dict.Len())
+	for i := range out {
+		out[i] = lt.dict.Name(tdnstream.NodeID(i))
+	}
+	return out
+}
+
+// reset replaces the table contents with the given id-ordered labels.
+func (lt *labelTable) reset(names []string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.dict = tdnstream.NewDict()
+	for _, n := range names {
+		lt.dict.ID(n)
+	}
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdnstream"
+)
+
+var (
+	errQueueFull    = errors.New("server: ingest queue full")
+	errStreamClosed = errors.New("server: stream closed")
+)
+
+// chunk is the unit of work on a stream's ingest queue: up to
+// Config.MaxChunk decoded records.
+type chunk struct {
+	rows []tdnstream.Interaction
+}
+
+// workerState bundles everything a checkpoint restore swaps — the
+// pipeline, its tracker, and the stream spec that built them (a restored
+// checkpoint carries its own spec, which may differ from the spec the
+// stream was created with). One atomic store keeps readers consistent:
+// only the worker goroutine writes it; handlers load it for the spec,
+// time mode and oracle-call counter.
+type workerState struct {
+	spec     StreamSpec
+	timeMode string
+	pipe     *tdnstream.Pipeline
+	tracker  tdnstream.Tracker
+}
+
+// worker owns one hosted stream: a bounded ingest queue drained by a
+// single goroutine that drives the tracker pipeline and publishes read
+// snapshots. One goroutine per stream is the sharding model — streams
+// never contend with each other, and within a stream the tracker runs
+// strictly single-threaded (trackers are not concurrency-safe).
+type worker struct {
+	name string
+	cfg  Config
+
+	labels *labelTable
+	queue  chan chunk
+	admin  chan func()
+	done   chan struct{}
+
+	closeMu sync.RWMutex
+	closing bool
+
+	state atomic.Pointer[workerState]
+	snap  atomic.Pointer[Snapshot]
+	m     streamMetrics
+
+	lastErr atomic.Pointer[string]
+
+	// Worker-goroutine-private state.
+	lastT     int64 // high-water tracker time (event) / step clock (arrival)
+	sinceSnap int   // chunks since the last snapshot publish
+}
+
+// buildState constructs a stream's swap-in state from its spec. When
+// trackerBlob is non-nil the tracker is restored from it instead of
+// built empty. Construction doubles as spec validation — the spec's
+// constructors are the single source of truth for what is admissible.
+func buildState(spec StreamSpec, trackerBlob []byte) (*workerState, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	assign, err := spec.Lifetime.New()
+	if err != nil {
+		return nil, fmt.Errorf("server: stream %q: %w", spec.Name, err)
+	}
+	var tracker tdnstream.Tracker
+	if trackerBlob != nil {
+		tracker, err = tdnstream.LoadTracker(bytes.NewReader(trackerBlob))
+		if err != nil {
+			return nil, fmt.Errorf("server: stream %q: restore: %w", spec.Name, err)
+		}
+	} else {
+		tracker, err = spec.Tracker.New()
+		if err != nil {
+			return nil, fmt.Errorf("server: stream %q: %w", spec.Name, err)
+		}
+	}
+	return &workerState{
+		spec:     spec,
+		timeMode: spec.timeMode(),
+		pipe:     tdnstream.NewPipeline(tracker, assign),
+		tracker:  tracker,
+	}, nil
+}
+
+// newWorker builds a stream worker from its spec. When ckpt is non-nil the
+// worker starts from the checkpointed tracker state instead of empty.
+func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope) (*worker, error) {
+	var blob []byte
+	if ckpt != nil {
+		blob = ckpt.Tracker
+	}
+	st, err := buildState(spec, blob)
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{
+		name:   spec.Name,
+		cfg:    cfg,
+		labels: newLabelTable(),
+		queue:  make(chan chunk, cfg.QueueDepth),
+		admin:  make(chan func()),
+		done:   make(chan struct{}),
+	}
+	if ckpt != nil {
+		w.labels.reset(ckpt.Names)
+		w.lastT, _ = tdnstream.TrackerNow(st.tracker)
+	}
+	w.state.Store(st)
+	w.publish()
+	go w.run()
+	return w, nil
+}
+
+// run drains the ingest queue until the queue is closed and empty, then
+// publishes a final snapshot and exits — that is the graceful-drain path.
+// Admin operations (checkpoint, restore, explain) run on this goroutine
+// between chunks so they never race the tracker.
+func (w *worker) run() {
+	defer close(w.done)
+	for {
+		select {
+		case fn := <-w.admin:
+			fn()
+		case c, ok := <-w.queue:
+			if !ok {
+				w.publish()
+				return
+			}
+			w.process(c)
+		}
+	}
+}
+
+// enqueue offers a chunk to the queue without blocking: a full queue is
+// reported to the caller as backpressure rather than absorbed as latency.
+func (w *worker) enqueue(c chunk) error {
+	w.closeMu.RLock()
+	defer w.closeMu.RUnlock()
+	if w.closing {
+		return errStreamClosed
+	}
+	select {
+	case w.queue <- c:
+		w.m.ingested.Add(uint64(len(c.rows)))
+		return nil
+	default:
+		w.m.rejected.Add(uint64(len(c.rows)))
+		return errQueueFull
+	}
+}
+
+// stop closes the queue and waits for the worker to drain it.
+func (w *worker) stop() {
+	w.closeMu.Lock()
+	if !w.closing {
+		w.closing = true
+		close(w.queue)
+	}
+	w.closeMu.Unlock()
+	<-w.done
+}
+
+// do runs fn on the worker goroutine and waits for it, so fn may touch the
+// tracker. It fails instead of blocking forever when the stream is closed.
+func (w *worker) do(ctx context.Context, fn func()) error {
+	reply := make(chan struct{})
+	wrapped := func() { defer close(reply); fn() }
+	select {
+	case w.admin <- wrapped:
+	case <-w.done:
+		return errStreamClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-w.done:
+		return errStreamClosed
+	}
+}
+
+// process feeds one chunk to the tracker according to the stream's time
+// mode and refreshes the read snapshot.
+func (w *worker) process(c chunk) {
+	start := time.Now()
+	st := w.state.Load()
+	rows := c.rows
+	fed, steps := 0, 0
+	switch st.timeMode {
+	case TimeArrival:
+		if len(rows) > 0 {
+			t := w.lastT + 1
+			for i := range rows {
+				rows[i].T = t
+			}
+			if w.observe(st, t, rows) {
+				w.lastT = t
+				fed += len(rows)
+				steps++
+			}
+		}
+	default: // TimeEvent
+		if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i].T < rows[j].T }) {
+			sort.SliceStable(rows, func(i, j int) bool { return rows[i].T < rows[j].T })
+		}
+		for i := 0; i < len(rows); {
+			j := i
+			t := rows[i].T
+			for j < len(rows) && rows[j].T == t {
+				j++
+			}
+			if t <= w.lastT {
+				w.m.staleDrop.Add(uint64(j - i))
+				i = j
+				continue
+			}
+			if w.observe(st, t, rows[i:j]) {
+				w.lastT = t
+				fed += j - i
+				steps++
+			}
+			i = j
+		}
+	}
+	w.m.observeChunk(fed, steps, time.Since(start))
+	w.sinceSnap++
+	if w.sinceSnap >= w.cfg.SnapshotEvery {
+		w.publish()
+	}
+}
+
+// observe runs one pipeline step, recording rather than propagating
+// failures (a poisoned batch must not wedge the stream).
+func (w *worker) observe(st *workerState, t int64, batch []tdnstream.Interaction) bool {
+	if err := st.pipe.ObserveBatch(t, batch); err != nil {
+		msg := err.Error()
+		w.lastErr.Store(&msg)
+		return false
+	}
+	return true
+}
+
+// publish refreshes the atomically-swapped read snapshot from the
+// tracker's current answer.
+func (w *worker) publish() {
+	st := w.state.Load()
+	sol := st.tracker.Solution()
+	w.snap.Store(&Snapshot{
+		Stream:      w.name,
+		Algo:        st.tracker.Name(),
+		T:           w.lastT,
+		Steps:       w.m.steps.Load(),
+		Processed:   w.m.processed.Load(),
+		OracleCalls: st.tracker.Calls().Value(),
+		Solution:    sol,
+	})
+	w.sinceSnap = 0
+}
+
+// snapshot returns the current read snapshot (never nil after newWorker).
+func (w *worker) snapshot() *Snapshot { return w.snap.Load() }
+
+// oracleCalls reads the tracker's oracle-call counter.
+func (w *worker) oracleCalls() uint64 { return w.state.Load().tracker.Calls().Value() }
+
+// lastError returns the most recent step error ("" if none).
+func (w *worker) lastError() string {
+	if p := w.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// checkpointEnvelope is the server-level checkpoint: the library tracker
+// snapshot plus the serving state it does not know about — the stream
+// spec and the label dictionary (NodeIDs are interning-order-dependent).
+// The stream clock is not stored: the restored tracker reports it
+// through its Now() hook (tdnstream.TrackerNow).
+type checkpointEnvelope struct {
+	Spec    StreamSpec
+	Names   []string
+	Tracker []byte
+}
+
+// checkpoint serializes the stream (runs on the worker goroutine via do).
+func (w *worker) checkpoint() ([]byte, error) {
+	st := w.state.Load()
+	var trk bytes.Buffer
+	if err := tdnstream.SaveTracker(&trk, st.tracker); err != nil {
+		return nil, err
+	}
+	env := checkpointEnvelope{
+		Spec:    st.spec,
+		Names:   w.labels.names(),
+		Tracker: trk.Bytes(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("server: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restore swaps in checkpointed state (runs on the worker goroutine via
+// do). The stream adopts the checkpoint's spec wholesale — algorithm,
+// lifetime policy and time mode — exactly as if the stream had been
+// created from the checkpoint. Randomized lifetime policies resume from
+// their seed, not from their exact stream position — constant lifetimes
+// restore bit-exactly. Chunks already queued are processed under the old
+// state first, so records interned under the old label dictionary are
+// never fed through the new one.
+func (w *worker) restore(env *checkpointEnvelope) error {
+	w.drainQueued()
+	env.Spec.Name = w.name // a renamed checkpoint restores into this stream
+	st, err := buildState(env.Spec, env.Tracker)
+	if err != nil {
+		return err
+	}
+	w.labels.reset(env.Names)
+	w.lastT, _ = tdnstream.TrackerNow(st.tracker)
+	w.state.Store(st)
+	w.lastErr.Store(nil)
+	w.publish()
+	return nil
+}
+
+// drainQueued processes every chunk already in the queue (runs on the
+// worker goroutine). The run-loop select picks admin operations and
+// chunks in arbitrary order, so state-replacing operations call this
+// first to give admitted records a consistent view.
+func (w *worker) drainQueued() {
+	for {
+		select {
+		case c, ok := <-w.queue:
+			if !ok {
+				return
+			}
+			w.process(c)
+		default:
+			return
+		}
+	}
+}
+
+// decodeCheckpoint parses a checkpoint body.
+func decodeCheckpoint(data []byte) (*checkpointEnvelope, error) {
+	var env checkpointEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("server: decode checkpoint: %w", err)
+	}
+	if env.Spec.Name == "" || len(env.Tracker) == 0 {
+		return nil, errors.New("server: decode checkpoint: empty envelope")
+	}
+	return &env, nil
+}

@@ -38,30 +38,7 @@ func WriteCSV(w io.Writer, in []Interaction, dict *ids.Dict) error {
 }
 
 // ReadCSV parses "src,dst,t" rows, interning node labels through dict.
-// Self-loop rows are rejected with an error naming the offending line.
+// Self-loop rows are rejected with an error naming the offending record.
 func ReadCSV(r io.Reader, dict *ids.Dict) ([]Interaction, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 3
-	cr.ReuseRecord = true
-	var out []Interaction
-	line := 0
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("stream: read csv: %w", err)
-		}
-		line++
-		t, err := strconv.ParseInt(rec[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("stream: line %d: bad timestamp %q: %w", line, rec[2], err)
-		}
-		x := Interaction{Src: dict.ID(rec[0]), Dst: dict.ID(rec[1]), T: t}
-		if err := x.Validate(); err != nil {
-			return nil, fmt.Errorf("stream: line %d: %w", line, err)
-		}
-		out = append(out, x)
-	}
+	return readAll(NewCSVReader(r), dict)
 }

@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	dict := ids.NewDict()
+	in := []Interaction{
+		{Src: dict.ID("alice"), Dst: dict.ID("bob"), T: 1},
+		{Src: dict.ID("bob"), Dst: dict.ID("carol"), T: 1},
+		{Src: dict.ID("carol"), Dst: dict.ID("alice"), T: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, in, dict); err != nil {
+		t.Fatal(err)
+	}
+	dict2 := ids.NewDict()
+	got, err := ReadNDJSON(&buf, dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d interactions, want %d", len(got), len(in))
+	}
+	for i, x := range got {
+		if dict2.Name(x.Src) != dict.Name(in[i].Src) ||
+			dict2.Name(x.Dst) != dict.Name(in[i].Dst) || x.T != in[i].T {
+			t.Fatalf("record %d: got %+v, want %+v", i, x, in[i])
+		}
+	}
+}
+
+func TestNDJSONSkipsBlankLines(t *testing.T) {
+	body := "{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n\n  \n{\"src\":\"b\",\"dst\":\"c\",\"t\":2}\n"
+	got, err := ReadNDJSON(strings.NewReader(body), ids.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d interactions, want 2", len(got))
+	}
+}
+
+func TestNDJSONOptionalT(t *testing.T) {
+	got, err := ReadNDJSON(strings.NewReader(`{"src":"a","dst":"b"}`), ids.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].T != 0 {
+		t.Fatalf("got %+v, want one interaction with T=0", got)
+	}
+}
+
+func TestNDJSONRejectsGarbage(t *testing.T) {
+	for _, body := range []string{
+		"not json\n",
+		`{"src":"a","dst":"a","t":1}` + "\n", // self-loop
+		`{"src":"a","t":1}` + "\n",           // missing dst
+		`{"dst":"b","t":1}` + "\n",           // missing src
+	} {
+		if _, err := ReadNDJSON(strings.NewReader(body), ids.NewDict()); err == nil {
+			t.Fatalf("accepted %q", body)
+		}
+	}
+}
+
+func TestRecordReadersAgree(t *testing.T) {
+	csvBody := "a,b,1\nb,c,2\nc,a,3\n"
+	ndBody := `{"src":"a","dst":"b","t":1}
+{"src":"b","dst":"c","t":2}
+{"src":"c","dst":"a","t":3}
+`
+	crr, nrr := NewCSVReader(strings.NewReader(csvBody)), NewNDJSONReader(strings.NewReader(ndBody))
+	for i := 0; ; i++ {
+		cs, cd, ct, cerr := crr.Read()
+		ns, nd, nt, nerr := nrr.Read()
+		if (cerr == io.EOF) != (nerr == io.EOF) {
+			t.Fatalf("record %d: EOF mismatch (%v vs %v)", i, cerr, nerr)
+		}
+		if cerr == io.EOF {
+			return
+		}
+		if cerr != nil || nerr != nil {
+			t.Fatalf("record %d: %v / %v", i, cerr, nerr)
+		}
+		if cs != ns || cd != nd || ct != nt {
+			t.Fatalf("record %d: csv (%s,%s,%d) != ndjson (%s,%s,%d)", i, cs, cd, ct, ns, nd, nt)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_pr2.sh [output.json] [benchtime]
+#
+# Measures end-to-end ingest throughput of the serving layer
+# (internal/server): HTTP POST → NDJSON decode → bounded queue → worker →
+# tracker feed, fully processed. Records interactions/sec for the Sieve
+# tracker on brightkite (the headline number the PR-2 acceptance gate
+# checks: ≥ 100k interactions/sec), the tracker-bound twitter-higgs worst
+# case, and HISTAPPROX for the trajectory. Default output is
+# BENCH_PR2.json; benchtime defaults to 5x (pass e.g. "2x" for a faster
+# smoke run in CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+benchtime="${2:-5x}"
+pattern='BenchmarkIngestHTTPSieve$|BenchmarkIngestHTTPSieveHiggs$|BenchmarkIngestHTTPHistApprox$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test ./internal/server -run '^$' \
+  -bench "$pattern" -benchtime "$benchtime" -count 1 | tee "$raw"
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr2-serving-layer-ingest\","
+    echo "  \"description\": \"End-to-end ingest throughput through the internal/server HTTP serving layer (POST /v1/ingest, NDJSON, arrival-time streams), counting only fully tracker-processed interactions. sieve_brightkite is the acceptance number (>= 100k interactions/sec for the Sieve tracker).\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"benchtime\": \"$benchtime\","
+    awk '/^cpu:/ { sub(/^cpu: */, ""); printf "  \"cpu\": \"%s\",\n", $0; exit }' "$raw"
+    echo "  \"benchmarks\": ["
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ips = "null"
+        for (i = 3; i < NF; i++) {
+            if ($(i + 1) == "interactions/sec") ips = $i
+        }
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"interactions_per_sec\": %s}", name, $2, ips
+    }
+    END { printf "\n" }
+    ' "$raw"
+    echo "  ],"
+    awk '
+    /^BenchmarkIngestHTTPSieve-/ || /^BenchmarkIngestHTTPSieve / {
+        for (i = 3; i < NF; i++) if ($(i + 1) == "interactions/sec") v = $i
+    }
+    END { printf "  \"ingest_throughput_sieve_interactions_per_sec\": %s\n", (v == "" ? "null" : v) }
+    ' "$raw"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
