@@ -5,7 +5,7 @@
 // Each -stream flag hosts one named tracker; the flag's value is a
 // comma-separated key=value list:
 //
-//	name=demo            stream name (required)
+//	name=demo            stream name (required; characters [A-Za-z0-9._-])
 //	algo=histapprox      sieveadn | basicreduction | histapprox | histapprox-refined |
 //	                     greedy | random | dim | imm | timplus
 //	k=10 eps=0.1 L=1000  tracker parameters (L required for the reduction family)
@@ -187,12 +187,22 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("influtrackd: http shutdown: %v", err)
+		// Graceful drain timed out with handlers still live. Force the
+		// connections closed before checkpointing: no client can receive a
+		// 200 past this point, so nothing acknowledged is absent from the
+		// checkpoint.
+		log.Printf("influtrackd: http shutdown: %v (closing connections)", err)
+		httpSrv.Close()
 	}
 	if *ckptDir != "" {
-		if err := saveCheckpoints(srv, shutdownCtx, *ckptDir); err != nil {
+		// Checkpoint under a fresh budget: the drain context may already be
+		// spent if Shutdown timed out, and an expired context here would
+		// skip the checkpoint exactly when it matters most.
+		ckptCtx, ckptCancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := saveCheckpoints(srv, ckptCtx, *ckptDir); err != nil {
 			log.Printf("influtrackd: checkpoint: %v", err)
 		}
+		ckptCancel()
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("influtrackd: drain: %v", err)
@@ -200,13 +210,22 @@ func main() {
 	log.Printf("influtrackd: bye")
 }
 
-// checkpointPath names a stream's checkpoint file.
-func checkpointPath(dir, stream string) string {
-	return filepath.Join(dir, stream+".ckpt")
+// checkpointPath names a stream's checkpoint file. Stream names are
+// validated by the server to a path-safe charset; this re-checks that the
+// joined path cannot escape dir so a bad name can never become a write
+// outside -checkpoint-dir.
+func checkpointPath(dir, stream string) (string, error) {
+	p := filepath.Join(dir, stream+".ckpt")
+	if filepath.Dir(p) != filepath.Clean(dir) {
+		return "", fmt.Errorf("stream name %q escapes checkpoint dir", stream)
+	}
+	return p, nil
 }
 
-// restoreCheckpoints loads <dir>/<stream>.ckpt for every configured stream
-// that has one.
+// restoreCheckpoints loads every *.ckpt file in dir, re-hosting each
+// checkpointed stream — including streams the previous run created over
+// HTTP that appear in no -stream flag. To retire a stream across a
+// restart, delete its .ckpt file (or DELETE it over HTTP after startup).
 func restoreCheckpoints(srv *server.Server, dir string) error {
 	entries, err := os.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
@@ -233,21 +252,34 @@ func restoreCheckpoints(srv *server.Server, dir string) error {
 }
 
 // saveCheckpoints writes one checkpoint per hosted stream. Queues must
-// still be live (called before Close) so the worker can serialize between
-// chunks.
+// still be live (called before Close): the checkpoint drains each
+// stream's queue first, so every record acknowledged before the HTTP
+// listener shut down is in the file.
 func saveCheckpoints(srv *server.Server, ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// One stream failing to checkpoint (e.g. a baseline tracker without
+	// snapshot support) must not cost the other streams their state:
+	// keep going and report every failure in the joined error (the caller
+	// logs it once).
+	var errs []error
 	for _, name := range srv.StreamNames() {
 		data, err := srv.Checkpoint(ctx, name)
 		if err != nil {
-			return fmt.Errorf("stream %q: %w", name, err)
+			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
+			continue
 		}
-		if err := os.WriteFile(checkpointPath(dir, name), data, 0o644); err != nil {
-			return err
+		path, err := checkpointPath(dir, name)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			errs = append(errs, err)
+			continue
 		}
 		log.Printf("influtrackd: checkpointed stream %q (%d bytes)", name, len(data))
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -91,12 +91,17 @@ func main() {
 	}
 	// Ingestion is asynchronous — POST returns once the records are
 	// queued, not processed. A producer that wants read-your-writes polls
-	// the stream info until the queue drains.
+	// the stream info until the queue drains. Stale-dropped and failed
+	// records count toward the drain: they were acknowledged but skipped
+	// (replayed timestamps) or rejected (poisoned batch), so Processed
+	// alone would never reach Ingested.
 	quiesce := func() {
 		type info struct {
-			QueueDepth int    `json:"queue_depth"`
-			Ingested   uint64 `json:"ingested"`
-			Processed  uint64 `json:"processed"`
+			QueueDepth   int    `json:"queue_depth"`
+			Ingested     uint64 `json:"ingested"`
+			Processed    uint64 `json:"processed"`
+			StaleDropped uint64 `json:"stale_dropped"`
+			Failed       uint64 `json:"failed"`
 		}
 		for {
 			resp, err := http.Get(base + "/v1/streams")
@@ -111,7 +116,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if st := body.Streams[0]; st.QueueDepth == 0 && st.Processed >= st.Ingested {
+			if st := body.Streams[0]; st.QueueDepth == 0 && st.Processed+st.StaleDropped+st.Failed >= st.Ingested {
 				return
 			}
 			time.Sleep(5 * time.Millisecond)

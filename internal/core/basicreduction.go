@@ -40,6 +40,9 @@ func (b *BasicReduction) SetParallel(workers int) {
 	}
 }
 
+// Parallel reports the configured worker count (0 = serial).
+func (b *BasicReduction) Parallel() int { return b.workers }
+
 // NewBasicReduction returns a BASICREDUCTION tracker with budget k, sieve
 // granularity eps and maximum lifetime L ≥ 1. Edges with longer assigned
 // lifetimes are clamped to L, matching the model's upper bound.

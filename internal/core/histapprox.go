@@ -61,6 +61,9 @@ func (h *HistApprox) SetParallel(workers int) {
 	}
 }
 
+// Parallel reports the configured worker count (0 = serial).
+func (h *HistApprox) Parallel() int { return h.workers }
+
 // NewHistApprox returns a HISTAPPROX tracker with budget k, granularity
 // eps (used both for the sieve thresholds and for histogram redundancy)
 // and maximum lifetime L. Edges with longer lifetimes are clamped to L.

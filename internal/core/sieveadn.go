@@ -52,3 +52,6 @@ func (s *SieveADN) Now() int64 { return s.t }
 
 // SetParallel turns the parallel candidate loop on (workers ≥ 2) or off.
 func (s *SieveADN) SetParallel(workers int) { s.sieve.SetParallel(workers) }
+
+// Parallel reports the configured worker count (0 = serial).
+func (s *SieveADN) Parallel() int { return s.sieve.Parallel() }

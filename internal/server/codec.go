@@ -42,6 +42,9 @@ func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, e
 // roughly maxChunk rows, interning labels as it goes. It returns how many
 // records were accepted; err distinguishes decode failures (malformed
 // input) from backpressure (errQueueFull) and shutdown (errStreamClosed).
+// The caller classifies the error for metrics and status (the handler
+// counts malformed requests — a decode failure here may actually be a
+// body-size-limit truncation it can see and this function cannot).
 // Decoding is incremental: a chunked POST of unbounded length is admitted
 // chunk by chunk, so a slow tracker surfaces as 429 — not as memory
 // growth.
@@ -50,15 +53,24 @@ func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, e
 // strictly increasing, so once the worker steps past t any stragglers at
 // t would be dropped as stale. Chunks therefore stretch past maxChunk
 // until the timestamp changes. (Across requests the same applies —
-// producers must not split one timestamp over two POSTs.)
+// producers must not split one timestamp over two POSTs.) Out-of-order
+// timestamps are tolerated chunk-locally (the worker sorts each chunk
+// before stepping), but records whose timestamp regresses across a chunk
+// boundary are dropped as stale — event-time producers should send
+// bodies in non-decreasing timestamp order.
 func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, err error) {
+	// The epoch is captured before any label is interned: if a checkpoint
+	// restore replaces the label dictionary mid-body, enqueue refuses the
+	// stale chunks instead of feeding old-dictionary NodeIDs to the
+	// restored tracker.
+	epoch := w.ingestEpoch()
 	timeMode := w.state.Load().timeMode
 	rows := make([]tdnstream.Interaction, 0, maxChunk)
 	flush := func() error {
 		if len(rows) == 0 {
 			return nil
 		}
-		if err := w.enqueue(chunk{rows: rows}); err != nil {
+		if err := w.enqueue(chunk{rows: rows, epoch: epoch}); err != nil {
 			return err
 		}
 		accepted += len(rows)
@@ -71,14 +83,12 @@ func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, 
 			return accepted, flush()
 		}
 		if rerr != nil {
-			w.m.malformed.Add(1)
 			if ferr := flush(); ferr != nil {
 				return accepted, ferr
 			}
 			return accepted, rerr
 		}
 		if src == dst {
-			w.m.malformed.Add(1)
 			if ferr := flush(); ferr != nil {
 				return accepted, ferr
 			}

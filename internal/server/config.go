@@ -40,6 +40,9 @@ const (
 // StreamSpec describes one hosted tracker stream.
 type StreamSpec struct {
 	// Name identifies the stream in every endpoint's ?stream= parameter.
+	// Names are restricted to 1-128 characters of [A-Za-z0-9._-] (and may
+	// not be "." or ".."): they are embedded in checkpoint file paths, so
+	// path separators and traversal sequences must be unrepresentable.
 	Name string `json:"name"`
 	// Tracker picks the algorithm (see tdnstream.TrackerAlgos).
 	Tracker tdnstream.TrackerSpec `json:"tracker"`
@@ -49,12 +52,34 @@ type StreamSpec struct {
 	TimeMode string `json:"time_mode,omitempty"`
 }
 
+// validStreamName reports whether a stream name is safe to host. Names
+// reach the filesystem (checkpoint files are named <dir>/<name>.ckpt) and
+// arrive over unauthenticated HTTP, so the charset must make traversal
+// unrepresentable: no separators, no "..".
+func validStreamName(name string) bool {
+	if name == "" || len(name) > 128 || name == "." || name == ".." {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // validate checks the serving-level fields; tracker and lifetime
 // parameters are validated by their constructors when buildState runs
 // them for real.
 func (s StreamSpec) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("server: stream needs a name")
+	}
+	if !validStreamName(s.Name) {
+		return fmt.Errorf("server: bad stream name %q (want 1-128 characters of [A-Za-z0-9._-], not \".\" or \"..\")", s.Name)
 	}
 	switch s.TimeMode {
 	case "", TimeEvent, TimeArrival:

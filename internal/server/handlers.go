@@ -90,15 +90,36 @@ type ingestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// bodyLimitTracker notes when the wrapped MaxBytesReader refuses a read.
+// The record decoders can mask the limit error behind a parse failure on
+// the truncated final line, so the handler needs this out-of-band signal
+// to answer 413 rather than 400.
+type bodyLimitTracker struct {
+	r   io.Reader
+	hit bool
+}
+
+func (b *bodyLimitTracker) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	var tooBig *http.MaxBytesError
+	if err != nil && errors.As(err, &tooBig) {
+		b.hit = true
+	}
+	return n, err
+}
+
 // handleIngest streams the request body into the stream's bounded queue.
 // A full queue yields 429 with Retry-After (with the count admitted so
-// far, so producers can resume); malformed input yields 400.
+// far, so producers can resume); malformed input yields 400; an oversized
+// body yields 413; a restore that replaced the stream state mid-request
+// yields 409 (retry re-interns against the new label dictionary).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	wk, ok := s.namedStream(w, r)
 	if !ok {
 		return
 	}
-	rr, err := recordReaderFor(r.Header.Get("Content-Type"), http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body := &bodyLimitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	rr, err := recordReaderFor(r.Header.Get("Content-Type"), body)
 	if err != nil {
 		writeError(w, http.StatusUnsupportedMediaType, "%v", err)
 		return
@@ -115,7 +136,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errStreamClosed):
 		resp.Error = "stream shutting down"
 		writeJSON(w, http.StatusServiceUnavailable, resp)
+	case errors.Is(err, errStaleIngest):
+		resp.Error = "stream restored during ingest; retry"
+		writeJSON(w, http.StatusConflict, resp)
+	case body.hit:
+		resp.Error = "ingest body exceeds the server's max body size"
+		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
 	default:
+		wk.m.malformed.Add(1)
 		resp.Error = err.Error()
 		writeJSON(w, http.StatusBadRequest, resp)
 	}
@@ -227,25 +255,36 @@ type streamInfo struct {
 	QueueCap   int    `json:"queue_capacity"`
 	Ingested   uint64 `json:"ingested"`
 	Processed  uint64 `json:"processed"`
-	Steps      uint64 `json:"steps"`
-	Value      int    `json:"value"`
-	LastError  string `json:"last_error,omitempty"`
+	// StaleDropped counts acknowledged records the tracker skipped (event-
+	// mode timestamps at or before stream time); Failed counts records in
+	// batches the tracker rejected (LastError holds the cause). Every
+	// acknowledged record lands in exactly one of Processed, StaleDropped
+	// or Failed, so read-your-writes pollers should wait for their sum to
+	// reach Ingested — Processed alone never catches up after a replay or
+	// a poisoned batch.
+	StaleDropped uint64 `json:"stale_dropped"`
+	Failed       uint64 `json:"failed"`
+	Steps        uint64 `json:"steps"`
+	Value        int    `json:"value"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
 func (s *Server) infoFor(wk *worker) streamInfo {
 	snap := wk.snapshot()
 	return streamInfo{
-		Name:       wk.name,
-		Algo:       snap.Algo,
-		TimeMode:   wk.state.Load().timeMode,
-		T:          snap.T,
-		QueueDepth: len(wk.queue),
-		QueueCap:   cap(wk.queue),
-		Ingested:   wk.m.ingested.Load(),
-		Processed:  wk.m.processed.Load(),
-		Steps:      wk.m.steps.Load(),
-		Value:      snap.Solution.Value,
-		LastError:  wk.lastError(),
+		Name:         wk.name,
+		Algo:         snap.Algo,
+		TimeMode:     wk.state.Load().timeMode,
+		T:            snap.T,
+		QueueDepth:   len(wk.queue),
+		QueueCap:     cap(wk.queue),
+		Ingested:     wk.m.ingested.Load(),
+		Processed:    wk.m.processed.Load(),
+		StaleDropped: wk.m.staleDrop.Load(),
+		Failed:       wk.m.failed.Load(),
+		Steps:        wk.m.steps.Load(),
+		Value:        snap.Solution.Value,
+		LastError:    wk.lastError(),
 	}
 }
 
@@ -266,7 +305,14 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.AddStream(spec); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		status := http.StatusBadRequest // invalid spec (unknown algo, bad params, bad name)
+		switch {
+		case errors.Is(err, errDuplicateStream):
+			status = http.StatusConflict
+		case errors.Is(err, errStreamClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"stream": spec.Name})

@@ -13,17 +13,19 @@ import (
 // streamMetrics are the per-stream counters and gauges exported on
 // /metrics. Everything is atomic: the worker writes while handlers read.
 type streamMetrics struct {
-	ingested    atomic.Uint64 // records accepted into the queue
-	rejected    atomic.Uint64 // records refused by backpressure (429)
-	malformed   atomic.Uint64 // records refused by decode errors (400)
-	staleDrop   atomic.Uint64 // event-mode records at or before stream time
-	processed   atomic.Uint64 // records fed to the tracker
-	steps       atomic.Uint64 // tracker steps taken
-	chunks      atomic.Uint64 // chunks drained from the queue
-	batchNanos  atomic.Uint64 // cumulative worker time processing chunks
-	lastBatchNs atomic.Uint64 // latency of the most recent chunk
-	stepsPerSec metrics.EWMA  // smoothed step throughput
-	rowsPerSec  metrics.EWMA  // smoothed record throughput
+	ingested      atomic.Uint64 // records accepted into the queue
+	rejected      atomic.Uint64 // records refused by backpressure (429)
+	malformed     atomic.Uint64 // records refused by decode errors (400)
+	restoreReject atomic.Uint64 // records refused because a restore replaced the stream state (409)
+	staleDrop     atomic.Uint64 // event-mode records at or before stream time
+	failed        atomic.Uint64 // records in batches the tracker rejected (see lastErr)
+	processed     atomic.Uint64 // records fed to the tracker
+	steps         atomic.Uint64 // tracker steps taken
+	chunks        atomic.Uint64 // chunks drained from the queue
+	batchNanos    atomic.Uint64 // cumulative worker time processing chunks
+	lastBatchNs   atomic.Uint64 // latency of the most recent chunk
+	stepsPerSec   metrics.EWMA  // smoothed step throughput
+	rowsPerSec    metrics.EWMA  // smoothed record throughput
 }
 
 // observeChunk records one drained chunk: n records, s steps, d spent.
@@ -87,9 +89,17 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		p("influtrackd_malformed_records_total{stream=%q} %d\n", r.name, r.w.m.malformed.Load())
 	}
+	counter("restore_rejected_total", "Records refused because a checkpoint restore replaced the stream state mid-ingest (409).")
+	for _, r := range rows {
+		p("influtrackd_restore_rejected_total{stream=%q} %d\n", r.name, r.w.m.restoreReject.Load())
+	}
 	counter("stale_dropped_total", "Event-mode records dropped for arriving at or before stream time.")
 	for _, r := range rows {
 		p("influtrackd_stale_dropped_total{stream=%q} %d\n", r.name, r.w.m.staleDrop.Load())
+	}
+	counter("failed_records_total", "Records in batches the tracker rejected (last_error holds the cause).")
+	for _, r := range rows {
+		p("influtrackd_failed_records_total{stream=%q} %d\n", r.name, r.w.m.failed.Load())
 	}
 	counter("processed_records_total", "Records fed to the tracker.")
 	for _, r := range rows {
@@ -111,11 +121,11 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		p("influtrackd_queue_capacity{stream=%q} %d\n", r.name, cap(r.w.queue))
 	}
-	gauge("steps_per_sec", "Smoothed tracker step throughput.")
+	gauge("steps_per_sec", "Smoothed tracker step throughput while processing; holds the last value when the stream is idle.")
 	for _, r := range rows {
 		p("influtrackd_steps_per_sec{stream=%q} %g\n", r.name, r.w.m.stepsPerSec.Value())
 	}
-	gauge("records_per_sec", "Smoothed record processing throughput.")
+	gauge("records_per_sec", "Smoothed record processing throughput while processing; holds the last value when the stream is idle.")
 	for _, r := range rows {
 		p("influtrackd_records_per_sec{stream=%q} %g\n", r.name, r.w.m.rowsPerSec.Value())
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -9,6 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// errDuplicateStream marks an AddStream name collision — the only
+// AddStream failure that is a conflict rather than a bad request.
+var errDuplicateStream = errors.New("server: stream already exists")
 
 // Server hosts named tracker streams behind an HTTP API:
 //
@@ -71,7 +76,7 @@ func (s *Server) addWorker(spec StreamSpec, ckpt *checkpointEnvelope) error {
 		return errStreamClosed
 	}
 	if _, dup := s.streams[spec.Name]; dup {
-		return fmt.Errorf("server: stream %q already exists", spec.Name)
+		return fmt.Errorf("%w: %q", errDuplicateStream, spec.Name)
 	}
 	w, err := newWorker(spec, s.cfg, ckpt)
 	if err != nil {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -276,6 +277,130 @@ func TestRestoreAdoptsCheckpointSpec(t *testing.T) {
 	}
 }
 
+// TestCheckpointDrainsQueue: records already acknowledged with 200 OK
+// must be in the checkpoint even when they are still queued (not yet
+// processed) at the moment the checkpoint runs — the shutdown path
+// checkpoints before Close, so anything the drain skipped would be lost.
+func TestCheckpointDrainsQueue(t *testing.T) {
+	s, _ := newTestServer(t, Config{Streams: []StreamSpec{testSpec("ckdrain")}})
+	w, _ := s.stream("ckdrain")
+
+	// Occupy the worker with an admin fn that checkpoints only after the
+	// test has queued a chunk behind it: the chunk is provably unprocessed
+	// when checkpoint() starts.
+	started := make(chan struct{})
+	queued := make(chan struct{})
+	var data []byte
+	var cerr error
+	done := make(chan error, 1)
+	go func() {
+		done <- w.do(t.Context(), func() {
+			close(started)
+			<-queued
+			data, cerr = w.checkpoint()
+		})
+	}()
+	<-started
+	rows := []tdnstream.Interaction{
+		{Src: w.labels.intern("a"), Dst: w.labels.intern("b"), T: 7},
+		{Src: w.labels.intern("b"), Dst: w.labels.intern("c"), T: 9},
+	}
+	if err := w.enqueue(chunk{rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	close(queued)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if got := w.m.processed.Load(); got != uint64(len(rows)) {
+		t.Fatalf("checkpoint drained %d records, want %d", got, len(rows))
+	}
+	env, err := decodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trk, err := tdnstream.LoadTracker(bytes.NewReader(env.Tracker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now, _ := tdnstream.TrackerNow(trk); now != 9 {
+		t.Fatalf("checkpointed tracker time %d, want 9 (queued records missing)", now)
+	}
+}
+
+// TestRestoreRejectsStaleIngest: a chunk whose labels were interned
+// before an in-place restore carries NodeIDs from the replaced
+// dictionary; enqueue must refuse it rather than feed it to the restored
+// tracker.
+func TestRestoreRejectsStaleIngest(t *testing.T) {
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{testSpec("ep")}})
+	w, _ := s.stream("ep")
+	post(t, ts.URL+"/v1/ingest?stream=ep", ctNDJSON, "{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n")
+	waitProcessed(t, w, 1)
+	_, ckpt := post(t, ts.URL+"/v1/admin/checkpoint?stream=ep", "", "")
+
+	// An ingest that began before the restore: epoch captured, labels
+	// interned under the pre-restore dictionary.
+	epoch := w.ingestEpoch()
+	rows := []tdnstream.Interaction{{Src: w.labels.intern("x"), Dst: w.labels.intern("y"), T: 2}}
+
+	resp, err := http.Post(ts.URL+"/v1/admin/restore", "application/octet-stream", bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: status %d", resp.StatusCode)
+	}
+
+	if err := w.enqueue(chunk{rows: rows, epoch: epoch}); !errors.Is(err, errStaleIngest) {
+		t.Fatalf("stale-epoch enqueue: %v, want errStaleIngest", err)
+	}
+	if got := w.m.restoreReject.Load(); got != uint64(len(rows)) {
+		t.Fatalf("restore_rejected = %d, want %d", got, len(rows))
+	}
+
+	// A fresh ingest (new epoch, new dictionary) is accepted.
+	code, body := post(t, ts.URL+"/v1/ingest?stream=ep", ctNDJSON, "{\"src\":\"c\",\"dst\":\"d\",\"t\":3}\n")
+	if code != http.StatusOK {
+		t.Fatalf("post-restore ingest: %d: %s", code, body)
+	}
+}
+
+// TestRestoreReappliesParallelWorkers: LoadTracker rebuilds a tracker
+// single-threaded, so the restore path must reapply the spec's
+// parallel-sieve worker count.
+func TestRestoreReappliesParallelWorkers(t *testing.T) {
+	spec := StreamSpec{
+		Name:     "pw",
+		Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: 3, Eps: 0.2, L: 50, Workers: 3},
+		Lifetime: tdnstream.LifetimeSpec{Policy: "constant", Window: 25},
+	}
+	st, err := buildState(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tdnstream.SaveTracker(&buf, st.tracker); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := buildState(spec, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := restored.tracker.(interface{ Parallel() int })
+	if !ok {
+		t.Fatalf("restored tracker %T exposes no Parallel()", restored.tracker)
+	}
+	if got := p.Parallel(); got != 3 {
+		t.Fatalf("restored tracker runs %d workers, want 3", got)
+	}
+}
+
 // TestBackpressure fills the queue behind a wedged worker and requires
 // 429 + Retry-After instead of blocking.
 func TestBackpressure(t *testing.T) {
@@ -358,7 +483,7 @@ func TestArrivalMode(t *testing.T) {
 // TestStreamLifecycleAndErrors covers the management endpoints and the
 // API's failure modes.
 func TestStreamLifecycleAndErrors(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{})
 
 	// Unknown stream and missing parameter.
 	if code, _ := get(t, ts.URL+"/v1/topk?stream=nope"); code != http.StatusNotFound {
@@ -378,16 +503,28 @@ func TestStreamLifecycleAndErrors(t *testing.T) {
 		t.Fatalf("duplicate create: %d", code)
 	}
 
-	// Bad specs are rejected.
+	// Bad specs are rejected as 400 (only duplicate names are conflicts).
 	bad, _ := json.Marshal(StreamSpec{Name: "bad", Tracker: tdnstream.TrackerSpec{Algo: "nope", K: 1}})
-	if code, _ = post(t, ts.URL+"/v1/streams", "application/json", string(bad)); code != http.StatusConflict {
+	if code, _ = post(t, ts.URL+"/v1/streams", "application/json", string(bad)); code != http.StatusBadRequest {
 		t.Fatalf("bad algo create: %d", code)
+	}
+
+	// Stream names reach checkpoint file paths: traversal and separator
+	// characters must be rejected outright.
+	for _, name := range []string{"../../etc/evil", "a/b", "..", ".", "a b", strings.Repeat("x", 129)} {
+		evil, _ := json.Marshal(testSpec(name))
+		if code, _ = post(t, ts.URL+"/v1/streams", "application/json", string(evil)); code != http.StatusBadRequest {
+			t.Fatalf("create with name %q: %d, want 400", name, code)
+		}
 	}
 
 	// Malformed ingest → 400 with malformed counter.
 	code, body = post(t, ts.URL+"/v1/ingest?stream=dyn", ctNDJSON, "{\"src\":\"a\",\"dst\":\"a\"}\n")
 	if code != http.StatusBadRequest {
 		t.Fatalf("self-loop ingest: %d: %s", code, body)
+	}
+	if wk, ok := s.stream("dyn"); !ok || wk.m.malformed.Load() != 1 {
+		t.Fatalf("malformed counter not bumped on 400")
 	}
 	if code, _ = post(t, ts.URL+"/v1/ingest?stream=dyn", "application/msgpack", "x"); code != http.StatusUnsupportedMediaType {
 		t.Fatalf("bad content type: %d", code)
@@ -415,6 +552,21 @@ func TestStreamLifecycleAndErrors(t *testing.T) {
 	}
 	if code, _ = get(t, ts.URL+"/v1/topk?stream=dyn"); code != http.StatusNotFound {
 		t.Fatalf("topk after delete: %d", code)
+	}
+}
+
+// TestIngestBodyTooLarge: a body over MaxBodyBytes is well-formed input
+// hitting a server limit — 413, and not counted as malformed.
+func TestIngestBodyTooLarge(t *testing.T) {
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{testSpec("big")}, MaxBodyBytes: 64})
+	body := strings.Repeat("{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n", 10)
+	code, out := post(t, ts.URL+"/v1/ingest?stream=big", ctNDJSON, body)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: %d: %s, want 413", code, out)
+	}
+	w, _ := s.stream("big")
+	if got := w.m.malformed.Load(); got != 0 {
+		t.Fatalf("malformed = %d, want 0 (limit errors are not decode errors)", got)
 	}
 }
 

@@ -17,12 +17,17 @@ import (
 var (
 	errQueueFull    = errors.New("server: ingest queue full")
 	errStreamClosed = errors.New("server: stream closed")
+	errStaleIngest  = errors.New("server: stream state replaced during ingest")
 )
 
 // chunk is the unit of work on a stream's ingest queue: up to
-// Config.MaxChunk decoded records.
+// Config.MaxChunk decoded records. epoch pins the label dictionary the
+// records were interned under — enqueue refuses chunks from a superseded
+// epoch so a checkpoint restore can never be fed NodeIDs minted against
+// the pre-restore dictionary.
 type chunk struct {
-	rows []tdnstream.Interaction
+	rows  []tdnstream.Interaction
+	epoch uint64
 }
 
 // workerState bundles everything a checkpoint restore swaps — the
@@ -52,8 +57,13 @@ type worker struct {
 	admin  chan func()
 	done   chan struct{}
 
+	// closeMu guards closing and epoch. epoch counts state replacements
+	// (checkpoint restores): ingest captures it before interning labels and
+	// enqueue rejects chunks whose epoch is stale, so records interned
+	// under a replaced label dictionary never reach the tracker.
 	closeMu sync.RWMutex
 	closing bool
+	epoch   uint64
 
 	state atomic.Pointer[workerState]
 	snap  atomic.Pointer[Snapshot]
@@ -83,6 +93,11 @@ func buildState(spec StreamSpec, trackerBlob []byte) (*workerState, error) {
 		tracker, err = tdnstream.LoadTracker(bytes.NewReader(trackerBlob))
 		if err != nil {
 			return nil, fmt.Errorf("server: stream %q: restore: %w", spec.Name, err)
+		}
+		// LoadTracker rebuilds the tracker single-threaded; reapply the
+		// spec's parallel-sieve setting exactly as TrackerSpec.New does.
+		if spec.Tracker.Workers >= 2 {
+			tracker = tdnstream.WithParallelSieve(tracker, spec.Tracker.Workers)
 		}
 	} else {
 		tracker, err = spec.Tracker.New()
@@ -147,13 +162,29 @@ func (w *worker) run() {
 	}
 }
 
+// ingestEpoch reads the current state epoch. Ingest captures it before
+// decoding (and interning) any records; enqueue re-checks it under the
+// same lock a restore bumps it under.
+func (w *worker) ingestEpoch() uint64 {
+	w.closeMu.RLock()
+	defer w.closeMu.RUnlock()
+	return w.epoch
+}
+
 // enqueue offers a chunk to the queue without blocking: a full queue is
 // reported to the caller as backpressure rather than absorbed as latency.
+// A chunk interned under a superseded epoch (the stream was restored
+// since ingest began) is refused with errStaleIngest instead of being
+// admitted with NodeIDs the new label dictionary never assigned.
 func (w *worker) enqueue(c chunk) error {
 	w.closeMu.RLock()
 	defer w.closeMu.RUnlock()
 	if w.closing {
 		return errStreamClosed
+	}
+	if c.epoch != w.epoch {
+		w.m.restoreReject.Add(uint64(len(c.rows)))
+		return errStaleIngest
 	}
 	select {
 	case w.queue <- c:
@@ -214,6 +245,8 @@ func (w *worker) process(c chunk) {
 				w.lastT = t
 				fed += len(rows)
 				steps++
+			} else {
+				w.m.failed.Add(uint64(len(rows)))
 			}
 		}
 	default: // TimeEvent
@@ -235,6 +268,8 @@ func (w *worker) process(c chunk) {
 				w.lastT = t
 				fed += j - i
 				steps++
+			} else {
+				w.m.failed.Add(uint64(j - i))
 			}
 			i = j
 		}
@@ -300,7 +335,11 @@ type checkpointEnvelope struct {
 }
 
 // checkpoint serializes the stream (runs on the worker goroutine via do).
+// Queued chunks are processed first: every record already acknowledged
+// with 200 OK is in the serialized state, so a drain-then-checkpoint
+// shutdown loses nothing across restart.
 func (w *worker) checkpoint() ([]byte, error) {
+	w.drainQueued()
 	st := w.state.Load()
 	var trk bytes.Buffer
 	if err := tdnstream.SaveTracker(&trk, st.tracker); err != nil {
@@ -323,30 +362,53 @@ func (w *worker) checkpoint() ([]byte, error) {
 // lifetime policy and time mode — exactly as if the stream had been
 // created from the checkpoint. Randomized lifetime policies resume from
 // their seed, not from their exact stream position — constant lifetimes
-// restore bit-exactly. Chunks already queued are processed under the old
-// state first, so records interned under the old label dictionary are
-// never fed through the new one.
+// restore bit-exactly.
+//
+// The swap quiesces ingest: it holds closeMu for writing, so no enqueue
+// is in flight while the queue is drained (admitted chunks process under
+// the old state they were interned for) and the label dictionary, state
+// and epoch are replaced together. Handlers that interned records under
+// the old dictionary carry the old epoch and are refused at enqueue
+// (errStaleIngest → the client retries); handlers that observe the new
+// epoch also observe the new dictionary. A racing handler may still
+// intern labels into the new dictionary before its enqueue is refused;
+// such phantom labels occupy NodeIDs the tracker never sees — harmless
+// (a later real record reuses the same ID) and wiped by the next
+// restore's reset, at worst padding a checkpoint's Names.
 func (w *worker) restore(env *checkpointEnvelope) error {
-	w.drainQueued()
 	env.Spec.Name = w.name // a renamed checkpoint restores into this stream
 	st, err := buildState(env.Spec, env.Tracker)
 	if err != nil {
 		return err
 	}
+	// The bulk of the backlog drains before the lock lands, so concurrent
+	// ingest keeps seeing fast backpressure instead of blocking behind a
+	// long drain; the locked drain only mops up chunks that slipped in
+	// before the write lock was acquired.
+	w.drainQueued()
+	w.closeMu.Lock()
+	w.drainQueued()
 	w.labels.reset(env.Names)
 	w.lastT, _ = tdnstream.TrackerNow(st.tracker)
 	w.state.Store(st)
+	w.epoch++
+	w.closeMu.Unlock()
 	w.lastErr.Store(nil)
 	w.publish()
 	return nil
 }
 
-// drainQueued processes every chunk already in the queue (runs on the
-// worker goroutine). The run-loop select picks admin operations and
-// chunks in arbitrary order, so state-replacing operations call this
-// first to give admitted records a consistent view.
+// drainQueued processes the chunks that were in the queue when it was
+// called (runs on the worker goroutine). The run-loop select picks admin
+// operations and chunks in arbitrary order, so state-replacing operations
+// call this first to give admitted records a consistent view. The drain
+// is bounded by the queue length at entry: sustained ingest can keep the
+// queue non-empty forever, and records enqueued after the operation began
+// are not its responsibility — restore's locked call cannot race new
+// enqueues at all (the pending write lock blocks them), so there the
+// entry length is exact.
 func (w *worker) drainQueued() {
-	for {
+	for n := len(w.queue); n > 0; n-- {
 		select {
 		case c, ok := <-w.queue:
 			if !ok {
