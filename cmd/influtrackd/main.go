@@ -10,6 +10,9 @@
 //	                     greedy | random | dim | imm | timplus
 //	k=10 eps=0.1 L=1000  tracker parameters (L required for the reduction family)
 //	beta=32 workers=0    dim fanout / parallel sieve workers
+//	shards=0             ≥ 2 partitions the stream by source-node hash across
+//	                     that many tracker instances with a global top-k merge
+//	                     (the -shards flag sets a default for every stream)
 //	lifetime=geometric   constant | geometric | uniform | zipf
 //	window=0 p=0.001     constant width / geometric forgetting probability
 //	lo=1 hi=100 s=1.1    uniform bounds / zipf exponent
@@ -28,7 +31,11 @@
 //
 // On SIGTERM/SIGINT the daemon stops accepting traffic, drains every
 // ingest queue, and — when -checkpoint-dir is set — writes one checkpoint
-// per stream, which the next start restores automatically.
+// per stream, which the next start restores automatically. With
+// -checkpoint-interval the daemon additionally checkpoints every stream
+// in the background at that interval (written to a temp file and
+// renamed, so a crash mid-save never corrupts the last good checkpoint),
+// bounding how much stream history a hard crash can lose.
 package main
 
 import (
@@ -94,6 +101,8 @@ func parseStreamSpec(arg string) (server.StreamSpec, error) {
 			spec.Tracker.Beta, err = toInt()
 		case "workers", "parallel":
 			spec.Tracker.Workers, err = toInt()
+		case "shards":
+			spec.Tracker.Shards, err = toInt()
 		case "lifetime":
 			spec.Lifetime.Policy = val
 		case "window":
@@ -136,10 +145,16 @@ func main() {
 	maxBody := flag.Int64("max-body", 256<<20, "maximum ingest body bytes")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	ckptDir := flag.String("checkpoint-dir", "", "save stream checkpoints here on shutdown and restore them on start")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "additionally checkpoint every stream in the background at this interval (0 = shutdown only; needs -checkpoint-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queues")
+	shards := flag.Int("shards", 0, "default shard count for streams that set none (≥ 2 partitions each stream by source-node hash)")
 	var streams streamFlags
 	flag.Var(&streams, "stream", "hosted stream spec (repeatable); see command doc")
 	flag.Parse()
+
+	if *ckptInterval > 0 && *ckptDir == "" {
+		log.Fatal("influtrackd: -checkpoint-interval needs -checkpoint-dir")
+	}
 
 	if len(streams) == 0 {
 		streams = streamFlags{"name=default,algo=histapprox,k=10,eps=0.1,L=1000,lifetime=geometric,p=0.001,seed=42"}
@@ -154,6 +169,9 @@ func main() {
 		spec, err := parseStreamSpec(arg)
 		if err != nil {
 			log.Fatalf("influtrackd: -stream %q: %v", arg, err)
+		}
+		if spec.Tracker.Shards == 0 {
+			spec.Tracker.Shards = *shards
 		}
 		cfg.Streams = append(cfg.Streams, spec)
 	}
@@ -176,6 +194,20 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("influtrackd: serving %d stream(s) on %s", len(cfg.Streams), *addr)
 
+	var ckptLoopDone chan struct{}
+	if *ckptInterval > 0 {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatalf("influtrackd: %v", err)
+		}
+		ckptLoopDone = make(chan struct{})
+		go func() {
+			defer close(ckptLoopDone)
+			srv.PeriodicCheckpoints(ctx, *ckptInterval, fileSaver(*ckptDir, false),
+				func(err error) { log.Printf("influtrackd: background checkpoint: %v", err) })
+		}()
+		log.Printf("influtrackd: background checkpoints every %s into %s", *ckptInterval, *ckptDir)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("influtrackd: %v", err)
@@ -195,6 +227,13 @@ func main() {
 		httpSrv.Close()
 	}
 	if *ckptDir != "" {
+		// An in-flight periodic checkpoint must finish first: it holds a
+		// pre-drain snapshot, and letting it rename over the post-drain
+		// shutdown checkpoint would silently lose acknowledged records. The
+		// loop exits promptly — its context (ctx) is already canceled.
+		if ckptLoopDone != nil {
+			<-ckptLoopDone
+		}
 		// Checkpoint under a fresh budget: the drain context may already be
 		// spent if Shutdown timed out, and an expired context here would
 		// skip the checkpoint exactly when it matters most.
@@ -251,35 +290,58 @@ func restoreCheckpoints(srv *server.Server, dir string) error {
 	return nil
 }
 
+// fileSaver persists checkpoints as <dir>/<name>.ckpt, writing a
+// uniquely-named temp file and renaming: a crash mid-write never
+// truncates the previous good checkpoint, and concurrent savers of the
+// same stream (a shutdown checkpoint overlapping an in-flight periodic
+// one) can never interleave writes into one shared temp path. Temp
+// names do not end in ".ckpt", so restoreCheckpoints skips any a crash
+// leaves behind. The quiet form is for the background interval loop
+// (one log line per stream per tick would flood).
+func fileSaver(dir string, loud bool) server.SaveFunc {
+	return func(name string, data []byte) error {
+		path, err := checkpointPath(dir, name)
+		if err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(dir, name+".ckpt.tmp-*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(data); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		if loud {
+			log.Printf("influtrackd: checkpointed stream %q (%d bytes)", name, len(data))
+		}
+		return nil
+	}
+}
+
 // saveCheckpoints writes one checkpoint per hosted stream. Queues must
 // still be live (called before Close): the checkpoint drains each
 // stream's queue first, so every record acknowledged before the HTTP
-// listener shut down is in the file.
+// listener shut down is in the file. One stream failing to checkpoint
+// (e.g. a baseline tracker without snapshot support) does not cost the
+// other streams their state — CheckpointAll keeps going and the caller
+// logs the joined error once.
 func saveCheckpoints(srv *server.Server, ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	// One stream failing to checkpoint (e.g. a baseline tracker without
-	// snapshot support) must not cost the other streams their state:
-	// keep going and report every failure in the joined error (the caller
-	// logs it once).
-	var errs []error
-	for _, name := range srv.StreamNames() {
-		data, err := srv.Checkpoint(ctx, name)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
-			continue
-		}
-		path, err := checkpointPath(dir, name)
-		if err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		log.Printf("influtrackd: checkpointed stream %q (%d bytes)", name, len(data))
-	}
-	return errors.Join(errs...)
+	return srv.CheckpointAll(ctx, fileSaver(dir, true))
 }

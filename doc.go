@@ -59,6 +59,30 @@
 // daemon, the batch CLI and embedders build trackers the same way. See
 // examples/serving for an in-process walkthrough.
 //
+// # Sharding
+//
+// A single tracker is inherently serial — one goroutine owns the graph
+// — and on new-pair-heavy streams it becomes the bottleneck long before
+// HTTP or decoding do. Setting TrackerSpec.Shards ≥ 2 swaps in the
+// partitioned engine (internal/shard): each batch is hash-partitioned
+// by source node across that many independent tracker instances whose
+// Steps run concurrently, and queries greedily merge the per-shard
+// candidate top-k sets into a global size-k solution, scoring the
+// candidate union against the per-shard oracles (the sum of partition
+// reach estimates — the candidate-union composition of Yang et al.,
+// arXiv:1602.04490 and arXiv:1803.01499). Partitioning by source keeps
+// every node's full out-neighborhood inside one shard, so influential
+// sources are still found; only multi-hop reachability truncates at
+// shard boundaries, and the quality-equivalence tests pin the sharded
+// top-k within a fixed tolerance of the single-tracker answer. The
+// engine implements Tracker, so pipelines, the serving layer
+// (StreamSpec carries the shard count through checkpoints) and the CLIs
+// (-shards on influtrack and influtrackd) drive it unchanged; sharded
+// runs are deterministic for a fixed shard count, and SaveTracker
+// checkpoints carry every partition's state. BENCH_PR3.json records the
+// payoff: ≥ 7× ingest throughput with 4 shards on the tracker-bound
+// twitter-higgs workload.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

@@ -5,6 +5,14 @@
 // the stream and restores it into a second server — the restart story of
 // a production tracker.
 //
+// The stream is sharded (TrackerSpec.Shards = 4): the server partitions
+// each batch by source node across four tracker instances and merges
+// their candidates into the global top-k at query time, so one hot
+// stream uses four cores instead of one. Everything else — ingest,
+// top-k, checkpoint, restore — is identical to a single-tracker stream;
+// the checkpoint carries all four partitions. See README.md for the
+// full tour.
+//
 //	go run ./examples/serving
 package main
 
@@ -49,7 +57,7 @@ func main() {
 	srv, err := server.New(server.Config{
 		Streams: []server.StreamSpec{{
 			Name:     "demo",
-			Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: k, Eps: 0.15, L: maxLife},
+			Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: k, Eps: 0.15, L: maxLife, Shards: 4},
 			Lifetime: tdnstream.LifetimeSpec{Policy: "geometric", P: 0.005, L: maxLife, Seed: 7},
 		}},
 	})
@@ -91,10 +99,11 @@ func main() {
 	}
 	// Ingestion is asynchronous — POST returns once the records are
 	// queued, not processed. A producer that wants read-your-writes polls
-	// the stream info until the queue drains. Stale-dropped and failed
-	// records count toward the drain: they were acknowledged but skipped
-	// (replayed timestamps) or rejected (poisoned batch), so Processed
-	// alone would never reach Ingested.
+	// the stream info until the queue drains. Stale-dropped, failed and
+	// superseded records count toward the drain: they were acknowledged
+	// but skipped (replayed timestamps), rejected (poisoned batch) or
+	// discarded by a checkpoint restore, so Processed alone would never
+	// reach Ingested.
 	quiesce := func() {
 		type info struct {
 			QueueDepth   int    `json:"queue_depth"`
@@ -102,6 +111,7 @@ func main() {
 			Processed    uint64 `json:"processed"`
 			StaleDropped uint64 `json:"stale_dropped"`
 			Failed       uint64 `json:"failed"`
+			Superseded   uint64 `json:"superseded"`
 		}
 		for {
 			resp, err := http.Get(base + "/v1/streams")
@@ -116,7 +126,8 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if st := body.Streams[0]; st.QueueDepth == 0 && st.Processed+st.StaleDropped+st.Failed >= st.Ingested {
+			st := body.Streams[0]
+			if st.QueueDepth == 0 && st.Processed+st.StaleDropped+st.Failed+st.Superseded >= st.Ingested {
 				return
 			}
 			time.Sleep(5 * time.Millisecond)

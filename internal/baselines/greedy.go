@@ -143,3 +143,15 @@ func (g *Greedy) Name() string { return "Greedy" }
 
 // Graph exposes the maintained TDN (shared with evaluation harnesses).
 func (g *Greedy) Graph() *graph.TDN { return g.g }
+
+// Now returns the time of the most recent step (0 before any data).
+func (g *Greedy) Now() int64 { return g.t }
+
+// LiveGraph exposes the current live graph G_t for external oracle
+// evaluations (the shard merge layer). Nil before any data.
+func (g *Greedy) LiveGraph() influence.Graph {
+	if g.g == nil {
+		return nil
+	}
+	return g.g
+}

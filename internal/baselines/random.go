@@ -83,6 +83,18 @@ func (r *Random) Calls() *metrics.Counter { return r.calls }
 // Name implements core.Tracker.
 func (r *Random) Name() string { return "Random" }
 
+// Now returns the time of the most recent step (0 before any data).
+func (r *Random) Now() int64 { return r.t }
+
+// LiveGraph exposes the current live graph G_t for external oracle
+// evaluations (the shard merge layer). Nil before any data.
+func (r *Random) LiveGraph() influence.Graph {
+	if r.g == nil {
+		return nil
+	}
+	return r.g
+}
+
 // errTime formats the shared monotone-time violation error.
 func errTime(prev, t int64) error {
 	return fmt.Errorf("baselines: time must be strictly increasing (got %d after %d)", t, prev)

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"tdnstream/internal/influence"
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/stream"
 )
@@ -139,3 +140,15 @@ func (b *BasicReduction) NumInstances() int { return len(b.insts) }
 // InstanceAt exposes the instance with index idx at the current time
 // (nil if absent); used by invariant tests.
 func (b *BasicReduction) InstanceAt(idx int) *Sieve { return b.insts[b.t+int64(idx)] }
+
+// LiveGraph exposes the current live graph G_t for external oracle
+// evaluations (the shard merge layer): the head instance (index 1) has
+// processed exactly the live edges, so its graph is G_t. Nil before any
+// data.
+func (b *BasicReduction) LiveGraph() influence.Graph {
+	head, ok := b.insts[b.t+1]
+	if !ok {
+		return nil
+	}
+	return head.Graph()
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"tdnstream/internal/graph"
+	"tdnstream/internal/influence"
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/stream"
 )
@@ -292,3 +293,13 @@ func (h *HistApprox) InstanceAt(idx int) *Sieve { return h.insts[h.t+int64(idx)]
 
 // Store exposes the live-edge store (read-only use in tests).
 func (h *HistApprox) Store() *graph.TDN { return h.store }
+
+// LiveGraph exposes the current live graph G_t — the edge store, which
+// holds exactly the unexpired edges — for external oracle evaluations
+// (the shard merge layer). Nil before any data.
+func (h *HistApprox) LiveGraph() influence.Graph {
+	if h.store == nil {
+		return nil
+	}
+	return h.store
+}

@@ -25,6 +25,40 @@ import (
 // f_t evaluation per candidate, which is charged to the oracle counter
 // like any other evaluation.
 
+// SnapshotKind names a tracker's snapshot wire format and returns its
+// writer ("" and nil for trackers without snapshot support). It is the
+// single registry behind every kind-tagged envelope — the root facade's
+// SaveTracker and the shard engine's per-partition envelopes both
+// dispatch through it, so a new snapshot-capable tracker is added here
+// once.
+func SnapshotKind(tr Tracker) (kind string, write func(io.Writer) error) {
+	switch t := tr.(type) {
+	case *SieveADN:
+		return "sieveadn", t.WriteSnapshot
+	case *BasicReduction:
+		return "basicreduction", t.WriteSnapshot
+	case *HistApprox:
+		return "histapprox", t.WriteSnapshot
+	default:
+		return "", nil
+	}
+}
+
+// ReadSnapshot is SnapshotKind's inverse: reconstruct a tracker from a
+// kind-tagged snapshot payload. calls may be nil.
+func ReadSnapshot(kind string, r io.Reader, calls *metrics.Counter) (Tracker, error) {
+	switch kind {
+	case "sieveadn":
+		return ReadSieveADNSnapshot(r, calls)
+	case "basicreduction":
+		return ReadBasicReductionSnapshot(r, calls)
+	case "histapprox":
+		return ReadHistApproxSnapshot(r, calls)
+	default:
+		return nil, fmt.Errorf("core: unknown snapshot kind %q", kind)
+	}
+}
+
 // sieveSnap is the wire form of one Sieve.
 type sieveSnap struct {
 	K            int

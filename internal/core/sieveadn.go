@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tdnstream/internal/influence"
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/stream"
 )
@@ -49,6 +50,11 @@ func (s *SieveADN) Sieve() *Sieve { return s.sieve }
 // Now returns the time of the most recent step (0 before any data). A
 // restored tracker resumes from here: the next step must use a later time.
 func (s *SieveADN) Now() int64 { return s.t }
+
+// LiveGraph exposes the current live graph — the instance's
+// addition-only graph (every edge lives forever in the ADN model) — for
+// external oracle evaluations (the shard merge layer).
+func (s *SieveADN) LiveGraph() influence.Graph { return s.sieve.Graph() }
 
 // SetParallel turns the parallel candidate loop on (workers ≥ 2) or off.
 func (s *SieveADN) SetParallel(workers int) { s.sieve.SetParallel(workers) }

@@ -312,3 +312,15 @@ func (d *DIM) Name() string { return "DIM" }
 
 // NumSketches reports the current pool size (testing hook).
 func (d *DIM) NumSketches() int { return len(d.sketches) }
+
+// Now returns the time of the most recent step (0 before any data).
+func (d *DIM) Now() int64 { return d.t }
+
+// LiveGraph exposes the current live graph G_t for external oracle
+// evaluations (the shard merge layer). Nil before any data.
+func (d *DIM) LiveGraph() influence.Graph {
+	if d.g == nil {
+		return nil
+	}
+	return d.g
+}

@@ -50,6 +50,20 @@ func errTime(prev, t int64) error {
 	return fmt.Errorf("ris: time must be strictly increasing (got %d after %d)", t, prev)
 }
 
+// Now returns the time of the most recent step (0 before any data).
+// Promoted by IMMTracker and TIMPlusTracker.
+func (s *snapshotTracker) Now() int64 { return s.t }
+
+// LiveGraph exposes the current live graph G_t for external oracle
+// evaluations (the shard merge layer). Nil before any data. Promoted by
+// IMMTracker and TIMPlusTracker.
+func (s *snapshotTracker) LiveGraph() influence.Graph {
+	if s.g == nil {
+		return nil
+	}
+	return s.g
+}
+
 // IMMTracker wraps IMMSelect as a core.Tracker.
 type IMMTracker struct {
 	snapshotTracker

@@ -97,6 +97,36 @@ func BenchmarkIngestHTTPSieveHiggs(b *testing.B) {
 		payload, rows)
 }
 
+// benchmarkIngestHTTPShardedHiggs is the sharded form of the
+// tracker-bound worst case: the same new-pair-heavy twitter-higgs stream
+// behind a shard.Engine with the given partition count. This is the PR-3
+// acceptance pair: 4 shards must move ≥ 2× the single tracker's
+// interactions/sec on this workload.
+func benchmarkIngestHTTPShardedHiggs(b *testing.B, shards int) {
+	const rows = 20_000
+	payload := benchPayload(b, "twitter-higgs", rows)
+	benchmarkIngestHTTP(b,
+		tdnstream.TrackerSpec{Algo: "sieveadn", K: 10, Eps: 0.1, Shards: shards},
+		tdnstream.LifetimeSpec{Policy: "constant", Window: 1 << 20},
+		payload, rows)
+}
+
+func BenchmarkIngestHTTPSieveHiggsShards2(b *testing.B) { benchmarkIngestHTTPShardedHiggs(b, 2) }
+func BenchmarkIngestHTTPSieveHiggsShards4(b *testing.B) { benchmarkIngestHTTPShardedHiggs(b, 4) }
+func BenchmarkIngestHTTPSieveHiggsShards8(b *testing.B) { benchmarkIngestHTTPShardedHiggs(b, 8) }
+
+// BenchmarkIngestHTTPSieveShards4 shards the brightkite stream, where
+// the single tracker is already fast (the serving layer dominates) — the
+// number to watch for sharding overhead on repeat-heavy workloads.
+func BenchmarkIngestHTTPSieveShards4(b *testing.B) {
+	const rows = 50_000
+	payload := benchPayload(b, "brightkite", rows)
+	benchmarkIngestHTTP(b,
+		tdnstream.TrackerSpec{Algo: "sieveadn", K: 10, Eps: 0.1, Shards: 4},
+		tdnstream.LifetimeSpec{Policy: "constant", Window: 1 << 20},
+		payload, rows)
+}
+
 // BenchmarkIngestHTTPHistApprox is the same path with the paper's
 // recommended general-TDN tracker and geometric decay, for the record
 // alongside the Sieve numbers.

@@ -1,12 +1,13 @@
 package server
 
 import (
+	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
 	"strings"
 
-	"tdnstream"
 	"tdnstream/internal/stream"
 )
 
@@ -17,6 +18,62 @@ const (
 	ctJSONL  = "application/jsonl"
 	ctCSV    = "text/csv"
 )
+
+// errUnknownEncoding marks a Content-Encoding this server cannot decode
+// — a 415 to the client, distinct from a corrupt body (400).
+var errUnknownEncoding = errors.New("server: unsupported Content-Encoding")
+
+// inflateLimiter caps how many decompressed bytes an encoded ingest body
+// may expand to — the decompression-bomb guard. MaxBodyBytes alone only
+// bounds the compressed wire bytes, and gzip expands up to ~1000×; worse,
+// an event-time chunk never flushes while its timestamp is constant, so
+// without this cap a kilobyte of gzip repeating one timestamp could
+// inflate into a single multi-gigabyte in-memory chunk. Like
+// bodyLimitTracker, the hit flag is the handler's out-of-band signal
+// (decoders can mask the error behind a truncated-line parse failure)
+// to answer 413.
+type inflateLimiter struct {
+	r   io.Reader
+	n   int64 // decompressed bytes still allowed
+	hit bool
+}
+
+func (l *inflateLimiter) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		l.hit = true
+		return 0, errors.New("server: decompressed ingest body exceeds the server's max body size")
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}
+
+// decodeContentEncoding wraps an ingest body per its Content-Encoding.
+// The wrap sits on top of the size-limit tracker, so MaxBodyBytes bounds
+// the compressed wire bytes (what the connection actually carries); the
+// decompressed stream is additionally capped at maxDecoded bytes (the
+// returned inflateLimiter is nil for identity bodies, which MaxBodyBytes
+// already bounds) and decoded incrementally into bounded chunks, so a
+// high-ratio body surfaces as 413 or queue backpressure, never as
+// memory growth.
+func decodeContentEncoding(encoding string, body io.Reader, maxDecoded int64) (io.Reader, *inflateLimiter, error) {
+	switch strings.ToLower(strings.TrimSpace(encoding)) {
+	case "", "identity":
+		return body, nil, nil
+	case "gzip", "x-gzip":
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: bad gzip ingest body: %w", err)
+		}
+		l := &inflateLimiter{r: zr, n: maxDecoded}
+		return l, l, nil
+	default:
+		return nil, nil, fmt.Errorf("%w %q (want gzip or identity)", errUnknownEncoding, encoding)
+	}
+}
 
 // recordReaderFor picks a decoder for the request's Content-Type.
 func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, error) {
@@ -39,9 +96,9 @@ func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, e
 }
 
 // ingestBody streams records from rr into the worker's queue in chunks of
-// roughly maxChunk rows, interning labels as it goes. It returns how many
-// records were accepted; err distinguishes decode failures (malformed
-// input) from backpressure (errQueueFull) and shutdown (errStreamClosed).
+// roughly maxChunk rows. It returns how many records were accepted; err
+// distinguishes decode failures (malformed input) from backpressure
+// (errQueueFull) and shutdown (errStreamClosed).
 // The caller classifies the error for metrics and status (the handler
 // counts malformed requests — a decode failure here may actually be a
 // body-size-limit truncation it can see and this function cannot).
@@ -59,22 +116,24 @@ func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, e
 // boundary are dropped as stale — event-time producers should send
 // bodies in non-decreasing timestamp order.
 func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, err error) {
-	// The epoch is captured before any label is interned: if a checkpoint
-	// restore replaces the label dictionary mid-body, enqueue refuses the
-	// stale chunks instead of feeding old-dictionary NodeIDs to the
-	// restored tracker.
+	// The epoch is captured before decoding begins. Labels are interned a
+	// whole chunk at a time, atomically with the epoch re-check
+	// (worker.internAndEnqueue): if a checkpoint restore replaces the
+	// label dictionary mid-body, the stale chunks are refused before they
+	// can intern a single label into — or feed old-dictionary NodeIDs to —
+	// the restored stream.
 	epoch := w.ingestEpoch()
 	timeMode := w.state.Load().timeMode
-	rows := make([]tdnstream.Interaction, 0, maxChunk)
+	raws := make([]rawRecord, 0, maxChunk)
 	flush := func() error {
-		if len(rows) == 0 {
+		if len(raws) == 0 {
 			return nil
 		}
-		if err := w.enqueue(chunk{rows: rows, epoch: epoch}); err != nil {
+		if err := w.internAndEnqueue(raws, epoch); err != nil {
 			return err
 		}
-		accepted += len(rows)
-		rows = make([]tdnstream.Interaction, 0, maxChunk)
+		accepted += len(raws)
+		raws = make([]rawRecord, 0, maxChunk)
 		return nil
 	}
 	for {
@@ -94,16 +153,12 @@ func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, 
 			}
 			return accepted, fmt.Errorf("server: self-loop interaction on %q", src)
 		}
-		if len(rows) >= maxChunk &&
-			(timeMode != TimeEvent || t != rows[len(rows)-1].T) {
+		if len(raws) >= maxChunk &&
+			(timeMode != TimeEvent || t != raws[len(raws)-1].t) {
 			if ferr := flush(); ferr != nil {
 				return accepted, ferr
 			}
 		}
-		rows = append(rows, tdnstream.Interaction{
-			Src: w.labels.intern(src),
-			Dst: w.labels.intern(dst),
-			T:   t,
-		})
+		raws = append(raws, rawRecord{src: src, dst: dst, t: t})
 	}
 }

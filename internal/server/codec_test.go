@@ -1,6 +1,9 @@
 package server
 
 import (
+	"compress/gzip"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -33,6 +36,48 @@ func TestRecordReaderForContentTypes(t *testing.T) {
 		_, err := recordReaderFor(ct, strings.NewReader(""))
 		if (err != nil) != wantErr {
 			t.Errorf("Content-Type %q: err = %v, wantErr = %v", ct, err, wantErr)
+		}
+	}
+}
+
+func TestDecodeContentEncoding(t *testing.T) {
+	var z strings.Builder
+	zw := gzip.NewWriter(&z)
+	zw.Write([]byte("payload"))
+	zw.Close()
+
+	for _, tc := range []struct {
+		encoding string
+		body     string
+		want     string // "" means an error is expected
+		unknown  bool   // expected error is errUnknownEncoding
+	}{
+		{encoding: "", body: "payload", want: "payload"},
+		{encoding: "identity", body: "payload", want: "payload"},
+		{encoding: "gzip", body: z.String(), want: "payload"},
+		{encoding: "x-gzip", body: z.String(), want: "payload"},
+		{encoding: " GZIP ", body: z.String(), want: "payload"},
+		{encoding: "gzip", body: "corrupt"},
+		{encoding: "br", body: "anything", unknown: true},
+		{encoding: "zstd", body: "anything", unknown: true},
+	} {
+		r, _, err := decodeContentEncoding(tc.encoding, strings.NewReader(tc.body), 1<<20)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("encoding %q: no error", tc.encoding)
+			} else if errors.Is(err, errUnknownEncoding) != tc.unknown {
+				t.Errorf("encoding %q: err %v, unknown-encoding = %v, want %v",
+					tc.encoding, err, !tc.unknown, tc.unknown)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("encoding %q: %v", tc.encoding, err)
+			continue
+		}
+		out, err := io.ReadAll(r)
+		if err != nil || string(out) != tc.want {
+			t.Errorf("encoding %q: read %q (%v), want %q", tc.encoding, out, err, tc.want)
 		}
 	}
 }

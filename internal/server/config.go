@@ -106,7 +106,9 @@ type Config struct {
 	// 4096). Larger chunks amortize queue traffic; smaller chunks bound
 	// worker batch latency.
 	MaxChunk int
-	// MaxBodyBytes bounds one ingest request body (default 256 MiB).
+	// MaxBodyBytes bounds one ingest request body (default 256 MiB). For
+	// compressed bodies (Content-Encoding: gzip) it bounds both the wire
+	// bytes and the decompressed size — the decompression-bomb guard.
 	MaxBodyBytes int64
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration

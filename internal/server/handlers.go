@@ -111,15 +111,27 @@ func (b *bodyLimitTracker) Read(p []byte) (int, error) {
 // handleIngest streams the request body into the stream's bounded queue.
 // A full queue yields 429 with Retry-After (with the count admitted so
 // far, so producers can resume); malformed input yields 400; an oversized
-// body yields 413; a restore that replaced the stream state mid-request
-// yields 409 (retry re-interns against the new label dictionary).
+// body yields 413; an unknown Content-Encoding yields 415 (gzip and
+// identity are supported); a restore that replaced the stream state
+// mid-request yields 409 (retry re-interns against the new label
+// dictionary).
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	wk, ok := s.namedStream(w, r)
 	if !ok {
 		return
 	}
 	body := &bodyLimitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
-	rr, err := recordReaderFor(r.Header.Get("Content-Type"), body)
+	decoded, inflate, err := decodeContentEncoding(r.Header.Get("Content-Encoding"), body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		if errors.Is(err, errUnknownEncoding) {
+			writeError(w, http.StatusUnsupportedMediaType, "%v", err)
+		} else { // present but corrupt (bad gzip header) — a decode error like any other 400
+			wk.m.malformed.Add(1)
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	rr, err := recordReaderFor(r.Header.Get("Content-Type"), decoded)
 	if err != nil {
 		writeError(w, http.StatusUnsupportedMediaType, "%v", err)
 		return
@@ -141,6 +153,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, resp)
 	case body.hit:
 		resp.Error = "ingest body exceeds the server's max body size"
+		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
+	case inflate != nil && inflate.hit:
+		resp.Error = "decompressed ingest body exceeds the server's max body size"
 		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
 	default:
 		wk.m.malformed.Add(1)
@@ -257,13 +272,16 @@ type streamInfo struct {
 	Processed  uint64 `json:"processed"`
 	// StaleDropped counts acknowledged records the tracker skipped (event-
 	// mode timestamps at or before stream time); Failed counts records in
-	// batches the tracker rejected (LastError holds the cause). Every
-	// acknowledged record lands in exactly one of Processed, StaleDropped
-	// or Failed, so read-your-writes pollers should wait for their sum to
-	// reach Ingested — Processed alone never catches up after a replay or
-	// a poisoned batch.
+	// batches the tracker rejected (LastError holds the cause); Superseded
+	// counts records a checkpoint restore discarded from the queue
+	// unprocessed (their effect was replaced wholesale by the restored
+	// state). Every acknowledged record lands in exactly one of Processed,
+	// StaleDropped, Failed or Superseded, so read-your-writes pollers
+	// should wait for their sum to reach Ingested — Processed alone never
+	// catches up after a replay, a poisoned batch or a restore.
 	StaleDropped uint64 `json:"stale_dropped"`
 	Failed       uint64 `json:"failed"`
+	Superseded   uint64 `json:"superseded"`
 	Steps        uint64 `json:"steps"`
 	Value        int    `json:"value"`
 	LastError    string `json:"last_error,omitempty"`
@@ -282,6 +300,7 @@ func (s *Server) infoFor(wk *worker) streamInfo {
 		Processed:    wk.m.processed.Load(),
 		StaleDropped: wk.m.staleDrop.Load(),
 		Failed:       wk.m.failed.Load(),
+		Superseded:   wk.m.superseded.Load(),
 		Steps:        wk.m.steps.Load(),
 		Value:        snap.Solution.Value,
 		LastError:    wk.lastError(),

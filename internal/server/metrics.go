@@ -19,6 +19,7 @@ type streamMetrics struct {
 	restoreReject atomic.Uint64 // records refused because a restore replaced the stream state (409)
 	staleDrop     atomic.Uint64 // event-mode records at or before stream time
 	failed        atomic.Uint64 // records in batches the tracker rejected (see lastErr)
+	superseded    atomic.Uint64 // acknowledged records discarded unprocessed by a restore
 	processed     atomic.Uint64 // records fed to the tracker
 	steps         atomic.Uint64 // tracker steps taken
 	chunks        atomic.Uint64 // chunks drained from the queue
@@ -100,6 +101,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("failed_records_total", "Records in batches the tracker rejected (last_error holds the cause).")
 	for _, r := range rows {
 		p("influtrackd_failed_records_total{stream=%q} %d\n", r.name, r.w.m.failed.Load())
+	}
+	counter("superseded_records_total", "Acknowledged records discarded unprocessed because a checkpoint restore replaced the state they were queued for.")
+	for _, r := range rows {
+		p("influtrackd_superseded_records_total{stream=%q} %d\n", r.name, r.w.m.superseded.Load())
 	}
 	counter("processed_records_total", "Records fed to the tracker.")
 	for _, r := range rows {

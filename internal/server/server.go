@@ -164,6 +164,58 @@ func (s *Server) Checkpoint(ctx context.Context, name string) ([]byte, error) {
 	return data, cerr
 }
 
+// SaveFunc persists one stream's checkpoint bytes; CheckpointAll and
+// PeriodicCheckpoints call it once per hosted stream. Implementations
+// that write files should write-then-rename so a crash mid-save never
+// leaves a truncated checkpoint where a good one was.
+type SaveFunc func(name string, data []byte) error
+
+// CheckpointAll checkpoints every hosted stream through save. One stream
+// failing (e.g. a tracker without snapshot support) does not cost the
+// others their checkpoint; every failure is reported in the joined
+// error.
+func (s *Server) CheckpointAll(ctx context.Context, save SaveFunc) error {
+	var errs []error
+	for _, name := range s.StreamNames() {
+		data, err := s.Checkpoint(ctx, name)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
+			continue
+		}
+		if err := save(name, data); err != nil {
+			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// PeriodicCheckpoints checkpoints every hosted stream each interval
+// until ctx is canceled — the background durability loop behind
+// influtrackd's -checkpoint-interval, bounding how much stream history a
+// crash can lose to one interval. It blocks (callers run it in a
+// goroutine); save errors are reported to onErr (may be nil) and the
+// loop keeps going. Saves run through the per-stream worker goroutines,
+// so they serialize with ingest exactly like admin checkpoints.
+func (s *Server) PeriodicCheckpoints(ctx context.Context, every time.Duration, save SaveFunc, onErr func(error)) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			err := s.CheckpointAll(ctx, save)
+			// A tick caught mid-flight by cancellation fails with the
+			// context's error — that is shutdown, not a checkpoint problem,
+			// and reporting it would log a spurious failure on every
+			// SIGTERM that races a tick.
+			if err != nil && ctx.Err() == nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}
+
 // Restore applies a checkpoint: into the named stream if it is hosted,
 // otherwise by creating the stream from the spec embedded in the
 // checkpoint. Returns the stream name.

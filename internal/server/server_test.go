@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -734,3 +736,386 @@ type atomic64 struct {
 
 func (a *atomic64) add(n uint64) { a.mu.Lock(); a.n += n; a.mu.Unlock() }
 func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+// shardedSpec is the standard sharded stream under test: 4 HISTAPPROX
+// partitions over a constant lifetime, fully deterministic.
+func shardedSpec(name string) StreamSpec {
+	spec := testSpec(name)
+	spec.Tracker.Shards = 4
+	return spec
+}
+
+// TestEndToEndSharded is the sharded acceptance flow: ingest over HTTP
+// into a 4-shard stream, pin the answer against a library shard.Engine
+// pipeline and against a second server fed the same body (determinism),
+// then checkpoint and restore into a fresh server and require the
+// identical global top-k — the per-shard states travel in the envelope.
+func TestEndToEndSharded(t *testing.T) {
+	in, err := tdnstream.Dataset("twitter-higgs", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := ndjsonBody(t, in)
+
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{shardedSpec("sh")}, MaxChunk: 100})
+	if code, out := post(t, ts.URL+"/v1/ingest?stream=sh", ctNDJSON, body); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, out)
+	}
+	w, _ := s.stream("sh")
+	waitProcessed(t, w, uint64(len(in)))
+	got := topK(t, ts.URL, "sh")
+	if got.Value == 0 || len(got.Seeds) == 0 {
+		t.Fatalf("empty sharded topk: %+v", got)
+	}
+	if !strings.Contains(got.Algo, "Sharded[4]") {
+		t.Fatalf("stream runs %q, want a Sharded[4] engine", got.Algo)
+	}
+
+	// Library reference: the same spec driven directly through a Pipeline.
+	spec := shardedSpec("sh")
+	tracker, err := spec.Tracker.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := spec.Lifetime.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := tdnstream.NewDict()
+	ref := make([]tdnstream.Interaction, len(in))
+	for i, x := range in {
+		ref[i] = tdnstream.Interaction{
+			Src: dict.ID(fmt.Sprintf("n%d", x.Src)),
+			Dst: dict.ID(fmt.Sprintf("n%d", x.Dst)),
+			T:   x.T,
+		}
+	}
+	pipe := tdnstream.NewPipeline(tracker, assign)
+	if err := pipe.Run(ref, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := pipe.Solution()
+	gotIDs := make([]tdnstream.NodeID, len(got.Seeds))
+	for i, s := range got.Seeds {
+		gotIDs[i] = s.ID
+	}
+	if got.Value != want.Value || !reflect.DeepEqual(gotIDs, want.Seeds) {
+		t.Fatalf("sharded server answer diverges from library: got %d %v, want %d %v",
+			got.Value, gotIDs, want.Value, want.Seeds)
+	}
+
+	// Determinism over HTTP: a second server fed the same body answers
+	// identically (same shard count + same data ⇒ same global top-k).
+	s2, ts2 := newTestServer(t, Config{Streams: []StreamSpec{shardedSpec("sh")}, MaxChunk: 100})
+	post(t, ts2.URL+"/v1/ingest?stream=sh", ctNDJSON, body)
+	w2, _ := s2.stream("sh")
+	waitProcessed(t, w2, uint64(len(in)))
+	if got2 := topK(t, ts2.URL, "sh"); got2.Value != got.Value || !reflect.DeepEqual(got2.Seeds, got.Seeds) {
+		t.Fatalf("sharded runs diverge across servers: %+v vs %+v", got2, got)
+	}
+
+	// Checkpoint → restore into a fresh server: exact same solution.
+	code, ckpt := post(t, ts.URL+"/v1/admin/checkpoint?stream=sh", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("sharded checkpoint: status %d: %s", code, ckpt)
+	}
+	env, err := decodeCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Version != checkpointVersion || env.Spec.Tracker.Shards != 4 {
+		t.Fatalf("envelope version %d shards %d, want %d and 4", env.Version, env.Spec.Tracker.Shards, checkpointVersion)
+	}
+	_, ts3 := newTestServer(t, Config{})
+	resp, err := http.Post(ts3.URL+"/v1/admin/restore", "application/octet-stream", bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded restore: status %d", resp.StatusCode)
+	}
+	got3 := topK(t, ts3.URL, "sh")
+	if got3.Value != got.Value || !reflect.DeepEqual(got3.Seeds, got.Seeds) || got3.T != got.T {
+		t.Fatalf("restored sharded topk diverges: got %+v, want %+v", got3, got)
+	}
+
+	// The restored stream keeps ingesting (clock resumes past the
+	// checkpoint) and stays deterministic.
+	extra := "{\"src\":\"n1\",\"dst\":\"n0\",\"t\":999999}\n"
+	if code, out := post(t, ts3.URL+"/v1/ingest?stream=sh", ctNDJSON, extra); code != http.StatusOK {
+		t.Fatalf("post-restore sharded ingest: %d: %s", code, out)
+	}
+}
+
+// TestIngestGzip: a gzip Content-Encoding body ingests identically to
+// its identity twin; unknown encodings answer 415 and corrupt gzip 400.
+func TestIngestGzip(t *testing.T) {
+	in, err := tdnstream.Dataset("brightkite", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := ndjsonBody(t, in)
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write([]byte(body)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{testSpec("gz"), testSpec("plain")}})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/ingest?stream=gz", bytes.NewReader(zbuf.Bytes()))
+	req.Header.Set("Content-Type", ctNDJSON)
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip ingest: status %d: %s", resp.StatusCode, out)
+	}
+	var ir ingestResponse
+	if err := json.Unmarshal(out, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != len(in) {
+		t.Fatalf("gzip ingest accepted %d, want %d", ir.Accepted, len(in))
+	}
+	w, _ := s.stream("gz")
+	waitProcessed(t, w, uint64(len(in)))
+
+	post(t, ts.URL+"/v1/ingest?stream=plain", ctNDJSON, body)
+	wp, _ := s.stream("plain")
+	waitProcessed(t, wp, uint64(len(in)))
+	a, b := topK(t, ts.URL, "gz"), topK(t, ts.URL, "plain")
+	if a.Value != b.Value || !reflect.DeepEqual(a.Seeds, b.Seeds) {
+		t.Fatalf("gzip and identity ingests diverge: %+v vs %+v", a, b)
+	}
+
+	// Gzip works for CSV bodies too.
+	var csvz bytes.Buffer
+	zw = gzip.NewWriter(&csvz)
+	zw.Write([]byte("p,q,100000\nq,r,100001\n"))
+	zw.Close()
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/ingest?stream=gz", bytes.NewReader(csvz.Bytes()))
+	req.Header.Set("Content-Type", ctCSV)
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip csv ingest: status %d", resp.StatusCode)
+	}
+
+	// Unknown encodings are 415, corrupt gzip is 400.
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/ingest?stream=gz", strings.NewReader(body))
+	req.Header.Set("Content-Encoding", "br")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("br encoding: status %d, want 415", resp.StatusCode)
+	}
+	req, _ = http.NewRequest("POST", ts.URL+"/v1/ingest?stream=gz", strings.NewReader("not gzip at all"))
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt gzip: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestGzipBomb: a small compressed body whose decompressed form
+// exceeds MaxBodyBytes answers 413 instead of inflating into memory —
+// even in event-time mode with a constant timestamp, where chunks never
+// flush until the timestamp changes.
+func TestIngestGzipBomb(t *testing.T) {
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{testSpec("bomb")}, MaxBodyBytes: 512})
+	// ~50 KiB of records sharing one timestamp compresses well under the
+	// 512-byte wire limit.
+	var plain strings.Builder
+	for i := 0; i < 1500; i++ {
+		plain.WriteString("{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n")
+	}
+	var z bytes.Buffer
+	zw := gzip.NewWriter(&z)
+	zw.Write([]byte(plain.String()))
+	zw.Close()
+	if z.Len() >= 512 {
+		t.Fatalf("compressed body %d bytes does not fit the wire limit", z.Len())
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/ingest?stream=bomb", bytes.NewReader(z.Bytes()))
+	req.Header.Set("Content-Type", ctNDJSON)
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip bomb: status %d: %s, want 413", resp.StatusCode, out)
+	}
+	w, _ := s.stream("bomb")
+	if got := w.m.malformed.Load(); got != 0 {
+		t.Fatalf("malformed = %d, want 0 (limit hits are not decode errors)", got)
+	}
+}
+
+// TestRestoreSupersedesQueuedChunks: chunks still queued when a restore
+// lands are discarded without old-state pipeline work and counted as
+// superseded, keeping processed+stale_dropped+failed+superseded ==
+// ingested convergent.
+func TestRestoreSupersedesQueuedChunks(t *testing.T) {
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{testSpec("sup")}})
+	w, _ := s.stream("sup")
+	post(t, ts.URL+"/v1/ingest?stream=sup", ctNDJSON, "{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n")
+	waitProcessed(t, w, 1)
+	_, ckpt := post(t, ts.URL+"/v1/admin/checkpoint?stream=sup", "", "")
+	env, err := decodeCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	processedBefore := w.m.processed.Load()
+
+	// Occupy the worker, queue chunks behind the wedge, then restore from
+	// inside the wedge: the queued chunks are provably unprocessed when
+	// restore runs.
+	started := make(chan struct{})
+	queued := make(chan struct{})
+	var rerr error
+	done := make(chan error, 1)
+	go func() {
+		done <- w.do(t.Context(), func() {
+			close(started)
+			<-queued
+			rerr = w.restore(env)
+		})
+	}()
+	<-started
+	rows := []tdnstream.Interaction{
+		{Src: w.labels.intern("c"), Dst: w.labels.intern("d"), T: 5},
+		{Src: w.labels.intern("d"), Dst: w.labels.intern("e"), T: 6},
+	}
+	for _, r := range rows {
+		if err := w.enqueue(chunk{rows: []tdnstream.Interaction{r}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(queued)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+
+	if got := w.m.superseded.Load(); got != uint64(len(rows)) {
+		t.Fatalf("superseded = %d, want %d", got, len(rows))
+	}
+	if got := w.m.processed.Load(); got != processedBefore {
+		t.Fatalf("restore processed %d queued records under the replaced state", got-processedBefore)
+	}
+	sum := w.m.processed.Load() + w.m.staleDrop.Load() + w.m.failed.Load() + w.m.superseded.Load()
+	if got := w.m.ingested.Load(); sum != got {
+		t.Fatalf("accounting diverges: processed+stale+failed+superseded = %d, ingested = %d", sum, got)
+	}
+	// The surface agrees: /v1/streams reports the superseded count.
+	if info := s.infoFor(w); info.Superseded != uint64(len(rows)) {
+		t.Fatalf("stream info superseded = %d, want %d", info.Superseded, len(rows))
+	}
+}
+
+// TestPeriodicCheckpointCrashRestore: with background checkpointing, a
+// hard crash after the interval (no graceful shutdown checkpoint) loses
+// at most one interval — the last periodic save restores the recent
+// state.
+func TestPeriodicCheckpointCrashRestore(t *testing.T) {
+	in, err := tdnstream.Dataset("brightkite", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{testSpec("pc")}})
+	w, _ := s.stream("pc")
+	post(t, ts.URL+"/v1/ingest?stream=pc", ctNDJSON, ndjsonBody(t, in))
+	waitProcessed(t, w, uint64(len(in)))
+	want := topK(t, ts.URL, "pc")
+
+	var mu sync.Mutex
+	saved := map[string][]byte{}
+	ctx, cancel := context.WithCancel(t.Context())
+	defer cancel()
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		s.PeriodicCheckpoints(ctx, 5*time.Millisecond, func(name string, data []byte) error {
+			mu.Lock()
+			saved[name] = data
+			mu.Unlock()
+			return nil
+		}, func(err error) { t.Error(err) })
+	}()
+
+	// Wait for a background save that includes the full ingest.
+	deadline := time.Now().Add(10 * time.Second)
+	var ckpt []byte
+	for ckpt == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no background checkpoint captured the ingested state")
+		}
+		mu.Lock()
+		data := saved["pc"]
+		mu.Unlock()
+		if data != nil {
+			trk, err := tdnstream.LoadTracker(bytes.NewReader(decodeCheckpointTracker(t, data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if now, _ := tdnstream.TrackerNow(trk); now == want.T {
+				ckpt = data
+			}
+		}
+		if ckpt == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()   // stop the background loop…
+	<-loopDone // …and join it, so a late onErr can never outlive the test
+
+	// "Crash": restore the periodic copy into a brand-new server without
+	// any graceful-shutdown checkpoint from the first one.
+	s2, ts2 := newTestServer(t, Config{})
+	if _, err := s2.Restore(t.Context(), ckpt); err != nil {
+		t.Fatal(err)
+	}
+	got := topK(t, ts2.URL, "pc")
+	if got.Value != want.Value || !reflect.DeepEqual(got.Seeds, want.Seeds) || got.T != want.T {
+		t.Fatalf("crash restore diverges: got %+v, want %+v", got, want)
+	}
+}
+
+// decodeCheckpointTracker extracts the tracker blob from a server
+// checkpoint body.
+func decodeCheckpointTracker(t *testing.T, data []byte) []byte {
+	t.Helper()
+	env, err := decodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env.Tracker
+}

@@ -30,6 +30,17 @@ type chunk struct {
 	epoch uint64
 }
 
+// rawRecord is one decoded-but-not-yet-interned ingest record. The
+// ingest path batches raw records and interns a whole chunk at once
+// under the read side of closeMu (internAndEnqueue), so label interning
+// is atomic with the epoch check: a request whose state was replaced by
+// a restore is refused before it can mint a single NodeID in the new
+// dictionary.
+type rawRecord struct {
+	src, dst string
+	t        int64
+}
+
 // workerState bundles everything a checkpoint restore swaps — the
 // pipeline, its tracker, and the stream spec that built them (a restored
 // checkpoint carries its own spec, which may differ from the spec the
@@ -179,6 +190,11 @@ func (w *worker) ingestEpoch() uint64 {
 func (w *worker) enqueue(c chunk) error {
 	w.closeMu.RLock()
 	defer w.closeMu.RUnlock()
+	return w.enqueueLocked(c)
+}
+
+// enqueueLocked is enqueue's body; callers hold closeMu (either side).
+func (w *worker) enqueueLocked(c chunk) error {
 	if w.closing {
 		return errStreamClosed
 	}
@@ -194,6 +210,38 @@ func (w *worker) enqueue(c chunk) error {
 		w.m.rejected.Add(uint64(len(c.rows)))
 		return errQueueFull
 	}
+}
+
+// internAndEnqueue interns one chunk's labels and offers it to the
+// queue, all under one closeMu read-lock, so interning is atomic with
+// the epoch check: a restore (which swaps the dictionary, state and
+// epoch under the write lock) either happens entirely before — and the
+// stale epoch is refused here before any label is interned — or entirely
+// after, in which case the labels this chunk interned are part of the
+// dictionary being replaced anyway. No request can intern labels into a
+// dictionary it was not admitted against.
+func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) error {
+	if len(raws) == 0 {
+		return nil
+	}
+	w.closeMu.RLock()
+	defer w.closeMu.RUnlock()
+	if w.closing {
+		return errStreamClosed
+	}
+	if epoch != w.epoch {
+		w.m.restoreReject.Add(uint64(len(raws)))
+		return errStaleIngest
+	}
+	rows := make([]tdnstream.Interaction, len(raws))
+	for i, r := range raws {
+		rows[i] = tdnstream.Interaction{
+			Src: w.labels.intern(r.src),
+			Dst: w.labels.intern(r.dst),
+			T:   r.t,
+		}
+	}
+	return w.enqueueLocked(chunk{rows: rows, epoch: epoch})
 }
 
 // stop closes the queue and waits for the worker to drain it.
@@ -328,11 +376,22 @@ func (w *worker) lastError() string {
 // spec and the label dictionary (NodeIDs are interning-order-dependent).
 // The stream clock is not stored: the restored tracker reports it
 // through its Now() hook (tdnstream.TrackerNow).
+//
+// Version 2 (this release) adds sharded streams: Spec may carry
+// Tracker.Shards ≥ 2, in which case the Tracker blob is a shard-engine
+// envelope holding one gob snapshot per partition, and restore swaps
+// every partition in atomically with the dictionary and epoch. Version-1
+// (pre-shard) checkpoints decode with Version 0 and restore unchanged;
+// decoders reject versions from the future rather than misreading them.
 type checkpointEnvelope struct {
+	Version int
 	Spec    StreamSpec
 	Names   []string
 	Tracker []byte
 }
+
+// checkpointVersion is the envelope version this server writes.
+const checkpointVersion = 2
 
 // checkpoint serializes the stream (runs on the worker goroutine via do).
 // Queued chunks are processed first: every record already acknowledged
@@ -346,6 +405,7 @@ func (w *worker) checkpoint() ([]byte, error) {
 		return nil, err
 	}
 	env := checkpointEnvelope{
+		Version: checkpointVersion,
 		Spec:    st.spec,
 		Names:   w.labels.names(),
 		Tracker: trk.Bytes(),
@@ -364,30 +424,36 @@ func (w *worker) checkpoint() ([]byte, error) {
 // their seed, not from their exact stream position — constant lifetimes
 // restore bit-exactly.
 //
+// Queued chunks are discarded, not processed: their effect on the old
+// state is wiped by the swap anyway, so feeding them through the
+// pipeline first would be pure waste. They were acknowledged with 200
+// OK, so they are accounted under the superseded counter — replaced by
+// the restore rather than processed, dropped or failed — keeping
+// processed+stale_dropped+failed+superseded == ingested convergent for
+// read-your-writes pollers.
+//
 // The swap quiesces ingest: it holds closeMu for writing, so no enqueue
-// is in flight while the queue is drained (admitted chunks process under
-// the old state they were interned for) and the label dictionary, state
-// and epoch are replaced together. Handlers that interned records under
-// the old dictionary carry the old epoch and are refused at enqueue
-// (errStaleIngest → the client retries); handlers that observe the new
-// epoch also observe the new dictionary. A racing handler may still
-// intern labels into the new dictionary before its enqueue is refused;
-// such phantom labels occupy NodeIDs the tracker never sees — harmless
-// (a later real record reuses the same ID) and wiped by the next
-// restore's reset, at worst padding a checkpoint's Names.
+// is in flight while the queue is emptied and the label dictionary,
+// state and epoch are replaced together. Handlers that interned records
+// under the old dictionary carry the old epoch and are refused at
+// enqueue (errStaleIngest → the client retries); handlers that observe
+// the new epoch also observe the new dictionary. Interning is atomic
+// with the epoch check (internAndEnqueue holds the read lock across
+// both), so a refused request can never have interned labels into the
+// new dictionary first.
 func (w *worker) restore(env *checkpointEnvelope) error {
 	env.Spec.Name = w.name // a renamed checkpoint restores into this stream
 	st, err := buildState(env.Spec, env.Tracker)
 	if err != nil {
 		return err
 	}
-	// The bulk of the backlog drains before the lock lands, so concurrent
-	// ingest keeps seeing fast backpressure instead of blocking behind a
-	// long drain; the locked drain only mops up chunks that slipped in
-	// before the write lock was acquired.
-	w.drainQueued()
+	// The bulk of the backlog is discarded before the lock lands, so
+	// concurrent ingest keeps seeing fast backpressure instead of blocking
+	// behind a long queue walk; the locked pass only mops up chunks that
+	// slipped in before the write lock was acquired.
+	w.discardQueued()
 	w.closeMu.Lock()
-	w.drainQueued()
+	w.discardQueued()
 	w.labels.reset(env.Names)
 	w.lastT, _ = tdnstream.TrackerNow(st.tracker)
 	w.state.Store(st)
@@ -400,13 +466,11 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 
 // drainQueued processes the chunks that were in the queue when it was
 // called (runs on the worker goroutine). The run-loop select picks admin
-// operations and chunks in arbitrary order, so state-replacing operations
-// call this first to give admitted records a consistent view. The drain
-// is bounded by the queue length at entry: sustained ingest can keep the
-// queue non-empty forever, and records enqueued after the operation began
-// are not its responsibility — restore's locked call cannot race new
-// enqueues at all (the pending write lock blocks them), so there the
-// entry length is exact.
+// operations and chunks in arbitrary order, so checkpoint calls this
+// first: every record already acknowledged must be in the serialized
+// state. The drain is bounded by the queue length at entry: sustained
+// ingest can keep the queue non-empty forever, and records enqueued
+// after the operation began are not its responsibility.
 func (w *worker) drainQueued() {
 	for n := len(w.queue); n > 0; n-- {
 		select {
@@ -421,6 +485,26 @@ func (w *worker) drainQueued() {
 	}
 }
 
+// discardQueued empties the queue without touching the tracker (runs on
+// the worker goroutine), counting the dropped records as superseded —
+// restore calls it because the state those chunks would have fed is
+// about to be replaced wholesale. Bounded like drainQueued; restore's
+// locked call cannot race new enqueues at all (the pending write lock
+// blocks them), so there the entry length is exact.
+func (w *worker) discardQueued() {
+	for n := len(w.queue); n > 0; n-- {
+		select {
+		case c, ok := <-w.queue:
+			if !ok {
+				return
+			}
+			w.m.superseded.Add(uint64(len(c.rows)))
+		default:
+			return
+		}
+	}
+}
+
 // decodeCheckpoint parses a checkpoint body.
 func decodeCheckpoint(data []byte) (*checkpointEnvelope, error) {
 	var env checkpointEnvelope
@@ -429,6 +513,10 @@ func decodeCheckpoint(data []byte) (*checkpointEnvelope, error) {
 	}
 	if env.Spec.Name == "" || len(env.Tracker) == 0 {
 		return nil, errors.New("server: decode checkpoint: empty envelope")
+	}
+	if env.Version > checkpointVersion {
+		return nil, fmt.Errorf("server: checkpoint version %d is newer than this server supports (%d)",
+			env.Version, checkpointVersion)
 	}
 	return &env, nil
 }

@@ -1,0 +1,149 @@
+// Global top-k merge: combine the per-partition candidate top-k sets
+// into one size-k seed set by greedy marginal-gain selection over the
+// union of candidates, scored against the per-partition oracles.
+//
+// The score of a seed set is the sum of its reach inside each partition
+// — the composition Yang et al. use to split sieve work while keeping
+// quality bounds: every partition's top-k is a good candidate pool for
+// the global optimum restricted to that partition, so the union of pools
+// contains good global seeds, and greedy selection over the union with a
+// submodular score (a non-negative sum of submodular partition spreads)
+// keeps the usual (1−1/e) greedy behavior with respect to that score.
+// Cross-partition hops are not followed — the sum is an estimate of the
+// true global spread, which the quality-equivalence tests bound against
+// a single, unpartitioned tracker.
+package shard
+
+import (
+	"container/heap"
+	"sort"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+)
+
+// mergeCand is one CELF heap entry: a candidate with the (possibly
+// stale) gain computed at a selection round.
+type mergeCand struct {
+	v     ids.NodeID
+	gain  int
+	round int
+}
+
+// candHeap orders candidates by gain descending, node id ascending — the
+// id tie-break keeps merges deterministic across runs.
+type candHeap []mergeCand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h candHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)          { *h = append(*h, x.(mergeCand)) }
+func (h *candHeap) Pop() any            { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h candHeap) peekGain() int        { return h[0].gain }
+func (h candHeap) peekRound() int       { return h[0].round }
+func (h candHeap) peekNode() ids.NodeID { return h[0].v }
+
+// merge computes the global solution and its per-seed contribution
+// breakdown. Each partition contributes its current candidate seeds and
+// an oracle over its live graph; the greedy loop runs CELF-style (lazy
+// re-evaluation off a max-heap), so with U candidates it costs
+// O(U·P + k·P·log U)ish oracle calls instead of k·U·P.
+func (e *Engine) merge() (core.Solution, []core.SeedContribution) {
+	// Union of per-partition candidates, deduped and sorted for
+	// deterministic heap initialization.
+	seen := make(map[ids.NodeID]struct{})
+	var cands []ids.NodeID
+	for _, sh := range e.shards {
+		for _, s := range sh.Solution().Seeds {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				cands = append(cands, s)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return core.Solution{}, nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	// One oracle + reach set per partition with a live graph. Oracles are
+	// cached on the engine and retargeted: partitions replace their graph
+	// object across steps, but the oracle scratch (sized to the node
+	// space) is worth keeping.
+	var oracles []*influence.Oracle
+	var reach []*influence.ReachSet
+	for i, sh := range e.shards {
+		g := sh.(LiveGrapher).LiveGraph()
+		if g == nil {
+			continue
+		}
+		if e.oracles[i] == nil {
+			e.oracles[i] = influence.New(g, e.calls)
+		} else {
+			e.oracles[i].Retarget(g)
+		}
+		oracles = append(oracles, e.oracles[i])
+		reach = append(reach, influence.NewReachSet())
+	}
+	if len(oracles) == 0 {
+		return core.Solution{}, nil
+	}
+
+	// gainOf is the merge score's marginal: the summed per-partition gain
+	// of adding v on top of the current selection's reach sets.
+	gainOf := func(v ids.NodeID) int {
+		total := 0
+		for i, o := range oracles {
+			total += o.MarginalGain(reach[i], v, false)
+		}
+		return total
+	}
+
+	h := make(candHeap, 0, len(cands))
+	exclusive := make(map[ids.NodeID]int, len(cands))
+	for _, v := range cands {
+		g := gainOf(v)
+		exclusive[v] = g // gain on an empty selection = summed singleton spread
+		h = append(h, mergeCand{v: v, gain: g, round: 0})
+	}
+	heap.Init(&h)
+
+	// An entry's gain is exact when its round matches the current
+	// selection size; submodularity only shrinks gains, so a re-evaluated
+	// top that stays on top is the true argmax (CELF).
+	var picked []ids.NodeID
+	var contribs []core.SeedContribution
+	value := 0
+	for len(picked) < e.k && h.Len() > 0 {
+		if h.peekGain() == 0 {
+			break // everything left is already covered; a larger set adds nothing
+		}
+		if h.peekRound() != len(picked) {
+			v := h.peekNode()
+			h[0] = mergeCand{v: v, gain: gainOf(v), round: len(picked)}
+			heap.Fix(&h, 0)
+			continue
+		}
+		top := heap.Pop(&h).(mergeCand)
+		for i, o := range oracles {
+			o.MarginalGain(reach[i], top.v, true)
+		}
+		picked = append(picked, top.v)
+		value += top.gain
+		contribs = append(contribs, core.SeedContribution{
+			Seed:      top.v,
+			Gain:      top.gain,
+			Exclusive: exclusive[top.v],
+		})
+	}
+
+	seeds := append([]ids.NodeID(nil), picked...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return core.Solution{Seeds: seeds, Value: value}, contribs
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+)
+
+// Engine checkpointing: the snapshot carries one gob blob per partition
+// (each the partition tracker's own snapshot, tagged with its kind) plus
+// the engine clock, so a restored engine resumes with every partition's
+// state and the exact same source-hash routing (ShardOf is a pure
+// function of NodeID and the restored partition count). The whole
+// snapshot restores atomically — a decode failure in any partition fails
+// the restore before an Engine exists.
+
+// subSnap is one partition's snapshot, tagged with its tracker kind.
+type subSnap struct {
+	Kind    string
+	Payload []byte
+}
+
+// engineSnap is the wire form of an Engine.
+type engineSnap struct {
+	K       int
+	T       int64
+	Begun   bool
+	Stepped []bool
+	Last    []int64
+	Subs    []subSnap
+}
+
+// writeSub serializes one partition tracker through the core snapshot
+// registry (only the streaming sieve family snapshots).
+func writeSub(tr core.Tracker) (subSnap, error) {
+	kind, write := core.SnapshotKind(tr)
+	if write == nil {
+		return subSnap{}, fmt.Errorf("shard: partition tracker %s does not support snapshots", tr.Name())
+	}
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return subSnap{}, err
+	}
+	return subSnap{Kind: kind, Payload: buf.Bytes()}, nil
+}
+
+// readSub reconstructs one partition tracker, counting its oracle calls
+// into the engine's shared counter.
+func readSub(s subSnap, calls *metrics.Counter) (core.Tracker, error) {
+	return core.ReadSnapshot(s.Kind, bytes.NewReader(s.Payload), calls)
+}
+
+// WriteSnapshot serializes the engine state (gob): per-partition
+// snapshots plus the engine clock and step bookkeeping.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	snap := engineSnap{
+		K:       e.k,
+		T:       e.t,
+		Begun:   e.begun,
+		Stepped: append([]bool(nil), e.stepped...),
+		Last:    append([]int64(nil), e.last...),
+	}
+	for _, sh := range e.shards {
+		sub, err := writeSub(sh)
+		if err != nil {
+			return err
+		}
+		snap.Subs = append(snap.Subs, sub)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("shard: encode engine snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadEngineSnapshot reconstructs an engine from a snapshot written by
+// WriteSnapshot. calls may be nil; it is shared by every restored
+// partition and the merge oracles, exactly as at construction.
+func ReadEngineSnapshot(r io.Reader, calls *metrics.Counter) (*Engine, error) {
+	var snap engineSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("shard: decode engine snapshot: %w", err)
+	}
+	p := len(snap.Subs)
+	if p < 2 || p > MaxShards || snap.K < 1 ||
+		len(snap.Stepped) != p || len(snap.Last) != p {
+		return nil, fmt.Errorf("shard: corrupt engine snapshot (k=%d, %d partitions)", snap.K, p)
+	}
+	if calls == nil {
+		calls = &metrics.Counter{}
+	}
+	e := &Engine{
+		k:       snap.K,
+		calls:   calls,
+		shards:  make([]core.Tracker, p),
+		stepped: snap.Stepped,
+		last:    snap.Last,
+		parts:   make([][]stream.Edge, p),
+		errs:    make([]error, p),
+		oracles: make([]*influence.Oracle, p),
+		t:       snap.T,
+		begun:   snap.Begun,
+		dirty:   true,
+	}
+	for i, sub := range snap.Subs {
+		tr, err := readSub(sub, calls)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition %d: %w", i, err)
+		}
+		e.shards[i] = tr
+	}
+	return e, nil
+}

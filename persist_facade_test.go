@@ -2,6 +2,7 @@ package tdnstream_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -58,6 +59,64 @@ func TestSaveLoadTrackerThroughFacade(t *testing.T) {
 		if sa.Value != sb.Value {
 			t.Fatalf("%s: diverged after restore: %d vs %d", orig.Name(), sa.Value, sb.Value)
 		}
+	}
+}
+
+// TestSaveLoadShardedEngine: a sharded tracker (TrackerSpec.Shards ≥ 2)
+// round-trips through the same facade — per-partition states travel in
+// the envelope, routing is preserved, and the restored engine makes
+// identical decisions on the remaining stream.
+func TestSaveLoadShardedEngine(t *testing.T) {
+	in, err := tdnstream.Dataset("twitter-higgs", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := in[:400], in[400:]
+	for second[0].T == first[len(first)-1].T {
+		first, second = in[:len(first)+1], in[len(first)+1:]
+	}
+
+	spec := tdnstream.TrackerSpec{Algo: "histapprox", K: 5, Eps: 0.2, L: 300, Shards: 4}
+	orig, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeA := tdnstream.NewPipeline(orig, tdnstream.ConstantLifetime(200))
+	if err := pipeA.Run(first, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tdnstream.SaveTracker(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tdnstream.LoadTracker(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Name() != orig.Name() {
+		t.Fatalf("kind lost: %q vs %q", restored.Name(), orig.Name())
+	}
+	nowA, _ := tdnstream.TrackerNow(orig)
+	nowB, ok := tdnstream.TrackerNow(restored)
+	if !ok || nowB != nowA {
+		t.Fatalf("restored clock %d (ok=%v), want %d", nowB, ok, nowA)
+	}
+
+	pa := tdnstream.NewPipeline(orig, tdnstream.ConstantLifetime(200))
+	pb := tdnstream.NewPipeline(restored, tdnstream.ConstantLifetime(200))
+	if err := pa.Run(second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Run(second, nil); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := pa.Solution(), pb.Solution()
+	if sa.Value != sb.Value || !reflect.DeepEqual(sa.Seeds, sb.Seeds) {
+		t.Fatalf("sharded engine diverged after restore: %+v vs %+v", sa, sb)
+	}
+	if ex := tdnstream.Explain(restored); len(ex) != len(sb.Seeds) {
+		t.Fatalf("sharded explain: %d contributions for %d seeds", len(ex), len(sb.Seeds))
 	}
 }
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench_pr3.sh [output.json] [benchtime]
+#
+# Measures the sharded tracking engine (internal/shard) end to end
+# through the serving layer: HTTP POST → NDJSON decode → bounded queue →
+# worker → shard.Engine (source-hash partition, concurrent per-shard
+# Steps, global top-k merge), fully processed. Records interactions/sec
+# for the single tracker vs 2/4/8 shards on the new-pair-heavy
+# twitter-higgs stream (the tracker-bound worst case sharding exists
+# for) and single vs 4 shards on brightkite (the repeat-heavy stream
+# where the serving layer dominates). The PR-3 acceptance gate is
+# speedup_higgs_4shards >= 2. Default output is BENCH_PR3.json;
+# benchtime defaults to 5x (pass e.g. "1x" for a CI smoke run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+benchtime="${2:-5x}"
+pattern='BenchmarkIngestHTTPSieveHiggs$|BenchmarkIngestHTTPSieveHiggsShards2$|BenchmarkIngestHTTPSieveHiggsShards4$|BenchmarkIngestHTTPSieveHiggsShards8$|BenchmarkIngestHTTPSieve$|BenchmarkIngestHTTPSieveShards4$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test ./internal/server -run '^$' \
+  -bench "$pattern" -benchtime "$benchtime" -count 1 | tee "$raw"
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr3-sharded-engine-ingest\","
+    echo "  \"description\": \"End-to-end ingest throughput through internal/server with the internal/shard partitioned engine (source-hash partitions, concurrent per-shard Steps, global greedy top-k merge) vs the single tracker. speedup_higgs_4shards is the acceptance number (>= 2x on the new-pair-heavy twitter-higgs workload).\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"benchtime\": \"$benchtime\","
+    awk '/^cpu:/ { sub(/^cpu: */, ""); printf "  \"cpu\": \"%s\",\n", $0; exit }' "$raw"
+    echo "  \"benchmarks\": ["
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ips = "null"
+        for (i = 3; i < NF; i++) {
+            if ($(i + 1) == "interactions/sec") ips = $i
+        }
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"interactions_per_sec\": %s}", name, $2, ips
+    }
+    END { printf "\n" }
+    ' "$raw"
+    echo "  ],"
+    awk '
+    function ips(   v, i) {
+        v = "null"
+        for (i = 3; i < NF; i++) if ($(i + 1) == "interactions/sec") v = $i
+        return v
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (name == "BenchmarkIngestHTTPSieveHiggs") single = ips()
+        if (name == "BenchmarkIngestHTTPSieveHiggsShards4") sharded = ips()
+    }
+    END {
+        printf "  \"ingest_throughput_higgs_single_interactions_per_sec\": %s,\n", (single == "" ? "null" : single)
+        printf "  \"ingest_throughput_higgs_4shards_interactions_per_sec\": %s,\n", (sharded == "" ? "null" : sharded)
+        if (single != "" && sharded != "" && single != "null" && sharded != "null" && single + 0 > 0)
+            printf "  \"speedup_higgs_4shards\": %.2f\n", sharded / single
+        else
+            printf "  \"speedup_higgs_4shards\": null\n"
+    }
+    ' "$raw"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"

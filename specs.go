@@ -5,6 +5,11 @@ import (
 	"io"
 	"strings"
 
+	"tdnstream/internal/baselines"
+	"tdnstream/internal/core"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/ris"
+	"tdnstream/internal/shard"
 	"tdnstream/internal/stream"
 )
 
@@ -30,6 +35,11 @@ type TrackerSpec struct {
 	// Workers ≥ 2 enables the parallel candidate loop on sieve-based
 	// algorithms (ignored by the others).
 	Workers int
+	// Shards ≥ 2 partitions the stream by source-node hash across that
+	// many independent tracker instances with a global greedy top-k merge
+	// (internal/shard) — the scale-out mode for streams that saturate one
+	// tracker. 0 or 1 runs a single tracker.
+	Shards int
 }
 
 // TrackerAlgos lists the algorithm names TrackerSpec accepts.
@@ -38,11 +48,48 @@ func TrackerAlgos() []string {
 		"greedy", "random", "dim", "imm", "timplus"}
 }
 
-// New builds the tracker the spec describes.
+// New builds the tracker the spec describes. With Shards ≥ 2 the result
+// is a shard.Engine: Shards independent copies of the described tracker
+// behind a source-hash partitioner and a global top-k merge, all sharing
+// one oracle-call counter. Randomized algorithms offset their seed by
+// the shard index so partitions decorrelate deterministically.
 func (s TrackerSpec) New() (Tracker, error) {
 	if s.K < 1 {
 		return nil, fmt.Errorf("tdnstream: tracker spec needs k ≥ 1 (got %d)", s.K)
 	}
+	if s.Shards >= 2 {
+		calls := &metrics.Counter{}
+		eng, err := shard.NewEngine(s.Shards, s.K, func(i int) (core.Tracker, error) {
+			sub := s
+			sub.Shards = 0
+			sub.Seed = s.Seed + int64(i)
+			return sub.build(calls)
+		}, calls)
+		if err != nil {
+			return nil, fmt.Errorf("tdnstream: %w", err)
+		}
+		// Workers composes with sharding: every partition runs its own
+		// parallel candidate loop on top of the shard-level concurrency —
+		// only worth it when Shards ≪ cores.
+		if s.Workers >= 2 {
+			eng.SetParallel(s.Workers)
+		}
+		return eng, nil
+	}
+	tr, err := s.build(nil)
+	if err != nil {
+		return nil, err
+	}
+	if s.Workers >= 2 {
+		tr = WithParallelSieve(tr, s.Workers)
+	}
+	return tr, nil
+}
+
+// build constructs the single-tracker form of the spec, counting oracle
+// calls into calls (nil for a private counter). The parallel-sieve and
+// sharding wrappers are applied by New.
+func (s TrackerSpec) build(calls *metrics.Counter) (Tracker, error) {
 	eps := s.Eps
 	if eps == 0 {
 		eps = 0.1
@@ -61,43 +108,40 @@ func (s TrackerSpec) New() (Tracker, error) {
 		}
 		return nil
 	}
-	var tr Tracker
 	switch strings.ToLower(s.Algo) {
 	case "sieveadn":
-		tr = NewSieveADN(s.K, eps)
+		return core.NewSieveADN(s.K, eps, calls), nil
 	case "basicreduction":
 		if err := needL(); err != nil {
 			return nil, err
 		}
-		tr = NewBasicReduction(s.K, eps, s.L)
+		return core.NewBasicReduction(s.K, eps, s.L, calls), nil
 	case "histapprox":
 		if err := needL(); err != nil {
 			return nil, err
 		}
-		tr = NewHistApprox(s.K, eps, s.L)
+		return core.NewHistApprox(s.K, eps, s.L, calls), nil
 	case "histapprox-refined":
 		if err := needL(); err != nil {
 			return nil, err
 		}
-		tr = NewHistApproxRefined(s.K, eps, s.L)
+		h := core.NewHistApprox(s.K, eps, s.L, calls)
+		h.RefineHead = true
+		return h, nil
 	case "greedy":
-		tr = NewGreedy(s.K)
+		return baselines.NewGreedy(s.K, calls), nil
 	case "random":
-		tr = NewRandom(s.K, s.Seed)
+		return baselines.NewRandom(s.K, s.Seed, calls), nil
 	case "dim":
-		tr = NewDIM(s.K, beta, s.Seed)
+		return ris.NewDIM(s.K, beta, s.Seed, calls), nil
 	case "imm":
-		tr = NewIMM(s.K, risEps, s.Seed)
+		return ris.NewIMM(s.K, ris.IMMOptions{Eps: risEps}, s.Seed, calls), nil
 	case "timplus":
-		tr = NewTIMPlus(s.K, risEps, s.Seed)
+		return ris.NewTIMPlus(s.K, ris.TIMOptions{Eps: risEps}, s.Seed, calls), nil
 	default:
 		return nil, fmt.Errorf("tdnstream: unknown algorithm %q (want one of %s)",
 			s.Algo, strings.Join(TrackerAlgos(), ", "))
 	}
-	if s.Workers >= 2 {
-		tr = WithParallelSieve(tr, s.Workers)
-	}
-	return tr, nil
 }
 
 // LifetimeSpec selects and parameterizes a lifetime assigner (the TDN

@@ -13,6 +13,7 @@ import (
 	"tdnstream/internal/lifetime"
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/ris"
+	"tdnstream/internal/shard"
 	"tdnstream/internal/stream"
 )
 
@@ -245,28 +246,25 @@ func Explain(tr Tracker) []SeedContribution {
 
 // SaveTracker checkpoints a streaming tracker's state so a service can
 // restart without replaying history. Supported trackers: SieveADN,
-// BasicReduction, HistApprox (plain or refined). The restored tracker
-// (LoadTracker) makes identical decisions on the remaining stream.
+// BasicReduction, HistApprox (plain or refined), and sharded engines
+// (TrackerSpec.Shards ≥ 2) whose partitions are one of those — the
+// engine envelope carries one gob snapshot per partition. The restored
+// tracker (LoadTracker) makes identical decisions on the remaining
+// stream.
 func SaveTracker(w io.Writer, tr Tracker) error {
 	var env trackerEnvelope
 	var buf bytes.Buffer
-	switch t := tr.(type) {
-	case *core.SieveADN:
-		env.Kind = "sieveadn"
-		if err := t.WriteSnapshot(&buf); err != nil {
+	if eng, ok := tr.(*shard.Engine); ok {
+		env.Kind = "shard"
+		if err := eng.WriteSnapshot(&buf); err != nil {
 			return err
 		}
-	case *core.BasicReduction:
-		env.Kind = "basicreduction"
-		if err := t.WriteSnapshot(&buf); err != nil {
+	} else if kind, write := core.SnapshotKind(tr); write != nil {
+		env.Kind = kind
+		if err := write(&buf); err != nil {
 			return err
 		}
-	case *core.HistApprox:
-		env.Kind = "histapprox"
-		if err := t.WriteSnapshot(&buf); err != nil {
-			return err
-		}
-	default:
+	} else {
 		return fmt.Errorf("tdnstream: tracker %s does not support snapshots", tr.Name())
 	}
 	env.Payload = buf.Bytes()
@@ -291,14 +289,8 @@ func LoadTracker(r io.Reader) (Tracker, error) {
 		return nil, fmt.Errorf("tdnstream: decode snapshot: %w", err)
 	}
 	payload := bytes.NewReader(env.Payload)
-	switch env.Kind {
-	case "sieveadn":
-		return core.ReadSieveADNSnapshot(payload, nil)
-	case "basicreduction":
-		return core.ReadBasicReductionSnapshot(payload, nil)
-	case "histapprox":
-		return core.ReadHistApproxSnapshot(payload, nil)
-	default:
-		return nil, fmt.Errorf("tdnstream: unknown snapshot kind %q", env.Kind)
+	if env.Kind == "shard" {
+		return shard.ReadEngineSnapshot(payload, nil)
 	}
+	return core.ReadSnapshot(env.Kind, payload, nil)
 }
