@@ -18,6 +18,8 @@
 //	lo=1 hi=100 s=1.1    uniform bounds / zipf exponent
 //	seed=42              RNG seed (lifetimes and randomized algorithms)
 //	time=event           event (records carry t) | arrival (server-clocked steps)
+//	token=secret         bearer token gating ingest, admin and the events feed
+//	                     (Authorization: Bearer secret; 401 on mismatch)
 //
 // Usage:
 //
@@ -28,6 +30,22 @@
 //	curl -X POST --data-binary @interactions.ndjson \
 //	    -H 'Content-Type: application/x-ndjson' 'localhost:8080/v1/ingest?stream=demo'
 //	curl 'localhost:8080/v1/topk?stream=demo'
+//
+// Instead of polling /v1/topk, dashboards subscribe to the push feed —
+// top-k change events (entered, left, rank_changed, gain_changed,
+// keyframe) over SSE, resumable after a disconnect via the standard
+// Last-Event-ID header (or ?since=<seq>); the same endpoint upgrades to
+// a WebSocket on request:
+//
+//	curl -N 'localhost:8080/v1/streams/demo/events'
+//	curl -N -H 'Last-Event-ID: 42' 'localhost:8080/v1/streams/demo/events'
+//
+// The -notify-* flags tune the push subsystem: journal depth (how far a
+// resume can reach before falling back to a keyframe), keyframe cadence,
+// the gain-change epsilon, per-subscriber queue bounds (slow consumers
+// are dropped, never waited for), and keepalive. /v1/topk answers carry
+// the event sequence number as an ETag, so residual pollers can send
+// If-None-Match and get 304 until the top-k actually changes.
 //
 // On SIGTERM/SIGINT the daemon stops accepting traffic, drains every
 // ingest queue, and — when -checkpoint-dir is set — writes one checkpoint
@@ -54,6 +72,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/notify"
 	"tdnstream/internal/server"
 )
 
@@ -125,6 +144,8 @@ func parseStreamSpec(arg string) (server.StreamSpec, error) {
 			spec.Lifetime.Seed = int64(n)
 		case "time":
 			spec.TimeMode = val
+		case "token":
+			spec.Token = val
 		default:
 			return spec, fmt.Errorf("unknown stream option %q", key)
 		}
@@ -148,6 +169,12 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "additionally checkpoint every stream in the background at this interval (0 = shutdown only; needs -checkpoint-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queues")
 	shards := flag.Int("shards", 0, "default shard count for streams that set none (≥ 2 partitions each stream by source-node hash)")
+	notifyJournal := flag.Int("notify-journal", 0, "events retained per stream for Last-Event-ID resume (0 = default 1024)")
+	notifyKeyframe := flag.Int("notify-keyframe", 0, "publishes between full-top-k keyframe events (0 = default 64)")
+	notifyEpsilon := flag.Int("notify-epsilon", 0, "suppress gain_changed / tied-rank events whose influence move is at most this many nodes")
+	notifyBuffer := flag.Int("notify-buffer", 0, "per-subscriber event queue bound; overflowing subscribers are dropped (0 = default 64)")
+	notifyHeartbeat := flag.Duration("notify-heartbeat", 0, "idle keepalive interval on event subscriptions (0 = default 15s)")
+	notifyGains := flag.Bool("notify-gains", false, "spend oracle calls per publish to attribute per-seed ranks and gains to events (enables rank_changed / per-seed gain_changed)")
 	var streams streamFlags
 	flag.Var(&streams, "stream", "hosted stream spec (repeatable); see command doc")
 	flag.Parse()
@@ -164,6 +191,14 @@ func main() {
 		MaxChunk:     *chunkSize,
 		MaxBodyBytes: *maxBody,
 		RetryAfter:   *retryAfter,
+		Notify: notify.Config{
+			JournalSize:      *notifyJournal,
+			KeyframeEvery:    *notifyKeyframe,
+			Epsilon:          *notifyEpsilon,
+			SubscriberBuffer: *notifyBuffer,
+		},
+		NotifyHeartbeat:    *notifyHeartbeat,
+		NotifyExplainGains: *notifyGains,
 	}
 	for _, arg := range streams {
 		spec, err := parseStreamSpec(arg)
@@ -215,7 +250,12 @@ func main() {
 	}
 
 	// Graceful drain: stop accepting, drain queues, checkpoint, exit.
+	// Events subscribers are dropped first — their handlers stream until
+	// the client leaves, so without this every live dashboard would hold
+	// Shutdown hostage for the full drain timeout. Their notify state
+	// survives for the checkpoint; clients reconnect after restart.
 	log.Printf("influtrackd: shutting down — draining ingest queues")
+	srv.CloseSubscriptions()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

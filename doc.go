@@ -83,6 +83,33 @@
 // payoff: ≥ 7× ingest throughput with 4 shards on the tracker-bound
 // twitter-higgs workload.
 //
+// # Notifications
+//
+// Tracking means the answer *changes* — so the serving layer pushes the
+// changes instead of making every dashboard poll and diff snapshots. A
+// snapshot differ (internal/notify) compares consecutive published
+// solutions per stream and emits typed events — entered, left,
+// rank_changed, gain_changed (epsilon-thresholded, so churn among tied
+// gains is suppressed) and periodic full-top-k keyframes — each stamped
+// with a monotonically increasing per-stream sequence number. A hub
+// journals the most recent events in a bounded ring and fans them out to
+// GET /v1/streams/{name}/events subscribers over Server-Sent Events (or
+// a WebSocket, on upgrade) through bounded per-subscriber queues: a slow
+// consumer is dropped and resyncs on reconnect, never waited for, so the
+// worker's wait-free snapshot swap stays wait-free. Disconnected
+// subscribers resume with the SSE-standard Last-Event-ID header (or
+// ?since=<seq>) and receive the journaled continuation — or a keyframe
+// resync once the journal has moved past them. The same sequence number
+// is the ETag of /v1/topk (If-None-Match → 304), so pollers and
+// subscribers share one consistency token; checkpoints persist the
+// counter, so a restored daemon never replays sequence numbers a
+// previous incarnation already handed out. Streams can carry a bearer
+// token gating ingest, admin and the events feed (constant-time
+// compare, redacted from listings and checkpoint envelopes).
+// BENCH_PR4.json records the fan-out numbers: sub-millisecond p99
+// publish→deliver latency at 1000 subscribers, with ingest throughput
+// unchanged from the pull-only baseline.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

@@ -1,9 +1,11 @@
 // Serving: the tracker as an online service. This example starts the
 // influtrackd serving layer in-process, streams a synthetic interaction
 // dataset into it over HTTP (NDJSON, exactly like a remote producer
-// would), queries the live top-k while ingestion runs, then checkpoints
-// the stream and restores it into a second server — the restart story of
-// a production tracker.
+// would), queries the live top-k while ingestion runs, subscribes to
+// the push feed (Server-Sent Events of typed top-k change events — the
+// way a dashboard consumes the tracker without polling), then
+// checkpoints the stream and restores it into a second server — the
+// restart story of a production tracker.
 //
 // The stream is sharded (TrackerSpec.Shards = 4): the server partitions
 // each batch by source node across four tracker instances and merges
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -25,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"tdnstream"
@@ -137,9 +141,67 @@ func main() {
 	post(interactions[:steps/2])
 	quiesce()
 	fmt.Println("after first half: ", topk(base))
+
+	// A dashboard does not poll: it subscribes to the push feed and
+	// receives typed top-k change events (entered, left, rank_changed,
+	// gain_changed, keyframe), resumable after a disconnect via the
+	// SSE-standard Last-Event-ID header. ?since=0 replays the journal
+	// from the start, so the subscription opens with a keyframe of the
+	// current state. (examples/serving/dashboard.html is the browser
+	// twin of this loop, built on EventSource.)
+	subCtx, cancelSub := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(subCtx, "GET", base+"/v1/streams/demo/events?since=0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Body.Close()
+	lines := make(chan string, 1024)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(sub.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				lines <- data
+			}
+		}
+	}()
+
 	post(interactions[steps/2:])
 	quiesce()
 	fmt.Println("after second half:", topk(base))
+
+	// Drain what the second half pushed: count events by type and show
+	// the first few membership changes.
+	time.Sleep(200 * time.Millisecond) // let the final publish fan out
+	cancelSub()
+	counts := map[string]int{}
+	var changes []string
+	for data := range lines {
+		var ev struct {
+			Seq  int64  `json:"seq"`
+			Type string `json:"type"`
+			Node *struct {
+				Label string `json:"label"`
+			} `json:"node"`
+		}
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			continue
+		}
+		counts[ev.Type]++
+		if (ev.Type == "entered" || ev.Type == "left") && ev.Node != nil && len(changes) < 6 {
+			changes = append(changes, fmt.Sprintf("%s %q (seq %d)", ev.Type, ev.Node.Label, ev.Seq))
+		}
+	}
+	fmt.Printf("pushed while streaming: %d entered, %d left, %d keyframes, %d value drifts\n",
+		counts["entered"], counts["left"], counts["keyframe"], counts["gain_changed"])
+	for _, c := range changes {
+		fmt.Println("  event:", c)
+	}
 
 	// Checkpoint the live stream and restore it into a brand-new server —
 	// same top-k, no replay of the 3000-step history.

@@ -1,0 +1,144 @@
+package notify
+
+// Differ turns consecutive published top-k snapshots into change events.
+// It is a pure sequential state machine — one per stream, driven by that
+// stream's single publisher — and emits events WITHOUT sequence numbers;
+// the Hub stamps them as it appends to the journal.
+//
+// Event semantics per Diff call (old snapshot → new snapshot):
+//
+//   - entered / left: plain set difference on member ids. k growing or
+//     shrinking between snapshots needs no special case — extra members
+//     enter, surplus members leave.
+//   - rank_changed: a member present in both snapshots whose rank moved
+//     AND whose gain moved by more than eps. Rank swaps among tied (or
+//     untracked, all-zero) gains are suppressed: solution seed orders are
+//     only meaningful when the producer ranks them, and churn among
+//     indistinguishable gains is noise. The event carries both the old
+//     and new rank and gain.
+//   - gain_changed (per-node): a member whose gain moved by more than eps
+//     while its rank held. At most one event per member per diff:
+//     rank_changed subsumes the gain fields when both moved.
+//   - gain_changed (solution-level, Node == nil): membership, ranks and
+//     per-member gains all held but the solution's total spread moved by
+//     more than eps — pure decay drift, invisible to the per-node rules.
+//   - keyframe: the full new top-k. Emitted on the first Diff, every
+//     KeyframeEvery-th Diff thereafter, and on demand after ForceKeyframe
+//     (a checkpoint restore replaced the state wholesale, so the next
+//     publish must resync subscribers). Keyframes are appended after the
+//     delta events of the same Diff so a journal replay that ends on a
+//     keyframe is self-contained.
+type Differ struct {
+	// Eps is the gain-change threshold: gain and value moves of at most
+	// Eps are suppressed. 0 means any nonzero move is news.
+	Eps int
+	// KeyframeEvery emits a keyframe every Nth Diff (≤ 0: only the first
+	// Diff and forced ones).
+	KeyframeEvery int
+
+	prev     TopK
+	havePrev bool
+	sinceKey int
+	forceKey bool
+}
+
+// ForceKeyframe makes the next Diff emit a keyframe regardless of
+// cadence. Called after a state replacement (checkpoint restore): the
+// diff against the pre-restore snapshot is still emitted — subscribers
+// see the membership changes — but the keyframe gives them the full
+// post-restore truth to rebase on.
+func (d *Differ) ForceKeyframe() { d.forceKey = true }
+
+// Diff compares the previously published snapshot with cur and returns
+// the change events, oldest-first. The returned events have no Seq and no
+// Stream; the hub stamps both.
+func (d *Differ) Diff(cur TopK) []Event {
+	var out []Event
+	abs := func(n int) int {
+		if n < 0 {
+			return -n
+		}
+		return n
+	}
+	if d.havePrev {
+		type pos struct {
+			rank int
+			gain int
+		}
+		oldAt := make(map[uint32]pos, len(d.prev.Entries))
+		for i, e := range d.prev.Entries {
+			oldAt[uint32(e.ID)] = pos{rank: i, gain: e.Gain}
+		}
+		newIDs := make(map[uint32]struct{}, len(cur.Entries))
+		perNode := 0
+		for i := range cur.Entries {
+			e := cur.Entries[i]
+			newIDs[uint32(e.ID)] = struct{}{}
+			p, ok := oldAt[uint32(e.ID)]
+			if !ok {
+				node := e
+				out = append(out, Event{
+					Type: Entered, T: cur.T, Value: cur.Value,
+					Node: &node, Rank: i, PrevRank: -1,
+				})
+				perNode++
+				continue
+			}
+			gainMoved := abs(e.Gain-p.gain) > d.Eps
+			switch {
+			case i != p.rank && gainMoved:
+				node := e
+				out = append(out, Event{
+					Type: RankChanged, T: cur.T, Value: cur.Value,
+					Node: &node, Rank: i, PrevRank: p.rank, PrevGain: p.gain,
+				})
+				perNode++
+			case i == p.rank && gainMoved:
+				node := e
+				out = append(out, Event{
+					Type: GainChanged, T: cur.T, Value: cur.Value,
+					Node: &node, Rank: i, PrevRank: p.rank, PrevGain: p.gain,
+				})
+				perNode++
+			}
+		}
+		for i, e := range d.prev.Entries {
+			if _, still := newIDs[uint32(e.ID)]; still {
+				continue
+			}
+			node := e
+			out = append(out, Event{
+				Type: Left, T: cur.T, Value: cur.Value,
+				Node: &node, Rank: -1, PrevRank: i, PrevGain: e.Gain,
+			})
+			perNode++
+		}
+		// Pure decay drift: same set, same ranks, same gains, different
+		// total spread.
+		if perNode == 0 && abs(cur.Value-d.prev.Value) > d.Eps {
+			out = append(out, Event{
+				Type: GainChanged, T: cur.T, Value: cur.Value,
+				Rank: -1, PrevRank: -1, PrevValue: d.prev.Value,
+			})
+		}
+	}
+
+	d.sinceKey++
+	if !d.havePrev || d.forceKey || (d.KeyframeEvery > 0 && d.sinceKey >= d.KeyframeEvery) {
+		out = append(out, Event{
+			Type: Keyframe, T: cur.T, Value: cur.Value,
+			Rank: -1, PrevRank: -1,
+			TopK: append([]Entry(nil), cur.Entries...),
+		})
+		d.sinceKey = 0
+		d.forceKey = false
+	}
+	d.prev = cur.clone()
+	d.havePrev = true
+	return out
+}
+
+// Last returns the most recently diffed snapshot — the differ's own
+// retained clone, shared to spare the hub a second per-publish copy.
+// Callers must treat it as read-only; Diff replaces (never mutates) it.
+func (d *Differ) Last() TopK { return d.prev }

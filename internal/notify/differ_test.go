@@ -1,0 +1,204 @@
+package notify
+
+import (
+	"reflect"
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+// mk builds a TopK from (id, gain) pairs in rank order.
+func mk(t int64, value int, pairs ...[2]int) TopK {
+	s := TopK{T: t, Value: value}
+	for _, p := range pairs {
+		s.Entries = append(s.Entries, Entry{ID: ids.NodeID(p[0]), Gain: p[1]})
+	}
+	return s
+}
+
+// types extracts the event-type sequence.
+func types(evs []Event) []EventType {
+	out := make([]EventType, len(evs))
+	for i, e := range evs {
+		out[i] = e.Type
+	}
+	return out
+}
+
+// find returns the first event of the given type (nil if absent).
+func find(evs []Event, t EventType) *Event {
+	for i := range evs {
+		if evs[i].Type == t {
+			return &evs[i]
+		}
+	}
+	return nil
+}
+
+func TestDifferFirstDiffIsKeyframe(t *testing.T) {
+	var d Differ
+	evs := d.Diff(mk(1, 10, [2]int{4, 6}, [2]int{2, 4}))
+	if !reflect.DeepEqual(types(evs), []EventType{Keyframe}) {
+		t.Fatalf("first diff events %v, want a single keyframe", types(evs))
+	}
+	kf := evs[0]
+	if len(kf.TopK) != 2 || kf.TopK[0].ID != 4 || kf.Value != 10 || kf.T != 1 {
+		t.Fatalf("keyframe payload wrong: %+v", kf)
+	}
+}
+
+func TestDifferEnteredLeft(t *testing.T) {
+	var d Differ
+	d.Diff(mk(1, 10, [2]int{1, 6}, [2]int{2, 4}))
+	evs := d.Diff(mk(2, 12, [2]int{1, 6}, [2]int{3, 6}))
+	entered, left := find(evs, Entered), find(evs, Left)
+	if entered == nil || left == nil {
+		t.Fatalf("events %v, want entered and left", types(evs))
+	}
+	if entered.Node.ID != 3 || entered.Rank != 1 || entered.Value != 12 {
+		t.Fatalf("entered event wrong: %+v", entered)
+	}
+	if entered.PrevRank != -1 {
+		t.Fatalf("entered PrevRank = %d, want the -1 absent sentinel", entered.PrevRank)
+	}
+	if left.Node.ID != 2 || left.PrevRank != 1 || left.PrevGain != 4 || left.Rank != -1 {
+		t.Fatalf("left event wrong: %+v", left)
+	}
+}
+
+// TestDifferKShrinkGrow: the solution size changing between snapshots is
+// plain membership churn — surplus seeds leave, new seeds enter.
+func TestDifferKShrinkGrow(t *testing.T) {
+	var d Differ
+	d.Diff(mk(1, 20, [2]int{1, 9}, [2]int{2, 6}, [2]int{3, 5}))
+	// Shrink 3 → 1.
+	evs := d.Diff(mk(2, 9, [2]int{1, 9}))
+	lefts := 0
+	for _, e := range evs {
+		if e.Type == Left {
+			lefts++
+		}
+	}
+	if lefts != 2 || find(evs, Entered) != nil {
+		t.Fatalf("shrink events %v, want exactly two left", types(evs))
+	}
+	// Grow 1 → 3 with one new member twice over.
+	evs = d.Diff(mk(3, 21, [2]int{1, 9}, [2]int{4, 7}, [2]int{5, 5}))
+	enters := 0
+	for _, e := range evs {
+		if e.Type == Entered {
+			enters++
+		}
+	}
+	if enters != 2 || find(evs, Left) != nil {
+		t.Fatalf("grow events %v, want exactly two entered", types(evs))
+	}
+}
+
+// TestDifferTiedGainRankChurnSuppressed: two seeds swapping ranks while
+// their gains move by at most eps is churn among ties, not news.
+func TestDifferTiedGainRankChurnSuppressed(t *testing.T) {
+	d := Differ{Eps: 1}
+	d.Diff(mk(1, 11, [2]int{1, 6}, [2]int{2, 5}))
+	// Swap: gains move by 1 each — within eps.
+	evs := d.Diff(mk(2, 11, [2]int{2, 6}, [2]int{1, 5}))
+	if len(evs) != 0 {
+		t.Fatalf("tied-gain swap emitted %v, want nothing", types(evs))
+	}
+	// Swap with a real gain move (> eps): rank_changed for both movers.
+	evs = d.Diff(mk(3, 14, [2]int{1, 9}, [2]int{2, 5}))
+	rc := find(evs, RankChanged)
+	if rc == nil || rc.Node.ID != 1 || rc.PrevRank != 1 || rc.Rank != 0 || rc.PrevGain != 5 {
+		t.Fatalf("rank_changed wrong: %v (%+v)", types(evs), rc)
+	}
+}
+
+// TestDifferGainChanged: gain moves past eps at a held rank.
+func TestDifferGainChanged(t *testing.T) {
+	d := Differ{Eps: 2}
+	d.Diff(mk(1, 10, [2]int{1, 6}, [2]int{2, 4}))
+	// Move of exactly eps: suppressed.
+	if evs := d.Diff(mk(2, 10, [2]int{1, 8}, [2]int{2, 4})); len(evs) != 0 {
+		t.Fatalf("eps-bounded gain move emitted %v", types(evs))
+	}
+	// Move past eps: one gain_changed for the mover.
+	evs := d.Diff(mk(3, 13, [2]int{1, 11}, [2]int{2, 4}))
+	gc := find(evs, GainChanged)
+	if gc == nil || gc.Node == nil || gc.Node.ID != 1 || gc.PrevGain != 8 || gc.Node.Gain != 11 {
+		t.Fatalf("gain_changed wrong: %v (%+v)", types(evs), gc)
+	}
+}
+
+// TestDifferSolutionLevelGainChanged: untracked per-seed gains (all
+// zero), same membership, but the total spread drifts — the node-less
+// gain_changed form, which is what real id-ordered solutions emit as
+// decay erodes their value.
+func TestDifferSolutionLevelGainChanged(t *testing.T) {
+	d := Differ{Eps: 1}
+	d.Diff(mk(1, 50, [2]int{1, 0}, [2]int{2, 0}))
+	if evs := d.Diff(mk(2, 50, [2]int{1, 0}, [2]int{2, 0})); len(evs) != 0 {
+		t.Fatalf("no-op diff emitted %v", types(evs))
+	}
+	if evs := d.Diff(mk(3, 49, [2]int{1, 0}, [2]int{2, 0})); len(evs) != 0 {
+		t.Fatalf("eps-bounded value drift emitted %v", types(evs))
+	}
+	evs := d.Diff(mk(4, 40, [2]int{1, 0}, [2]int{2, 0}))
+	if len(evs) != 1 || evs[0].Type != GainChanged || evs[0].Node != nil {
+		t.Fatalf("value drift events %v, want one node-less gain_changed", types(evs))
+	}
+	if evs[0].PrevValue != 49 || evs[0].Value != 40 {
+		t.Fatalf("value drift payload wrong: %+v", evs[0])
+	}
+	// Untracked gains also mean id-order shifts from membership churn are
+	// not rank_changed noise: inserting a low id shifts every later seed.
+	evs = d.Diff(mk(5, 44, [2]int{0, 0}, [2]int{1, 0}, [2]int{2, 0}))
+	if find(evs, RankChanged) != nil {
+		t.Fatalf("insert-shift emitted rank_changed: %v", types(evs))
+	}
+}
+
+// TestDifferKeyframeCadence: a keyframe on the first diff, then every
+// KeyframeEvery-th, then on demand after ForceKeyframe.
+func TestDifferKeyframeCadence(t *testing.T) {
+	d := Differ{KeyframeEvery: 3}
+	if kf := find(d.Diff(mk(1, 1, [2]int{1, 1})), Keyframe); kf == nil {
+		t.Fatal("first diff emitted no keyframe")
+	}
+	if kf := find(d.Diff(mk(2, 1, [2]int{1, 1})), Keyframe); kf != nil {
+		t.Fatal("second diff emitted a keyframe early")
+	}
+	if kf := find(d.Diff(mk(3, 1, [2]int{1, 1})), Keyframe); kf != nil {
+		t.Fatal("third diff emitted a keyframe early")
+	}
+	evs := d.Diff(mk(4, 1, [2]int{1, 1}))
+	if kf := find(evs, Keyframe); kf == nil {
+		t.Fatalf("cadence diff emitted no keyframe: %v", types(evs))
+	}
+	d.ForceKeyframe()
+	evs = d.Diff(mk(5, 2, [2]int{2, 2}))
+	kf := find(evs, Keyframe)
+	if kf == nil {
+		t.Fatalf("forced diff emitted no keyframe: %v", types(evs))
+	}
+	// The keyframe comes after the same diff's delta events, so a replay
+	// ending on it is self-contained.
+	if evs[len(evs)-1].Type != Keyframe {
+		t.Fatalf("keyframe is not the last event of its diff: %v", types(evs))
+	}
+	if len(kf.TopK) != 1 || kf.TopK[0].ID != 2 {
+		t.Fatalf("forced keyframe payload wrong: %+v", kf)
+	}
+}
+
+// TestDifferDoesNotAliasCaller: mutating the caller's entry slice after
+// Diff must not corrupt the differ's retained previous snapshot.
+func TestDifferDoesNotAliasCaller(t *testing.T) {
+	var d Differ
+	cur := mk(1, 10, [2]int{1, 6}, [2]int{2, 4})
+	d.Diff(cur)
+	cur.Entries[0] = Entry{ID: 99, Gain: 99}
+	evs := d.Diff(mk(2, 10, [2]int{1, 6}, [2]int{2, 4}))
+	if len(evs) != 0 {
+		t.Fatalf("aliased prev snapshot: no-op diff emitted %v", types(evs))
+	}
+}

@@ -1,0 +1,111 @@
+// Package notify is the top-k change-detection and live-push subsystem:
+// it converts the serving layer from pull-only (clients polling
+// GET /v1/topk and diffing snapshots themselves) into push-native.
+//
+// The paper's whole point is *tracking* — the influential set evolves as
+// interactions arrive and their lifetimes decay — so the natural serving
+// primitive is not the snapshot but the *change*: which nodes entered the
+// top-k, which left, whose rank or influence moved (the dynamic-
+// maintenance framing of Yang et al., arXiv:1602.04490 and
+// arXiv:1803.01499). A Differ compares consecutive published solutions
+// and emits typed events; a Hub journals them in a bounded ring per
+// stream (so a disconnected subscriber resumes from its last seen
+// sequence number, falling back to a keyframe when the journal has moved
+// on) and fans them out to SSE and WebSocket subscribers through bounded
+// per-subscriber queues. Slow consumers are dropped, never waited for:
+// the publish path is non-blocking by construction, so the tracker
+// worker's wait-free snapshot swap stays wait-free.
+package notify
+
+import (
+	"encoding/json"
+
+	"tdnstream/internal/ids"
+)
+
+// EventType enumerates the change events a Differ emits.
+type EventType string
+
+const (
+	// Entered: a node joined the top-k set.
+	Entered EventType = "entered"
+	// Left: a node fell out of the top-k set.
+	Left EventType = "left"
+	// RankChanged: a node stayed in the set but moved to a different
+	// rank, and its gain moved by more than the epsilon threshold —
+	// rank churn among (near-)tied gains is suppressed, because swapping
+	// two seeds whose influence is indistinguishable is noise, not news.
+	RankChanged EventType = "rank_changed"
+	// GainChanged: influence moved by more than epsilon without a
+	// membership or rank change. With a node attached it is that seed's
+	// gain; without one it is the solution's total spread (emitted when
+	// the set itself is unchanged but its value drifted — decay at work).
+	GainChanged EventType = "gain_changed"
+	// Keyframe carries the full current top-k: the first event of every
+	// stream, a periodic resync point in the journal, and the fallback a
+	// resuming subscriber receives when its requested sequence number has
+	// been evicted. A consumer that applies a keyframe needs no prior
+	// events.
+	Keyframe EventType = "keyframe"
+)
+
+// Entry is one ranked member of a top-k snapshot. Rank is the position in
+// the published order (0 = best); Gain is the seed's marginal influence
+// contribution when the producer tracks it, 0 when it does not (solution
+// seed lists are id-ordered and gain-free unless the serving layer is
+// configured to spend oracle calls on per-seed attribution).
+type Entry struct {
+	ID    ids.NodeID `json:"id"`
+	Label string     `json:"label,omitempty"`
+	Gain  int        `json:"gain,omitempty"`
+}
+
+// TopK is one published solution snapshot as the differ sees it: the
+// rank-ordered member entries plus the solution's total spread.
+type TopK struct {
+	T       int64
+	Value   int
+	Entries []Entry
+}
+
+// clone deep-copies a TopK so the differ's retained previous snapshot
+// cannot alias a caller-owned slice.
+func (s TopK) clone() TopK {
+	s.Entries = append([]Entry(nil), s.Entries...)
+	return s
+}
+
+// Event is one top-k change, stamped with the stream's monotonically
+// increasing sequence number. Every event carries the stream time and the
+// solution's total spread at emission; the per-node fields are present
+// for entered/left/rank_changed/per-seed gain_changed, and TopK is
+// present on keyframes only.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Type   EventType `json:"type"`
+	Stream string    `json:"stream,omitempty"`
+	T      int64     `json:"t"`
+	Value  int       `json:"value"`
+
+	// Node identifies the changed seed (nil on keyframes and on
+	// solution-level gain_changed events). Rank fields are 0-based and
+	// not omitted when zero — rank 0 is the best seed; -1 is the
+	// "absent" sentinel (Rank on left events, PrevRank on entered
+	// events, both on keyframes and solution-level gain_changed).
+	Node     *Entry `json:"node,omitempty"`
+	Rank     int    `json:"rank"`
+	PrevRank int    `json:"prev_rank"`
+	PrevGain int    `json:"prev_gain"`
+	// PrevValue accompanies solution-level gain_changed events.
+	PrevValue int `json:"prev_value"`
+
+	TopK []Entry `json:"topk,omitempty"`
+}
+
+// MarshalJSON is the wire form shared by the SSE data payload and the
+// WebSocket text frames. A plain struct marshal today; the method pins
+// the codec in one place.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type wire Event // shed the method to avoid recursion
+	return json.Marshal(wire(e))
+}

@@ -1,0 +1,381 @@
+package notify
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tdnstream/internal/metrics"
+)
+
+// Config parameterizes a Hub.
+type Config struct {
+	// JournalSize bounds each stream's event journal, in events (default
+	// 1024). A subscriber that reconnects within the last JournalSize
+	// events resumes exactly; older resumes fall back to a keyframe.
+	JournalSize int
+	// KeyframeEvery emits a full-top-k keyframe event every Nth publish
+	// (default 64), bounding how far a keyframe-resynced subscriber's
+	// journal replay can stretch.
+	KeyframeEvery int
+	// Epsilon suppresses gain_changed and tied-gain rank_changed events
+	// whose influence move is at most this many reachable nodes
+	// (default 0: any nonzero move is an event).
+	Epsilon int
+	// SubscriberBuffer bounds each subscriber's delivery queue, in
+	// publish batches (default 64; a batch holds all events of one
+	// publish). A subscriber whose queue overflows is dropped — the
+	// publish path never blocks on a slow consumer.
+	SubscriberBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.JournalSize <= 0 {
+		c.JournalSize = 1024
+	}
+	if c.KeyframeEvery <= 0 {
+		c.KeyframeEvery = 64
+	}
+	if c.Epsilon < 0 {
+		c.Epsilon = 0
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 64
+	}
+	return c
+}
+
+// Subscription is one consumer's live event feed. Backlog holds the
+// replayed journal events (or the resync keyframe) computed at subscribe
+// time; C delivers everything published after that — one batch per
+// publish, so fan-out costs one channel send per subscriber per publish
+// rather than per event — in order, and is closed when the subscriber is
+// dropped (slow consumer), canceled, or the stream is removed.
+// Backlog-then-C never gaps or duplicates: both are cut under the same
+// per-stream lock.
+type Subscription struct {
+	Stream  string
+	Backlog []Event
+	C       <-chan []Event
+
+	hub  *Hub
+	st   *hubStream
+	ch   chan []Event
+	slow bool // guarded by st.mu: evicted for falling behind
+}
+
+// Cancel detaches the subscription. Idempotent; C is closed.
+func (s *Subscription) Cancel() {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	s.st.drop(s, false)
+}
+
+// Dropped reports whether the hub evicted this subscriber for falling
+// behind (its bounded queue overflowed). Meaningful once C is closed.
+func (s *Subscription) Dropped() bool {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	return s.slow
+}
+
+// StreamStats is one stream's observability surface for /metrics.
+type StreamStats struct {
+	Seq          uint64  // latest stamped sequence number
+	Subscribers  int     // live subscriber count
+	Events       uint64  // events published since stream creation
+	Dropped      uint64  // subscribers evicted for falling behind
+	EventsPerSec float64 // smoothed publish-side event rate
+}
+
+// hubStream is the per-stream fan-out state. The latest published
+// snapshot (for keyframe resyncs) lives inside the differ — it already
+// retains a clone, so the hub does not keep a second copy.
+type hubStream struct {
+	mu      sync.Mutex
+	differ  Differ
+	journal *Journal
+	seq     uint64
+	subs    map[*Subscription]struct{}
+	removed bool
+	// resync is set between a Resume (state replaced, journal cleared)
+	// and the next Publish (which emits the forced keyframe). In that
+	// window the differ's retained snapshot describes the *replaced*
+	// state, so Subscribe must not synthesize a keyframe from it —
+	// subscribers wait for the forced one instead.
+	resync bool
+
+	events  uint64
+	dropped uint64
+	lastPub time.Time
+	rate    metrics.EWMA
+}
+
+// drop detaches sub under st.mu. slow records why, for Dropped() and the
+// dropped-subscriber counter.
+func (st *hubStream) drop(sub *Subscription, slow bool) {
+	if _, live := st.subs[sub]; !live {
+		return
+	}
+	delete(st.subs, sub)
+	if slow {
+		sub.slow = true
+		st.dropped++
+	}
+	close(sub.ch)
+}
+
+// Hub owns the per-stream differs, journals and subscriber sets. One hub
+// serves one Server; workers publish into it and the events endpoints
+// subscribe out of it. All methods are safe for concurrent use; per-
+// stream state is guarded by a per-stream lock, so streams never contend
+// with each other.
+type Hub struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	streams map[string]*hubStream
+	// retired remembers the last stamped sequence number of every
+	// removed stream: a stream deleted and re-created under the same
+	// name must keep its sequence monotone, or a client holding an old
+	// incarnation's ETag would false-304 once the new incarnation's
+	// counter passed it, and an old Last-Event-ID would replay the new
+	// journal as if it were continuous history. One uint64 per retired
+	// name is the whole cost.
+	retired map[string]uint64
+}
+
+// NewHub builds a hub.
+func NewHub(cfg Config) *Hub {
+	return &Hub{
+		cfg:     cfg.withDefaults(),
+		streams: make(map[string]*hubStream),
+		retired: make(map[string]uint64),
+	}
+}
+
+// ensure returns the stream's fan-out state, creating it on first use.
+// A re-created stream resumes past its retired predecessor's counter.
+func (h *Hub) ensure(name string) *hubStream {
+	h.mu.RLock()
+	st := h.streams[name]
+	h.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st = h.streams[name]; st != nil {
+		return st
+	}
+	st = &hubStream{
+		differ:  Differ{Eps: h.cfg.Epsilon, KeyframeEvery: h.cfg.KeyframeEvery},
+		journal: NewJournal(h.cfg.JournalSize),
+		subs:    make(map[*Subscription]struct{}),
+		seq:     h.retired[name],
+	}
+	h.streams[name] = st
+	return st
+}
+
+// Publish diffs topk against the stream's previous snapshot, stamps the
+// resulting events with fresh sequence numbers, journals them, and fans
+// them out. It returns the stream's latest sequence number (the
+// consistency token /v1/topk exposes as an ETag). The call never blocks
+// on subscribers: a subscriber whose bounded queue is full is dropped on
+// the spot.
+func (h *Hub) Publish(name string, topk TopK) uint64 {
+	st := h.ensure(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	evs := st.differ.Diff(topk)
+	st.resync = false // the forced post-restore keyframe (if any) is in evs
+	now := time.Now()
+	if len(evs) > 0 {
+		if !st.lastPub.IsZero() {
+			if dt := now.Sub(st.lastPub).Seconds(); dt > 0 {
+				st.rate.Observe(float64(len(evs)) / dt)
+			}
+		}
+		st.lastPub = now
+	}
+	for i := range evs {
+		st.seq++
+		evs[i].Seq = st.seq
+		evs[i].Stream = name
+		st.journal.Append(evs[i])
+		st.events++
+	}
+	if len(evs) > 0 {
+		// One batch send per subscriber per publish. Subscribers never
+		// mutate the shared slice; the hub never touches it again.
+		for sub := range st.subs {
+			select {
+			case sub.ch <- evs:
+			default:
+				// Bounded queue full: this consumer cannot keep up. Drop
+				// it rather than stall the publish path — it reconnects
+				// and resyncs from the journal or a keyframe.
+				st.drop(sub, true)
+			}
+		}
+	}
+	return st.seq
+}
+
+// Seq returns the stream's latest stamped sequence number (0 if the
+// stream has never published).
+func (h *Hub) Seq(name string) uint64 {
+	h.mu.RLock()
+	st := h.streams[name]
+	h.mu.RUnlock()
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
+// Resume raises the stream's sequence floor to at least seq and forces a
+// keyframe on the next publish. Called when checkpointed state is swapped
+// in: the restored daemon must not replay sequence numbers a previous
+// incarnation already handed to subscribers, and whatever the journal
+// held about the replaced state no longer describes the stream — the
+// journal is cleared so stale-state events can never be replayed to a
+// resuming subscriber as if they were continuous with the restored
+// truth (they resync from the forced keyframe instead).
+func (h *Hub) Resume(name string, seq uint64) {
+	st := h.ensure(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seq > st.seq {
+		st.seq = seq
+	}
+	st.journal = NewJournal(h.cfg.JournalSize)
+	st.differ.ForceKeyframe()
+	st.resync = true
+}
+
+// errUnknownStream reports a subscribe against a stream the hub has never
+// seen (the serving layer checks stream existence first, so this guards
+// direct library misuse).
+func errUnknownStream(name string) error {
+	return fmt.Errorf("notify: unknown stream %q", name)
+}
+
+// Subscribe attaches a consumer to a stream's event feed, resuming after
+// sequence number since (0 = from the journal's start — in practice, a
+// fresh subscriber receives the latest keyframe when the journal has
+// already evicted the genesis events). The returned subscription's
+// Backlog holds the replay; C delivers live events after it.
+//
+// When the journal cannot prove continuity from since (evicted, or a
+// foreign seq), the backlog is a single synthesized keyframe of the
+// current top-k at the current sequence number: the subscriber rebases on
+// the full state and misses nothing that still matters.
+func (h *Hub) Subscribe(name string, since uint64) (*Subscription, error) {
+	h.mu.RLock()
+	st := h.streams[name]
+	h.mu.RUnlock()
+	if st == nil {
+		return nil, errUnknownStream(name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.removed {
+		return nil, errUnknownStream(name)
+	}
+	sub := &Subscription{
+		Stream: name,
+		hub:    h,
+		st:     st,
+		ch:     make(chan []Event, h.cfg.SubscriberBuffer),
+	}
+	sub.C = sub.ch
+	if st.resync {
+		// Between a Resume and its publish: the journal is empty and the
+		// differ's retained snapshot describes the replaced state, so
+		// there is nothing truthful to replay. The forced keyframe of
+		// the imminent publish arrives on the live channel and rebases
+		// this subscriber — an empty backlog is the only gap-free answer.
+	} else if since == st.seq {
+		// Exactly up to date — nothing to replay.
+	} else if evs, ok := st.journal.Since(since); ok {
+		sub.Backlog = evs
+	} else {
+		last := st.differ.Last()
+		sub.Backlog = []Event{{
+			Seq: st.seq, Type: Keyframe, Stream: name,
+			T: last.T, Value: last.Value,
+			Rank: -1, PrevRank: -1,
+			TopK: append([]Entry(nil), last.Entries...),
+		}}
+	}
+	st.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// RemoveStream drops every subscriber (closing their channels) and
+// forgets the stream, retiring its sequence counter so a re-created
+// stream of the same name stays sequence-monotone. Idempotent.
+func (h *Hub) RemoveStream(name string) {
+	h.mu.Lock()
+	st := h.streams[name]
+	delete(h.streams, name)
+	h.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	seq := st.seq
+	st.removed = true
+	for sub := range st.subs {
+		st.drop(sub, false)
+	}
+	st.mu.Unlock()
+	h.mu.Lock()
+	if seq > h.retired[name] {
+		h.retired[name] = seq
+	}
+	h.mu.Unlock()
+}
+
+// DropSubscribers closes every subscriber's channel without touching the
+// stream's sequence counter, journal or differ — the shutdown hook: a
+// draining daemon must unblock its long-lived events handlers before
+// http.Server.Shutdown can finish, but the stream state has to survive
+// for the shutdown checkpoint to record the true sequence counter.
+// Dropped consumers reconnect to the restarted daemon and resync.
+func (h *Hub) DropSubscribers(name string) {
+	h.mu.RLock()
+	st := h.streams[name]
+	h.mu.RUnlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for sub := range st.subs {
+		st.drop(sub, false)
+	}
+}
+
+// Stats snapshots one stream's counters for /metrics.
+func (h *Hub) Stats(name string) StreamStats {
+	h.mu.RLock()
+	st := h.streams[name]
+	h.mu.RUnlock()
+	if st == nil {
+		return StreamStats{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StreamStats{
+		Seq:          st.seq,
+		Subscribers:  len(st.subs),
+		Events:       st.events,
+		Dropped:      st.dropped,
+		EventsPerSec: st.rate.Value(),
+	}
+}

@@ -1,0 +1,385 @@
+package notify
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tdnstream/internal/ids"
+)
+
+func topkOf(t int64, value int, idsList ...int) TopK {
+	s := TopK{T: t, Value: value}
+	for _, id := range idsList {
+		s.Entries = append(s.Entries, Entry{ID: ids.NodeID(id), Label: fmt.Sprintf("n%d", id)})
+	}
+	return s
+}
+
+// drain reads every buffered delivery batch without blocking.
+func drain(sub *Subscription) []Event {
+	out := append([]Event(nil), sub.Backlog...)
+	for {
+		select {
+		case batch, ok := <-sub.C:
+			if !ok {
+				return out
+			}
+			out = append(out, batch...)
+		default:
+			return out
+		}
+	}
+}
+
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(3)
+	if evs, ok := j.Since(0); !ok || len(evs) != 0 {
+		t.Fatalf("empty journal Since(0) = %v,%v", evs, ok)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		j.Append(Event{Seq: seq})
+	}
+	if got := j.Last(); got != 5 {
+		t.Fatalf("Last = %d, want 5", got)
+	}
+	// 1 and 2 are evicted; resumes from ≥ 2 are exact.
+	if _, ok := j.Since(1); ok {
+		t.Fatal("Since(1) claimed continuity over an evicted gap")
+	}
+	evs, ok := j.Since(2)
+	if !ok || len(evs) != 3 || evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("Since(2) = %+v,%v", evs, ok)
+	}
+	if evs, ok := j.Since(5); !ok || len(evs) != 0 {
+		t.Fatalf("up-to-date resume = %v,%v", evs, ok)
+	}
+	if _, ok := j.Since(9); ok {
+		t.Fatal("future seq claimed continuity")
+	}
+}
+
+func TestHubSubscribeResumeExact(t *testing.T) {
+	h := NewHub(Config{})
+	h.Publish("s", topkOf(1, 2, 1))    // keyframe (seq 1)
+	h.Publish("s", topkOf(2, 4, 1, 2)) // entered 2 (seq 2)
+
+	sub, err := h.Subscribe("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drain(sub)
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[0].Type != Keyframe || evs[1].Type != Entered {
+		t.Fatalf("backlog = %+v", evs)
+	}
+	// Live delivery continues after the backlog, gap- and duplicate-free.
+	h.Publish("s", topkOf(3, 3, 2)) // left 1 (seq 3)
+	select {
+	case batch := <-sub.C:
+		if len(batch) != 1 || batch[0].Seq != 3 || batch[0].Type != Left || batch[0].Node.ID != 1 {
+			t.Fatalf("live batch = %+v", batch)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no live event delivered")
+	}
+	// An up-to-date resume has an empty backlog.
+	sub2, err := h.Subscribe("s", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub2.Backlog) != 0 {
+		t.Fatalf("up-to-date backlog = %+v", sub2.Backlog)
+	}
+	sub.Cancel()
+	sub2.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("canceled subscription channel still open")
+	}
+}
+
+// TestHubEvictionKeyframeResync: a resume from a sequence number the
+// journal has evicted gets one synthesized keyframe of the current state
+// instead of a gapped replay.
+func TestHubEvictionKeyframeResync(t *testing.T) {
+	h := NewHub(Config{JournalSize: 2, KeyframeEvery: 1 << 30})
+	h.Publish("s", topkOf(1, 1, 1))
+	for i := 2; i <= 10; i++ {
+		h.Publish("s", topkOf(int64(i), i, 1, i)) // entered i, left i-1 …
+	}
+	seq := h.Seq("s")
+	sub, err := h.Subscribe("s", 1) // long gone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Backlog) != 1 {
+		t.Fatalf("backlog = %+v, want one keyframe", sub.Backlog)
+	}
+	kf := sub.Backlog[0]
+	if kf.Type != Keyframe || kf.Seq != seq {
+		t.Fatalf("resync event = %+v, want keyframe at seq %d", kf, seq)
+	}
+	want := topkOf(10, 10, 1, 10)
+	if len(kf.TopK) != 2 || kf.TopK[0] != want.Entries[0] || kf.TopK[1] != want.Entries[1] {
+		t.Fatalf("resync keyframe topk = %+v, want %+v", kf.TopK, want.Entries)
+	}
+	sub.Cancel()
+}
+
+// TestHubSlowConsumerDropped: a subscriber that stops reading is evicted
+// once its bounded queue fills; the publish path keeps going and the
+// dropped counter records the eviction.
+func TestHubSlowConsumerDropped(t *testing.T) {
+	h := NewHub(Config{SubscriberBuffer: 2, KeyframeEvery: 1 << 30})
+	h.Publish("s", topkOf(1, 1, 1))
+	sub, err := h.Subscribe("s", h.Seq("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each publish churns membership → one delivery batch. Buffer 2 ⇒
+	// the third undrained batch drops the subscriber.
+	for i := 2; i <= 6; i++ {
+		h.Publish("s", topkOf(int64(i), 1, i))
+	}
+	deadline := time.After(time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if !ok {
+				if !sub.Dropped() {
+					t.Fatal("closed subscription not marked dropped")
+				}
+				if st := h.Stats("s"); st.Dropped != 1 || st.Subscribers != 0 {
+					t.Fatalf("stats = %+v", st)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("slow consumer never dropped")
+		}
+	}
+}
+
+// TestHubResumeSeqFloor: Resume raises the sequence floor (restored
+// daemons must not reissue already-used sequence numbers) and forces a
+// keyframe resync on the next publish.
+func TestHubResumeSeqFloor(t *testing.T) {
+	h := NewHub(Config{KeyframeEvery: 1 << 30})
+	h.Resume("s", 40)
+	if got := h.Seq("s"); got != 40 {
+		t.Fatalf("seq after resume = %d, want 40", got)
+	}
+	seq := h.Publish("s", topkOf(1, 1, 7))
+	if seq <= 40 {
+		t.Fatalf("post-resume publish seq = %d, want > 40", seq)
+	}
+	sub, err := h.Subscribe("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Backlog) == 0 || sub.Backlog[len(sub.Backlog)-1].Type != Keyframe {
+		t.Fatalf("post-resume backlog = %+v, want to end on a keyframe", sub.Backlog)
+	}
+	// Resume never lowers the floor.
+	h.Resume("s", 5)
+	if got := h.Seq("s"); got < seq {
+		t.Fatalf("Resume lowered seq to %d", got)
+	}
+	sub.Cancel()
+}
+
+func TestHubRemoveStreamClosesSubscribers(t *testing.T) {
+	h := NewHub(Config{})
+	h.Publish("s", topkOf(1, 1, 1))
+	sub, err := h.Subscribe("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.RemoveStream("s")
+	deadline := time.After(time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if !ok {
+				if sub.Dropped() {
+					t.Fatal("stream removal misreported as slow-consumer drop")
+				}
+				if _, err := h.Subscribe("s", 0); err == nil {
+					t.Fatal("subscribe after removal succeeded")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscriber channel never closed on stream removal")
+		}
+	}
+}
+
+// TestHubRecreateKeepsSeqMonotone: removing a stream and re-creating it
+// under the same name must not restart its sequence counter — a client
+// holding the old incarnation's ETag would false-304 once the new
+// counter passed it, and an old Last-Event-ID would replay the new
+// journal as continuous history.
+func TestHubRecreateKeepsSeqMonotone(t *testing.T) {
+	h := NewHub(Config{})
+	for i := 1; i <= 5; i++ {
+		h.Publish("s", topkOf(int64(i), i, i))
+	}
+	old := h.Seq("s")
+	if old == 0 {
+		t.Fatal("no events before removal")
+	}
+	h.RemoveStream("s")
+	seq := h.Publish("s", topkOf(1, 1, 99)) // the re-created incarnation
+	if seq <= old {
+		t.Fatalf("re-created stream seq %d, want > retired %d", seq, old)
+	}
+	// A second remove+recreate keeps ratcheting.
+	h.RemoveStream("s")
+	if seq2 := h.Publish("s", topkOf(1, 1, 100)); seq2 <= seq {
+		t.Fatalf("second incarnation seq %d, want > %d", seq2, seq)
+	}
+}
+
+// TestHubResyncWindowNoStaleKeyframe: a subscriber arriving between a
+// Resume (state replaced, journal cleared) and the next Publish must not
+// receive a keyframe synthesized from the replaced state — it gets an
+// empty backlog and rebases on the forced keyframe the publish emits.
+func TestHubResyncWindowNoStaleKeyframe(t *testing.T) {
+	h := NewHub(Config{KeyframeEvery: 1 << 30})
+	h.Publish("s", topkOf(1, 10, 1, 2)) // pre-restore state
+	h.Resume("s", 40)
+
+	sub, err := h.Subscribe("s", 3) // mid-window, journal-missing seq
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Backlog) != 0 {
+		t.Fatalf("mid-resync backlog = %+v, want empty (no stale keyframe)", sub.Backlog)
+	}
+	h.Publish("s", topkOf(9, 5, 7)) // the restore's publish
+	select {
+	case batch := <-sub.C:
+		kf := batch[len(batch)-1]
+		if kf.Type != Keyframe || kf.Seq <= 40 {
+			t.Fatalf("post-resync delivery = %+v, want forced keyframe past seq 40", batch)
+		}
+		if len(kf.TopK) != 1 || kf.TopK[0].ID != 7 {
+			t.Fatalf("forced keyframe carries %+v, want the restored state", kf.TopK)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("forced keyframe never delivered")
+	}
+	// After the publish the window is closed: journal-missing resumes
+	// synthesize from the *restored* snapshot again.
+	sub2, err := h.Subscribe("s", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub2.Backlog) != 1 || sub2.Backlog[0].Type != Keyframe ||
+		len(sub2.Backlog[0].TopK) != 1 || sub2.Backlog[0].TopK[0].ID != 7 {
+		t.Fatalf("post-window backlog = %+v, want a keyframe of the restored state", sub2.Backlog)
+	}
+}
+
+// TestHubDropSubscribersKeepsState: the shutdown hook closes subscriber
+// channels but leaves seq, journal and differ intact for the checkpoint.
+func TestHubDropSubscribersKeepsState(t *testing.T) {
+	h := NewHub(Config{})
+	h.Publish("s", topkOf(1, 2, 1))
+	sub, err := h.Subscribe("s", h.Seq("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.Seq("s")
+	h.DropSubscribers("s")
+	select {
+	case _, ok := <-sub.C:
+		if ok {
+			t.Fatal("subscriber channel delivered instead of closing")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscriber channel not closed")
+	}
+	if sub.Dropped() {
+		t.Fatal("shutdown drop misreported as slow-consumer eviction")
+	}
+	if got := h.Seq("s"); got != before {
+		t.Fatalf("DropSubscribers changed seq: %d → %d", before, got)
+	}
+	// The stream still publishes and still accepts new subscribers.
+	if seq := h.Publish("s", topkOf(2, 3, 1, 2)); seq <= before {
+		t.Fatalf("post-drop publish seq %d, want > %d", seq, before)
+	}
+	if evs, ok := h.ensure("s").journal.Since(before); !ok || len(evs) == 0 {
+		t.Fatalf("journal lost history across DropSubscribers: %v %v", evs, ok)
+	}
+	if _, err := h.Subscribe("s", 0); err != nil {
+		t.Fatalf("subscribe after DropSubscribers: %v", err)
+	}
+}
+
+// TestHubConcurrentPublishSubscribe is the -race exercise: parallel
+// publishers on one stream with churning subscribers. Every subscriber
+// must observe strictly increasing sequence numbers with no gaps
+// relative to its subscription point (backlog + live are cut under one
+// lock).
+func TestHubConcurrentPublishSubscribe(t *testing.T) {
+	h := NewHub(Config{SubscriberBuffer: 4096, KeyframeEvery: 1 << 30})
+	const publishers, rounds, churns = 4, 200, 50
+	h.Publish("s", topkOf(0, 0)) // seed the stream before subscribers race in
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				h.Publish("s", topkOf(int64(i), i, p*rounds+i))
+			}
+		}(p)
+	}
+	var subWG sync.WaitGroup
+	for c := 0; c < churns; c++ {
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			sub, err := h.Subscribe("s", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sub.Cancel()
+			last := uint64(0)
+			for _, e := range sub.Backlog {
+				if e.Seq < last {
+					t.Errorf("backlog seq regressed: %d after %d", e.Seq, last)
+				}
+				last = e.Seq
+			}
+			timeout := time.After(50 * time.Millisecond)
+			for {
+				select {
+				case batch, ok := <-sub.C:
+					if !ok {
+						return
+					}
+					for _, e := range batch {
+						if e.Seq <= last {
+							t.Errorf("live seq not increasing: %d after %d", e.Seq, last)
+							return
+						}
+						last = e.Seq
+					}
+				case <-timeout:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	subWG.Wait()
+	if st := h.Stats("s"); st.Events == 0 || st.Seq == 0 {
+		t.Fatalf("stats after churn = %+v", st)
+	}
+}

@@ -1,0 +1,76 @@
+package notify
+
+// Journal is a bounded ring buffer of the most recent events of one
+// stream, indexed by sequence number. It is what lets a subscriber
+// disconnect and resume: "give me everything after seq S" is a slice of
+// the ring as long as S is still inside it, and an explicit miss — the
+// caller falls back to a keyframe — once eviction has moved past S.
+//
+// Not concurrency-safe on its own; the Hub serializes access under the
+// per-stream lock.
+type Journal struct {
+	buf   []Event
+	start int    // ring index of the oldest retained event
+	n     int    // retained events
+	first uint64 // seq of the oldest retained event (when n > 0)
+}
+
+// NewJournal builds a journal retaining at most capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append retains ev, evicting the oldest event when full. Events must
+// arrive in strictly increasing Seq order (the hub stamps them that way).
+func (j *Journal) Append(ev Event) {
+	if j.n == 0 {
+		j.first = ev.Seq
+	}
+	if j.n < len(j.buf) {
+		j.buf[(j.start+j.n)%len(j.buf)] = ev
+		j.n++
+		return
+	}
+	j.buf[j.start] = ev
+	j.start = (j.start + 1) % len(j.buf)
+	j.first++
+}
+
+// Last returns the newest retained sequence number (0 when empty).
+func (j *Journal) Last() uint64 {
+	if j.n == 0 {
+		return 0
+	}
+	return j.first + uint64(j.n) - 1
+}
+
+// Since returns the retained events with Seq > since, oldest-first.
+// ok == false reports a resume miss: the journal cannot prove continuity
+// from since — either eviction has dropped events the caller never saw,
+// or since is from a future/foreign incarnation of the stream. The
+// caller should resync the subscriber with a keyframe instead.
+func (j *Journal) Since(since uint64) (events []Event, ok bool) {
+	last := j.Last()
+	if since > last {
+		// Nothing newer. since == last is an exact up-to-date resume;
+		// anything beyond the tip cannot be validated against this
+		// journal's history.
+		return nil, since == last || (j.n == 0 && since == 0)
+	}
+	if j.n == 0 {
+		return nil, since == 0
+	}
+	if since+1 < j.first {
+		return nil, false // evicted: a gap the journal cannot fill
+	}
+	from := int(since + 1 - j.first)
+	out := make([]Event, 0, j.n-from)
+	for i := from; i < j.n; i++ {
+		out = append(out, j.buf[(j.start+i)%len(j.buf)])
+	}
+	return out, true
+}

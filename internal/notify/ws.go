@@ -1,0 +1,224 @@
+package notify
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A hand-rolled, dependency-free server side of RFC 6455 — just enough
+// for the push feed: handshake, server→client text frames, ping/pong
+// keepalive, and a read loop that honors client close frames. The
+// container bakes in no websocket library and the event feed needs no
+// client→server data frames, so ~150 lines beat a dependency.
+
+// wsGUID is the key-digest constant of RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket frame opcodes.
+const (
+	wsOpText  = 0x1
+	wsOpClose = 0x8
+	wsOpPing  = 0x9
+	wsOpPong  = 0xA
+)
+
+// wsMaxControl bounds client frame payloads this server is willing to
+// buffer (control frames are capped at 125 by the RFC; data frames from
+// clients are drained and discarded, so only headers are buffered).
+const wsMaxControl = 125
+
+// IsWebSocketUpgrade reports whether the request asks to upgrade the
+// events endpoint to a WebSocket.
+func IsWebSocketUpgrade(r *http.Request) bool {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return false
+	}
+	for _, tok := range strings.Split(r.Header.Get("Connection"), ",") {
+		if strings.EqualFold(strings.TrimSpace(tok), "upgrade") {
+			return true
+		}
+	}
+	return false
+}
+
+// WSConn is one upgraded WebSocket connection. Writes are serialized by
+// an internal mutex (the events handler and the keepalive pinger share
+// the connection); reads belong to the single ReadLoop goroutine.
+type WSConn struct {
+	conn net.Conn
+	brw  *bufio.ReadWriter
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+// UpgradeWebSocket performs the RFC 6455 handshake and hijacks the
+// connection. On failure it writes the HTTP error itself and returns it.
+func UpgradeWebSocket(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: method not allowed", http.StatusMethodNotAllowed)
+		return nil, errors.New("notify: websocket upgrade on non-GET")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" || r.Header.Get("Sec-WebSocket-Version") != "13" {
+		http.Error(w, "websocket: bad handshake", http.StatusBadRequest)
+		return nil, errors.New("notify: bad websocket handshake headers")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: not supported", http.StatusInternalServerError)
+		return nil, errors.New("notify: response writer cannot hijack")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("notify: hijack: %w", err)
+	}
+	sum := sha1.Sum([]byte(key + wsGUID))
+	accept := base64.StdEncoding.EncodeToString(sum[:])
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + accept + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &WSConn{conn: conn, brw: brw}, nil
+}
+
+// writeFrame emits one unfragmented, unmasked server frame.
+func (c *WSConn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return errors.New("notify: write on closed websocket")
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	hdr := make([]byte, 0, 10)
+	hdr = append(hdr, 0x80|opcode) // FIN + opcode
+	switch n := len(payload); {
+	case n < 126:
+		hdr = append(hdr, byte(n))
+	case n <= 0xFFFF:
+		hdr = append(hdr, 126, byte(n>>8), byte(n))
+	default:
+		hdr = append(hdr, 127)
+		hdr = binary.BigEndian.AppendUint64(hdr, uint64(n))
+	}
+	if _, err := c.brw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := c.brw.Write(payload); err != nil {
+		return err
+	}
+	return c.brw.Flush()
+}
+
+// WriteText sends one text frame (the event JSON).
+func (c *WSConn) WriteText(p []byte) error { return c.writeFrame(wsOpText, p) }
+
+// WritePing sends a keepalive ping.
+func (c *WSConn) WritePing() error { return c.writeFrame(wsOpPing, []byte("hb")) }
+
+// WriteClose sends a close frame with the given status code.
+func (c *WSConn) WriteClose(code uint16) error {
+	var p [2]byte
+	binary.BigEndian.PutUint16(p[:], code)
+	return c.writeFrame(wsOpClose, p[:])
+}
+
+// Close tears the connection down.
+func (c *WSConn) Close() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// ReadLoop consumes client frames until the peer closes or errors:
+// pings are answered with pongs, pongs and data frames are discarded
+// (the feed is one-way), and a close frame is echoed. It returns when
+// the connection is done — the events handler runs it in a goroutine and
+// treats its return as the unsubscribe signal.
+func (c *WSConn) ReadLoop() error {
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		var h [2]byte
+		if _, err := io.ReadFull(c.brw, h[:]); err != nil {
+			return err
+		}
+		opcode := h[0] & 0x0F
+		masked := h[1]&0x80 != 0
+		n := int64(h[1] & 0x7F)
+		switch n {
+		case 126:
+			var ext [2]byte
+			if _, err := io.ReadFull(c.brw, ext[:]); err != nil {
+				return err
+			}
+			n = int64(binary.BigEndian.Uint16(ext[:]))
+		case 127:
+			var ext [8]byte
+			if _, err := io.ReadFull(c.brw, ext[:]); err != nil {
+				return err
+			}
+			n = int64(binary.BigEndian.Uint64(ext[:]))
+			if n < 0 {
+				return errors.New("notify: websocket frame length overflow")
+			}
+		}
+		var mask [4]byte
+		if masked { // RFC 6455: client frames MUST be masked
+			if _, err := io.ReadFull(c.brw, mask[:]); err != nil {
+				return err
+			}
+		}
+		isControl := opcode >= 0x8
+		if isControl && n > wsMaxControl {
+			return errors.New("notify: oversized websocket control frame")
+		}
+		if isControl {
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(c.brw, payload); err != nil {
+				return err
+			}
+			if masked {
+				for i := range payload {
+					payload[i] ^= mask[i%4]
+				}
+			}
+			switch opcode {
+			case wsOpClose:
+				c.writeFrame(wsOpClose, payload) // echo the close
+				return nil
+			case wsOpPing:
+				if err := c.writeFrame(wsOpPong, payload); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Data frames from the client are not part of the protocol —
+		// drain and ignore (a chatty client costs reads, not memory).
+		if _, err := io.CopyN(io.Discard, c.brw, n); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package notify
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// wsDial performs a raw client handshake against url (http://host/path)
+// and returns the connection with the response consumed.
+func wsDial(t *testing.T, rawURL string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	host := rawURL[len("http://"):]
+	conn, err := net.DialTimeout("tcp", host, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	key := base64.StdEncoding.EncodeToString([]byte("0123456789abcdef"))
+	fmt.Fprintf(conn, "GET /ws HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", host, key)
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: "GET"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		t.Fatalf("handshake status %d", resp.StatusCode)
+	}
+	sum := sha1.Sum([]byte(key + wsGUID))
+	if got, want := resp.Header.Get("Sec-WebSocket-Accept"), base64.StdEncoding.EncodeToString(sum[:]); got != want {
+		t.Fatalf("accept key %q, want %q", got, want)
+	}
+	return conn, br
+}
+
+// readFrame parses one unmasked server frame.
+func readFrame(t *testing.T, br *bufio.Reader) (opcode byte, payload []byte) {
+	t.Helper()
+	var h [2]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		t.Fatal(err)
+	}
+	n := int(h[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		io.ReadFull(br, ext[:])
+		n = int(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		io.ReadFull(br, ext[:])
+		n = int(binary.BigEndian.Uint64(ext[:]))
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		t.Fatal(err)
+	}
+	return h[0] & 0x0F, payload
+}
+
+// writeClientFrame emits one masked client frame (clients MUST mask).
+func writeClientFrame(t *testing.T, conn net.Conn, opcode byte, payload []byte) {
+	t.Helper()
+	mask := [4]byte{0x12, 0x34, 0x56, 0x78}
+	hdr := []byte{0x80 | opcode, 0x80 | byte(len(payload))}
+	hdr = append(hdr, mask[:]...)
+	masked := make([]byte, len(payload))
+	for i, b := range payload {
+		masked[i] = b ^ mask[i%4]
+	}
+	if _, err := conn.Write(append(hdr, masked...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebSocketHandshakeFramesAndClose(t *testing.T) {
+	served := make(chan error, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !IsWebSocketUpgrade(r) {
+			http.Error(w, "not an upgrade", http.StatusBadRequest)
+			return
+		}
+		c, err := UpgradeWebSocket(w, r)
+		if err != nil {
+			served <- err
+			return
+		}
+		defer c.Close()
+		if err := c.WriteText([]byte(`{"seq":1}`)); err != nil {
+			served <- err
+			return
+		}
+		served <- c.ReadLoop() // pongs pings, returns on client close
+	}))
+	defer srv.Close()
+
+	conn, br := wsDial(t, srv.URL)
+	op, payload := readFrame(t, br)
+	if op != wsOpText || string(payload) != `{"seq":1}` {
+		t.Fatalf("frame op=%#x payload=%q", op, payload)
+	}
+
+	// Ping is answered with a pong echoing the payload.
+	writeClientFrame(t, conn, wsOpPing, []byte("hi"))
+	op, payload = readFrame(t, br)
+	if op != wsOpPong || string(payload) != "hi" {
+		t.Fatalf("pong op=%#x payload=%q", op, payload)
+	}
+
+	// A data frame from the client is drained and ignored.
+	writeClientFrame(t, conn, wsOpText, []byte("chatter"))
+
+	// Close is echoed and ends the read loop without error.
+	code := make([]byte, 2)
+	binary.BigEndian.PutUint16(code, 1000)
+	writeClientFrame(t, conn, wsOpClose, code)
+	op, payload = readFrame(t, br)
+	if op != wsOpClose || binary.BigEndian.Uint16(payload) != 1000 {
+		t.Fatalf("close echo op=%#x payload=%v", op, payload)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("read loop: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server read loop never returned")
+	}
+}

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// bearerToken extracts the credential a request presents: the
+// "Authorization: Bearer <token>" header, or — because browser
+// EventSource and WebSocket APIs cannot set headers — a ?token= query
+// parameter. Returns "" when neither is present.
+func bearerToken(r *http.Request) string {
+	const prefix = "Bearer "
+	if h := r.Header.Get("Authorization"); len(h) > len(prefix) &&
+		strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return r.URL.Query().Get("token")
+}
+
+// authorize enforces a stream's ingest/admin/events token, writing the
+// 401 itself on mismatch. Streams without a token are open. The compare
+// is constant-time over the credential bytes, so a caller cannot binary-
+// search the token by timing rejections.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request, wk *worker) bool {
+	if wk.token == "" {
+		return true
+	}
+	provided := bearerToken(r)
+	if subtle.ConstantTimeCompare([]byte(provided), []byte(wk.token)) == 1 {
+		return true
+	}
+	w.Header().Set("WWW-Authenticate", `Bearer realm="influtrackd stream"`)
+	writeError(w, http.StatusUnauthorized, "stream %q requires a bearer token", wk.name)
+	return false
+}

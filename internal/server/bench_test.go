@@ -5,10 +5,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/notify"
 )
 
 // benchPayload renders n interactions of a synthetic stream as one NDJSON
@@ -125,6 +127,80 @@ func BenchmarkIngestHTTPSieveShards4(b *testing.B) {
 		tdnstream.TrackerSpec{Algo: "sieveadn", K: 10, Eps: 0.1, Shards: 4},
 		tdnstream.LifetimeSpec{Policy: "constant", Window: 1 << 20},
 		payload, rows)
+}
+
+// benchmarkIngestHTTPSubscribed is benchmarkIngestHTTP with nSubs live
+// event subscribers attached to the stream: every snapshot publish is
+// diffed and fanned out while ingest runs. This is the PR-4 acceptance
+// pair with BenchmarkIngestHTTPSieve — 1000 subscribers must cost the
+// ingest path less than 10% of its subscriber-free throughput, because
+// fan-out work rides the hub's per-stream lock and bounded queues, never
+// the worker's tracker loop.
+func benchmarkIngestHTTPSubscribed(b *testing.B, nSubs int, payload string, rows uint64) {
+	tracker := tdnstream.TrackerSpec{Algo: "sieveadn", K: 10, Eps: 0.1}
+	lifetime := tdnstream.LifetimeSpec{Policy: "constant", Window: 1 << 20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := StreamSpec{Name: "bench", Tracker: tracker, Lifetime: lifetime, TimeMode: TimeArrival}
+		s, err := New(Config{Streams: []StreamSpec{spec}, QueueDepth: 1024, MaxChunk: 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		w, _ := s.stream("bench")
+
+		// Attaching the fleet is connection setup, not ingest work — it
+		// happens once per dashboard session, not per record. Keep it off
+		// the clock so the measured delta is the per-publish fan-out cost.
+		b.StopTimer()
+		var subWG sync.WaitGroup
+		for n := 0; n < nSubs; n++ {
+			sub, err := s.hub.Subscribe("bench", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			subWG.Add(1)
+			go func(sub *notify.Subscription) {
+				defer subWG.Done()
+				for range sub.C { // drain until the stream closes
+				}
+			}(sub)
+		}
+		b.StartTimer()
+
+		resp, err := ts.Client().Post(ts.URL+"/v1/ingest?stream=bench", ctNDJSON, strings.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		for w.m.processed.Load() < rows {
+			time.Sleep(time.Millisecond)
+		}
+
+		b.StopTimer()
+		ts.Close()
+		s.Close() // closes subscriber channels via hub.RemoveStream
+		subWG.Wait()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(rows)*float64(b.N)/secs, "interactions/sec")
+	}
+}
+
+func BenchmarkIngestHTTPSieveSubscribers100(b *testing.B) {
+	const rows = 50_000
+	benchmarkIngestHTTPSubscribed(b, 100, benchPayload(b, "brightkite", rows), rows)
+}
+
+func BenchmarkIngestHTTPSieveSubscribers1000(b *testing.B) {
+	const rows = 50_000
+	benchmarkIngestHTTPSubscribed(b, 1000, benchPayload(b, "brightkite", rows), rows)
 }
 
 // BenchmarkIngestHTTPHistApprox is the same path with the paper's

@@ -8,12 +8,13 @@ import (
 	"testing"
 
 	"tdnstream"
+	"tdnstream/internal/notify"
 	"tdnstream/internal/stream"
 )
 
 func testWorker(t *testing.T, spec StreamSpec, cfg Config) *worker {
 	t.Helper()
-	w, err := newWorker(spec, cfg.withDefaults(), nil)
+	w, err := newWorker(spec, cfg.withDefaults(), nil, notify.NewHub(notify.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}

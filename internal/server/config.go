@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/notify"
 )
 
 // Time modes for a stream: how ingested records map to TDN time steps.
@@ -50,6 +51,16 @@ type StreamSpec struct {
 	Lifetime tdnstream.LifetimeSpec `json:"lifetime"`
 	// TimeMode is TimeEvent (default) or TimeArrival.
 	TimeMode string `json:"time_mode,omitempty"`
+	// Token, when non-empty, gates the stream's mutating and costly
+	// endpoints (ingest, explain, admin checkpoint/restore, delete, and
+	// the events feed) behind "Authorization: Bearer <token>" (compared
+	// in constant time; 401 on mismatch). Read-only snapshot endpoints
+	// (/v1/topk, /v1/streams, /healthz, /metrics) stay open. The token is
+	// never reported back: stream listings omit it and checkpoint
+	// envelopes are written with it redacted — an in-place restore keeps
+	// the hosted stream's token, and a stream re-created purely from a
+	// checkpoint file starts open until a spec re-supplies one.
+	Token string `json:"token,omitempty"`
 }
 
 // validStreamName reports whether a stream name is safe to host. Names
@@ -115,6 +126,23 @@ type Config struct {
 	// SnapshotEvery refreshes the read snapshot every N processed chunks
 	// (default 1 — after every chunk).
 	SnapshotEvery int
+	// Notify parameterizes the push subsystem (journal size, keyframe
+	// cadence, gain epsilon, subscriber queue bound); zero values take
+	// the notify package defaults. Every snapshot publish is diffed
+	// against the previous one and the change events are fanned out to
+	// the stream's /v1/streams/{name}/events subscribers.
+	Notify notify.Config
+	// NotifyHeartbeat is the idle keepalive interval on event
+	// subscriptions — an SSE comment line or a WebSocket ping — so
+	// intermediaries do not reap quiet connections (default 15s).
+	NotifyHeartbeat time.Duration
+	// NotifyExplainGains spends oracle calls at every snapshot publish to
+	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
+	// calls): events then carry true greedy ranks and gains, enabling
+	// rank_changed / per-seed gain_changed detection. Off by default —
+	// the publish path stays oracle-free and events carry membership
+	// changes and solution-value drift only.
+	NotifyExplainGains bool
 	// Streams are created at construction; more can be added over HTTP
 	// (POST /v1/streams) or with AddStream.
 	Streams []StreamSpec
@@ -135,6 +163,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 1
+	}
+	if c.NotifyHeartbeat <= 0 {
+		c.NotifyHeartbeat = 15 * time.Second
 	}
 	return c
 }

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tdnstream/internal/notify"
+)
+
+// handleEvents is the push feed: GET /v1/streams/{name}/events serves the
+// stream's top-k change events as Server-Sent Events, or as a WebSocket
+// when the request asks to upgrade. Consumers resume after a disconnect
+// by sending the last sequence number they saw — the SSE-standard
+// Last-Event-ID header (browsers' EventSource does this automatically on
+// reconnect) or an explicit ?since=<seq> — and receive the journaled
+// continuation, or a keyframe resync when the journal has moved past
+// their position. The same sequence numbers appear as the ETag/seq of
+// /v1/topk, so pollers and subscribers share one consistency token.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wk, ok := s.stream(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	if !s.authorize(w, r, wk) {
+		return
+	}
+	since, err := eventsSince(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sub, err := s.hub.Subscribe(name, since)
+	if err != nil {
+		// The worker exists but its hub stream is gone: the stream is
+		// being removed out from under us.
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer sub.Cancel()
+	if notify.IsWebSocketUpgrade(r) {
+		s.serveEventsWS(w, r, sub)
+		return
+	}
+	s.serveEventsSSE(w, r, sub)
+}
+
+// eventsSince extracts the resume position: ?since= wins, then the SSE
+// Last-Event-ID reconnect header, then 0 (from the journal's start).
+func eventsSince(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	since, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad resume sequence number %q", raw)
+	}
+	return since, nil
+}
+
+// serveEventsSSE streams the subscription as text/event-stream frames:
+//
+//	id: <seq>
+//	event: <type>
+//	data: <event JSON>
+//
+// with a comment heartbeat every NotifyHeartbeat so intermediaries keep
+// the idle connection alive. The response ends when the client goes away,
+// the stream is removed, or the hub drops this subscriber for falling
+// behind — in every case the client reconnects with Last-Event-ID and
+// resumes from the journal or a keyframe.
+func (s *Server) serveEventsSSE(w http.ResponseWriter, r *http.Request, sub *notify.Subscription) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream; charset=utf-8")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxy buffering defeats push
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	write := func(ev notify.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, ev := range sub.Backlog {
+		if !write(ev) {
+			return
+		}
+	}
+	hb := time.NewTicker(s.cfg.NotifyHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case batch, live := <-sub.C:
+			if !live {
+				return
+			}
+			for _, ev := range batch {
+				if !write(ev) {
+					return
+				}
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// serveEventsWS streams the subscription as WebSocket text frames, one
+// event JSON per frame, with ping keepalives. The connection ends on
+// client close, slow-consumer drop, or stream removal, exactly like the
+// SSE form; the client reconnects with ?since=<last seq>.
+func (s *Server) serveEventsWS(w http.ResponseWriter, r *http.Request, sub *notify.Subscription) {
+	conn, err := notify.UpgradeWebSocket(w, r)
+	if err != nil {
+		return // UpgradeWebSocket already wrote the HTTP error
+	}
+	defer conn.Close()
+	// The read loop owns the receive side: it answers pings, discards
+	// client chatter, and its return (close frame, error, or timeout) is
+	// the disconnect signal — after a hijack the request context no
+	// longer reports client departure.
+	gone := make(chan struct{})
+	go func() {
+		defer close(gone)
+		_ = conn.ReadLoop()
+	}()
+
+	write := func(ev notify.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		return conn.WriteText(data) == nil
+	}
+	for _, ev := range sub.Backlog {
+		if !write(ev) {
+			return
+		}
+	}
+	hb := time.NewTicker(s.cfg.NotifyHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case batch, live := <-sub.C:
+			if !live {
+				conn.WriteClose(1000) // normal closure: stream removed or consumer dropped
+				return
+			}
+			for _, ev := range batch {
+				if !write(ev) {
+					return
+				}
+			}
+		case <-hb.C:
+			if conn.WritePing() != nil {
+				return
+			}
+		case <-gone:
+			return
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"tdnstream"
@@ -24,12 +27,15 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("GET /v1/streams", s.handleListStreams)
 	mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
 	mux.HandleFunc("DELETE /v1/streams/{name}", s.handleDeleteStream)
+	mux.HandleFunc("GET /v1/streams/{name}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/admin/restore", s.handleRestore)
 	return s.countStatuses(mux)
 }
 
 // statusRecorder captures the response status for request accounting.
+// It forwards the streaming capabilities of the wrapped writer: the
+// events endpoint needs Flush (SSE) and Hijack (WebSocket upgrade).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -39,6 +45,23 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (r *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := r.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("server: response writer cannot hijack")
+	}
+	return hj.Hijack()
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func (s *Server) countStatuses(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -120,6 +143,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.authorize(w, r, wk) {
+		return
+	}
 	body := &bodyLimitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
 	decoded, inflate, err := decodeContentEncoding(r.Header.Get("Content-Encoding"), body, s.cfg.MaxBodyBytes)
 	if err != nil {
@@ -170,7 +196,11 @@ type seedJSON struct {
 	Label string           `json:"label,omitempty"`
 }
 
-// topKResponse is the read-path answer: the current snapshot.
+// topKResponse is the read-path answer: the current snapshot. Seq is the
+// notify-subsystem sequence number of the snapshot — the same token push
+// subscribers see as event seq / Last-Event-ID, and the same token the
+// ETag header carries, so pollers and subscribers agree on "how current
+// is this answer".
 type topKResponse struct {
 	Stream      string     `json:"stream"`
 	Algo        string     `json:"algo"`
@@ -178,6 +208,7 @@ type topKResponse struct {
 	Steps       uint64     `json:"steps"`
 	Processed   uint64     `json:"processed"`
 	OracleCalls uint64     `json:"oracle_calls"`
+	Seq         uint64     `json:"seq"`
 	Value       int        `json:"value"`
 	Seeds       []seedJSON `json:"seeds"`
 }
@@ -190,6 +221,7 @@ func (s *Server) snapshotResponse(wk *worker, snap *Snapshot, limit int) topKRes
 		Steps:       snap.Steps,
 		Processed:   snap.Processed,
 		OracleCalls: snap.OracleCalls,
+		Seq:         snap.Seq,
 		Value:       snap.Solution.Value,
 		Seeds:       []seedJSON{},
 	}
@@ -202,8 +234,33 @@ func (s *Server) snapshotResponse(wk *worker, snap *Snapshot, limit int) topKRes
 	return resp
 }
 
+// etagFor renders a snapshot's cache validator: the stream name plus the
+// notify sequence number, which changes exactly when the published
+// solution does.
+func etagFor(stream string, seq uint64) string {
+	return `"` + stream + `-` + strconv.FormatUint(seq, 10) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison over a (possibly
+// comma-separated) header value.
+func etagMatches(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/") // weak compare is fine for a JSON body
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // handleTopK serves the current influential nodes from the atomically-
-// swapped snapshot: no locks shared with the ingest path, no tracker work.
+// swapped snapshot: no locks shared with the ingest path, no tracker
+// work. The response carries an ETag derived from the notify sequence
+// counter; a poller replaying it via If-None-Match gets 304 until the
+// top-k actually changes, which makes residual polling nearly free —
+// though such clients should really subscribe to
+// /v1/streams/{name}/events instead.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	wk, ok := s.namedStream(w, r)
 	if !ok {
@@ -218,7 +275,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	writeJSON(w, http.StatusOK, s.snapshotResponse(wk, wk.snapshot(), limit))
+	snap := wk.snapshot()
+	etag := etagFor(wk.name, snap.Seq)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotResponse(wk, snap, limit))
 }
 
 // contributionJSON is one seed's share of the solution spread.
@@ -235,6 +299,9 @@ type contributionJSON struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	wk, ok := s.namedStream(w, r)
 	if !ok {
+		return
+	}
+	if !s.authorize(w, r, wk) { // explain spends oracle calls on the worker goroutine
 		return
 	}
 	var contribs []tdnstream.SeedContribution
@@ -284,6 +351,13 @@ type streamInfo struct {
 	Superseded   uint64 `json:"superseded"`
 	Steps        uint64 `json:"steps"`
 	Value        int    `json:"value"`
+	// Seq is the stream's latest notify sequence number and Subscribers
+	// its live events-feed consumer count. AuthRequired reports whether
+	// the stream's mutating endpoints demand a bearer token — the token
+	// itself is deliberately absent from every listing.
+	AuthRequired bool   `json:"auth_required,omitempty"`
+	Seq          uint64 `json:"seq"`
+	Subscribers  int    `json:"subscribers"`
 	LastError    string `json:"last_error,omitempty"`
 }
 
@@ -303,6 +377,9 @@ func (s *Server) infoFor(wk *worker) streamInfo {
 		Superseded:   wk.m.superseded.Load(),
 		Steps:        wk.m.steps.Load(),
 		Value:        snap.Solution.Value,
+		AuthRequired: wk.token != "",
+		Seq:          snap.Seq,
+		Subscribers:  s.hub.Stats(wk.name).Subscribers,
 		LastError:    wk.lastError(),
 	}
 }
@@ -339,6 +416,9 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if wk, ok := s.stream(name); ok && !s.authorize(w, r, wk) {
+		return
+	}
 	if err := s.RemoveStream(name); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -351,6 +431,9 @@ func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	wk, ok := s.namedStream(w, r)
 	if !ok {
+		return
+	}
+	if !s.authorize(w, r, wk) {
 		return
 	}
 	var data []byte
@@ -369,12 +452,20 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRestore applies a checkpoint body, creating the stream if this
-// server does not host it yet.
+// server does not host it yet. Restoring over a token-guarded hosted
+// stream requires that stream's token (the body replaces its state
+// wholesale); creating a brand-new stream from a checkpoint is open,
+// like POST /v1/streams.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read checkpoint: %v", err)
 		return
+	}
+	if env, err := decodeCheckpoint(data); err == nil {
+		if wk, hosted := s.stream(env.Spec.Name); hosted && !s.authorize(w, r, wk) {
+			return
+		}
 	}
 	name, err := s.Restore(r.Context(), data)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tdnstream/internal/metrics"
+	"tdnstream/internal/notify"
 )
 
 // streamMetrics are the per-stream counters and gauges exported on
@@ -145,4 +146,37 @@ func (s *Server) writeMetrics(w io.Writer) {
 			p("influtrackd_topk_value{stream=%q} %d\n", r.name, snap.Solution.Value)
 		}
 	}
+
+	// Push-subsystem surface: one Stats snapshot per stream.
+	stats := make([]notifyStats, len(rows))
+	for i, r := range rows {
+		stats[i] = notifyStats{name: r.name, s: s.hub.Stats(r.name)}
+	}
+	gauge("notify_subscribers", "Live event-feed subscribers (SSE + WebSocket).")
+	for _, st := range stats {
+		p("influtrackd_notify_subscribers{stream=%q} %d\n", st.name, st.s.Subscribers)
+	}
+	counter("notify_events_total", "Top-k change events published (entered/left/rank_changed/gain_changed/keyframe).")
+	for _, st := range stats {
+		p("influtrackd_notify_events_total{stream=%q} %d\n", st.name, st.s.Events)
+	}
+	counter("notify_dropped_subscribers_total", "Subscribers evicted for falling behind their bounded event queue.")
+	for _, st := range stats {
+		p("influtrackd_notify_dropped_subscribers_total{stream=%q} %d\n", st.name, st.s.Dropped)
+	}
+	gauge("notify_events_per_sec", "Smoothed change-event publish rate; holds the last value while the stream is idle.")
+	for _, st := range stats {
+		p("influtrackd_notify_events_per_sec{stream=%q} %g\n", st.name, st.s.EventsPerSec)
+	}
+	gauge("notify_seq", "Latest stamped event sequence number (the /v1/topk ETag token).")
+	for _, st := range stats {
+		p("influtrackd_notify_seq{stream=%q} %d\n", st.name, st.s.Seq)
+	}
+}
+
+// notifyStats pairs a stream name with its hub counters for the metrics
+// rendering loops.
+type notifyStats struct {
+	name string
+	s    notify.StreamStats
 }

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tdnstream/internal/notify"
 )
 
 // errDuplicateStream marks an AddStream name collision — the only
@@ -34,6 +36,11 @@ type Server struct {
 	cfg   Config
 	start time.Time
 
+	// hub is the push subsystem: every worker publishes its top-k
+	// snapshots into it, and GET /v1/streams/{name}/events subscribes
+	// out of it (SSE or WebSocket).
+	hub *notify.Hub
+
 	mu      sync.RWMutex
 	streams map[string]*worker
 	closed  bool
@@ -49,6 +56,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		start:   time.Now(),
+		hub:     notify.NewHub(cfg.Notify),
 		streams: make(map[string]*worker),
 	}
 	s.handler = s.buildMux()
@@ -78,7 +86,7 @@ func (s *Server) addWorker(spec StreamSpec, ckpt *checkpointEnvelope) error {
 	if _, dup := s.streams[spec.Name]; dup {
 		return fmt.Errorf("%w: %q", errDuplicateStream, spec.Name)
 	}
-	w, err := newWorker(spec, s.cfg, ckpt)
+	w, err := newWorker(spec, s.cfg, ckpt, s.hub)
 	if err != nil {
 		return err
 	}
@@ -147,6 +155,20 @@ func (s *Server) Close() error {
 	}
 	wg.Wait()
 	return nil
+}
+
+// CloseSubscriptions drops every events-feed subscriber on every hosted
+// stream, closing their channels so the long-lived SSE/WebSocket
+// handlers return. Call it before http.Server.Shutdown: Shutdown waits
+// for active handlers, and an events subscription would otherwise hold
+// the drain hostage for its full timeout. Stream notify state (sequence
+// counters, journals) is untouched, so shutdown checkpoints still record
+// the true counters; dropped consumers reconnect after the restart and
+// resume from Last-Event-ID.
+func (s *Server) CloseSubscriptions() {
+	for _, name := range s.StreamNames() {
+		s.hub.DropSubscribers(name)
+	}
 }
 
 // Checkpoint serializes one stream's state (tracker + labels + clock), for

@@ -17,7 +17,13 @@ type Snapshot struct {
 	Steps       uint64 // tracker steps taken so far
 	Processed   uint64 // records fed to the tracker so far
 	OracleCalls uint64
-	Solution    tdnstream.Solution
+	// Seq is the notify-subsystem sequence number stamped when this
+	// snapshot was published: the shared consistency token between
+	// pollers (ETag on /v1/topk) and push subscribers (event seq /
+	// Last-Event-ID). A poller holding Seq s has seen exactly the state
+	// described by events 1..s.
+	Seq      uint64
+	Solution tdnstream.Solution
 }
 
 // labelTable is a concurrency-safe wrapper around the library Dict: the

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/notify"
 )
 
 var (
@@ -62,6 +63,15 @@ type workerState struct {
 type worker struct {
 	name string
 	cfg  Config
+
+	// hub receives the stream's top-k snapshots on every publish; it
+	// diffs, journals and fans the change events out to SSE/WebSocket
+	// subscribers. token, when non-empty, is the stream's ingest/admin/
+	// events bearer token — it lives on the worker, not in the swapped
+	// state, so a checkpoint restore (whose envelope is token-redacted)
+	// can never silently strip a stream's auth.
+	hub   *notify.Hub
+	token string
 
 	labels *labelTable
 	queue  chan chunk
@@ -126,7 +136,7 @@ func buildState(spec StreamSpec, trackerBlob []byte) (*workerState, error) {
 
 // newWorker builds a stream worker from its spec. When ckpt is non-nil the
 // worker starts from the checkpointed tracker state instead of empty.
-func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope) (*worker, error) {
+func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope, hub *notify.Hub) (*worker, error) {
 	var blob []byte
 	if ckpt != nil {
 		blob = ckpt.Tracker
@@ -138,6 +148,8 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope) (*worker, 
 	w := &worker{
 		name:   spec.Name,
 		cfg:    cfg,
+		hub:    hub,
+		token:  spec.Token,
 		labels: newLabelTable(),
 		queue:  make(chan chunk, cfg.QueueDepth),
 		admin:  make(chan func()),
@@ -146,6 +158,13 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope) (*worker, 
 	if ckpt != nil {
 		w.labels.reset(ckpt.Names)
 		w.lastT, _ = tdnstream.TrackerNow(st.tracker)
+		// Resume the event sequence past everything a previous
+		// incarnation already handed to subscribers, and resync them
+		// with a keyframe: the restored state replaces, not continues,
+		// whatever they were following.
+		if w.hub != nil {
+			w.hub.Resume(w.name, ckpt.NotifySeq)
+		}
 	}
 	w.state.Store(st)
 	w.publish()
@@ -244,7 +263,10 @@ func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) error {
 	return w.enqueueLocked(chunk{rows: rows, epoch: epoch})
 }
 
-// stop closes the queue and waits for the worker to drain it.
+// stop closes the queue and waits for the worker to drain it, then
+// detaches the stream from the notify hub: the final drain snapshot is
+// published (and fanned out) first, after which every subscriber's
+// channel is closed so events handlers unblock and end their responses.
 func (w *worker) stop() {
 	w.closeMu.Lock()
 	if !w.closing {
@@ -253,6 +275,9 @@ func (w *worker) stop() {
 	}
 	w.closeMu.Unlock()
 	<-w.done
+	if w.hub != nil {
+		w.hub.RemoveStream(w.name)
+	}
 }
 
 // do runs fn on the worker goroutine and waits for it, so fn may touch the
@@ -341,10 +366,19 @@ func (w *worker) observe(st *workerState, t int64, batch []tdnstream.Interaction
 }
 
 // publish refreshes the atomically-swapped read snapshot from the
-// tracker's current answer.
+// tracker's current answer, routing the new solution through the notify
+// hub first so the snapshot carries the sequence number of its own
+// change events — one pointer swap keeps solution and seq consistent
+// for readers. The hub call takes only the stream's own fan-out lock
+// and never blocks on subscribers (slow ones are dropped), so the
+// publish path stays wait-free with respect to consumers.
 func (w *worker) publish() {
 	st := w.state.Load()
 	sol := st.tracker.Solution()
+	var seq uint64
+	if w.hub != nil {
+		seq = w.hub.Publish(w.name, w.topkOf(st, sol))
+	}
 	w.snap.Store(&Snapshot{
 		Stream:      w.name,
 		Algo:        st.tracker.Name(),
@@ -352,9 +386,40 @@ func (w *worker) publish() {
 		Steps:       w.m.steps.Load(),
 		Processed:   w.m.processed.Load(),
 		OracleCalls: st.tracker.Calls().Value(),
+		Seq:         seq,
 		Solution:    sol,
 	})
 	w.sinceSnap = 0
+}
+
+// topkOf renders a solution as the notify differ's input. By default the
+// entries follow the solution's deterministic id-sorted seed order with
+// untracked (zero) gains — the differ then reports membership changes
+// and solution-value drift, and suppresses meaningless id-order rank
+// shifts. With NotifyExplainGains the worker spends tdnstream.Explain's
+// oracle calls (runs on the worker goroutine, which owns the tracker) to
+// attribute true greedy ranks and marginal gains, enabling per-seed
+// rank_changed / gain_changed events.
+func (w *worker) topkOf(st *workerState, sol tdnstream.Solution) notify.TopK {
+	topk := notify.TopK{T: w.lastT, Value: sol.Value}
+	if w.cfg.NotifyExplainGains {
+		if contribs := tdnstream.Explain(st.tracker); len(contribs) > 0 {
+			topk.Entries = make([]notify.Entry, len(contribs))
+			for i, c := range contribs {
+				topk.Entries[i] = notify.Entry{
+					ID:    c.Seed,
+					Label: w.labels.name(c.Seed),
+					Gain:  c.Gain,
+				}
+			}
+			return topk
+		}
+	}
+	topk.Entries = make([]notify.Entry, len(sol.Seeds))
+	for i, id := range sol.Seeds {
+		topk.Entries[i] = notify.Entry{ID: id, Label: w.labels.name(id)}
+	}
+	return topk
 }
 
 // snapshot returns the current read snapshot (never nil after newWorker).
@@ -377,21 +442,31 @@ func (w *worker) lastError() string {
 // The stream clock is not stored: the restored tracker reports it
 // through its Now() hook (tdnstream.TrackerNow).
 //
-// Version 2 (this release) adds sharded streams: Spec may carry
-// Tracker.Shards ≥ 2, in which case the Tracker blob is a shard-engine
-// envelope holding one gob snapshot per partition, and restore swaps
-// every partition in atomically with the dictionary and epoch. Version-1
-// (pre-shard) checkpoints decode with Version 0 and restore unchanged;
-// decoders reject versions from the future rather than misreading them.
+// Version 2 added sharded streams: Spec may carry Tracker.Shards ≥ 2, in
+// which case the Tracker blob is a shard-engine envelope holding one gob
+// snapshot per partition, and restore swaps every partition in
+// atomically with the dictionary and epoch.
+//
+// Version 3 (this release) adds NotifySeq — the stream's notify-
+// subsystem sequence counter at checkpoint time — so a restored daemon
+// resumes stamping events after everything the previous incarnation
+// handed to subscribers instead of replaying from seq 0 (which would
+// make Last-Event-ID resumes silently skip the post-restore history).
+// The embedded Spec is written with Token redacted: checkpoint bodies
+// travel over the admin API and land on disk, and the bearer secret has
+// no business in either place. Older envelopes decode with the new
+// fields zero and restore unchanged; decoders reject versions from the
+// future rather than misreading them.
 type checkpointEnvelope struct {
-	Version int
-	Spec    StreamSpec
-	Names   []string
-	Tracker []byte
+	Version   int
+	Spec      StreamSpec
+	Names     []string
+	Tracker   []byte
+	NotifySeq uint64
 }
 
 // checkpointVersion is the envelope version this server writes.
-const checkpointVersion = 2
+const checkpointVersion = 3
 
 // checkpoint serializes the stream (runs on the worker goroutine via do).
 // Queued chunks are processed first: every record already acknowledged
@@ -409,6 +484,10 @@ func (w *worker) checkpoint() ([]byte, error) {
 		Spec:    st.spec,
 		Names:   w.labels.names(),
 		Tracker: trk.Bytes(),
+	}
+	env.Spec.Token = "" // bearer secrets never leave the process
+	if w.hub != nil {
+		env.NotifySeq = w.hub.Seq(w.name)
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
@@ -443,6 +522,10 @@ func (w *worker) checkpoint() ([]byte, error) {
 // new dictionary first.
 func (w *worker) restore(env *checkpointEnvelope) error {
 	env.Spec.Name = w.name // a renamed checkpoint restores into this stream
+	// Envelopes are written token-redacted, so the embedded spec cannot
+	// carry auth; the stream's live token survives the restore untouched
+	// (w.token is worker state, not swapped state).
+	env.Spec.Token = ""
 	st, err := buildState(env.Spec, env.Tracker)
 	if err != nil {
 		return err
@@ -460,6 +543,14 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 	w.epoch++
 	w.closeMu.Unlock()
 	w.lastErr.Store(nil)
+	// Sequence continuity across the swap: never reuse numbers the
+	// checkpointed incarnation already stamped (Resume keeps the floor
+	// monotone even when the checkpoint is older than the live stream),
+	// and resync subscribers with a keyframe — the publish below diffs
+	// against a snapshot that no longer describes this stream.
+	if w.hub != nil {
+		w.hub.Resume(w.name, env.NotifySeq)
+	}
 	w.publish()
 	return nil
 }

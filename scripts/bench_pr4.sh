@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# bench_pr4.sh [output.json] [benchtime]
+#
+# Measures the internal/notify push subsystem end to end:
+#
+#   * publish→deliver fan-out latency (p50/p99) and aggregate delivery
+#     throughput at 1 / 100 / 1000 live subscribers (BenchmarkFanoutN in
+#     internal/notify: each publish emits one entered + one left event
+#     and the publisher waits for the whole fleet to drain, so the
+#     number is per-publish fan-out latency, not synthetic queueing);
+#   * the differ's per-publish diff cost (BenchmarkDiff);
+#   * end-to-end HTTP ingest throughput with the notify hook live —
+#     plain (no subscribers) and with 100 / 1000 subscribers attached —
+#     plus the sharded-higgs workload, so the numbers line up against
+#     the BENCH_PR3.json baselines.
+#
+# The PR-4 acceptance gates: fanout_p99_ms_1000subs < 50, and the plain
+# ingest numbers within 10% of the figures recorded in BENCH_PR3.json
+# (ratio_vs_pr3_* >= 0.9) — push must not tax the pull path. Default
+# output is BENCH_PR4.json; benchtime defaults to 300x for the fan-out
+# benches and 3x for ingest (pass e.g. "1x" to force a CI smoke run of
+# everything).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+benchtime="${2:-}"
+fan_benchtime="${benchtime:-300x}"
+ingest_benchtime="${benchtime:-3x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/notify -run '^$' \
+  -bench 'BenchmarkFanout1$|BenchmarkFanout100$|BenchmarkFanout1000$|BenchmarkDiff$' \
+  -benchtime "$fan_benchtime" -count 1 | tee "$raw"
+go test ./internal/server -run '^$' \
+  -bench 'BenchmarkIngestHTTPSieve$|BenchmarkIngestHTTPSieveSubscribers100$|BenchmarkIngestHTTPSieveSubscribers1000$|BenchmarkIngestHTTPSieveHiggsShards4$' \
+  -benchtime "$ingest_benchtime" -count 1 | tee -a "$raw"
+
+# Baselines recorded by scripts/bench_pr3.sh (null when absent, e.g. in CI).
+pr3_sieve=null
+pr3_higgs4=null
+if [ -f BENCH_PR3.json ]; then
+    pr3_sieve=$(grep -o '"name": "BenchmarkIngestHTTPSieve", "iters": [0-9]*, "interactions_per_sec": [0-9.]*' BENCH_PR3.json | grep -o '[0-9.]*$' || echo null)
+    pr3_higgs4=$(grep -o '"name": "BenchmarkIngestHTTPSieveHiggsShards4", "iters": [0-9]*, "interactions_per_sec": [0-9.]*' BENCH_PR3.json | grep -o '[0-9.]*$' || echo null)
+fi
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr4-notify-push-subsystem\","
+    echo "  \"description\": \"internal/notify top-k change push: per-publish fan-out latency to N SSE/WebSocket-shaped subscribers (publish -> bounded per-subscriber queue -> drain), differ cost, and end-to-end HTTP ingest throughput with the notify publish hook live, with and without attached subscribers. Acceptance: fanout_p99_ms_1000subs < 50 and plain ingest within 10% of the BENCH_PR3.json figures.\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"fanout_benchtime\": \"$fan_benchtime\","
+    echo "  \"ingest_benchtime\": \"$ingest_benchtime\","
+    awk '/^cpu:/ { sub(/^cpu: */, ""); printf "  \"cpu\": \"%s\",\n", $0; exit }' "$raw"
+    echo "  \"benchmarks\": ["
+    awk '
+    function metric(unit,   v, i) {
+        v = "null"
+        for (i = 3; i < NF; i++) if ($(i + 1) == unit) v = $i
+        return v
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iters\": %s", name, $2
+        ips = metric("interactions/sec"); if (ips != "null") printf ", \"interactions_per_sec\": %s", ips
+        dps = metric("deliveries/sec");   if (dps != "null") printf ", \"deliveries_per_sec\": %s", dps
+        p50 = metric("p50_ms");           if (p50 != "null") printf ", \"p50_ms\": %s", p50
+        p99 = metric("p99_ms");           if (p99 != "null") printf ", \"p99_ms\": %s", p99
+        printf "}"
+    }
+    END { printf "\n" }
+    ' "$raw"
+    echo "  ],"
+    awk -v pr3_sieve="$pr3_sieve" -v pr3_higgs4="$pr3_higgs4" '
+    function metric(unit,   v, i) {
+        v = ""
+        for (i = 3; i < NF; i++) if ($(i + 1) == unit) v = $i
+        return v
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (name == "BenchmarkFanout1000")                       { p99_1000 = metric("p99_ms"); dps_1000 = metric("deliveries/sec") }
+        if (name == "BenchmarkFanout100")                        p99_100 = metric("p99_ms")
+        if (name == "BenchmarkFanout1")                          p99_1 = metric("p99_ms")
+        if (name == "BenchmarkIngestHTTPSieve")                  sieve = metric("interactions/sec")
+        if (name == "BenchmarkIngestHTTPSieveSubscribers100")    subs100 = metric("interactions/sec")
+        if (name == "BenchmarkIngestHTTPSieveSubscribers1000")   subs1000 = metric("interactions/sec")
+        if (name == "BenchmarkIngestHTTPSieveHiggsShards4")      higgs4 = metric("interactions/sec")
+    }
+    function num(v) { return (v == "" ? "null" : v) }
+    END {
+        printf "  \"fanout_p99_ms_1subs\": %s,\n", num(p99_1)
+        printf "  \"fanout_p99_ms_100subs\": %s,\n", num(p99_100)
+        printf "  \"fanout_p99_ms_1000subs\": %s,\n", num(p99_1000)
+        printf "  \"fanout_deliveries_per_sec_1000subs\": %s,\n", num(dps_1000)
+        printf "  \"ingest_sieve_interactions_per_sec\": %s,\n", num(sieve)
+        printf "  \"ingest_sieve_100subs_interactions_per_sec\": %s,\n", num(subs100)
+        printf "  \"ingest_sieve_1000subs_interactions_per_sec\": %s,\n", num(subs1000)
+        printf "  \"ingest_higgs_4shards_interactions_per_sec\": %s,\n", num(higgs4)
+        printf "  \"pr3_baseline_sieve_interactions_per_sec\": %s,\n", pr3_sieve
+        printf "  \"pr3_baseline_higgs_4shards_interactions_per_sec\": %s,\n", pr3_higgs4
+        if (sieve != "" && pr3_sieve != "null" && pr3_sieve + 0 > 0)
+            printf "  \"ratio_vs_pr3_sieve\": %.3f,\n", sieve / pr3_sieve
+        else
+            printf "  \"ratio_vs_pr3_sieve\": null,\n"
+        if (higgs4 != "" && pr3_higgs4 != "null" && pr3_higgs4 + 0 > 0)
+            printf "  \"ratio_vs_pr3_higgs_4shards\": %.3f\n", higgs4 / pr3_higgs4
+        else
+            printf "  \"ratio_vs_pr3_higgs_4shards\": null\n"
+    }
+    ' "$raw"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
