@@ -20,6 +20,8 @@
 //	time=event           event (records carry t) | arrival (server-clocked steps)
 //	token=secret         bearer token gating ingest, admin and the events feed
 //	                     (Authorization: Bearer secret; 401 on mismatch)
+//	wal=on               on (default when -wal-dir is set) | off — opt this
+//	                     stream out of the write-ahead log
 //
 // Usage:
 //
@@ -54,6 +56,22 @@
 // in the background at that interval (written to a temp file and
 // renamed, so a crash mid-save never corrupts the last good checkpoint),
 // bounding how much stream history a hard crash can lose.
+//
+// -wal-dir closes the remaining window entirely: every ingest chunk is
+// appended to a per-stream write-ahead log *before* the 200 OK, and a
+// restarting daemon replays checkpoint + log tail to reconstruct the
+// exact pre-crash state — zero acknowledged-record loss under kill -9.
+// -wal-fsync picks the policy ("always": the ack waits for a
+// group-committed fsync, surviving power loss; "interval", the default:
+// fsync every 100ms, exact under process kills, up to one interval
+// exposed to power loss; "none": never fsync). -wal-segment-bytes sets
+// the rotation size; each successful background checkpoint truncates
+// the segments it covers, so the log's footprint stays bounded by
+// roughly one checkpoint interval of traffic:
+//
+//	influtrackd -addr :8080 -checkpoint-dir /var/lib/influtrackd \
+//	    -checkpoint-interval 30s -wal-dir /var/lib/influtrackd/wal \
+//	    -wal-fsync always -stream "name=demo,algo=histapprox,k=10,eps=0.1,L=1000,p=0.001"
 package main
 
 import (
@@ -146,6 +164,8 @@ func parseStreamSpec(arg string) (server.StreamSpec, error) {
 			spec.TimeMode = val
 		case "token":
 			spec.Token = val
+		case "wal":
+			spec.WAL = val
 		default:
 			return spec, fmt.Errorf("unknown stream option %q", key)
 		}
@@ -167,6 +187,9 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	ckptDir := flag.String("checkpoint-dir", "", "save stream checkpoints here on shutdown and restore them on start")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "additionally checkpoint every stream in the background at this interval (0 = shutdown only; needs -checkpoint-dir)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory (one log per stream): ingest chunks are logged before the 200 OK and replayed past the checkpoint on start — exact crash recovery")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always (group-committed fsync before each ack), interval (background fsync every 100ms), none")
+	walSegBytes := flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size; checkpoints truncate fully-covered segments")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queues")
 	shards := flag.Int("shards", 0, "default shard count for streams that set none (≥ 2 partitions each stream by source-node hash)")
 	notifyJournal := flag.Int("notify-journal", 0, "events retained per stream for Last-Event-ID resume (0 = default 1024)")
@@ -187,10 +210,13 @@ func main() {
 		streams = streamFlags{"name=default,algo=histapprox,k=10,eps=0.1,L=1000,lifetime=geometric,p=0.001,seed=42"}
 	}
 	cfg := server.Config{
-		QueueDepth:   *queue,
-		MaxChunk:     *chunkSize,
-		MaxBodyBytes: *maxBody,
-		RetryAfter:   *retryAfter,
+		QueueDepth:      *queue,
+		MaxChunk:        *chunkSize,
+		MaxBodyBytes:    *maxBody,
+		RetryAfter:      *retryAfter,
+		WALDir:          *walDir,
+		WALFsync:        *walFsync,
+		WALSegmentBytes: *walSegBytes,
 		Notify: notify.Config{
 			JournalSize:      *notifyJournal,
 			KeyframeEvery:    *notifyKeyframe,
@@ -200,23 +226,47 @@ func main() {
 		NotifyHeartbeat:    *notifyHeartbeat,
 		NotifyExplainGains: *notifyGains,
 	}
+	var specs []server.StreamSpec
+	seen := make(map[string]bool)
 	for _, arg := range streams {
 		spec, err := parseStreamSpec(arg)
 		if err != nil {
 			log.Fatalf("influtrackd: -stream %q: %v", arg, err)
 		}
+		// Duplicate names fail loudly here: the restore-before-create
+		// boot below skips specs whose stream a checkpoint already
+		// hosts, which must never silently eat an operator's second
+		// -stream flag for the same name.
+		if seen[spec.Name] {
+			log.Fatalf("influtrackd: duplicate -stream name %q", spec.Name)
+		}
+		seen[spec.Name] = true
 		if spec.Tracker.Shards == 0 {
 			spec.Tracker.Shards = *shards
 		}
-		cfg.Streams = append(cfg.Streams, spec)
+		specs = append(specs, spec)
 	}
 
+	// Boot order matters for crash recovery: checkpointed streams are
+	// restored *before* their -stream flags would create them empty, so
+	// each worker is built exactly once — from checkpoint + WAL-tail
+	// replay — instead of created fresh (replaying the whole log) and
+	// then restored over. Flags for restored streams still contribute
+	// the fields checkpoints cannot carry (bearer token, wal= toggle).
 	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("influtrackd: %v", err)
 	}
 	if *ckptDir != "" {
-		if err := restoreCheckpoints(srv, *ckptDir); err != nil {
+		if err := restoreCheckpoints(srv, *ckptDir, specs); err != nil {
+			log.Fatalf("influtrackd: %v", err)
+		}
+	}
+	for _, spec := range specs {
+		if hosted(srv, spec.Name) {
+			continue // restored from its checkpoint above
+		}
+		if err := srv.AddStream(spec); err != nil {
 			log.Fatalf("influtrackd: %v", err)
 		}
 	}
@@ -227,7 +277,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("influtrackd: serving %d stream(s) on %s", len(cfg.Streams), *addr)
+	log.Printf("influtrackd: serving %d stream(s) on %s", len(srv.StreamNames()), *addr)
 
 	var ckptLoopDone chan struct{}
 	if *ckptInterval > 0 {
@@ -301,17 +351,36 @@ func checkpointPath(dir, stream string) (string, error) {
 	return p, nil
 }
 
+// hosted reports whether the server already hosts a stream name.
+func hosted(srv *server.Server, name string) bool {
+	for _, n := range srv.StreamNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // restoreCheckpoints loads every *.ckpt file in dir, re-hosting each
 // checkpointed stream — including streams the previous run created over
-// HTTP that appear in no -stream flag. To retire a stream across a
-// restart, delete its .ckpt file (or DELETE it over HTTP after startup).
-func restoreCheckpoints(srv *server.Server, dir string) error {
+// HTTP that appear in no -stream flag. Restoring creates the worker,
+// which replays the stream's WAL tail past the checkpoint's watermark
+// (when -wal-dir is on) — the exact-crash-recovery path. A -stream flag
+// matching a restored name overlays the fields checkpoints cannot carry
+// (token, wal toggle). To retire a stream across a restart, delete its
+// .ckpt file and its -wal-dir subdirectory (or DELETE it over HTTP
+// after startup).
+func restoreCheckpoints(srv *server.Server, dir string, specs []server.StreamSpec) error {
 	entries, err := os.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return os.MkdirAll(dir, 0o755)
 	}
 	if err != nil {
 		return err
+	}
+	overlays := make(map[string]*server.StreamSpec, len(specs))
+	for i := range specs {
+		overlays[specs[i].Name] = &specs[i]
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
@@ -321,7 +390,11 @@ func restoreCheckpoints(srv *server.Server, dir string) error {
 		if err != nil {
 			return err
 		}
-		name, err := srv.Restore(context.Background(), data)
+		// The overlay is matched against the stream name embedded in
+		// the envelope (RestoreWithSpec), not the filename: a renamed
+		// or copied checkpoint file must not restore a stream without
+		// its flag-supplied token.
+		name, err := srv.RestoreWithSpec(data, overlays)
 		if err != nil {
 			return fmt.Errorf("restore %s: %w", e.Name(), err)
 		}

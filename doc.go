@@ -110,6 +110,32 @@
 // publish→deliver latency at 1000 subscribers, with ingest throughput
 // unchanged from the pull-only baseline.
 //
+// # Durability
+//
+// Checkpoints alone make durability periodic: a kill -9 between saves
+// silently loses every record acknowledged since the last one. With a
+// write-ahead log (internal/wal; influtrackd -wal-dir) the ack contract
+// becomes exact: every ingest chunk is appended — CRC32C-framed, in
+// segment files, with its label-dictionary delta — *before* the handler
+// returns 200, so 200 OK means the record survives a process kill, and
+// a restarting daemon replays checkpoint + log tail to reconstruct the
+// precise pre-crash tracker state, counters included. In-place admin
+// restores are logged in line as restore markers, so even
+// restore-then-ingest-then-crash recovers exactly.
+//
+// The fsync policy (-wal-fsync) prices the remaining window. "always":
+// each ack waits for an fsync — concurrent requests share one
+// (group commit) — and survives machine-wide power loss. "interval"
+// (default): appends issue their write(2) immediately (no user-space
+// buffering, so process kills lose nothing) and a background loop
+// fsyncs every 100ms — power loss can cost up to one interval.
+// "none": never fsync; still exact under kill -9, fastest, weakest
+// under power loss. Each successfully *saved* checkpoint truncates the
+// log segments it covers — a failed save never advances the truncation
+// point — so the log's footprint stays near one checkpoint interval of
+// traffic. BENCH_PR5.json records the ingest cost: fsync=interval
+// within a few percent of the WAL-free baseline.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

@@ -5,7 +5,9 @@
 // the push feed (Server-Sent Events of typed top-k change events — the
 // way a dashboard consumes the tracker without polling), then
 // checkpoints the stream and restores it into a second server — the
-// restart story of a production tracker.
+// restart story of a production tracker — and finally hard-crashes the
+// first server and rebuilds its exact state from the write-ahead log
+// alone, the durability story behind influtrackd's -wal-dir.
 //
 // The stream is sharded (TrackerSpec.Shards = 4): the server partitions
 // each batch by source node across four tracker instances and merges
@@ -28,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -58,12 +61,23 @@ func serve(s *server.Server) (base string, shutdown func()) {
 }
 
 func main() {
+	// The write-ahead log directory: with it set, every ingest chunk is
+	// logged before its 200 OK, so the final act below can hard-crash
+	// the server and recover the exact state from the log alone.
+	walDir, err := os.MkdirTemp("", "tdnstream-serving-wal-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+
+	spec := server.StreamSpec{
+		Name:     "demo",
+		Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: k, Eps: 0.15, L: maxLife, Shards: 4},
+		Lifetime: tdnstream.LifetimeSpec{Policy: "geometric", P: 0.005, L: maxLife, Seed: 7},
+	}
 	srv, err := server.New(server.Config{
-		Streams: []server.StreamSpec{{
-			Name:     "demo",
-			Tracker:  tdnstream.TrackerSpec{Algo: "histapprox", K: k, Eps: 0.15, L: maxLife, Shards: 4},
-			Lifetime: tdnstream.LifetimeSpec{Policy: "geometric", P: 0.005, L: maxLife, Seed: 7},
-		}},
+		Streams: []server.StreamSpec{spec},
+		WALDir:  walDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -221,4 +235,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("restored server:  ", topk(base2))
+
+	// The crash story: the first server goes down without writing any
+	// checkpoint — every acknowledged chunk lives only in the
+	// write-ahead log — and a recovery server booted over the same
+	// directory replays the log through the same pipeline at startup,
+	// answering identically. (In-process we must close the old server
+	// so it releases the log's exclusive lock; a real kill -9 releases
+	// it automatically, which is the case influtrackd's -wal-dir and
+	// the CI smoke exercise. -wal-fsync picks how much a machine crash,
+	// rather than a process kill, can take.)
+	shutdown()
+	recov, err := server.New(server.Config{WALDir: walDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := recov.AddStream(spec); err != nil { // replays the stream's WAL
+		log.Fatal(err)
+	}
+	base3, shutdown3 := serve(recov)
+	defer shutdown3()
+	fmt.Println("after crash replay:", topk(base3))
 }

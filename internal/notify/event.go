@@ -49,6 +49,16 @@ const (
 	Keyframe EventType = "keyframe"
 )
 
+// ValidEventType reports whether t names a known event type — the
+// vocabulary the events endpoint's ?types= filter accepts.
+func ValidEventType(t EventType) bool {
+	switch t {
+	case Entered, Left, RankChanged, GainChanged, Keyframe:
+		return true
+	}
+	return false
+}
+
 // Entry is one ranked member of a top-k snapshot. Rank is the position in
 // the published order (0 = best); Gain is the seed's marginal influence
 // contribution when the producer tracks it, 0 when it does not (solution

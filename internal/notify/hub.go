@@ -2,6 +2,7 @@ package notify
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,10 +59,31 @@ type Subscription struct {
 	Backlog []Event
 	C       <-chan []Event
 
-	hub  *Hub
-	st   *hubStream
-	ch   chan []Event
-	slow bool // guarded by st.mu: evicted for falling behind
+	hub   *Hub
+	st    *hubStream
+	ch    chan []Event
+	types map[EventType]bool // nil = every type; else the fan-out filter
+	// needBase (guarded by st.mu) marks a filtered subscriber whose
+	// backlog could not include a rebase keyframe (subscribed inside
+	// the Resume→publish resync window): the fan-out passes keyframes
+	// through to it until one lands, then the filter applies fully.
+	needBase bool
+	slow     bool // guarded by st.mu: evicted for falling behind
+}
+
+// Types returns the subscription's event-type filter in sorted order
+// (nil when the subscriber takes everything) — the per-subscriber
+// record of what was asked for.
+func (s *Subscription) Types() []EventType {
+	if s.types == nil {
+		return nil
+	}
+	out := make([]EventType, 0, len(s.types))
+	for t := range s.types {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Cancel detaches the subscription. Idempotent; C is closed.
@@ -209,9 +231,28 @@ func (h *Hub) Publish(name string, topk TopK) uint64 {
 	if len(evs) > 0 {
 		// One batch send per subscriber per publish. Subscribers never
 		// mutate the shared slice; the hub never touches it again.
+		// Filtered subscribers get their own pruned batch, evaluated
+		// here at fan-out so unwanted event traffic never reaches (or
+		// fills) their bounded queue.
 		for sub := range st.subs {
+			batch := evs
+			if sub.types != nil {
+				keepKeyframes := sub.needBase
+				batch = filterEvents(evs, sub.types, keepKeyframes)
+				if len(batch) == 0 {
+					continue
+				}
+				if keepKeyframes {
+					for _, ev := range batch {
+						if ev.Type == Keyframe {
+							sub.needBase = false // rebased; filter fully from here
+							break
+						}
+					}
+				}
+			}
 			select {
-			case sub.ch <- evs:
+			case sub.ch <- batch:
 			default:
 				// Bounded queue full: this consumer cannot keep up. Drop
 				// it rather than stall the publish path — it reconnects
@@ -221,6 +262,34 @@ func (h *Hub) Publish(name string, topk TopK) uint64 {
 		}
 	}
 	return st.seq
+}
+
+// filterEvents returns the events whose type the subscriber asked for
+// (plus keyframes, when the subscriber still needs its rebase point),
+// sharing the input slice when nothing is pruned.
+func filterEvents(evs []Event, types map[EventType]bool, keepKeyframes bool) []Event {
+	match := func(ev Event) bool {
+		return types[ev.Type] || (keepKeyframes && ev.Type == Keyframe)
+	}
+	keep := 0
+	for _, ev := range evs {
+		if match(ev) {
+			keep++
+		}
+	}
+	if keep == len(evs) {
+		return evs
+	}
+	if keep == 0 {
+		return nil
+	}
+	out := make([]Event, 0, keep)
+	for _, ev := range evs {
+		if match(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // Seq returns the stream's latest stamped sequence number (0 if the
@@ -275,11 +344,36 @@ func errUnknownStream(name string) error {
 // current top-k at the current sequence number: the subscriber rebases on
 // the full state and misses nothing that still matters.
 func (h *Hub) Subscribe(name string, since uint64) (*Subscription, error) {
+	return h.SubscribeTypes(name, since, nil)
+}
+
+// SubscribeTypes is Subscribe with a per-subscriber event-type filter,
+// recorded on the subscription and evaluated at fan-out: a dashboard
+// that only cares about membership churn asks for entered,left and the
+// gain_changed/keyframe traffic never costs it (or the hub) a channel
+// send. An empty or nil filter means every type. Resume correctness
+// trumps the filter in the backlog: keyframes replayed or synthesized
+// at subscribe time are always delivered, because a resuming consumer
+// rebases on them — a filtered subscriber simply sees no *further*
+// keyframes until it reconnects. A subscriber attached inside a
+// restore's resync window (empty backlog) receives its one rebase
+// keyframe through the live feed the same way, filter notwithstanding.
+func (h *Hub) SubscribeTypes(name string, since uint64, types []EventType) (*Subscription, error) {
 	h.mu.RLock()
 	st := h.streams[name]
 	h.mu.RUnlock()
 	if st == nil {
 		return nil, errUnknownStream(name)
+	}
+	var filter map[EventType]bool
+	if len(types) > 0 {
+		filter = make(map[EventType]bool, len(types))
+		for _, t := range types {
+			if !ValidEventType(t) {
+				return nil, fmt.Errorf("notify: unknown event type %q", t)
+			}
+			filter[t] = true
+		}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -291,6 +385,7 @@ func (h *Hub) Subscribe(name string, since uint64) (*Subscription, error) {
 		hub:    h,
 		st:     st,
 		ch:     make(chan []Event, h.cfg.SubscriberBuffer),
+		types:  filter,
 	}
 	sub.C = sub.ch
 	if st.resync {
@@ -299,10 +394,20 @@ func (h *Hub) Subscribe(name string, since uint64) (*Subscription, error) {
 		// there is nothing truthful to replay. The forced keyframe of
 		// the imminent publish arrives on the live channel and rebases
 		// this subscriber — an empty backlog is the only gap-free answer.
+		// A type-filtered subscriber must still receive that keyframe
+		// even when it filters keyframes out: needBase exempts exactly
+		// one from the fan-out filter.
+		sub.needBase = filter != nil
 	} else if since == st.seq {
 		// Exactly up to date — nothing to replay.
 	} else if evs, ok := st.journal.Since(since); ok {
 		sub.Backlog = evs
+		if filter != nil {
+			// Prune the replay like the live feed, but keep keyframes:
+			// a resume must hand the consumer its rebase point even
+			// when it filters keyframes from the steady state.
+			sub.Backlog = filterEvents(evs, filter, true)
+		}
 	} else {
 		last := st.differ.Last()
 		sub.Backlog = []Event{{

@@ -383,3 +383,119 @@ func TestHubConcurrentPublishSubscribe(t *testing.T) {
 		t.Fatalf("stats after churn = %+v", st)
 	}
 }
+
+// TestHubSubscribeTypesFilter: the per-subscriber type filter prunes at
+// fan-out, keeps resume keyframes in the backlog, and rejects unknown
+// types at subscribe time.
+func TestHubSubscribeTypesFilter(t *testing.T) {
+	h := NewHub(Config{KeyframeEvery: 1000})
+	h.Publish("s", topkOf(1, 5, 1))    // keyframe (first diff)
+	h.Publish("s", topkOf(2, 6, 1, 2)) // entered 2 (+ value drift)
+	filtered, err := h.SubscribeTypes("s", 0, []EventType{Entered, Left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := h.Subscribe("s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backlog: journal replay pruned to the filter, keyframes exempt —
+	// a resuming consumer always receives its rebase point.
+	sawKeyframe := false
+	for _, ev := range filtered.Backlog {
+		switch ev.Type {
+		case Keyframe:
+			sawKeyframe = true
+		case Entered, Left:
+		default:
+			t.Fatalf("filtered backlog leaked %q", ev.Type)
+		}
+	}
+	if !sawKeyframe {
+		t.Fatalf("filtered backlog lost the resume keyframe: %+v", filtered.Backlog)
+	}
+
+	h.Publish("s", topkOf(3, 7, 1, 2)) // pure value drift: gain_changed only
+	h.Publish("s", topkOf(4, 7, 1, 3)) // entered 3, left 2
+	// The drift-only publish must not have cost the filtered consumer a
+	// batch; the membership publish must arrive with only its churn.
+	var live []Event
+	deadline := time.Now().Add(5 * time.Second)
+	for len(live) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out; live = %+v", live)
+		}
+		select {
+		case batch := <-filtered.C:
+			live = append(live, batch...)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for _, ev := range live {
+		if ev.Type != Entered && ev.Type != Left {
+			t.Fatalf("filtered live feed leaked %q", ev.Type)
+		}
+	}
+	// The unfiltered twin did see the drift event.
+	sawDrift := false
+	for _, ev := range drain(all) {
+		if ev.Type == GainChanged {
+			sawDrift = true
+		}
+	}
+	if !sawDrift {
+		t.Fatal("unfiltered subscriber saw no gain_changed — the filter assertion proves nothing")
+	}
+
+	if _, err := h.SubscribeTypes("s", 0, []EventType{"explode"}); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	if types := filtered.Types(); len(types) != 2 || types[0] != Entered || types[1] != Left {
+		t.Fatalf("recorded filter = %v", types)
+	}
+}
+
+// TestHubFilteredSubscriberResyncKeyframe pins the resync-window rule:
+// a type-filtered subscriber attached between a Resume and its forced
+// keyframe gets exactly one keyframe from the live feed (its rebase
+// point), after which the filter applies fully again.
+func TestHubFilteredSubscriberResyncKeyframe(t *testing.T) {
+	h := NewHub(Config{KeyframeEvery: 1000})
+	h.Publish("s", topkOf(1, 5, 1))
+	h.Resume("s", 0) // restore swapped the state; journal cleared
+	sub, err := h.SubscribeTypes("s", 0, []EventType{Entered, Left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Backlog) != 0 {
+		t.Fatalf("resync-window backlog should be empty, got %+v", sub.Backlog)
+	}
+	h.Publish("s", topkOf(2, 6, 1, 2)) // the forced post-restore keyframe (+ churn)
+	select {
+	case batch := <-sub.C:
+		sawKeyframe := false
+		for _, ev := range batch {
+			if ev.Type == Keyframe {
+				sawKeyframe = true
+			}
+		}
+		if !sawKeyframe {
+			t.Fatalf("filtered subscriber missed the forced rebase keyframe: %+v", batch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no live batch after the forced keyframe")
+	}
+	// Rebased: from now on the filter is strict again.
+	h.Publish("s", topkOf(3, 7, 1, 2)) // pure value drift → fully filtered
+	h.Publish("s", topkOf(4, 7, 1, 3)) // entered 3, left 2
+	select {
+	case batch := <-sub.C:
+		for _, ev := range batch {
+			if ev.Type != Entered && ev.Type != Left {
+				t.Fatalf("post-rebase leak of %q: %+v", ev.Type, ev)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no live batch after membership churn")
+	}
+}

@@ -214,3 +214,126 @@ func BenchmarkIngestHTTPHistApprox(b *testing.B) {
 		tdnstream.LifetimeSpec{Policy: "geometric", P: 0.001, L: 10_000, Seed: 42},
 		payload, rows)
 }
+
+// benchmarkIngestHTTPWAL is benchmarkIngestHTTP with the write-ahead
+// log on the ingest path: every chunk is framed, CRC'd and written
+// before its 200, and (policy "always") group-commit fsynced. This is
+// the PR-5 acceptance family — fsync=interval must keep ≥ 0.85× of the
+// BENCH_PR4 subscriber-free sieve throughput, because the log costs one
+// buffered-free write(2) per ~MaxChunk records and the fsyncs ride a
+// background interval, not the ack path.
+func benchmarkIngestHTTPWAL(b *testing.B, fsync string, payload string, rows uint64) {
+	tracker := tdnstream.TrackerSpec{Algo: "sieveadn", K: 10, Eps: 0.1}
+	lifetime := tdnstream.LifetimeSpec{Policy: "constant", Window: 1 << 20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		walDir := b.TempDir() // fresh log per iteration: bounded, comparable cost
+		b.StartTimer()
+		spec := StreamSpec{Name: "bench", Tracker: tracker, Lifetime: lifetime, TimeMode: TimeArrival}
+		s, err := New(Config{
+			Streams: []StreamSpec{spec}, QueueDepth: 1024, MaxChunk: 8192,
+			WALDir: walDir, WALFsync: fsync,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		w, _ := s.stream("bench")
+
+		resp, err := ts.Client().Post(ts.URL+"/v1/ingest?stream=bench", ctNDJSON, strings.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		for w.m.processed.Load() < rows {
+			time.Sleep(time.Millisecond)
+		}
+
+		b.StopTimer()
+		ts.Close()
+		s.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(rows)*float64(b.N)/secs, "interactions/sec")
+	}
+}
+
+func BenchmarkIngestHTTPSieveWALNone(b *testing.B) {
+	const rows = 50_000
+	benchmarkIngestHTTPWAL(b, "none", benchPayload(b, "brightkite", rows), rows)
+}
+
+func BenchmarkIngestHTTPSieveWALInterval(b *testing.B) {
+	const rows = 50_000
+	benchmarkIngestHTTPWAL(b, "interval", benchPayload(b, "brightkite", rows), rows)
+}
+
+func BenchmarkIngestHTTPSieveWALAlways(b *testing.B) {
+	const rows = 50_000
+	benchmarkIngestHTTPWAL(b, "always", benchPayload(b, "brightkite", rows), rows)
+}
+
+// BenchmarkWALReplay measures recovery speed: how fast a crashed
+// stream's log feeds back through the pipeline at boot.
+func BenchmarkWALReplay(b *testing.B) {
+	const rows = 50_000
+	payload := benchPayload(b, "brightkite", rows)
+	spec := StreamSpec{
+		Name:    "bench",
+		Tracker: tdnstream.TrackerSpec{Algo: "sieveadn", K: 10, Eps: 0.1},
+		Lifetime: tdnstream.LifetimeSpec{
+			Policy: "constant", Window: 1 << 20,
+		},
+		TimeMode: TimeArrival,
+	}
+	walDir := b.TempDir()
+	cfg := Config{Streams: []StreamSpec{spec}, QueueDepth: 1024, MaxChunk: 8192, WALDir: walDir, WALFsync: "none"}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	resp, err := ts.Client().Post(ts.URL+"/v1/ingest?stream=bench", ctNDJSON, strings.NewReader(payload))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	w, _ := s.stream("bench")
+	for w.m.processed.Load() < rows {
+		time.Sleep(time.Millisecond)
+	}
+	ts.Close()
+	s.Close() // no checkpoint is saved: the log alone carries the state
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgB := cfg
+		cfgB.Streams = nil
+		rec, err := New(cfgB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.AddStream(spec); err != nil { // replays the whole log
+			b.Fatal(err)
+		}
+		wr, _ := rec.stream("bench")
+		if got := wr.m.walReplayed.Load(); got != rows {
+			b.Fatalf("replayed %d, want %d", got, rows)
+		}
+		b.StopTimer()
+		rec.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(rows)*float64(b.N)/secs, "interactions/sec")
+	}
+}

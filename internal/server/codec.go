@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"tdnstream/internal/stream"
+	"tdnstream/internal/wal"
 )
 
 // Ingest body content types. NDJSON is the default when no Content-Type
@@ -125,12 +126,30 @@ func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, 
 	epoch := w.ingestEpoch()
 	timeMode := w.state.Load().timeMode
 	raws := make([]rawRecord, 0, maxChunk)
+	// Durability is settled once per request, not per chunk: flush
+	// tracks the last WAL token and finish commits it before any
+	// return that acknowledges records — wal.Commit(t) covers every
+	// append ≤ t, so one group-commit fsync seals the whole body. A
+	// commit failure outranks whatever error the decode loop was about
+	// to report: the accepted count in the response is an ack, and an
+	// ack the log cannot back answers 500.
+	var lastTok wal.Token
+	finish := func(err error) (int, error) {
+		if cerr := w.commitWAL(lastTok); cerr != nil {
+			return accepted, cerr
+		}
+		return accepted, err
+	}
 	flush := func() error {
 		if len(raws) == 0 {
 			return nil
 		}
-		if err := w.internAndEnqueue(raws, epoch); err != nil {
+		tok, err := w.internAndEnqueue(raws, epoch)
+		if err != nil {
 			return err
+		}
+		if tok != 0 {
+			lastTok = tok
 		}
 		accepted += len(raws)
 		raws = make([]rawRecord, 0, maxChunk)
@@ -139,24 +158,24 @@ func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, 
 	for {
 		src, dst, t, rerr := rr.Read()
 		if rerr == io.EOF {
-			return accepted, flush()
+			return finish(flush())
 		}
 		if rerr != nil {
 			if ferr := flush(); ferr != nil {
-				return accepted, ferr
+				return finish(ferr)
 			}
-			return accepted, rerr
+			return finish(rerr)
 		}
 		if src == dst {
 			if ferr := flush(); ferr != nil {
-				return accepted, ferr
+				return finish(ferr)
 			}
-			return accepted, fmt.Errorf("server: self-loop interaction on %q", src)
+			return finish(fmt.Errorf("server: self-loop interaction on %q", src))
 		}
 		if len(raws) >= maxChunk &&
 			(timeMode != TimeEvent || t != raws[len(raws)-1].t) {
 			if ferr := flush(); ferr != nil {
-				return accepted, ferr
+				return finish(ferr)
 			}
 		}
 		raws = append(raws, rawRecord{src: src, dst: dst, t: t})

@@ -38,6 +38,13 @@ const (
 	TimeArrival = "arrival"
 )
 
+// WAL modes for a stream (StreamSpec.WAL): whether acknowledged ingest
+// chunks are appended to the server's write-ahead log before the 200.
+const (
+	WALOn  = "on"
+	WALOff = "off"
+)
+
 // StreamSpec describes one hosted tracker stream.
 type StreamSpec struct {
 	// Name identifies the stream in every endpoint's ?stream= parameter.
@@ -51,6 +58,12 @@ type StreamSpec struct {
 	Lifetime tdnstream.LifetimeSpec `json:"lifetime"`
 	// TimeMode is TimeEvent (default) or TimeArrival.
 	TimeMode string `json:"time_mode,omitempty"`
+	// WAL opts the stream out of the server's write-ahead log: "" or
+	// "on" logs every acknowledged ingest chunk (when Config.WALDir is
+	// set), "off" keeps this stream checkpoint-only — for purely
+	// reproducible feeds where replaying the source is cheaper than
+	// logging it. Without a server WAL directory the field is inert.
+	WAL string `json:"wal,omitempty"`
 	// Token, when non-empty, gates the stream's mutating and costly
 	// endpoints (ingest, explain, admin checkpoint/restore, delete, and
 	// the events feed) behind "Authorization: Bearer <token>" (compared
@@ -98,6 +111,12 @@ func (s StreamSpec) validate() error {
 		return fmt.Errorf("server: stream %q: unknown time mode %q (want %q or %q)",
 			s.Name, s.TimeMode, TimeEvent, TimeArrival)
 	}
+	switch s.WAL {
+	case "", WALOn, WALOff:
+	default:
+		return fmt.Errorf("server: stream %q: unknown wal mode %q (want %q or %q)",
+			s.Name, s.WAL, WALOn, WALOff)
+	}
 	return nil
 }
 
@@ -136,6 +155,22 @@ type Config struct {
 	// subscriptions — an SSE comment line or a WebSocket ping — so
 	// intermediaries do not reap quiet connections (default 15s).
 	NotifyHeartbeat time.Duration
+	// WALDir enables the write-ahead log: one segmented append log per
+	// stream under this directory (WALDir/<stream>/), written before
+	// ingest acknowledges — 200 OK then means the record survives a
+	// process kill, and (with WALFsync "always") a machine crash. Empty
+	// disables the WAL: durability stays checkpoint-only.
+	WALDir string
+	// WALFsync is the log's fsync policy: wal.FsyncAlways,
+	// wal.FsyncInterval (the default) or wal.FsyncNone. See the wal
+	// package for the durability each buys.
+	WALFsync string
+	// WALFsyncInterval is the FsyncInterval cadence (default 100ms).
+	WALFsyncInterval time.Duration
+	// WALSegmentBytes rotates log segments at this size (default 64
+	// MiB); checkpoint-covered history is truncated whole segments at a
+	// time.
+	WALSegmentBytes int64
 	// NotifyExplainGains spends oracle calls at every snapshot publish to
 	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
 	// calls): events then carry true greedy ranks and gains, enabling
@@ -168,4 +203,10 @@ func (c Config) withDefaults() Config {
 		c.NotifyHeartbeat = 15 * time.Second
 	}
 	return c
+}
+
+// walFor reports whether a stream runs with the write-ahead log: the
+// server must have a WAL directory and the stream must not opt out.
+func (c Config) walFor(spec StreamSpec) bool {
+	return c.WALDir != "" && spec.WAL != WALOff
 }

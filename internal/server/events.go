@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"tdnstream/internal/notify"
@@ -19,6 +20,12 @@ import (
 // continuation, or a keyframe resync when the journal has moved past
 // their position. The same sequence numbers appear as the ETag/seq of
 // /v1/topk, so pollers and subscribers share one consistency token.
+//
+// ?types=entered,left narrows the subscription to those event types,
+// evaluated at fan-out in the hub — a membership-churn dashboard never
+// receives (or queues) gain_changed and keyframe traffic. Resume
+// keyframes are exempt: a reconnecting consumer always gets its rebase
+// point.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	wk, ok := s.stream(name)
@@ -34,7 +41,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sub, err := s.hub.Subscribe(name, since)
+	types, err := eventsTypes(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sub, err := s.hub.SubscribeTypes(name, since, types)
 	if err != nil {
 		// The worker exists but its hub stream is gone: the stream is
 		// being removed out from under us.
@@ -64,6 +76,29 @@ func eventsSince(r *http.Request) (uint64, error) {
 		return 0, fmt.Errorf("bad resume sequence number %q", raw)
 	}
 	return since, nil
+}
+
+// eventsTypes parses the ?types= filter: a comma-separated list of
+// event type names, validated here so a typo answers 400 instead of a
+// silently event-free subscription. Absent means every type.
+func eventsTypes(r *http.Request) ([]notify.EventType, error) {
+	raw := r.URL.Query().Get("types")
+	if raw == "" {
+		return nil, nil
+	}
+	var types []notify.EventType
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		t := notify.EventType(part)
+		if !notify.ValidEventType(t) {
+			return nil, fmt.Errorf("unknown event type %q in ?types= (want entered, left, rank_changed, gain_changed or keyframe)", part)
+		}
+		types = append(types, t)
+	}
+	return types, nil
 }
 
 // serveEventsSSE streams the subscription as text/event-stream frames:

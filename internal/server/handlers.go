@@ -177,6 +177,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errStaleIngest):
 		resp.Error = "stream restored during ingest; retry"
 		writeJSON(w, http.StatusConflict, resp)
+	case errors.Is(err, errWAL):
+		// Durability fault, not an input fault: the write-ahead log
+		// refused the append (or its fsync failed), so the server will
+		// not acknowledge what it cannot promise to recover.
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusInternalServerError, resp)
 	case body.hit:
 		resp.Error = "ingest body exceeds the server's max body size"
 		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
@@ -358,13 +364,26 @@ type streamInfo struct {
 	AuthRequired bool   `json:"auth_required,omitempty"`
 	Seq          uint64 `json:"seq"`
 	Subscribers  int    `json:"subscribers"`
-	LastError    string `json:"last_error,omitempty"`
+	// WAL reports whether the stream runs with a write-ahead log (200
+	// OK ⇒ the record survives a process kill); WALBytes is the log's
+	// current on-disk footprint across segments.
+	WAL       bool   `json:"wal,omitempty"`
+	WALBytes  int64  `json:"wal_bytes,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 func (s *Server) infoFor(wk *worker) streamInfo {
 	snap := wk.snapshot()
+	var walOn bool
+	var walBytes int64
+	if wk.wlog != nil {
+		walOn = true
+		walBytes = wk.wlog.Stats().Bytes
+	}
 	return streamInfo{
 		Name:         wk.name,
+		WAL:          walOn,
+		WALBytes:     walBytes,
 		Algo:         snap.Algo,
 		TimeMode:     wk.state.Load().timeMode,
 		T:            snap.T,
@@ -438,7 +457,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	var data []byte
 	var cerr error
-	if err := wk.do(r.Context(), func() { data, cerr = wk.checkpoint() }); err != nil {
+	if err := wk.do(r.Context(), func() { data, _, cerr = wk.checkpoint() }); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}

@@ -9,6 +9,7 @@ import (
 
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/notify"
+	"tdnstream/internal/wal"
 )
 
 // streamMetrics are the per-stream counters and gauges exported on
@@ -21,6 +22,8 @@ type streamMetrics struct {
 	staleDrop     atomic.Uint64 // event-mode records at or before stream time
 	failed        atomic.Uint64 // records in batches the tracker rejected (see lastErr)
 	superseded    atomic.Uint64 // acknowledged records discarded unprocessed by a restore
+	walAppended   atomic.Uint64 // records appended to the write-ahead log before their ack
+	walReplayed   atomic.Uint64 // records rebuilt from the log by crash recovery
 	processed     atomic.Uint64 // records fed to the tracker
 	steps         atomic.Uint64 // tracker steps taken
 	chunks        atomic.Uint64 // chunks drained from the queue
@@ -28,6 +31,38 @@ type streamMetrics struct {
 	lastBatchNs   atomic.Uint64 // latency of the most recent chunk
 	stepsPerSec   metrics.EWMA  // smoothed step throughput
 	rowsPerSec    metrics.EWMA  // smoothed record throughput
+}
+
+// checkpointCounters snapshots the stream-logical counters in envelope
+// form, with the watermark-consistent Ingested convention: acknowledged
+// records are appended to the WAL before they are counted ingested, so
+// acked-but-unprocessed records sit past the watermark and re-count
+// themselves on replay — the envelope stores ingested as the sum of the
+// settled classes instead of the live counter.
+func (m *streamMetrics) checkpointCounters() checkpointCounters {
+	c := checkpointCounters{
+		Processed:    m.processed.Load(),
+		StaleDropped: m.staleDrop.Load(),
+		Failed:       m.failed.Load(),
+		Superseded:   m.superseded.Load(),
+		Steps:        m.steps.Load(),
+		Chunks:       m.chunks.Load(),
+	}
+	c.Ingested = c.Processed + c.StaleDropped + c.Failed + c.Superseded
+	return c
+}
+
+// seed initializes the stream-logical counters from a checkpoint at
+// worker creation (before any goroutine can observe them): a rebooted
+// stream continues its counter history instead of restarting at zero.
+func (m *streamMetrics) seed(c checkpointCounters) {
+	m.ingested.Store(c.Ingested)
+	m.processed.Store(c.Processed)
+	m.staleDrop.Store(c.StaleDropped)
+	m.failed.Store(c.Failed)
+	m.superseded.Store(c.Superseded)
+	m.steps.Store(c.Steps)
+	m.chunks.Store(c.Chunks)
 }
 
 // observeChunk records one drained chunk: n records, s steps, d spent.
@@ -144,6 +179,44 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		if snap := r.w.snapshot(); snap != nil {
 			p("influtrackd_topk_value{stream=%q} %d\n", r.name, snap.Solution.Value)
+		}
+	}
+
+	// Write-ahead-log surface: rows only for WAL-enabled streams, so a
+	// scrape can tell "no WAL" from "WAL with zero traffic". One Stats
+	// snapshot per stream: the three log gauges come from the same
+	// instant and the append path's mutex is taken once, not thrice.
+	type walRow struct {
+		name string
+		w    *worker
+		st   wal.Stats
+	}
+	var walRows []walRow
+	for _, r := range rows {
+		if r.w.wlog != nil {
+			walRows = append(walRows, walRow{r.name, r.w, r.w.wlog.Stats()})
+		}
+	}
+	if len(walRows) > 0 {
+		counter("wal_appended_records_total", "Records appended to the write-ahead log before their ingest ack.")
+		for _, r := range walRows {
+			p("influtrackd_wal_appended_records_total{stream=%q} %d\n", r.name, r.w.m.walAppended.Load())
+		}
+		counter("wal_replayed_records_total", "Records rebuilt from the write-ahead log by crash recovery at startup.")
+		for _, r := range walRows {
+			p("influtrackd_wal_replayed_records_total{stream=%q} %d\n", r.name, r.w.m.walReplayed.Load())
+		}
+		counter("wal_fsyncs_total", "fsync(2) calls issued by the write-ahead log (group commit batches concurrent ingests into one).")
+		for _, r := range walRows {
+			p("influtrackd_wal_fsyncs_total{stream=%q} %d\n", r.name, r.st.Fsyncs)
+		}
+		gauge("wal_bytes", "Write-ahead-log on-disk footprint across live segments; drops when checkpoints truncate covered history.")
+		for _, r := range walRows {
+			p("influtrackd_wal_bytes{stream=%q} %d\n", r.name, r.st.Bytes)
+		}
+		gauge("wal_segments", "Live write-ahead-log segment files.")
+		for _, r := range walRows {
+			p("influtrackd_wal_segments{stream=%q} %d\n", r.name, r.st.Segments)
 		}
 	}
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tdnstream/internal/notify"
+	"tdnstream/internal/wal"
 )
 
 // errDuplicateStream marks an AddStream name collision — the only
@@ -53,6 +54,10 @@ type Server struct {
 // New builds a server hosting cfg.Streams.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.WALDir != "" && !wal.ValidFsyncPolicy(cfg.WALFsync) {
+		return nil, fmt.Errorf("server: unknown wal fsync policy %q (want %s, %s or %s)",
+			cfg.WALFsync, wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNone)
+	}
 	s := &Server{
 		cfg:     cfg,
 		start:   time.Now(),
@@ -94,7 +99,10 @@ func (s *Server) addWorker(spec StreamSpec, ckpt *checkpointEnvelope) error {
 	return nil
 }
 
-// RemoveStream drains a stream's queue and stops its worker.
+// RemoveStream drains a stream's queue and stops its worker. The
+// stream's write-ahead log is deleted with it: removal ends the
+// stream's life, and a namesake created later must not inherit its
+// history.
 func (s *Server) RemoveStream(name string) error {
 	s.mu.Lock()
 	w, ok := s.streams[name]
@@ -104,6 +112,7 @@ func (s *Server) RemoveStream(name string) error {
 		return fmt.Errorf("server: unknown stream %q", name)
 	}
 	w.stop()
+	w.destroyWAL()
 	return nil
 }
 
@@ -173,17 +182,31 @@ func (s *Server) CloseSubscriptions() {
 
 // Checkpoint serializes one stream's state (tracker + labels + clock), for
 // embedders that bypass HTTP (cmd/influtrackd's shutdown checkpointing).
+// It never truncates the stream's write-ahead log — the caller may
+// discard the bytes; only CheckpointAll, which proves the save, does.
 func (s *Server) Checkpoint(ctx context.Context, name string) ([]byte, error) {
+	data, _, _, err := s.checkpointStream(ctx, name)
+	return data, err
+}
+
+// checkpointStream runs one stream's checkpoint on its worker goroutine
+// and returns the envelope, the WAL watermark it covers, and the worker
+// handle itself — callers that truncate after a save must truncate
+// *this* worker's log, not re-resolve the name (a DELETE+recreate
+// in between would otherwise point the old watermark at the new
+// incarnation's log).
+func (s *Server) checkpointStream(ctx context.Context, name string) ([]byte, wal.Pos, *worker, error) {
 	w, ok := s.stream(name)
 	if !ok {
-		return nil, fmt.Errorf("server: unknown stream %q", name)
+		return nil, wal.Pos{}, nil, fmt.Errorf("server: unknown stream %q", name)
 	}
 	var data []byte
+	var mark wal.Pos
 	var cerr error
-	if err := w.do(ctx, func() { data, cerr = w.checkpoint() }); err != nil {
-		return nil, err
+	if err := w.do(ctx, func() { data, mark, cerr = w.checkpoint() }); err != nil {
+		return nil, wal.Pos{}, nil, err
 	}
-	return data, cerr
+	return data, mark, w, cerr
 }
 
 // SaveFunc persists one stream's checkpoint bytes; CheckpointAll and
@@ -196,15 +219,30 @@ type SaveFunc func(name string, data []byte) error
 // failing (e.g. a tracker without snapshot support) does not cost the
 // others their checkpoint; every failure is reported in the joined
 // error.
+//
+// A save that succeeds licenses truncating the stream's write-ahead
+// log up to the checkpoint's watermark: those records are durably
+// covered twice over. The order is strict and per-stream — serialize
+// (worker goroutine) → save → truncate — the same ordering the
+// tmp+rename file saver gives the checkpoint itself, so a failed or
+// crashed save can never have advanced the truncation point: recovery
+// then still has the full log behind the previous checkpoint.
 func (s *Server) CheckpointAll(ctx context.Context, save SaveFunc) error {
 	var errs []error
 	for _, name := range s.StreamNames() {
-		data, err := s.Checkpoint(ctx, name)
+		data, mark, w, err := s.checkpointStream(ctx, name)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
 			continue
 		}
 		if err := save(name, data); err != nil {
+			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
+			continue // an unsaved checkpoint proves nothing: keep the log
+		}
+		// Truncate the checkpointed worker's log specifically: if the
+		// stream was deleted (and possibly re-created) while the save
+		// ran, the watermark describes the old incarnation's log only.
+		if err := w.truncateWAL(mark); err != nil {
 			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
 		}
 	}
@@ -241,6 +279,15 @@ func (s *Server) PeriodicCheckpoints(ctx context.Context, every time.Duration, s
 // Restore applies a checkpoint: into the named stream if it is hosted,
 // otherwise by creating the stream from the spec embedded in the
 // checkpoint. Returns the stream name.
+//
+// With a write-ahead log, an in-place restore is itself logged — a
+// restore marker carrying the envelope — before the swap, keeping the
+// log a linear history of everything that happened to the stream:
+// crash recovery replays chunks into the old state, swaps at the
+// marker, and continues, so even restore-then-ingest-then-crash
+// recovers exactly. A restore that creates the stream replays the
+// local log tail past the checkpoint's watermark when the checkpoint's
+// log identity matches — the startup crash-recovery path.
 func (s *Server) Restore(ctx context.Context, data []byte) (string, error) {
 	env, err := decodeCheckpoint(data)
 	if err != nil {
@@ -252,6 +299,29 @@ func (s *Server) Restore(ctx context.Context, data []byte) (string, error) {
 			return "", err
 		}
 		return env.Spec.Name, rerr
+	}
+	return env.Spec.Name, s.addWorker(env.Spec, env)
+}
+
+// RestoreWithSpec hosts a stream from a checkpoint at startup, carrying
+// over the serving-only fields a checkpoint deliberately omits or that
+// the operator controls per-boot: the spec's bearer token (envelopes
+// are token-redacted) and its WAL toggle. The overlay is chosen by the
+// stream name *inside* the envelope — never by whatever filename the
+// checkpoint traveled under, so a renamed or copied .ckpt cannot strip
+// a stream's token or attach another stream's. Everything else —
+// algorithm, lifetime, time mode — comes from the checkpoint, exactly
+// like Restore. The stream must not be hosted yet: this is the
+// restore-before-create boot path, which lets newWorker replay the
+// stream's write-ahead log tail on top of the checkpoint.
+func (s *Server) RestoreWithSpec(data []byte, overlays map[string]*StreamSpec) (string, error) {
+	env, err := decodeCheckpoint(data)
+	if err != nil {
+		return "", err
+	}
+	if overlay := overlays[env.Spec.Name]; overlay != nil {
+		env.Spec.Token = overlay.Token
+		env.Spec.WAL = overlay.WAL
 	}
 	return env.Spec.Name, s.addWorker(env.Spec, env)
 }

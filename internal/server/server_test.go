@@ -299,7 +299,7 @@ func TestCheckpointDrainsQueue(t *testing.T) {
 		done <- w.do(t.Context(), func() {
 			close(started)
 			<-queued
-			data, cerr = w.checkpoint()
+			data, _, cerr = w.checkpoint()
 		})
 	}()
 	<-started

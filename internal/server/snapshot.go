@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 
 	"tdnstream"
@@ -70,6 +71,55 @@ func (lt *labelTable) names() []string {
 		out[i] = lt.dict.Name(tdnstream.NodeID(i))
 	}
 	return out
+}
+
+// len reports how many labels are interned.
+func (lt *labelTable) len() int {
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
+	return lt.dict.Len()
+}
+
+// delta returns the labels interned at ids from..Len-1 and the current
+// length — the dictionary suffix a WAL record carries so replay can
+// re-intern identically. Cheap when nothing new was interned.
+func (lt *labelTable) delta(from int) ([]string, int) {
+	lt.mu.RLock()
+	defer lt.mu.RUnlock()
+	n := lt.dict.Len()
+	if from >= n {
+		return nil, n
+	}
+	out := make([]string, 0, n-from)
+	for i := from; i < n; i++ {
+		out = append(out, lt.dict.Name(tdnstream.NodeID(i)))
+	}
+	return out, n
+}
+
+// apply replays a WAL record's dictionary delta: labels[i] must land at
+// (or already occupy) id base+i. A mismatch means the log and the
+// checkpoint disagree about interning order — corruption, not a state
+// to continue from.
+func (lt *labelTable) apply(base int, labels []string) error {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if base > lt.dict.Len() {
+		return fmt.Errorf("label delta starts at id %d past dictionary length %d", base, lt.dict.Len())
+	}
+	for i, l := range labels {
+		id := base + i
+		if id < lt.dict.Len() {
+			if got := lt.dict.Name(tdnstream.NodeID(id)); got != l {
+				return fmt.Errorf("label %q at id %d does not match interned %q", l, id, got)
+			}
+			continue
+		}
+		if got := lt.dict.ID(l); int(got) != id {
+			return fmt.Errorf("label %q re-interned at id %d, want %d", l, got, id)
+		}
+	}
+	return nil
 }
 
 // reset replaces the table contents with the given id-ordered labels.

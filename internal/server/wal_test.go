@@ -1,0 +1,699 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tdnstream"
+	"tdnstream/internal/notify"
+	"tdnstream/internal/wal"
+)
+
+// walRows builds n deterministic interactions, five per time step
+// starting at t0, over a 37-node label space — enough churn that the
+// top-k actually evolves, small enough that tests stay fast.
+func walRows(n int, t0 int64) []tdnstream.Interaction {
+	rows := make([]tdnstream.Interaction, n)
+	for i := range rows {
+		src := tdnstream.NodeID(i % 37)
+		dst := tdnstream.NodeID((i*7 + 11) % 37)
+		if dst == src {
+			dst = (dst + 1) % 37
+		}
+		rows[i] = tdnstream.Interaction{Src: src, Dst: dst, T: t0 + int64(i/5)}
+	}
+	return rows
+}
+
+// dirSaver is the tests' stand-in for influtrackd's tmp+rename file
+// saver.
+func dirSaver(dir string) SaveFunc {
+	return func(name string, data []byte) error {
+		tmp := filepath.Join(dir, name+".tmp")
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, filepath.Join(dir, name+".ckpt"))
+	}
+}
+
+// bootServer mirrors influtrackd's boot sequence: restore every
+// checkpoint file first (creating workers that replay their WAL tails),
+// then create the flag streams that no checkpoint restored.
+func bootServer(t *testing.T, cfg Config, ckptDir string, specs []StreamSpec) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Streams = nil
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckptDir != "" {
+		entries, err := os.ReadDir(ckptDir)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			t.Fatal(err)
+		}
+		overlays := make(map[string]*StreamSpec, len(specs))
+		for i := range specs {
+			overlays[specs[i].Name] = &specs[i]
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".ckpt") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(ckptDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.RestoreWithSpec(data, overlays); err != nil {
+				t.Fatalf("restore %s: %v", e.Name(), err)
+			}
+		}
+	}
+	hosted := make(map[string]bool)
+	for _, n := range s.StreamNames() {
+		hosted[n] = true
+	}
+	for _, spec := range specs {
+		if hosted[spec.Name] {
+			continue
+		}
+		if err := s.AddStream(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// streamInfoOf fetches one stream's /v1/streams entry.
+func streamInfoOf(t *testing.T, base, name string) streamInfo {
+	t.Helper()
+	code, body := get(t, base+"/v1/streams")
+	if code != http.StatusOK {
+		t.Fatalf("streams: status %d: %s", code, body)
+	}
+	var resp struct {
+		Streams []streamInfo `json:"streams"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range resp.Streams {
+		if info.Name == name {
+			return info
+		}
+	}
+	t.Fatalf("stream %q not listed", name)
+	return streamInfo{}
+}
+
+// waitConverged blocks until every acknowledged record is accounted
+// for: processed, stale-dropped, failed or superseded.
+func waitConverged(t *testing.T, w *worker, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for w.m.processed.Load()+w.m.staleDrop.Load()+w.m.failed.Load()+w.m.superseded.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out converging on %d records", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// requireSameAnswer pins the recovered server's logical state — top-k
+// and stream counters — to the reference run's. Restart-local values
+// (oracle calls, notify seq, queue gauges) are deliberately excluded.
+func requireSameAnswer(t *testing.T, label string, got, want topKResponse, gotInfo, wantInfo streamInfo) {
+	t.Helper()
+	type answer struct {
+		Algo      string
+		T         int64
+		Steps     uint64
+		Processed uint64
+		Value     int
+		Seeds     []seedJSON
+	}
+	g := answer{got.Algo, got.T, got.Steps, got.Processed, got.Value, got.Seeds}
+	w := answer{want.Algo, want.T, want.Steps, want.Processed, want.Value, want.Seeds}
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: top-k diverged:\n got %+v\nwant %+v", label, g, w)
+	}
+	type counters struct {
+		Ingested, Processed, StaleDropped, Failed, Superseded, Steps uint64
+		Value                                                        int
+	}
+	gc := counters{gotInfo.Ingested, gotInfo.Processed, gotInfo.StaleDropped,
+		gotInfo.Failed, gotInfo.Superseded, gotInfo.Steps, gotInfo.Value}
+	wc := counters{wantInfo.Ingested, wantInfo.Processed, wantInfo.StaleDropped,
+		wantInfo.Failed, wantInfo.Superseded, wantInfo.Steps, wantInfo.Value}
+	if gc != wc {
+		t.Fatalf("%s: counters diverged:\n got %+v\nwant %+v", label, gc, wc)
+	}
+}
+
+// TestWALCrashRecoveryExact is the PR acceptance property: ingest N
+// records, checkpoint mid-stream (with WAL truncation), keep ingesting,
+// hard-abandon the server with no drain, and rebuild from checkpoint +
+// WAL tail. The recovered top-k and stream counters must be identical
+// to an uninterrupted run over the same input — acked-record loss zero.
+func TestWALCrashRecoveryExact(t *testing.T) {
+	spec := testSpec("crash")
+	ckptDir := t.TempDir()
+	cfg := Config{
+		Streams:         []StreamSpec{spec},
+		MaxChunk:        100,
+		WALDir:          t.TempDir(),
+		WALFsync:        wal.FsyncAlways,
+		WALSegmentBytes: 2048,
+	}
+	bodies := []string{
+		ndjsonBody(t, walRows(1000, 1)),
+		ndjsonBody(t, walRows(1000, 201)),
+		ndjsonBody(t, walRows(1000, 401)),
+	}
+
+	a, tsA := newTestServer(t, cfg)
+	wA, _ := a.stream("crash")
+	if code, body := post(t, tsA.URL+"/v1/ingest?stream=crash", ctNDJSON, bodies[0]); code != http.StatusOK {
+		t.Fatalf("post 1: %d: %s", code, body)
+	}
+	waitProcessed(t, wA, 1000)
+	if err := a.CheckpointAll(context.Background(), dirSaver(ckptDir)); err != nil {
+		t.Fatal(err)
+	}
+	// The durably saved checkpoint licensed truncating covered history:
+	// with 2 KiB segments and ~100-row records, segments must have gone.
+	if start := wA.wlog.Start(); start.Seg == 0 {
+		t.Fatalf("checkpoint did not truncate the WAL (start still %v)", start)
+	}
+	for i, body := range bodies[1:] {
+		if code, b := post(t, tsA.URL+"/v1/ingest?stream=crash", ctNDJSON, body); code != http.StatusOK {
+			t.Fatalf("post %d: %d: %s", i+2, code, b)
+		}
+	}
+	// Crash: the HTTP listener dies and no checkpoint is written. Every
+	// record above was acknowledged with 200, so the WAL owns the tail
+	// regardless of how far the worker got. (In-process the dead
+	// server's Close releases the log's flock, as the kernel would for
+	// a killed process; the CI daemon smoke covers the real kill -9.)
+	tsA.Close()
+	a.Close()
+
+	b, tsB := bootServer(t, cfg, ckptDir, []StreamSpec{spec})
+	wB, _ := b.stream("crash")
+	if wB.m.walReplayed.Load() == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+
+	// The uninterrupted reference run: same input, no crash.
+	refCfg := cfg
+	refCfg.WALDir = t.TempDir()
+	c, tsC := newTestServer(t, refCfg)
+	wC, _ := c.stream("crash")
+	for i, body := range bodies {
+		if code, b := post(t, tsC.URL+"/v1/ingest?stream=crash", ctNDJSON, body); code != http.StatusOK {
+			t.Fatalf("ref post %d: %d: %s", i+1, code, b)
+		}
+	}
+	waitProcessed(t, wC, 3000)
+
+	requireSameAnswer(t, "crash recovery",
+		topK(t, tsB.URL, "crash"), topK(t, tsC.URL, "crash"),
+		streamInfoOf(t, tsB.URL, "crash"), streamInfoOf(t, tsC.URL, "crash"))
+
+	// The WAL surface is on /metrics and /v1/streams.
+	if code, body := get(t, tsB.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(body), `influtrackd_wal_replayed_records_total{stream="crash"}`) ||
+		!strings.Contains(string(body), `influtrackd_wal_bytes{stream="crash"}`) {
+		t.Fatalf("wal metrics missing: %d", code)
+	}
+	if info := streamInfoOf(t, tsB.URL, "crash"); !info.WAL {
+		t.Fatal("stream info does not report wal=true")
+	}
+
+	// Empty-tail boot chain (regression): a boot whose WAL replay finds
+	// nothing past the watermark must carry the watermark forward, not
+	// reset it — otherwise its next checkpoint records position zero
+	// and the boot after that re-applies (or, post-truncation, fails
+	// to find) the whole log.
+	ckptDir2 := t.TempDir()
+	if err := b.CheckpointAll(context.Background(), dirSaver(ckptDir2)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // release the log for the next incarnation
+	d, tsD := bootServer(t, cfg, ckptDir2, []StreamSpec{spec})
+	wD, _ := d.stream("crash")
+	if n := wD.m.walReplayed.Load(); n != 0 {
+		t.Fatalf("empty-tail boot replayed %d records", n)
+	}
+	ckptDir3 := t.TempDir()
+	if err := d.CheckpointAll(context.Background(), dirSaver(ckptDir3)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	_, tsE := bootServer(t, cfg, ckptDir3, []StreamSpec{spec})
+	requireSameAnswer(t, "empty-tail boot chain",
+		topK(t, tsE.URL, "crash"), topK(t, tsC.URL, "crash"),
+		streamInfoOf(t, tsE.URL, "crash"), streamInfoOf(t, tsC.URL, "crash"))
+	_ = tsD
+}
+
+// TestWALRecoveryFromGenesis covers the no-checkpoint crash: the WAL
+// alone (replayed from its first segment) rebuilds the stream.
+func TestWALRecoveryFromGenesis(t *testing.T) {
+	spec := testSpec("genesis")
+	cfg := Config{
+		Streams:  []StreamSpec{spec},
+		MaxChunk: 128,
+		WALDir:   t.TempDir(),
+		WALFsync: wal.FsyncInterval,
+	}
+	bodies := []string{
+		ndjsonBody(t, walRows(600, 1)),
+		ndjsonBody(t, walRows(600, 201)),
+	}
+	a, tsA := newTestServer(t, cfg)
+	for _, body := range bodies {
+		if code, b := post(t, tsA.URL+"/v1/ingest?stream=genesis", ctNDJSON, body); code != http.StatusOK {
+			t.Fatalf("post: %d: %s", code, b)
+		}
+	}
+	tsA.Close()
+	a.Close() // crash stand-in: releases the flock like a dead process would
+
+	b, tsB := bootServer(t, cfg, "", []StreamSpec{spec})
+	_ = b
+
+	refCfg := cfg
+	refCfg.WALDir = t.TempDir()
+	c, tsC := newTestServer(t, refCfg)
+	wC, _ := c.stream("genesis")
+	for _, body := range bodies {
+		post(t, tsC.URL+"/v1/ingest?stream=genesis", ctNDJSON, body)
+	}
+	waitProcessed(t, wC, 1200)
+
+	requireSameAnswer(t, "genesis recovery",
+		topK(t, tsB.URL, "genesis"), topK(t, tsC.URL, "genesis"),
+		streamInfoOf(t, tsB.URL, "genesis"), streamInfoOf(t, tsC.URL, "genesis"))
+}
+
+// TestCheckpointFailedSaveNeverTruncates is the PR's race/ordering
+// regression: a checkpoint whose save fails must not advance the WAL
+// truncation point — recovery still needs the full log behind the last
+// *saved* checkpoint.
+func TestCheckpointFailedSaveNeverTruncates(t *testing.T) {
+	spec := testSpec("nofail")
+	cfg := Config{
+		Streams:         []StreamSpec{spec},
+		MaxChunk:        100,
+		WALDir:          t.TempDir(),
+		WALFsync:        wal.FsyncNone,
+		WALSegmentBytes: 2048,
+	}
+	a, tsA := newTestServer(t, cfg)
+	w, _ := a.stream("nofail")
+	if code, b := post(t, tsA.URL+"/v1/ingest?stream=nofail", ctNDJSON, ndjsonBody(t, walRows(1000, 1))); code != http.StatusOK {
+		t.Fatalf("post: %d: %s", code, b)
+	}
+	waitProcessed(t, w, 1000)
+
+	before := w.wlog.Start()
+	saveErr := errors.New("disk on fire")
+	err := a.CheckpointAll(context.Background(), func(string, []byte) error { return saveErr })
+	if !errors.Is(err, saveErr) {
+		t.Fatalf("CheckpointAll error = %v, want the save failure", err)
+	}
+	if got := w.wlog.Start(); got != before {
+		t.Fatalf("failed save truncated the WAL: start %v → %v", before, got)
+	}
+	// The full history is still there: every record remains replayable
+	// from genesis (read in-process — the live log holds the dir lock).
+	replayable := 0
+	if err := w.wlog.ReadFrom(wal.Pos{}, func(p []byte, _ wal.Pos) error {
+		rec, err := wal.DecodeRecord(p)
+		if err != nil {
+			return err
+		}
+		replayable += len(rec.Rows)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayable != 1000 {
+		t.Fatalf("post-failed-save log replays %d records, want all 1000", replayable)
+	}
+
+	// A successful save does truncate — and recovery from that saved
+	// checkpoint plus the remaining tail still answers exactly.
+	goodDir := t.TempDir()
+	if err := a.CheckpointAll(context.Background(), dirSaver(goodDir)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.wlog.Start(); got == before {
+		t.Fatalf("successful save did not truncate (start still %v)", got)
+	}
+	liveTopK := topK(t, tsA.URL, "nofail")
+	liveInfo := streamInfoOf(t, tsA.URL, "nofail")
+	a.Close()
+	_, tsB := bootServer(t, cfg, goodDir, []StreamSpec{spec})
+	requireSameAnswer(t, "post-save recovery",
+		topK(t, tsB.URL, "nofail"), liveTopK,
+		streamInfoOf(t, tsB.URL, "nofail"), liveInfo)
+}
+
+// TestWALRestoreMarkerRecovery: an in-place admin restore is logged in
+// line with the chunks, so restore-then-ingest-then-crash recovers the
+// exact live state — including counters — with no checkpoint file saved
+// after the restore.
+func TestWALRestoreMarkerRecovery(t *testing.T) {
+	spec := testSpec("marker")
+	cfg := Config{
+		Streams:  []StreamSpec{spec},
+		MaxChunk: 100,
+		WALDir:   t.TempDir(),
+		WALFsync: wal.FsyncInterval,
+	}
+	a, tsA := newTestServer(t, cfg)
+	w, _ := a.stream("marker")
+
+	if code, b := post(t, tsA.URL+"/v1/ingest?stream=marker", ctNDJSON, ndjsonBody(t, walRows(500, 1))); code != http.StatusOK {
+		t.Fatalf("post 1: %d: %s", code, b)
+	}
+	waitProcessed(t, w, 500)
+	code, ckpt := post(t, tsA.URL+"/v1/admin/checkpoint?stream=marker", "application/octet-stream", "")
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: %d", code)
+	}
+	if code, b := post(t, tsA.URL+"/v1/ingest?stream=marker", ctNDJSON, ndjsonBody(t, walRows(500, 101))); code != http.StatusOK {
+		t.Fatalf("post 2: %d: %s", code, b)
+	}
+	waitProcessed(t, w, 1000)
+	// Roll back to the post-1 state, then keep ingesting on top of it.
+	if code, b := post(t, tsA.URL+"/v1/admin/restore", "application/octet-stream", string(ckpt)); code != http.StatusOK {
+		t.Fatalf("restore: %d: %s", code, b)
+	}
+	if code, b := post(t, tsA.URL+"/v1/ingest?stream=marker", ctNDJSON, ndjsonBody(t, walRows(500, 301))); code != http.StatusOK {
+		t.Fatalf("post 3: %d: %s", code, b)
+	}
+	waitConverged(t, w, 1500)
+	liveTopK := topK(t, tsA.URL, "marker")
+	liveInfo := streamInfoOf(t, tsA.URL, "marker")
+	tsA.Close()
+	a.Close()
+
+	_, tsB := bootServer(t, cfg, "", []StreamSpec{spec})
+	requireSameAnswer(t, "restore-marker recovery",
+		topK(t, tsB.URL, "marker"), liveTopK,
+		streamInfoOf(t, tsB.URL, "marker"), liveInfo)
+}
+
+// TestWALStreamToggle: wal=off keeps a stream checkpoint-only on a
+// WAL-enabled server; on is the default; junk is rejected.
+func TestWALStreamToggle(t *testing.T) {
+	walDir := t.TempDir()
+	on := testSpec("logged")
+	off := testSpec("unlogged")
+	off.WAL = WALOff
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{on, off}, WALDir: walDir})
+	wOn, _ := s.stream("logged")
+	wOff, _ := s.stream("unlogged")
+	if wOn.wlog == nil {
+		t.Fatal("wal-on stream has no log")
+	}
+	if wOff.wlog != nil {
+		t.Fatal("wal=off stream has a log")
+	}
+	if _, err := os.Stat(filepath.Join(walDir, "unlogged")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("wal=off stream created a log directory: %v", err)
+	}
+	if info := streamInfoOf(t, ts.URL, "logged"); !info.WAL {
+		t.Fatal("logged stream info lacks wal flag")
+	}
+	if info := streamInfoOf(t, ts.URL, "unlogged"); info.WAL {
+		t.Fatal("unlogged stream info claims wal")
+	}
+	// Ingest works on both; only the logged stream appends.
+	body := ndjsonBody(t, walRows(50, 1))
+	for _, name := range []string{"logged", "unlogged"} {
+		if code, b := post(t, ts.URL+"/v1/ingest?stream="+name, ctNDJSON, body); code != http.StatusOK {
+			t.Fatalf("ingest %s: %d: %s", name, code, b)
+		}
+	}
+	if wOn.m.walAppended.Load() != 50 || wOff.m.walAppended.Load() != 0 {
+		t.Fatalf("wal appended: logged %d (want 50), unlogged %d (want 0)",
+			wOn.m.walAppended.Load(), wOff.m.walAppended.Load())
+	}
+
+	// An in-place restore keeps the hosting stream's WAL mode: a donor
+	// checkpoint from a wal=off stream must not flip a logged stream
+	// off (the next boot would skip the tail replay entirely).
+	offCkpt, err := s.Checkpoint(context.Background(), "unlogged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := decodeCheckpoint(offCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spec.Name = "logged"
+	var rerr error
+	if err := wOn.do(context.Background(), func() { rerr = wOn.restore(env) }); err != nil || rerr != nil {
+		t.Fatalf("restore: %v / %v", err, rerr)
+	}
+	if got := wOn.state.Load().spec.WAL; got == WALOff {
+		t.Fatal("in-place restore adopted the donor checkpoint's wal=off")
+	}
+
+	bad := testSpec("bad")
+	bad.WAL = "sometimes"
+	if err := s.AddStream(bad); err == nil {
+		t.Fatal("bad wal mode accepted")
+	}
+	if _, err := New(Config{WALDir: walDir, WALFsync: "yolo"}); err == nil {
+		t.Fatal("bad wal fsync policy accepted")
+	}
+}
+
+// TestWALRemoveStreamDeletesLog: DELETE ends the stream's life — a
+// namesake re-created later must not inherit its history.
+func TestWALRemoveStreamDeletesLog(t *testing.T) {
+	spec := testSpec("doomed")
+	walDir := t.TempDir()
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{spec}, WALDir: walDir})
+	if code, b := post(t, ts.URL+"/v1/ingest?stream=doomed", ctNDJSON, ndjsonBody(t, walRows(50, 1))); code != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", code, b)
+	}
+	if err := s.RemoveStream("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(walDir, "doomed")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("removed stream's wal directory survives: %v", err)
+	}
+	// A namesake starts empty.
+	if err := s.AddStream(spec); err != nil {
+		t.Fatal(err)
+	}
+	if resp := topK(t, ts.URL, "doomed"); resp.Processed != 0 || resp.T != 0 {
+		t.Fatalf("re-created stream inherited history: %+v", resp)
+	}
+}
+
+// TestWALForeignCheckpointResetsLog: restoring a checkpoint whose log
+// identity does not match the local log must not splice local history
+// under it — the local log resets and the checkpoint stands alone.
+func TestWALForeignCheckpointResetsLog(t *testing.T) {
+	spec := testSpec("foreign")
+	// Server 1 (its own WAL lineage) produces a checkpoint.
+	cfg1 := Config{Streams: []StreamSpec{spec}, WALDir: t.TempDir()}
+	s1, ts1 := newTestServer(t, cfg1)
+	w1, _ := s1.stream("foreign")
+	post(t, ts1.URL+"/v1/ingest?stream=foreign", ctNDJSON, ndjsonBody(t, walRows(300, 1)))
+	waitProcessed(t, w1, 300)
+	ckptDir := t.TempDir()
+	if err := s1.CheckpointAll(context.Background(), dirSaver(ckptDir)); err != nil {
+		t.Fatal(err)
+	}
+	want := topK(t, ts1.URL, "foreign")
+
+	// Server 2 has unrelated local history for the same stream name.
+	cfg2 := Config{Streams: []StreamSpec{spec}, WALDir: t.TempDir()}
+	s2, ts2 := newTestServer(t, cfg2)
+	w2, _ := s2.stream("foreign")
+	post(t, ts2.URL+"/v1/ingest?stream=foreign", ctNDJSON, ndjsonBody(t, walRows(900, 1000)))
+	waitProcessed(t, w2, 900)
+	ts2.Close()
+	s2.Close()
+
+	// Booting server 2's directories with server 1's checkpoint: the
+	// identities mismatch, the local log is reset, and the answer is
+	// the checkpoint's — not a splice of both histories.
+	b, tsB := bootServer(t, cfg2, ckptDir, []StreamSpec{spec})
+	wB, _ := b.stream("foreign")
+	if wB.m.walReplayed.Load() != 0 {
+		t.Fatalf("foreign restore replayed %d local records", wB.m.walReplayed.Load())
+	}
+	got := topK(t, tsB.URL, "foreign")
+	if got.T != want.T || got.Value != want.Value || !reflect.DeepEqual(got.Seeds, want.Seeds) {
+		t.Fatalf("foreign restore answer diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Regression: the reset boot binds the checkpoint into the fresh
+	// log as a genesis marker, so records acked *after* that boot and
+	// *before* any identity-matching checkpoint survive the next crash
+	// — a second boot against the same old checkpoint file must not
+	// reset again.
+	post(t, tsB.URL+"/v1/ingest?stream=foreign", ctNDJSON, ndjsonBody(t, walRows(400, 2000)))
+	waitProcessed(t, wB, 300+400)
+	liveTopK := topK(t, tsB.URL, "foreign")
+	liveInfo := streamInfoOf(t, tsB.URL, "foreign")
+	tsB.Close() // crash: no checkpoint written, the file stays the foreign one
+	b.Close()
+
+	b2, tsB2 := bootServer(t, cfg2, ckptDir, []StreamSpec{spec})
+	wB2, _ := b2.stream("foreign")
+	if n := wB2.m.walReplayed.Load(); n != 400 {
+		t.Fatalf("second boot replayed %d records, want the 400 acked after the reset boot", n)
+	}
+	requireSameAnswer(t, "post-reset-boot recovery",
+		topK(t, tsB2.URL, "foreign"), liveTopK,
+		streamInfoOf(t, tsB2.URL, "foreign"), liveInfo)
+
+	// And the converse guard: if the operator *replaces* the checkpoint
+	// file with a different one, their explicit choice outranks the
+	// marker-led log — the log rebinds to the new checkpoint instead of
+	// silently resurrecting the old state.
+	cfg3 := Config{Streams: []StreamSpec{spec}, WALDir: t.TempDir()}
+	s3, ts3 := newTestServer(t, cfg3)
+	w3, _ := s3.stream("foreign")
+	post(t, ts3.URL+"/v1/ingest?stream=foreign", ctNDJSON, ndjsonBody(t, walRows(200, 5000)))
+	waitProcessed(t, w3, 200)
+	if err := s3.CheckpointAll(context.Background(), dirSaver(ckptDir)); err != nil { // overwrites foreign.ckpt
+		t.Fatal(err)
+	}
+	swapped := topK(t, ts3.URL, "foreign")
+	b2.Close()
+	_, tsB3 := bootServer(t, cfg2, ckptDir, []StreamSpec{spec})
+	got3 := topK(t, tsB3.URL, "foreign")
+	if got3.T != swapped.T || got3.Value != swapped.Value || !reflect.DeepEqual(got3.Seeds, swapped.Seeds) {
+		t.Fatalf("swapped checkpoint was ignored for the stale marker-led log:\n got %+v\nwant %+v", got3, swapped)
+	}
+}
+
+// TestEventsTypesFilter: ?types=entered,left subscriptions skip
+// gain_changed/keyframe traffic at fan-out, still get the resume
+// keyframe, and a typo answers 400.
+func TestEventsTypesFilter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{pushSpec("filter")}})
+	w, _ := s.stream("filter")
+
+	filtered := sseSubscribe(t, ts.URL+"/v1/streams/filter/events?types=entered,left", "")
+	all := sseSubscribe(t, ts.URL+"/v1/streams/filter/events", "")
+
+	// Drive an entered (s1), then its expiry plus a new entered (s2) —
+	// with k=1 over a 10-step window this also produces value drift
+	// (gain_changed) along the way for the unfiltered consumer.
+	post(t, ts.URL+"/v1/ingest?stream=filter", ctNDJSON, burst("s1", 1, 5))
+	waitProcessed(t, w, 5)
+	post(t, ts.URL+"/v1/ingest?stream=filter", ctNDJSON, burst("s1", 2, 3))
+	waitProcessed(t, w, 8)
+	post(t, ts.URL+"/v1/ingest?stream=filter", ctNDJSON, burst("s2", 30, 5))
+	waitProcessed(t, w, 13)
+
+	evs := filtered.collectUntil(t, func(evs []notify.Event) bool {
+		return hasTyped(evs, notify.Entered, "s2") && hasTyped(evs, notify.Left, "s1")
+	})
+	for i, ev := range evs {
+		if i == 0 && ev.Type == notify.Keyframe {
+			continue // the subscribe-time resync keyframe is exempt
+		}
+		if ev.Type != notify.Entered && ev.Type != notify.Left {
+			t.Fatalf("filtered subscriber received %q at index %d: %+v", ev.Type, i, ev)
+		}
+	}
+	if !hasTyped(evs, notify.Entered, "s1") || !hasTyped(evs, notify.Left, "s1") {
+		t.Fatalf("filtered subscriber missed membership churn: %+v", evs)
+	}
+	// The unfiltered twin saw at least everything the filter passed,
+	// plus the suppressed types (value drift between the bursts).
+	allEvs := all.collectUntil(t, func(evs []notify.Event) bool {
+		return hasTyped(evs, notify.Entered, "s2") && hasTyped(evs, notify.Left, "s1")
+	})
+	sawOther := false
+	for _, ev := range allEvs {
+		if ev.Type == notify.GainChanged || ev.Type == notify.Keyframe {
+			sawOther = true
+		}
+	}
+	if !sawOther {
+		t.Fatalf("unfiltered subscriber saw no gain_changed/keyframe — filter test proves nothing: %+v", allEvs)
+	}
+
+	if code, body := get(t, ts.URL+"/v1/streams/filter/events?types=entered,bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus type: status %d: %s", code, body)
+	}
+}
+
+// TestRestoreWithSpecOverlayByEnvelopeName: the boot overlay is keyed
+// by the stream name inside the envelope — a checkpoint restored under
+// any filename still comes up with its flag-supplied token and WAL
+// toggle, and never with another stream's.
+func TestRestoreWithSpecOverlayByEnvelopeName(t *testing.T) {
+	spec := testSpec("tok")
+	spec.Token = "s3cret"
+	s1, _ := newTestServer(t, Config{Streams: []StreamSpec{spec}})
+	data, err := s1.Checkpoint(context.Background(), "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s2.Close() })
+	other := testSpec("other")
+	other.Token = "wrong"
+	name, err := s2.RestoreWithSpec(data, map[string]*StreamSpec{
+		"other": &other,
+		"tok":   &spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tok" {
+		t.Fatalf("restored %q, want tok", name)
+	}
+	w, _ := s2.stream("tok")
+	if w.token != "s3cret" {
+		t.Fatalf("restored stream token %q, want the flag-supplied secret", w.token)
+	}
+
+	// Without a matching overlay the stream comes up open (envelopes
+	// are token-redacted) — but never with a foreign stream's token.
+	s3, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s3.Close() })
+	if _, err := s3.RestoreWithSpec(data, map[string]*StreamSpec{"other": &other}); err != nil {
+		t.Fatal(err)
+	}
+	w3, _ := s3.stream("tok")
+	if w3.token != "" {
+		t.Fatalf("unmatched overlay leaked token %q", w3.token)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,12 +14,16 @@ import (
 
 	"tdnstream"
 	"tdnstream/internal/notify"
+	"tdnstream/internal/wal"
 )
 
 var (
 	errQueueFull    = errors.New("server: ingest queue full")
 	errStreamClosed = errors.New("server: stream closed")
 	errStaleIngest  = errors.New("server: stream state replaced during ingest")
+	// errWAL marks a write-ahead-log failure on the ingest path — a
+	// server-side durability fault (500), never the client's input.
+	errWAL = errors.New("server: write-ahead log failure")
 )
 
 // chunk is the unit of work on a stream's ingest queue: up to
@@ -29,6 +34,11 @@ var (
 type chunk struct {
 	rows  []tdnstream.Interaction
 	epoch uint64
+	// walPos, when nonzero, is the WAL position after this chunk's
+	// record. The worker advances its applied watermark to it when the
+	// chunk is processed, so a checkpoint knows exactly how much of the
+	// log its state already covers.
+	walPos wal.Pos
 }
 
 // rawRecord is one decoded-but-not-yet-interned ingest record. The
@@ -92,9 +102,25 @@ type worker struct {
 
 	lastErr atomic.Pointer[string]
 
+	// wlog is the stream's write-ahead log (nil when the server has no
+	// WAL directory or the stream opted out). It is assigned once in
+	// newWorker, before any goroutine can observe the worker. walMu
+	// serializes the append+enqueue pair so WAL order and queue order
+	// are identical — replay must feed chunks in exactly the order the
+	// live worker consumed them (arrival-mode step numbering and
+	// event-mode stale-drops both depend on it). walDictLen (under
+	// walMu) is the label-dictionary prefix already recorded in the log;
+	// each record carries the delta since.
+	wlog       *wal.Log
+	walMu      sync.Mutex
+	walDictLen int
+	walScratch []byte
+
 	// Worker-goroutine-private state.
-	lastT     int64 // high-water tracker time (event) / step clock (arrival)
-	sinceSnap int   // chunks since the last snapshot publish
+	lastT      int64   // high-water tracker time (event) / step clock (arrival)
+	sinceSnap  int     // chunks since the last snapshot publish
+	walApplied wal.Pos // log position covered by the tracker state
+	replaying  bool    // WAL replay in progress: suppress per-chunk publishes
 }
 
 // buildState constructs a stream's swap-in state from its spec. When
@@ -158,6 +184,12 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope, hub *notif
 	if ckpt != nil {
 		w.labels.reset(ckpt.Names)
 		w.lastT, _ = tdnstream.TrackerNow(st.tracker)
+		// Counter continuity: resume the stream-logical counters where
+		// the checkpoint froze them (watermark-consistent — WAL replay
+		// re-counts everything past the watermark on top), so a
+		// restarted daemon reports the same processed/steps totals an
+		// uninterrupted run would.
+		w.m.seed(ckpt.Counters)
 		// Resume the event sequence past everything a previous
 		// incarnation already handed to subscribers, and resync them
 		// with a keyframe: the restored state replaces, not continues,
@@ -167,9 +199,252 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope, hub *notif
 		}
 	}
 	w.state.Store(st)
+	// Crash recovery happens here, before the worker goroutine exists
+	// and before the server routes a single request at the stream: open
+	// the write-ahead log and replay everything past the checkpoint's
+	// watermark (or the whole log when there is no checkpoint), so the
+	// published state is exactly the pre-crash state.
+	if err := w.openWAL(ckpt); err != nil {
+		return nil, err
+	}
 	w.publish()
 	go w.run()
 	return w, nil
+}
+
+// openWAL attaches the stream's write-ahead log and replays the tail
+// the checkpoint does not cover. The checkpoint's watermark is honored
+// only when its log identity matches the local log — a checkpoint
+// restored from another server (or over a wiped directory) proves
+// nothing about local files, so the log is reset and the checkpoint
+// stands alone. Runs in newWorker, with exclusive access to the state.
+func (w *worker) openWAL(ckpt *checkpointEnvelope) error {
+	st := w.state.Load()
+	if !w.cfg.walFor(st.spec) {
+		return nil
+	}
+	log, err := wal.Open(filepath.Join(w.cfg.WALDir, w.name), wal.Options{
+		Fsync:        w.cfg.WALFsync,
+		FsyncEvery:   w.cfg.WALFsyncInterval,
+		SegmentBytes: w.cfg.WALSegmentBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("server: stream %q: %w", w.name, err)
+	}
+	w.wlog = log
+	start := log.Start()
+	switch {
+	case ckpt == nil && !start.IsZero():
+		// The log's early history was truncated away by checkpoints,
+		// but the checkpoint itself is gone: a replay from here would
+		// silently build a partial state. Refuse loudly — the operator
+		// either restores the checkpoint file or removes the WAL
+		// directory to start the stream empty.
+		log.Close()
+		w.wlog = nil
+		return fmt.Errorf("server: stream %q: wal begins at %v but no checkpoint covers the truncated history (restore the checkpoint or remove the stream's wal directory)", w.name, start)
+	case ckpt != nil && ckpt.WALLogID == log.ID():
+		start = wal.Pos{Seg: ckpt.WALSeg, Off: ckpt.WALOff}
+	case ckpt != nil:
+		// Foreign or pre-v4 checkpoint: its watermark does not describe
+		// this log. But if the log itself *begins* with a restore
+		// marker, a previous boot already went through this very branch
+		// and bound its checkpoint into the log as a genesis marker —
+		// the log is self-sufficient (marker state + acked chunks), and
+		// replaying it from the start recovers everything acknowledged
+		// since, including the window before any identity-matching
+		// checkpoint was saved. Resetting again here would delete those
+		// acked records: the exact loss the WAL exists to prevent.
+		// The marker must actually carry *this* checkpoint, though — if
+		// the operator swapped in a different .ckpt since the marker was
+		// bound, their explicit choice wins and the log rebinds below.
+		if start.IsZero() {
+			if kind, ok, err := log.FirstKind(); err != nil {
+				log.Close()
+				w.wlog = nil
+				return fmt.Errorf("server: stream %q: %w", w.name, err)
+			} else if ok && kind == wal.KindRestore {
+				match, err := genesisMarkerMatches(log, ckpt)
+				if err != nil {
+					log.Close()
+					w.wlog = nil
+					return fmt.Errorf("server: stream %q: %w", w.name, err)
+				}
+				if match {
+					break // marker-led log: replay from genesis below
+				}
+			}
+		}
+		// An unrelated lineage: reset the log and bind the checkpoint
+		// in as its genesis restore marker, so the next boot — even
+		// against this same checkpoint file — takes the marker path
+		// above instead of resetting acked history away.
+		if err := log.Reset(); err != nil {
+			log.Close()
+			w.wlog = nil
+			return fmt.Errorf("server: stream %q: %w", w.name, err)
+		}
+		if err := w.appendBootMarker(ckpt); err != nil {
+			log.Close()
+			w.wlog = nil
+			return err
+		}
+		w.walDictLen = w.labels.len()
+		return nil
+	}
+	// The state already covers the log through start — even when the
+	// tail turns out to be empty. Without this, an empty-tail boot
+	// would checkpoint a zero watermark and the *next* boot would
+	// re-apply the whole log on top of a state that already contains
+	// it.
+	w.walApplied = start
+	if err := w.replayWAL(start); err != nil {
+		log.Close()
+		w.wlog = nil
+		return err
+	}
+	w.walDictLen = w.labels.len()
+	return nil
+}
+
+// errMarkerPeek ends a genesisMarkerMatches scan after one record.
+var errMarkerPeek = errors.New("server: marker peek stop")
+
+// genesisMarkerMatches reports whether the log's first record is a
+// restore marker carrying the same checkpoint as ckpt (compared by the
+// embedded tracker snapshot bytes, which travel verbatim from the
+// original envelope into the marker). A mismatch means the operator
+// replaced the checkpoint file after the marker was bound — their
+// explicit choice outranks the log's memory of the old one.
+func genesisMarkerMatches(log *wal.Log, ckpt *checkpointEnvelope) (bool, error) {
+	match := false
+	err := log.ReadFrom(log.Start(), func(p []byte, _ wal.Pos) error {
+		if body, err := wal.DecodeRestore(p); err == nil {
+			if env, err := decodeCheckpoint(body); err == nil {
+				match = bytes.Equal(env.Tracker, ckpt.Tracker)
+			}
+		}
+		return errMarkerPeek
+	})
+	if err != nil && !errors.Is(err, errMarkerPeek) {
+		return false, err
+	}
+	return match, nil
+}
+
+// appendRestoreMarker logs env as a KindRestore record — the single
+// marker-building recipe shared by boot binding and live restores. The
+// written copy always has the bearer token redacted (boot overlays may
+// have re-attached it to the spec; secrets never reach disk) and the
+// watermark fields zeroed (they describe the log the envelope came
+// from, not this one). On success walDictLen is rebased to the marker's
+// dictionary, all under walMu so concurrent chunk appends order cleanly
+// around the marker.
+func (w *worker) appendRestoreMarker(env *checkpointEnvelope) (wal.Pos, wal.Token, error) {
+	m := *env
+	m.Spec.Token = ""
+	m.WALLogID, m.WALSeg, m.WALOff = "", 0, 0
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return wal.Pos{}, 0, fmt.Errorf("server: stream %q: encode restore marker: %w", w.name, err)
+	}
+	w.walMu.Lock()
+	defer w.walMu.Unlock()
+	w.walScratch = wal.AppendEncodeRestore(w.walScratch[:0], buf.Bytes())
+	pos, tok, err := w.wlog.Append(w.walScratch)
+	if err != nil {
+		return wal.Pos{}, 0, fmt.Errorf("server: stream %q: restore marker: %w", w.name, err)
+	}
+	w.walDictLen = len(env.Names)
+	return pos, tok, nil
+}
+
+// appendBootMarker binds a checkpoint into a freshly reset log as its
+// genesis restore marker, making the log self-sufficient: a later boot
+// that cannot match the checkpoint's identity replays marker + chunks
+// from the start instead of resetting acked history away. The marker is
+// committed per the fsync policy before the worker serves a request.
+func (w *worker) appendBootMarker(ckpt *checkpointEnvelope) error {
+	pos, tok, err := w.appendRestoreMarker(ckpt)
+	if err != nil {
+		return err
+	}
+	w.walApplied = pos
+	if err := w.wlog.Commit(tok); err != nil {
+		return fmt.Errorf("server: stream %q: boot marker: %w", w.name, err)
+	}
+	return nil
+}
+
+// replayWAL feeds every log record past start through the normal chunk
+// path: apply the record's label-dictionary delta, then process its
+// rows exactly as the live worker did — same chunk boundaries, same
+// ordering — so the rebuilt tracker state is identical to the state
+// that acknowledged those records. Replayed records count as ingested
+// (they were, by a previous incarnation), keeping the
+// processed+stale_dropped+failed+superseded == ingested identity exact
+// across a crash.
+func (w *worker) replayWAL(start wal.Pos) error {
+	w.replaying = true
+	defer func() { w.replaying = false }()
+	err := w.wlog.ReadFrom(start, func(payload []byte, end wal.Pos) error {
+		kind, err := wal.PayloadKind(payload)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case wal.KindRestore:
+			body, err := wal.DecodeRestore(payload)
+			if err != nil {
+				return err
+			}
+			env, err := decodeCheckpoint(body)
+			if err != nil {
+				return err
+			}
+			return w.applyRestoreMarker(env, end)
+		default:
+			rec, err := wal.DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			if err := w.labels.apply(rec.DictBase, rec.Labels); err != nil {
+				return err
+			}
+			w.m.ingested.Add(uint64(len(rec.Rows)))
+			w.m.walReplayed.Add(uint64(len(rec.Rows)))
+			w.process(chunk{rows: rec.Rows, walPos: end})
+			return nil
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("server: stream %q: wal replay: %w", w.name, err)
+	}
+	return nil
+}
+
+// applyRestoreMarker replays an in-place restore found in the log: the
+// embedded state swaps in mid-replay exactly where the live stream
+// swapped it, and the marker's counters (the live stream's
+// watermark-consistent totals at restore time, including the
+// superseded queue it discarded) overwrite whatever the pre-marker
+// replay accumulated — the pre-restore chunks' effects were replayed
+// only to be discarded here, just as the live stream discarded them.
+func (w *worker) applyRestoreMarker(env *checkpointEnvelope, end wal.Pos) error {
+	env.Spec.Name = w.name
+	st, err := buildState(env.Spec, env.Tracker)
+	if err != nil {
+		return err
+	}
+	w.labels.reset(env.Names)
+	w.lastT, _ = tdnstream.TrackerNow(st.tracker)
+	w.m.seed(env.Counters)
+	w.state.Store(st)
+	w.walApplied = end
+	if w.hub != nil {
+		w.hub.Resume(w.name, env.NotifySeq)
+	}
+	return nil
 }
 
 // run drains the ingest queue until the queue is closed and empty, then
@@ -206,29 +481,65 @@ func (w *worker) ingestEpoch() uint64 {
 // A chunk interned under a superseded epoch (the stream was restored
 // since ingest began) is refused with errStaleIngest instead of being
 // admitted with NodeIDs the new label dictionary never assigned.
+// Durability is not awaited here — the HTTP ingest path does that
+// (internAndEnqueue); this entry point serves tests and embedders that
+// bypass interning.
 func (w *worker) enqueue(c chunk) error {
 	w.closeMu.RLock()
 	defer w.closeMu.RUnlock()
-	return w.enqueueLocked(c)
+	_, err := w.enqueueLocked(c)
+	return err
 }
 
-// enqueueLocked is enqueue's body; callers hold closeMu (either side).
-func (w *worker) enqueueLocked(c chunk) error {
+// enqueueLocked validates and sends one chunk; callers hold closeMu
+// (either side). The returned token is nonzero when the chunk was
+// appended to the WAL and the caller must await wlog.Commit before
+// acknowledging.
+func (w *worker) enqueueLocked(c chunk) (wal.Token, error) {
 	if w.closing {
-		return errStreamClosed
+		return 0, errStreamClosed
 	}
 	if c.epoch != w.epoch {
 		w.m.restoreReject.Add(uint64(len(c.rows)))
-		return errStaleIngest
+		return 0, errStaleIngest
 	}
-	select {
-	case w.queue <- c:
-		w.m.ingested.Add(uint64(len(c.rows)))
-		return nil
-	default:
+	return w.sendLocked(c)
+}
+
+// sendLocked appends the chunk to the write-ahead log (when the stream
+// has one) and places it on the queue, both under walMu so the log and
+// the queue agree on order — the invariant replay depends on. Queue
+// capacity is checked first: a backpressured chunk is refused before it
+// can cost a log write, and once the append lands the channel send
+// cannot block (every sender holds walMu, receivers only drain).
+// Callers hold closeMu, which excludes the restore path's marker append
+// + state swap and the stop path's queue close.
+func (w *worker) sendLocked(c chunk) (wal.Token, error) {
+	w.walMu.Lock()
+	defer w.walMu.Unlock()
+	if len(w.queue) == cap(w.queue) {
 		w.m.rejected.Add(uint64(len(c.rows)))
-		return errQueueFull
+		return 0, errQueueFull
 	}
+	var tok wal.Token
+	if w.wlog != nil {
+		labels, total := w.labels.delta(w.walDictLen)
+		rec := wal.Record{DictBase: w.walDictLen, Labels: labels, Rows: c.rows}
+		w.walScratch = rec.AppendEncode(w.walScratch[:0])
+		pos, t, err := w.wlog.Append(w.walScratch)
+		if err != nil {
+			msg := err.Error()
+			w.lastErr.Store(&msg)
+			return 0, fmt.Errorf("%w: %v", errWAL, err)
+		}
+		w.walDictLen = total
+		w.m.walAppended.Add(uint64(len(c.rows)))
+		c.walPos = pos
+		tok = t
+	}
+	w.queue <- c
+	w.m.ingested.Add(uint64(len(c.rows)))
+	return tok, nil
 }
 
 // internAndEnqueue interns one chunk's labels and offers it to the
@@ -239,18 +550,24 @@ func (w *worker) enqueueLocked(c chunk) error {
 // after, in which case the labels this chunk interned are part of the
 // dictionary being replaced anyway. No request can intern labels into a
 // dictionary it was not admitted against.
-func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) error {
+//
+// The returned token is the chunk's WAL append (zero when the stream
+// has no log): the caller must pass its last token to commitWAL before
+// acknowledging — durability is deliberately not awaited here, so a
+// multi-chunk request pays one group commit, not one per chunk.
+func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) (wal.Token, error) {
 	if len(raws) == 0 {
-		return nil
+		return 0, nil
 	}
 	w.closeMu.RLock()
-	defer w.closeMu.RUnlock()
 	if w.closing {
-		return errStreamClosed
+		w.closeMu.RUnlock()
+		return 0, errStreamClosed
 	}
 	if epoch != w.epoch {
 		w.m.restoreReject.Add(uint64(len(raws)))
-		return errStaleIngest
+		w.closeMu.RUnlock()
+		return 0, errStaleIngest
 	}
 	rows := make([]tdnstream.Interaction, len(raws))
 	for i, r := range raws {
@@ -260,7 +577,32 @@ func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) error {
 			T:   r.t,
 		}
 	}
-	return w.enqueueLocked(chunk{rows: rows, epoch: epoch})
+	tok, err := w.enqueueLocked(chunk{rows: rows, epoch: epoch})
+	w.closeMu.RUnlock()
+	return tok, err
+}
+
+// commitWAL blocks until every WAL append up to tok is as durable as
+// the fsync policy promises — the gate between "queued" and "200 OK".
+// Callers hold no locks here, so concurrent requests pile into a single
+// group-commit fsync; and because Commit(t) covers every append ≤ t, a
+// multi-chunk request commits once with its last token instead of
+// fsyncing per chunk. tok zero (no WAL, or nothing appended) is a
+// no-op.
+func (w *worker) commitWAL(tok wal.Token) error {
+	if tok == 0 || w.wlog == nil {
+		return nil
+	}
+	if err := w.wlog.Commit(tok); err != nil {
+		// The chunks are queued (their effect will be visible) but
+		// their durability is unproven — the one ack-ambiguous outcome.
+		// The handler answers 500 and the client's retry is
+		// at-least-once, exactly like any acked-but-unanswered request.
+		msg := err.Error()
+		w.lastErr.Store(&msg)
+		return fmt.Errorf("%w: %v", errWAL, err)
+	}
+	return nil
 }
 
 // stop closes the queue and waits for the worker to drain it, then
@@ -275,6 +617,15 @@ func (w *worker) stop() {
 	}
 	w.closeMu.Unlock()
 	<-w.done
+	// The drain is complete: every appended record has been processed,
+	// so the log can close (with a final flush-to-disk) knowing its
+	// tail and the final state agree.
+	if w.wlog != nil {
+		if err := w.wlog.Close(); err != nil {
+			msg := err.Error()
+			w.lastErr.Store(&msg)
+		}
+	}
 	if w.hub != nil {
 		w.hub.RemoveStream(w.name)
 	}
@@ -348,8 +699,19 @@ func (w *worker) process(c chunk) {
 		}
 	}
 	w.m.observeChunk(fed, steps, time.Since(start))
+	if c.walPos != (wal.Pos{}) {
+		// The tracker state now covers the log through this chunk;
+		// checkpoints record this watermark. (Stale-dropped and failed
+		// records are covered too — re-feeding them would drop or fail
+		// them again.)
+		w.walApplied = c.walPos
+	}
 	w.sinceSnap++
-	if w.sinceSnap >= w.cfg.SnapshotEvery {
+	// During WAL replay the per-chunk publish is suppressed: nobody can
+	// subscribe before newWorker returns, and diffing thousands of
+	// historical intermediate solutions would only burn the journal.
+	// newWorker publishes once, after recovery.
+	if !w.replaying && w.sinceSnap >= w.cfg.SnapshotEvery {
 		w.publish()
 	}
 }
@@ -447,37 +809,75 @@ func (w *worker) lastError() string {
 // snapshot per partition, and restore swaps every partition in
 // atomically with the dictionary and epoch.
 //
-// Version 3 (this release) adds NotifySeq — the stream's notify-
-// subsystem sequence counter at checkpoint time — so a restored daemon
-// resumes stamping events after everything the previous incarnation
-// handed to subscribers instead of replaying from seq 0 (which would
-// make Last-Event-ID resumes silently skip the post-restore history).
+// Version 3 added NotifySeq — the stream's notify-subsystem sequence
+// counter at checkpoint time — so a restored daemon resumes stamping
+// events after everything the previous incarnation handed to
+// subscribers instead of replaying from seq 0 (which would make
+// Last-Event-ID resumes silently skip the post-restore history).
 // The embedded Spec is written with Token redacted: checkpoint bodies
 // travel over the admin API and land on disk, and the bearer secret has
 // no business in either place. Older envelopes decode with the new
 // fields zero and restore unchanged; decoders reject versions from the
 // future rather than misreading them.
+//
+// Version 4 (this release) adds the write-ahead-log watermark: the log
+// identity (WALLogID) plus the position (WALSeg, WALOff) the serialized
+// tracker state covers. A daemon restarting from this envelope replays
+// only the log tail past the watermark — and only when the identity
+// still matches the local log, so a checkpoint moved to another machine
+// can never splice into an unrelated log's history. Checkpoint success
+// is also what licenses truncation: segments wholly below the watermark
+// of a durably *saved* checkpoint are deleted (Server.CheckpointAll);
+// a failed save never advances the truncation point.
+// Version 4 also persists the stream's logical counters, valued *at the
+// watermark*: Ingested is written as processed+stale_dropped+failed+
+// superseded rather than the live ingest counter, because every
+// acknowledged record is appended to the log before it is counted
+// ingested — so records acknowledged but not yet processed at
+// checkpoint time sit past the watermark and will re-count themselves
+// during replay. A rebooted daemon thus reports exactly the counters an
+// uninterrupted run would have, and the read-your-writes identity
+// (processed+stale_dropped+failed+superseded == ingested) survives the
+// crash.
 type checkpointEnvelope struct {
 	Version   int
 	Spec      StreamSpec
 	Names     []string
 	Tracker   []byte
 	NotifySeq uint64
+	WALLogID  string
+	WALSeg    uint64
+	WALOff    int64
+	Counters  checkpointCounters
+}
+
+// checkpointCounters is the stream-logical counter snapshot embedded in
+// a Version ≥ 4 envelope (see above for the Ingested convention).
+type checkpointCounters struct {
+	Ingested     uint64
+	Processed    uint64
+	StaleDropped uint64
+	Failed       uint64
+	Superseded   uint64
+	Steps        uint64
+	Chunks       uint64
 }
 
 // checkpointVersion is the envelope version this server writes.
-const checkpointVersion = 3
+const checkpointVersion = 4
 
-// checkpoint serializes the stream (runs on the worker goroutine via do).
-// Queued chunks are processed first: every record already acknowledged
-// with 200 OK is in the serialized state, so a drain-then-checkpoint
-// shutdown loses nothing across restart.
-func (w *worker) checkpoint() ([]byte, error) {
+// checkpoint serializes the stream (runs on the worker goroutine via
+// do), returning the envelope bytes plus the WAL watermark the state
+// covers (zero when the stream has no log). Queued chunks are processed
+// first: every record already acknowledged with 200 OK is either in the
+// serialized state or past the watermark in the log, so nothing is lost
+// across restart either way.
+func (w *worker) checkpoint() ([]byte, wal.Pos, error) {
 	w.drainQueued()
 	st := w.state.Load()
 	var trk bytes.Buffer
 	if err := tdnstream.SaveTracker(&trk, st.tracker); err != nil {
-		return nil, err
+		return nil, wal.Pos{}, err
 	}
 	env := checkpointEnvelope{
 		Version: checkpointVersion,
@@ -489,11 +889,43 @@ func (w *worker) checkpoint() ([]byte, error) {
 	if w.hub != nil {
 		env.NotifySeq = w.hub.Seq(w.name)
 	}
+	env.Counters = w.m.checkpointCounters()
+	var mark wal.Pos
+	if w.wlog != nil {
+		mark = w.walApplied
+		env.WALLogID = w.wlog.ID()
+		env.WALSeg, env.WALOff = mark.Seg, mark.Off
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return nil, fmt.Errorf("server: encode checkpoint: %w", err)
+		return nil, wal.Pos{}, fmt.Errorf("server: encode checkpoint: %w", err)
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), mark, nil
+}
+
+// truncateWAL drops log segments wholly covered by mark — the watermark
+// of a checkpoint that was durably saved. Only whole segments go; the
+// segment holding the mark stays until a later checkpoint moves past
+// it. Safe to call concurrently with appends (the log's own lock
+// orders them; appends only ever touch the newest segment).
+func (w *worker) truncateWAL(mark wal.Pos) error {
+	if w.wlog == nil {
+		return nil
+	}
+	_, err := w.wlog.TruncateBefore(mark)
+	return err
+}
+
+// destroyWAL deletes the stream's log directory — stream removal, not
+// shutdown: a stream re-created under this name must start with no
+// history.
+func (w *worker) destroyWAL() {
+	if w.wlog != nil {
+		if err := w.wlog.Remove(); err != nil {
+			msg := err.Error()
+			w.lastErr.Store(&msg)
+		}
+	}
 }
 
 // restore swaps in checkpointed state (runs on the worker goroutine via
@@ -524,8 +956,13 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 	env.Spec.Name = w.name // a renamed checkpoint restores into this stream
 	// Envelopes are written token-redacted, so the embedded spec cannot
 	// carry auth; the stream's live token survives the restore untouched
-	// (w.token is worker state, not swapped state).
+	// (w.token is worker state, not swapped state). The WAL toggle is
+	// likewise a property of the hosting stream, not the donor
+	// checkpoint: adopting the donor's "off" would make the *next* boot
+	// skip opening the log and silently drop the tail replay — acked
+	// records lost — while the live worker kept appending all along.
 	env.Spec.Token = ""
+	env.Spec.WAL = w.state.Load().spec.WAL
 	st, err := buildState(env.Spec, env.Tracker)
 	if err != nil {
 		return err
@@ -537,6 +974,37 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 	w.discardQueued()
 	w.closeMu.Lock()
 	w.discardQueued()
+	// Log the restore itself before swapping: a restore is one more
+	// event in the stream's history, so it goes into the write-ahead
+	// log in line with the chunks — crash recovery then replays
+	// pre-restore chunks into the old state, swaps at the marker, and
+	// replays post-restore chunks on top, reproducing exactly what the
+	// live stream did even when no checkpoint file was saved after the
+	// restore. The marker carries the envelope plus the live
+	// watermark-consistent counters (the envelope's own counters
+	// describe its source stream, not this one's history — restore
+	// deliberately keeps the live counters and accounts the discarded
+	// queue as superseded). A marker that cannot be appended (disk
+	// failure) fails the restore with the old state intact; the queue
+	// it already discarded stays discarded — in that corner a later
+	// crash replay re-applies those still-logged chunks, an
+	// over-recovery of acknowledged records, never a loss. Discard must
+	// precede the marker: the marker's counters have to include the
+	// superseded total for recovered counters to match the live ones
+	// exactly.
+	var markerTok wal.Token
+	if w.wlog != nil {
+		env.Counters = w.m.checkpointCounters()
+		pos, tok, err := w.appendRestoreMarker(env)
+		if err != nil {
+			w.closeMu.Unlock()
+			msg := err.Error()
+			w.lastErr.Store(&msg)
+			return err
+		}
+		w.walApplied = pos
+		markerTok = tok
+	}
 	w.labels.reset(env.Names)
 	w.lastT, _ = tdnstream.TrackerNow(st.tracker)
 	w.state.Store(st)
@@ -552,6 +1020,14 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 		w.hub.Resume(w.name, env.NotifySeq)
 	}
 	w.publish()
+	// Durability per policy, outside the quiesce window. The swap has
+	// taken effect in memory either way; a failed group commit is
+	// reported like the ingest path reports it — the caller must not
+	// believe the restore survives a machine crash when the log could
+	// not prove it.
+	if err := w.commitWAL(markerTok); err != nil {
+		return fmt.Errorf("restore marker: %w", err)
+	}
 	return nil
 }
 

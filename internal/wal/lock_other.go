@@ -1,0 +1,10 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockDir is a no-op on platforms without flock semantics: the
+// double-open guard degrades to "don't run two daemons on one wal dir"
+// being an operator responsibility there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's lock file, refusing
+// a second live Log over the same directory: two writers would truncate
+// each other's "torn tails" mid-write and interleave appends — the
+// acked-record loss the WAL exists to prevent. The lock is a kernel
+// flock, so a killed process (the crash the log recovers from) releases
+// it automatically; only a genuinely live second opener is refused.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is already open in another live process (second daemon on the same wal dir?): %w", dir, err)
+	}
+	return f, nil
+}

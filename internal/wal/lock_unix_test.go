@@ -1,0 +1,34 @@
+//go:build unix
+
+package wal
+
+import "testing"
+
+// TestDoubleOpenRefused: two live Logs over one directory would
+// truncate each other's tails mid-write; the flock refuses the second
+// opener while the first lives and admits it once the first closes.
+func TestDoubleOpenRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append([]byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Fsync: FsyncNone}); err == nil {
+		t.Fatal("second live opener was admitted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	got, _ := collect(t, l2, Pos{})
+	if len(got) != 1 || got[0] != "held" {
+		t.Fatalf("reopen lost the record: %v", got)
+	}
+	l2.Close()
+}

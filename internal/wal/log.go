@@ -1,0 +1,707 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrReset reports a Commit interrupted by Reset: the log's history was
+// wiped (a checkpoint restore superseded it), so the durability of the
+// awaited append is moot — its record no longer exists.
+var ErrReset = errors.New("wal: log reset while awaiting commit")
+
+const (
+	metaName    = "meta"
+	lockName    = "lock"
+	segPrefix   = "seg-"
+	segSuffix   = ".wal"
+	metaVersion = "walmeta-v1"
+)
+
+// Log is one stream's write-ahead log: an append-only sequence of
+// CRC-framed records across rotated segment files. Append/Commit are
+// safe for concurrent use; ReadFrom is meant for recovery (before
+// appends start) and tests.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex // file state: active handle, offsets, rotation, truncation
+	id       string
+	firstSeg uint64
+	seg      uint64 // active segment index
+	segSize  int64  // bytes in the active segment
+	bytes    int64  // bytes across all live segments
+	f        *os.File
+	appends  uint64 // frames appended (the Token sequence)
+	scratch  []byte // frame assembly buffer, reused under mu
+	// retiring holds rotated-away segment handles awaiting their final
+	// fsync+close by the next sync leader — rotation itself must not
+	// fsync under mu, or every append would stall behind the disk.
+	retiring []*os.File
+
+	sm      sync.Mutex // group-commit state
+	cond    *sync.Cond
+	synced  uint64 // appends proven durable
+	syncing bool   // a leader fsync is in flight
+	syncErr error  // sticky: a failed fsync poisons durability claims
+	gen     uint64 // bumped by Reset so waiters bail with ErrReset
+	fsyncs  uint64
+
+	stop chan struct{} // interval-fsync goroutine shutdown
+	done chan struct{}
+
+	// lockf holds the directory's exclusive advisory lock for the
+	// Log's lifetime (nil on platforms without flock). Released by
+	// Close — or by the kernel when the process dies, which is the
+	// point: a crashed owner never blocks its own recovery.
+	lockf *os.File
+}
+
+// Open opens (or creates) the log in dir. An existing log is validated:
+// the final segment is scanned frame by frame and a torn tail — the
+// partial frame a crash mid-write leaves — is truncated away, so the
+// log always reopens at a frame boundary.
+func Open(dir string, opts Options) (*Log, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.cond = sync.NewCond(&l.sm)
+	if l.lockf, err = lockDir(dir); err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			l.unlock()
+		}
+	}()
+	if err := l.loadMeta(); err != nil {
+		return nil, err
+	}
+	segs, err := l.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		l.firstSeg, l.seg = 0, 0
+		if err := l.openActive(os.O_CREATE); err != nil {
+			return nil, err
+		}
+	} else {
+		l.firstSeg, l.seg = segs[0], segs[len(segs)-1]
+		for _, s := range segs[:len(segs)-1] {
+			fi, err := os.Stat(l.segPath(s))
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			l.bytes += fi.Size()
+		}
+		// Scan the last segment — the only place a crash can tear a
+		// frame — and drop the torn tail, if any.
+		valid, _, err := scanSegment(l.segPath(l.seg), 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.Truncate(l.segPath(l.seg), valid); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.openActive(0); err != nil {
+			return nil, err
+		}
+	}
+	if l.opts.Fsync == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	opened = true
+	return l, nil
+}
+
+// unlock releases the directory lock (idempotent).
+func (l *Log) unlock() {
+	if l.lockf != nil {
+		l.lockf.Close()
+		l.lockf = nil
+	}
+}
+
+// openActive opens the active segment for appending and accounts its
+// size. Callers hold no locks (Open / Reset, both exclusive).
+func (l *Log) openActive(create int) error {
+	f, err := os.OpenFile(l.segPath(l.seg), os.O_WRONLY|os.O_APPEND|create, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segSize = fi.Size()
+	l.bytes += fi.Size()
+	return nil
+}
+
+// loadMeta reads the log identity, minting one for a fresh directory.
+func (l *Log) loadMeta() error {
+	path := filepath.Join(l.dir, metaName)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) == 2 && fields[0] == metaVersion && fields[1] != "" {
+			l.id = fields[1]
+			return nil
+		}
+		// Corrupt meta: fall through and re-mint. The identity is lost,
+		// so checkpoint watermarks against the old identity will miss
+		// and trigger a reset — the safe direction.
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.writeMeta()
+}
+
+// writeMeta mints a fresh identity and persists it atomically.
+func (l *Log) writeMeta() error {
+	id, err := newLogID()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(l.dir, metaName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := fmt.Fprintf(tmp, "%s %s\n", metaVersion, id); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, metaName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.id = id
+	return nil
+}
+
+func (l *Log) segPath(seg uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", segPrefix, seg, segSuffix))
+}
+
+// listSegments returns the live segment indices, sorted.
+func (l *Log) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return nil, fmt.Errorf("wal: segment gap: %d then %d (directory tampered?)", segs[i-1], segs[i])
+		}
+	}
+	return segs, nil
+}
+
+// ID returns the log's persistent random identity. A checkpoint records
+// it next to its watermark; replay honors the watermark only when the
+// identities match, so a checkpoint restored onto a different machine
+// (or over a wiped directory) can never splice into an unrelated log.
+func (l *Log) ID() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.id
+}
+
+// Start returns the earliest retained position (the start of the oldest
+// live segment). After truncation this moves forward; replay without a
+// checkpoint begins here.
+func (l *Log) Start() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.firstSeg}
+}
+
+// End returns the append position: where the next frame will land.
+func (l *Log) End() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.seg, Off: l.segSize}
+}
+
+// Append writes one record frame, rotating segments as needed, and
+// returns the position *after* the frame (the watermark that covers it)
+// plus the Token to Commit. The write(2) is issued before Append
+// returns — no user-space buffering — so the record survives process
+// death immediately; Commit adds the fsync the policy calls for.
+func (l *Log) Append(payload []byte) (Pos, Token, error) {
+	if len(payload) > maxFrameBytes {
+		return Pos{}, 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame bound", len(payload), maxFrameBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return Pos{}, 0, errors.New("wal: log closed")
+	}
+	if l.segSize >= l.opts.SegmentBytes && l.segSize > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return Pos{}, 0, err
+		}
+	}
+	need := frameHeaderSize + len(payload)
+	if cap(l.scratch) < need {
+		l.scratch = make([]byte, 0, need+need/2)
+	}
+	frame := l.scratch[:frameHeaderSize]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	if _, err := l.f.Write(frame); err != nil {
+		// A short write leaves a torn tail exactly like a crash would;
+		// the next Open truncates it away. Poison durability claims:
+		// the file state past segSize is unknown.
+		l.sm.Lock()
+		if l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: append: %w", err)
+		}
+		l.cond.Broadcast()
+		l.sm.Unlock()
+		return Pos{}, 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.bytes += int64(len(frame))
+	l.appends++
+	return Pos{Seg: l.seg, Off: l.segSize}, Token(l.appends), nil
+}
+
+// rotateLocked finishes the active segment and starts the next. The
+// next segment is opened *first*: if that fails (ENOSPC, EMFILE), the
+// log state is untouched — the active segment simply grows past
+// SegmentBytes and the rotation retries on a later append, rather than
+// wedging the log on a half-finished switch or leaving a numbering gap
+// that would refuse the next boot. The old handle is not fsynced here —
+// that would stall every concurrent append behind the disk — but parked
+// on the retiring list for the next sync leader, which fsyncs and
+// closes it outside mu before claiming any sequence number it holds.
+// (Under FsyncNone nothing ever fsyncs, so the handle closes
+// immediately.)
+func (l *Log) rotateLocked() error {
+	next, err := os.OpenFile(l.segPath(l.seg+1), os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if l.opts.Fsync == FsyncNone {
+		l.f.Close() // best-effort: under none, durability is the OS's schedule anyway
+	} else {
+		l.retiring = append(l.retiring, l.f)
+	}
+	l.seg++
+	l.f = next
+	l.segSize = 0
+	return nil
+}
+
+// Commit returns once the append identified by t is durable per the
+// fsync policy: immediately for FsyncNone and FsyncInterval (the
+// background loop carries those), after an fsync for FsyncAlways.
+// Concurrent FsyncAlways committers share fsyncs — one leader syncs for
+// every append that landed before it, the group-commit batching that
+// keeps per-request durability affordable.
+func (l *Log) Commit(t Token) error {
+	if l.opts.Fsync != FsyncAlways {
+		l.sm.Lock()
+		err := l.syncErr
+		l.sm.Unlock()
+		return err
+	}
+	return l.syncThrough(uint64(t))
+}
+
+// Sync forces an fsync of the active segment regardless of policy
+// (FsyncNone excepted — "none" means never). Close calls it.
+func (l *Log) Sync() error {
+	if l.opts.Fsync == FsyncNone {
+		return nil
+	}
+	l.mu.Lock()
+	target := l.appends
+	l.mu.Unlock()
+	return l.syncThrough(target)
+}
+
+// syncThrough blocks until appends ≤ seq are fsynced, electing one
+// waiter as the fsync leader per round.
+func (l *Log) syncThrough(seq uint64) error {
+	l.sm.Lock()
+	defer l.sm.Unlock()
+	gen := l.gen
+	for {
+		if l.gen != gen {
+			return ErrReset
+		}
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.synced >= seq {
+			return nil
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.sm.Unlock()
+		// Leader round. Capture the frontier under mu, then do the
+		// disk work with NO lock held: concurrent appends keep flowing
+		// into the active file while the leader fsyncs — the write
+		// path never waits on the disk, only committers do. Every
+		// frame ≤ target lives either in a retiring handle (synced and
+		// closed here) or in the captured active handle (synced here);
+		// frames appended after the capture may get synced early,
+		// which is harmless — the leader only *claims* target.
+		l.mu.Lock()
+		target := l.appends
+		cur := l.f
+		retiring := l.retiring
+		l.retiring = nil
+		l.mu.Unlock()
+		var err error
+		syncs := uint64(0)
+		for _, f := range retiring {
+			if e := f.Sync(); e != nil && err == nil {
+				err = e
+			}
+			syncs++
+			f.Close()
+		}
+		if cur == nil {
+			if err == nil {
+				err = errors.New("wal: log closed")
+			}
+		} else {
+			syncs++
+			if e := cur.Sync(); e != nil && err == nil {
+				err = e
+			}
+		}
+		l.sm.Lock()
+		l.syncing = false
+		l.fsyncs += syncs
+		if l.gen != gen {
+			l.cond.Broadcast()
+			return ErrReset
+		}
+		if err != nil {
+			if l.syncErr == nil {
+				l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+			}
+		} else if target > l.synced {
+			l.synced = target
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// syncLoop is the FsyncInterval background writer.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			pending := l.f != nil && l.appends > 0
+			target := l.appends
+			l.mu.Unlock()
+			l.sm.Lock()
+			pending = pending && l.synced < target && l.syncErr == nil
+			l.sm.Unlock()
+			if pending {
+				_ = l.syncThrough(target)
+			}
+		}
+	}
+}
+
+// ReadFrom replays record payloads starting at the frame boundary pos,
+// calling fn with each payload and the position *after* its frame (what
+// a checkpoint taken after applying it should store). The payload slice
+// is reused between calls — fn must not retain it. A torn or corrupt
+// frame in the final segment ends the replay cleanly (that is the
+// crash tail); corruption in an earlier segment is an error, because
+// records provably exist beyond it and skipping them would replay a
+// gapped history as if it were complete. Positions before Start()
+// return ErrTruncated.
+func (l *Log) ReadFrom(pos Pos, fn func(payload []byte, end Pos) error) error {
+	l.mu.Lock()
+	first, last := l.firstSeg, l.seg
+	l.mu.Unlock()
+	if pos.Seg < first {
+		return fmt.Errorf("%w (want %v, earliest %v)", ErrTruncated, pos, Pos{Seg: first})
+	}
+	if pos.Seg > last {
+		return fmt.Errorf("wal: position %v beyond the last segment %d", pos, last)
+	}
+	for seg := pos.Seg; seg <= last; seg++ {
+		skip := int64(0)
+		if seg == pos.Seg {
+			skip = pos.Off
+		}
+		valid, clean, err := scanSegment(l.segPath(seg), skip, fn)
+		if err != nil {
+			return err
+		}
+		if !clean {
+			if seg != last {
+				return fmt.Errorf("wal: corrupt frame in segment %d at offset %d with later segments present", seg, valid)
+			}
+			return nil // torn crash tail: replay ends here, by design
+		}
+	}
+	return nil
+}
+
+// scanSegment walks one segment's frames, calling fn (when non-nil) for
+// frames that end after skip. It returns the offset of the last valid
+// frame boundary and whether the segment scanned clean to EOF.
+func scanSegment(path string, skip int64, fn func(payload []byte, end Pos) error) (valid int64, clean bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	seg, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), segPrefix), segSuffix), 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("wal: bad segment name %q", path)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var (
+		off int64
+		hdr [frameHeaderSize]byte
+		buf []byte
+	)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// EOF exactly at a boundary is a clean end; anything else
+			// (short header) is a torn tail.
+			return off, errors.Is(err, io.EOF), nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrameBytes {
+			return off, false, nil // corrupt length: treat as torn
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return off, false, nil // short payload: torn tail
+		}
+		if crc32.Checksum(buf, castagnoli) != sum {
+			return off, false, nil // bit rot or torn rewrite: stop here
+		}
+		off += frameHeaderSize + int64(n)
+		if fn != nil && off > skip {
+			if err := fn(buf, Pos{Seg: seg, Off: off}); err != nil {
+				return off, false, err
+			}
+		}
+	}
+}
+
+// errPeekStop ends a FirstKind scan after one record.
+var errPeekStop = errors.New("wal: peek stop")
+
+// FirstKind reports the kind tag of the earliest retained record (ok =
+// false when the log holds none). Boot-time recovery uses it to tell a
+// self-sufficient log — one whose history begins with a restore marker
+// — from an unrelated lineage.
+func (l *Log) FirstKind() (Kind, bool, error) {
+	l.mu.Lock()
+	first := l.firstSeg
+	l.mu.Unlock()
+	var kind Kind
+	found := false
+	_, _, err := scanSegment(l.segPath(first), 0, func(p []byte, _ Pos) error {
+		if k, kerr := PayloadKind(p); kerr == nil {
+			kind, found = k, true
+		}
+		return errPeekStop
+	})
+	if err != nil && !errors.Is(err, errPeekStop) {
+		return 0, false, err
+	}
+	return kind, found, nil
+}
+
+// TruncateBefore removes segments wholly covered by the watermark pos:
+// every segment with an index below pos.Seg. The segment holding pos
+// stays (it may carry frames past the watermark), as does the active
+// segment. Returns how many segments were removed. Callers invoke this
+// only after the checkpoint that produced pos was durably saved — a
+// failed save must never advance the truncation point.
+func (l *Log) TruncateBefore(pos Pos) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for l.firstSeg < pos.Seg && l.firstSeg < l.seg {
+		path := l.segPath(l.firstSeg)
+		fi, err := os.Stat(path)
+		if errors.Is(err, os.ErrNotExist) {
+			// Already gone — the whole log may have been removed out
+			// from under a late truncation (a stream deleted while its
+			// checkpoint was saving). Nothing left to protect.
+			l.firstSeg++
+			continue
+		}
+		if err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		if err := os.Remove(path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.bytes -= fi.Size()
+		l.firstSeg++
+		removed++
+	}
+	return removed, nil
+}
+
+// Reset wipes the log — every segment is deleted and a fresh identity
+// is minted — and restarts it empty at segment 0. Used when a
+// checkpoint restore replaces the stream state wholesale: the log
+// described the superseded history, and replaying it over the restored
+// state would resurrect exactly what the restore discarded. Outstanding
+// Commit waiters are released with ErrReset.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close()
+	}
+	for _, f := range l.retiring {
+		f.Close()
+	}
+	l.retiring = nil
+	segs, err := l.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := os.Remove(l.segPath(s)); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	if err := l.writeMeta(); err != nil {
+		return err
+	}
+	l.firstSeg, l.seg, l.segSize, l.bytes, l.appends = 0, 0, 0, 0, 0
+	l.f = nil
+	if err := l.openActive(os.O_CREATE | os.O_EXCL); err != nil {
+		return err
+	}
+	l.bytes = 0 // openActive re-added the (empty) active size
+	l.sm.Lock()
+	l.gen++
+	l.synced = 0
+	l.syncErr = nil
+	l.cond.Broadcast()
+	l.sm.Unlock()
+	return nil
+}
+
+// Close flushes (a final fsync unless the policy is none), stops the
+// background sync loop, and closes the active segment. The log must not
+// be used afterwards.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	syncErr := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var closeErr error
+	if l.f != nil {
+		closeErr = l.f.Close()
+		l.f = nil
+	}
+	// A poisoned sync leaves retiring handles unconsumed; release them.
+	for _, f := range l.retiring {
+		f.Close()
+	}
+	l.retiring = nil
+	l.unlock()
+	l.sm.Lock()
+	l.cond.Broadcast()
+	l.sm.Unlock()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Remove closes the log and deletes its directory — the end of the
+// stream's life (DELETE /v1/streams/{name}), not a restart. A stream
+// re-created under the same name must start with no history, or the
+// replay would resurrect the deleted stream's records.
+func (l *Log) Remove() error {
+	closeErr := l.Close()
+	if err := os.RemoveAll(l.dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return closeErr
+}
+
+// Stats snapshots the log's counters for /metrics.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs := int(l.seg-l.firstSeg) + 1
+	bytes := l.bytes
+	appends := l.appends
+	l.mu.Unlock()
+	l.sm.Lock()
+	fsyncs := l.fsyncs
+	l.sm.Unlock()
+	return Stats{Segments: segs, Bytes: bytes, Appends: appends, Fsyncs: fsyncs}
+}
