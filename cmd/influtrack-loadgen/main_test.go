@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseChaos(t *testing.T) {
+	actions, err := parseChaos("diskfull@10s/3s, slowfsync@20s/5s/50ms ,kill@30s,eio@40s/2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chaosAction{
+		{kind: "diskfull", at: 10 * time.Second, dur: 3 * time.Second},
+		{kind: "slowfsync", at: 20 * time.Second, dur: 5 * time.Second, arg: 50 * time.Millisecond},
+		{kind: "kill", at: 30 * time.Second},
+		{kind: "eio", at: 40 * time.Second, dur: 2 * time.Second},
+	}
+	if len(actions) != len(want) {
+		t.Fatalf("got %d actions, want %d", len(actions), len(want))
+	}
+	for i, a := range actions {
+		if a != want[i] {
+			t.Errorf("action %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+}
+
+func TestParseChaosRejects(t *testing.T) {
+	for _, bad := range []string{
+		"diskfull@10s",             // needs a duration
+		"slowfsync@10s/5s",         // needs a delay
+		"explode@10s",              // unknown kind
+		"diskfull",                 // no @start
+		"kill@30s,diskfull@10s/1s", // out of order
+		"diskfull@ten/3s",          // bad duration
+	} {
+		if _, err := parseChaos(bad); err == nil {
+			t.Errorf("parseChaos(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestParseChaosEmpty(t *testing.T) {
+	if actions, err := parseChaos("  "); err != nil || actions != nil {
+		t.Fatalf("blank schedule: got %v, %v", actions, err)
+	}
+}
+
+func TestRetryAfterDelay(t *testing.T) {
+	if d := retryAfterDelay(""); d != 50*time.Millisecond {
+		t.Errorf("no header: %v", d)
+	}
+	if d := retryAfterDelay("1"); d != time.Second {
+		t.Errorf("1s header: %v", d)
+	}
+	if d := retryAfterDelay("30"); d != time.Second {
+		t.Errorf("cap: %v", d)
+	}
+}

@@ -72,6 +72,24 @@
 //	influtrackd -addr :8080 -checkpoint-dir /var/lib/influtrackd \
 //	    -checkpoint-interval 30s -wal-dir /var/lib/influtrackd/wal \
 //	    -wal-fsync always -stream "name=demo,algo=histapprox,k=10,eps=0.1,L=1000,p=0.001"
+//
+// A WAL fault (disk full, I/O error on fsync) does not take the stream
+// down: it degrades — ingest answers 503 with a Retry-After hint while
+// /v1/topk and the events feed keep serving, and a background repair
+// loop (exponential backoff, tunable with -wal-repair-backoff) rotates
+// past the damage and restores ingest automatically. Degradation is
+// visible in /healthz, /v1/streams (state/degraded_seconds), /metrics
+// (influtrackd_wal_degraded) and as stream_status events on the push
+// feed. -wal-commit-shards splits the fsync=always group-commit wait
+// queue to relieve wake-up contention at high ingest parallelism.
+//
+// -fault-inject (testing/chaos drills only — never production) routes
+// all WAL and checkpoint file I/O through an in-process fault injector
+// and exposes /v1/admin/fault, letting a chaos harness (see
+// influtrack-loadgen -chaos) schedule disk-full windows, fsync latency,
+// I/O errors and crash points against the live daemon. A fault rule
+// with crash=true exits the process with status 137, simulating kill -9
+// at exactly the chosen syscall.
 package main
 
 import (
@@ -90,6 +108,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/fault"
 	"tdnstream/internal/notify"
 	"tdnstream/internal/server"
 )
@@ -190,6 +209,10 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead log directory (one log per stream): ingest chunks are logged before the 200 OK and replayed past the checkpoint on start — exact crash recovery")
 	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always (group-committed fsync before each ack), interval (background fsync every 100ms), none")
 	walSegBytes := flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size; checkpoints truncate fully-covered segments")
+	walCommitShards := flag.Int("wal-commit-shards", 0, "group-commit wait-queue shards for -wal-fsync always (0 = default; relieves wake-up contention at high ingest parallelism)")
+	walRepairBackoff := flag.Duration("wal-repair-backoff", 0, "initial retry interval for the degraded-stream WAL repair loop (0 = default 100ms; doubles up to 50× per retry)")
+	faultInject := flag.Bool("fault-inject", false, "TESTING ONLY: route WAL/checkpoint file I/O through an in-process fault injector and expose /v1/admin/fault for chaos drills; crash rules exit(137)")
+	faultSeed := flag.Int64("fault-seed", 1, "RNG seed for probabilistic fault rules (needs -fault-inject)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for draining queues")
 	shards := flag.Int("shards", 0, "default shard count for streams that set none (≥ 2 partitions each stream by source-node hash)")
 	notifyJournal := flag.Int("notify-journal", 0, "events retained per stream for Last-Event-ID resume (0 = default 1024)")
@@ -217,6 +240,8 @@ func main() {
 		WALDir:          *walDir,
 		WALFsync:        *walFsync,
 		WALSegmentBytes: *walSegBytes,
+		WALCommitShards: *walCommitShards,
+		RepairBackoff:   *walRepairBackoff,
 		Notify: notify.Config{
 			JournalSize:      *notifyJournal,
 			KeyframeEvery:    *notifyKeyframe,
@@ -225,6 +250,16 @@ func main() {
 		},
 		NotifyHeartbeat:    *notifyHeartbeat,
 		NotifyExplainGains: *notifyGains,
+	}
+	if *faultInject {
+		inj := fault.NewInjector(nil, *faultSeed)
+		// A crash rule means "die as if kill -9 at this syscall": exit
+		// without running deferred cleanup so recovery gets exercised
+		// against a genuinely torn state. 137 = 128+SIGKILL, what a real
+		// kill -9 reports, so harnesses treat both identically.
+		inj.CrashFn = func() { os.Exit(137) }
+		cfg.Fault = inj
+		log.Printf("influtrackd: FAULT INJECTION ENABLED (seed %d) — /v1/admin/fault is live; not for production", *faultSeed)
 	}
 	var specs []server.StreamSpec
 	seen := make(map[string]bool)

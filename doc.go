@@ -136,6 +136,44 @@
 // traffic. BENCH_PR5.json records the ingest cost: fsync=interval
 // within a few percent of the WAL-free baseline.
 //
+// # Resilience
+//
+// A full or dying disk must not take a stream down. Every WAL and
+// checkpoint file operation goes through a pluggable filesystem/clock
+// seam (internal/fault): the passthrough fault.OS in production, and a
+// rule-driven Injector in tests and chaos drills (influtrackd
+// -fault-inject plus the /v1/admin/fault endpoint) that injects ENOSPC,
+// EIO on fsync, fsync latency, torn writes and crash-at-syscall points
+// against the live process.
+//
+// When a WAL append or group commit fails, the stream degrades instead
+// of dying: ingest answers 503 + Retry-After while /v1/topk,
+// /v1/explain and the events feed keep serving the last good state, and
+// a background repair loop (exponential backoff) rotates the log past
+// the damage — closing the poisoned file handle without ever retrying
+// its fsync (a failed fsync proves nothing about pages the kernel
+// already dropped), truncating any torn tail, and fencing
+// ack-ambiguous commit tokens so no record is acknowledged on unproven
+// durability. Healing is automatic and observable end to end: the
+// transition shows in /healthz, in /v1/streams (state,
+// degraded_seconds, wal_repairs), on /metrics (influtrackd_wal_degraded,
+// _wal_repairs_total, _checkpoint_retries_total) and as stream_status
+// events on the push feed, so a dashboard sees degraded → healthy the
+// moment each happens. Checkpoint saves retry with backoff before
+// reporting failure, and stream creation builds workers outside the
+// server's stream lock, so re-hosting a crashed stream (a long WAL
+// replay) never stalls the others.
+//
+// cmd/influtrack-loadgen is the chaos/load harness: mixed
+// ingest/query/subscriber traffic with a zipfian node mix and
+// p50/p99/p999 latency reporting, plus a -chaos schedule (disk-full
+// windows, fsync latency, EIO phases, kill -9 mid-traffic with restart
+// and WAL-replay re-host) whose final ledger check is the durability
+// contract stated operationally: every 200-acked record accounted for
+// after recovery, every 503 carrying Retry-After, every stream healthy
+// at the end. BENCH_PR6.json records the serving figures under
+// -wal-fsync always at 8 concurrent ingesters.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

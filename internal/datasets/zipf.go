@@ -89,3 +89,26 @@ func (z *zipfSampler) MaxWeight() float64 {
 
 // node converts an entity index plus base offset into a NodeID.
 func node(base, i int) ids.NodeID { return ids.NodeID(base + i) }
+
+// ZipfMix is the exported face of the package's zipf machinery for load
+// generators: a seeded sampler over n entities with Pr(i) ∝ rank^(-s),
+// the node-popularity shape every generator in this package uses. It is
+// NOT safe for concurrent use — create one per worker goroutine (same
+// seed + distinct worker offset keeps runs reproducible).
+type ZipfMix struct {
+	z   *zipfSampler
+	rng *rand.Rand
+}
+
+// NewZipfMix builds a sampler over n entities with exponent s. The seed
+// fixes both the rank permutation and the draw sequence.
+func NewZipfMix(n int, s float64, seed int64) *ZipfMix {
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfMix{z: newZipfSampler(n, s, rng), rng: rng}
+}
+
+// Pick draws one entity index in [0, n).
+func (m *ZipfMix) Pick() int { return m.z.Sample(m.rng) }
+
+// Boost multiplies entity i's weight by factor — a trending node.
+func (m *ZipfMix) Boost(i int, factor float64) { m.z.Boost(i, factor) }

@@ -1,0 +1,97 @@
+// Package fault is the storage fault-injection seam behind the serving
+// stack's chaos testing: a minimal filesystem interface (FS / File) that
+// internal/wal and the server checkpoint path write through instead of
+// calling os.* directly, plus a Clock seam for the backoff loops that
+// react to faults.
+//
+// In production the seam is a zero-cost passthrough (OS()). In tests and
+// chaos runs an Injector wraps it and fails specific operations —
+// ENOSPC on the Nth write, EIO on fsync, a latency stall, a torn (short)
+// write, a process crash at frame N — scheduled *deterministically* by
+// per-rule op count, or probabilistically from a fixed seed. Determinism
+// is the point: "the 37th WAL write tears" is a reproducible test case,
+// "some write fails eventually" is not.
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// File is the slice of *os.File the WAL and checkpoint paths need.
+// Sync is part of the interface because fsync *failure* is the most
+// consequential storage fault a log can see (fsyncgate: after EIO the
+// kernel may drop the dirty pages, so the fd is poisoned).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the slice of the os package the storage paths use. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+	Truncate(name string, size int64) error
+	CreateTemp(dir, pattern string) (File, error)
+}
+
+// Clock abstracts time for retry/backoff loops, so tests drive a repair
+// schedule without sleeping through it.
+type Clock interface {
+	Now() time.Time
+	// After behaves like time.After. Implementations must not require
+	// the returned channel to be drained.
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+}
+
+// OS returns the passthrough FS backed by the real os package.
+func OS() FS { return osFS{} }
+
+// WallClock returns the passthrough Clock backed by the real time package.
+func WallClock() Clock { return wallClock{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }

@@ -1,0 +1,413 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names the filesystem operation class a Rule matches.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // OpenFile / CreateTemp
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpRename   Op = "rename"   // FS.Rename
+	OpRemove   Op = "remove"   // FS.Remove / RemoveAll
+	OpMkdir    Op = "mkdir"    // FS.MkdirAll
+	OpTruncate Op = "truncate" // FS.Truncate
+	OpStat     Op = "stat"     // FS.Stat / File.Stat
+	OpRead     Op = "read"     // FS.ReadDir / ReadFile / File.Read
+)
+
+// ErrCrashed is returned when a Crash rule fires and no CrashFn is
+// installed (tests observe the crash point instead of dying at it).
+var ErrCrashed = errors.New("fault: injected crash")
+
+// Rule schedules one fault. A rule matches operations by class and path
+// substring; among matching operations it fires deterministically by
+// match count (skip the first After, then fire Count times) and, when
+// Prob is set, by a coin flip from the injector's seeded generator —
+// the same seed always fails the same ops.
+type Rule struct {
+	// Op is the operation class to match.
+	Op Op
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains this substring (e.g. "seg-" for WAL segments, "ckpt" for
+	// checkpoints).
+	Path string
+	// After skips the first After matching operations — "fire on the
+	// N+1th write" is After: N.
+	After uint64
+	// Count bounds how many times the rule fires (0 = every match past
+	// After).
+	Count uint64
+	// Prob, when in (0,1), gates each eligible firing on the injector's
+	// seeded generator.
+	Prob float64
+	// Err is the error to inject (say syscall.ENOSPC or syscall.EIO).
+	// Nil with Delay set makes a pure latency rule; nil with ShortBy set
+	// defaults to io.ErrShortWrite.
+	Err error
+	// Delay stalls the operation before it proceeds (slow-fsync phases).
+	// A delay-only rule injects latency, not failure.
+	Delay time.Duration
+	// ShortBy tears a write: the underlying file receives all but the
+	// last ShortBy bytes of the buffer, then the write errors. Exactly
+	// the torn tail a crash mid-write leaves.
+	ShortBy int
+	// Crash invokes the injector's CrashFn (or fails the op with
+	// ErrCrashed when none is set) — crash-at-frame-N scheduling.
+	Crash bool
+	// TTL expires the rule this long after installation (disk-full
+	// *windows*). Zero means no expiry.
+	TTL time.Duration
+
+	id      int
+	expires time.Time
+	matched uint64
+	fired   uint64
+}
+
+// RuleStatus is the observable state of an installed rule.
+type RuleStatus struct {
+	ID      int           `json:"id"`
+	Op      Op            `json:"op"`
+	Path    string        `json:"path,omitempty"`
+	After   uint64        `json:"after,omitempty"`
+	Count   uint64        `json:"count,omitempty"`
+	Prob    float64       `json:"prob,omitempty"`
+	Err     string        `json:"err,omitempty"`
+	Delay   time.Duration `json:"delay_ns,omitempty"`
+	ShortBy int           `json:"short_by,omitempty"`
+	Crash   bool          `json:"crash,omitempty"`
+	Expires time.Time     `json:"expires,omitempty"`
+	Matched uint64        `json:"matched"`
+	Fired   uint64        `json:"fired"`
+}
+
+// Injector is an FS that injects scheduled faults into a base FS.
+// Install it where an FS is accepted (wal.Options.FS, server
+// Config.FS); with no rules it is a plain passthrough.
+type Injector struct {
+	base FS
+	// CrashFn, when set, is called whenever a Crash rule fires — the
+	// daemon installs an abrupt os.Exit here so a scheduled crash is
+	// indistinguishable from kill -9. Set before use, not concurrently
+	// with operations.
+	CrashFn func()
+	// Clock supplies time for TTL expiry and Delay stalls (nil = wall
+	// clock). Set before use.
+	Clock Clock
+
+	mu     sync.Mutex
+	rules  []*Rule
+	nextID int
+	rng    *rand.Rand
+	ops    map[Op]uint64
+}
+
+// NewInjector wraps base (nil = the real OS) with a fault layer. seed
+// drives the Prob coin flips; the same seed reproduces the same failure
+// schedule.
+func NewInjector(base FS, seed int64) *Injector {
+	if base == nil {
+		base = OS()
+	}
+	return &Injector{
+		base:   base,
+		nextID: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+		ops:    make(map[Op]uint64),
+	}
+}
+
+// Add installs a rule and returns its id.
+func (i *Injector) Add(r Rule) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	r.id = i.nextID
+	i.nextID++
+	if r.TTL > 0 {
+		r.expires = i.clock().Now().Add(r.TTL)
+	}
+	rc := r
+	i.rules = append(i.rules, &rc)
+	return rc.id
+}
+
+// Drop uninstalls the rule with the given id. (Remove is the FS
+// operation; rules are dropped.)
+func (i *Injector) Drop(id int) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for n, r := range i.rules {
+		if r.id == id {
+			i.rules = append(i.rules[:n], i.rules[n+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clear uninstalls every rule.
+func (i *Injector) Clear() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = nil
+}
+
+// Rules snapshots the installed rules.
+func (i *Injector) Rules() []RuleStatus {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]RuleStatus, 0, len(i.rules))
+	for _, r := range i.rules {
+		errName := ""
+		if r.Err != nil {
+			errName = r.Err.Error()
+		}
+		out = append(out, RuleStatus{
+			ID: r.id, Op: r.Op, Path: r.Path, After: r.After, Count: r.Count,
+			Prob: r.Prob, Err: errName, Delay: r.Delay, ShortBy: r.ShortBy,
+			Crash: r.Crash, Expires: r.expires, Matched: r.matched, Fired: r.fired,
+		})
+	}
+	return out
+}
+
+// OpCounts snapshots how many operations of each class have passed
+// through the injector — the ledger that makes op-count scheduling
+// reproducible.
+func (i *Injector) OpCounts() map[Op]uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Op]uint64, len(i.ops))
+	for k, v := range i.ops {
+		out[k] = v
+	}
+	return out
+}
+
+func (i *Injector) clock() Clock {
+	if i.Clock != nil {
+		return i.Clock
+	}
+	return WallClock()
+}
+
+// firing is the combined effect of every rule that fired on one op:
+// delays accumulate, the first error wins, any crash crashes.
+type firing struct {
+	delay time.Duration
+	err   error
+	short int
+	crash bool
+}
+
+// evaluate runs the rule table for one operation. It is the only place
+// rule state advances, so firing order is a pure function of the
+// operation sequence (plus the seeded generator for Prob rules).
+func (i *Injector) evaluate(op Op, path string) firing {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.ops[op]++
+	var f firing
+	now := time.Time{}
+	for _, r := range i.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if !r.expires.IsZero() {
+			if now.IsZero() {
+				now = i.clock().Now()
+			}
+			if now.After(r.expires) {
+				continue
+			}
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && i.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		f.delay += r.Delay
+		if f.err == nil {
+			f.err = r.Err
+		}
+		if f.short == 0 && r.ShortBy > 0 {
+			f.short = r.ShortBy
+			if f.err == nil {
+				f.err = io.ErrShortWrite
+			}
+		}
+		f.crash = f.crash || r.Crash
+	}
+	return f
+}
+
+// act applies a firing's side effects (delay, crash) and reports the
+// error to inject, if any. Returns (false, nil) for a clean passthrough.
+func (i *Injector) act(f firing) (bool, error) {
+	if f.delay > 0 {
+		i.clock().Sleep(f.delay)
+	}
+	if f.crash {
+		if fn := i.CrashFn; fn != nil {
+			fn()
+		}
+		return true, ErrCrashed
+	}
+	if f.err != nil {
+		return true, f.err
+	}
+	return false, nil
+}
+
+// check is the common path for ops with no partial effects.
+func (i *Injector) check(op Op, path string) error {
+	if hit, err := i.act(i.evaluate(op, path)); hit {
+		return err
+	}
+	return nil
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := i.check(OpOpen, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := i.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, inj: i, path: name}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := i.check(OpOpen, dir+"/"+pattern); err != nil {
+		return nil, &os.PathError{Op: "open", Path: dir, Err: err}
+	}
+	f, err := i.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, inj: i, path: f.Name()}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if err := i.check(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if err := i.check(OpRemove, name); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return i.base.Remove(name)
+}
+
+func (i *Injector) RemoveAll(path string) error {
+	if err := i.check(OpRemove, path); err != nil {
+		return &os.PathError{Op: "removeall", Path: path, Err: err}
+	}
+	return i.base.RemoveAll(path)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := i.check(OpMkdir, path); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return i.base.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := i.check(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return i.base.ReadDir(name)
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if err := i.check(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return i.base.ReadFile(name)
+}
+
+func (i *Injector) Stat(name string) (os.FileInfo, error) {
+	if err := i.check(OpStat, name); err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return i.base.Stat(name)
+}
+
+func (i *Injector) Truncate(name string, size int64) error {
+	if err := i.check(OpTruncate, name); err != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return i.base.Truncate(name, size)
+}
+
+// injFile threads writes, fsyncs and reads on one handle back through
+// the rule table.
+type injFile struct {
+	f    File
+	inj  *Injector
+	path string
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	fr := f.inj.evaluate(OpWrite, f.path)
+	if fr.short > 0 {
+		// Torn write: hand the base file a truncated buffer, then fail.
+		// The bytes that "made it to the platter" before the fault are
+		// really on disk — replay sees exactly what a crash leaves.
+		n := len(p) - fr.short
+		if n < 0 {
+			n = 0
+		}
+		wrote, _ := f.f.Write(p[:n])
+		if _, err := f.inj.act(fr); err != nil {
+			return wrote, err
+		}
+		return wrote, io.ErrShortWrite
+	}
+	if hit, err := f.inj.act(fr); hit {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if hit, err := f.inj.act(f.inj.evaluate(OpSync, f.path)); hit {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if hit, err := f.inj.act(f.inj.evaluate(OpRead, f.path)); hit {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Close() error               { return f.f.Close() }
+func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+func (f *injFile) Name() string               { return f.f.Name() }

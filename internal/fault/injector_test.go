@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock: Sleep advances it instead of
+// blocking, so delay rules are observable without real latency.
+type fakeClock struct {
+	mu    sync.Mutex
+	t     time.Time
+	slept time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- c.Now().Add(d)
+	return ch
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	c.slept += d
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func writeN(t *testing.T, fsys FS, path string, writes int) []error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	var errs []error
+	for i := 0; i < writes; i++ {
+		_, err := f.Write([]byte("0123456789"))
+		errs = append(errs, err)
+	}
+	return errs
+}
+
+func TestPassthroughNoRules(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	path := filepath.Join(dir, "a")
+	for _, err := range writeN(t, inj, path, 3) {
+		if err != nil {
+			t.Fatalf("clean injector injected: %v", err)
+		}
+	}
+	data, err := inj.ReadFile(path)
+	if err != nil || len(data) != 30 {
+		t.Fatalf("read back: %d bytes, err %v", len(data), err)
+	}
+}
+
+func TestOpCountScheduling(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	// Fire on exactly the 3rd and 4th write (skip 2, fire 2).
+	inj.Add(Rule{Op: OpWrite, After: 2, Count: 2, Err: syscall.ENOSPC})
+	errs := writeN(t, inj, filepath.Join(dir, "a"), 6)
+	want := []bool{false, false, true, true, false, false}
+	for i, e := range errs {
+		if (e != nil) != want[i] {
+			t.Fatalf("write %d: err=%v, want fail=%v", i, e, want[i])
+		}
+		if e != nil && !errors.Is(e, syscall.ENOSPC) {
+			t.Fatalf("write %d: %v, want ENOSPC", i, e)
+		}
+	}
+}
+
+func TestPathMatching(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	inj.Add(Rule{Op: OpWrite, Path: "seg-", Err: syscall.EIO})
+	if errs := writeN(t, inj, filepath.Join(dir, "seg-0001.wal"), 1); errs[0] == nil {
+		t.Fatal("matching path not failed")
+	}
+	if errs := writeN(t, inj, filepath.Join(dir, "other"), 1); errs[0] != nil {
+		t.Fatalf("non-matching path failed: %v", errs[0])
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	inj.Add(Rule{Op: OpWrite, After: 1, Count: 1, ShortBy: 4})
+	path := filepath.Join(dir, "a")
+	errs := writeN(t, inj, path, 2)
+	if errs[0] != nil {
+		t.Fatalf("first write failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], io.ErrShortWrite) {
+		t.Fatalf("torn write error = %v, want ErrShortWrite", errs[1])
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 clean + (10-4) torn bytes actually reached the file.
+	if fi.Size() != 16 {
+		t.Fatalf("file size %d after torn write, want 16", fi.Size())
+	}
+}
+
+func TestSyncEIOAndDelay(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	inj := NewInjector(nil, 1)
+	inj.Clock = clk
+	inj.Add(Rule{Op: OpSync, Delay: 50 * time.Millisecond})
+	inj.Add(Rule{Op: OpSync, After: 1, Err: syscall.EIO})
+	f, err := inj.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if clk.slept != 50*time.Millisecond {
+		t.Fatalf("slept %v, want 50ms", clk.slept)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second sync = %v, want EIO", err)
+	}
+}
+
+func TestTTLWindow(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	inj := NewInjector(nil, 1)
+	inj.Clock = clk
+	inj.Add(Rule{Op: OpWrite, Err: syscall.ENOSPC, TTL: time.Second})
+	if errs := writeN(t, inj, filepath.Join(dir, "a"), 1); errs[0] == nil {
+		t.Fatal("rule inside TTL window did not fire")
+	}
+	clk.advance(2 * time.Second)
+	if errs := writeN(t, inj, filepath.Join(dir, "a"), 1); errs[0] != nil {
+		t.Fatalf("expired rule still fired: %v", errs[0])
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		dir := t.TempDir()
+		inj := NewInjector(nil, seed)
+		inj.Add(Rule{Op: OpWrite, Prob: 0.5, Err: syscall.EIO})
+		var out []bool
+		for _, e := range writeN(t, inj, filepath.Join(dir, "a"), 32) {
+			out = append(out, e != nil)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 32-op schedules (suspicious)")
+	}
+}
+
+func TestCrashRule(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	crashed := false
+	inj.CrashFn = func() { crashed = true }
+	inj.Add(Rule{Op: OpWrite, After: 1, Crash: true})
+	errs := writeN(t, inj, filepath.Join(dir, "a"), 2)
+	if errs[0] != nil {
+		t.Fatalf("pre-crash write failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrCrashed) {
+		t.Fatalf("crash write = %v, want ErrCrashed", errs[1])
+	}
+	if !crashed {
+		t.Fatal("CrashFn not invoked")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	id := inj.Add(Rule{Op: OpWrite, Err: syscall.ENOSPC})
+	if errs := writeN(t, inj, filepath.Join(dir, "a"), 1); errs[0] == nil {
+		t.Fatal("rule did not fire")
+	}
+	if !inj.Drop(id) {
+		t.Fatal("Drop returned false for live id")
+	}
+	if errs := writeN(t, inj, filepath.Join(dir, "a"), 1); errs[0] != nil {
+		t.Fatalf("removed rule fired: %v", errs[0])
+	}
+	inj.Add(Rule{Op: OpSync, Err: syscall.EIO})
+	inj.Clear()
+	if got := len(inj.Rules()); got != 0 {
+		t.Fatalf("%d rules after Clear", got)
+	}
+}
+
+func TestRulesSnapshotCounts(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	inj.Add(Rule{Op: OpWrite, After: 1, Err: syscall.ENOSPC})
+	writeN(t, inj, filepath.Join(dir, "a"), 3)
+	rs := inj.Rules()
+	if len(rs) != 1 {
+		t.Fatalf("%d rules", len(rs))
+	}
+	if rs[0].Matched != 3 || rs[0].Fired != 2 {
+		t.Fatalf("matched=%d fired=%d, want 3/2", rs[0].Matched, rs[0].Fired)
+	}
+	if inj.OpCounts()[OpWrite] != 3 {
+		t.Fatalf("op count %d, want 3", inj.OpCounts()[OpWrite])
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets covers every possible bits.Len64 value (0..64), so Observe
+// never range-checks.
+const latBuckets = 65
+
+// LatencyHist is a log-bucketed latency histogram: observation d lands in
+// bucket bits.Len64(nanos), i.e. bucket i spans [2^(i-1), 2^i) ns, a
+// constant-factor resolution (each bucket is 2× the last) that holds from
+// microseconds to minutes in 65 fixed counters. All methods are safe for
+// concurrent use — many load-generator workers feed one histogram while a
+// reporter reads quantiles — and the zero value is ready to use.
+//
+// Quantile error is bounded by the bucket width (at most 2× the true
+// value, interpolated to much less in practice), which is the right trade
+// for load-test percentiles: tail shape matters, exact nanoseconds do not.
+type LatencyHist struct {
+	buckets [latBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe folds one latency into the histogram. Negative durations
+// (clock steps) clamp to zero rather than corrupting a bucket index.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n := uint64(d)
+	h.buckets[bits.Len64(n)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		m := h.max.Load()
+		if n <= m || h.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest observation.
+func (h *LatencyHist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean (exact — the sum is tracked outside
+// the buckets).
+func (h *LatencyHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1): it walks the buckets
+// to the one holding the rank-⌈q·count⌉ observation and interpolates
+// linearly inside it. Concurrent Observes may skew an in-flight read by
+// at most the racing observations; for end-of-run reporting that is
+// irrelevant.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < latBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == 0 {
+				return 0 // bucket 0 holds only the value 0
+			}
+			lo := uint64(1) << (i - 1)
+			hi := uint64(math.MaxInt64)
+			if i < 63 {
+				hi = 1 << i
+			}
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return h.Max()
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	// 1..1000 ms, shuffled: quantiles are known up to bucket resolution.
+	ds := make([]time.Duration, 1000)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	for _, d := range ds {
+		h.Observe(d)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("max = %v, want 1s", h.Max())
+	}
+	if mean := h.Mean(); mean != 500500*time.Microsecond {
+		t.Fatalf("mean = %v, want 500.5ms", mean)
+	}
+	// Log buckets bound each estimate to within 2× of the true value.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}, {0.999, 999 * time.Millisecond}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("Quantile(%v) = %v, want within 2x of %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestLatencyHistZeroAndNegative(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should read as zero")
+	}
+	h.Observe(-time.Second) // clock step: clamps, never panics
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("Quantile(1) = %v, want 0", got)
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 <= 0 || p50 > 8*time.Millisecond {
+		t.Fatalf("p50 = %v out of plausible range", p50)
+	}
+}

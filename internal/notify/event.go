@@ -47,13 +47,22 @@ const (
 	// been evicted. A consumer that applies a keyframe needs no prior
 	// events.
 	Keyframe EventType = "keyframe"
+	// StreamStatus announces a serving-health transition out of band
+	// with the top-k history: the stream degraded (its write-ahead log
+	// faulted; ingest answers 503 while reads keep serving) or healed
+	// (the background repair succeeded; ingest resumed). The Status
+	// field carries the new state, Detail the fault being recovered
+	// from. Dashboards subscribe to these alongside change events so an
+	// operator sees the degradation the moment it happens, not on the
+	// next poll.
+	StreamStatus EventType = "stream_status"
 )
 
 // ValidEventType reports whether t names a known event type — the
 // vocabulary the events endpoint's ?types= filter accepts.
 func ValidEventType(t EventType) bool {
 	switch t {
-	case Entered, Left, RankChanged, GainChanged, Keyframe:
+	case Entered, Left, RankChanged, GainChanged, Keyframe, StreamStatus:
 		return true
 	}
 	return false
@@ -110,6 +119,12 @@ type Event struct {
 	PrevValue int `json:"prev_value"`
 
 	TopK []Entry `json:"topk,omitempty"`
+
+	// Status and Detail accompany stream_status events only: the
+	// stream's new serving state ("degraded" or "healthy") and the
+	// fault it degraded on.
+	Status string `json:"status,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // MarshalJSON is the wire form shared by the SSE data payload and the

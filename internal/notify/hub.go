@@ -229,38 +229,66 @@ func (h *Hub) Publish(name string, topk TopK) uint64 {
 		st.events++
 	}
 	if len(evs) > 0 {
-		// One batch send per subscriber per publish. Subscribers never
-		// mutate the shared slice; the hub never touches it again.
-		// Filtered subscribers get their own pruned batch, evaluated
-		// here at fan-out so unwanted event traffic never reaches (or
-		// fills) their bounded queue.
-		for sub := range st.subs {
-			batch := evs
-			if sub.types != nil {
-				keepKeyframes := sub.needBase
-				batch = filterEvents(evs, sub.types, keepKeyframes)
-				if len(batch) == 0 {
-					continue
-				}
-				if keepKeyframes {
-					for _, ev := range batch {
-						if ev.Type == Keyframe {
-							sub.needBase = false // rebased; filter fully from here
-							break
-						}
+		st.fanout(evs)
+	}
+	return st.seq
+}
+
+// fanout delivers one publish batch to every subscriber under st.mu.
+// One batch send per subscriber per publish: subscribers never mutate
+// the shared slice; the hub never touches it again. Filtered
+// subscribers get their own pruned batch, evaluated here at fan-out so
+// unwanted event traffic never reaches (or fills) their bounded queue.
+func (st *hubStream) fanout(evs []Event) {
+	for sub := range st.subs {
+		batch := evs
+		if sub.types != nil {
+			keepKeyframes := sub.needBase
+			batch = filterEvents(evs, sub.types, keepKeyframes)
+			if len(batch) == 0 {
+				continue
+			}
+			if keepKeyframes {
+				for _, ev := range batch {
+					if ev.Type == Keyframe {
+						sub.needBase = false // rebased; filter fully from here
+						break
 					}
 				}
 			}
-			select {
-			case sub.ch <- batch:
-			default:
-				// Bounded queue full: this consumer cannot keep up. Drop
-				// it rather than stall the publish path — it reconnects
-				// and resyncs from the journal or a keyframe.
-				st.drop(sub, true)
-			}
+		}
+		select {
+		case sub.ch <- batch:
+		default:
+			// Bounded queue full: this consumer cannot keep up. Drop
+			// it rather than stall the publish path — it reconnects
+			// and resyncs from the journal or a keyframe.
+			st.drop(sub, true)
 		}
 	}
+}
+
+// PublishStatus emits a stream_status event out of band with the top-k
+// diff stream: serving-health transitions (degraded/healthy) happen on
+// the fault path, not the publish path, so they get their own entry
+// point. The event is journaled and sequence-stamped like any other —
+// a resuming subscriber replays the transition in order with the
+// change events around it.
+func (h *Hub) PublishStatus(name, status, detail string) uint64 {
+	st := h.ensure(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	last := st.differ.Last()
+	st.seq++
+	ev := Event{
+		Seq: st.seq, Type: StreamStatus, Stream: name,
+		T: last.T, Value: last.Value,
+		Rank: -1, PrevRank: -1,
+		Status: status, Detail: detail,
+	}
+	st.journal.Append(ev)
+	st.events++
+	st.fanout([]Event{ev})
 	return st.seq
 }
 

@@ -499,3 +499,53 @@ func TestHubFilteredSubscriberResyncKeyframe(t *testing.T) {
 		t.Fatal("no live batch after membership churn")
 	}
 }
+
+func TestHubPublishStatus(t *testing.T) {
+	h := NewHub(Config{})
+	h.Publish("s", topkOf(10, 5, 1, 2)) // seq 1: keyframe
+	all, err := h.Subscribe("s", h.Seq("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := h.SubscribeTypes("s", h.Seq("s"), []EventType{StreamStatus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrelated, err := h.SubscribeTypes("s", h.Seq("s"), []EventType{Entered})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := h.PublishStatus("s", "degraded", "wal: fsync: input/output error")
+	if seq != 2 {
+		t.Fatalf("status seq = %d, want 2", seq)
+	}
+	h.PublishStatus("s", "healthy", "")
+
+	got := drain(all)
+	if len(got) != 2 || got[0].Type != StreamStatus || got[0].Status != "degraded" ||
+		got[1].Status != "healthy" {
+		t.Fatalf("unfiltered subscriber saw %+v", got)
+	}
+	if got[0].Detail == "" || got[0].Stream != "s" || got[0].T != 10 {
+		t.Fatalf("status event missing context: %+v", got[0])
+	}
+	if got := drain(filtered); len(got) != 2 || got[0].Type != StreamStatus {
+		t.Fatalf("status-filtered subscriber saw %+v", got)
+	}
+	if got := drain(unrelated); len(got) != 0 {
+		t.Fatalf("entered-only subscriber saw status events: %+v", got)
+	}
+
+	// Journaled: a resuming subscriber replays the transitions in order.
+	resumed, err := h.Subscribe("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Backlog) != 2 || resumed.Backlog[0].Status != "degraded" {
+		t.Fatalf("resume backlog = %+v", resumed.Backlog)
+	}
+	if h.Seq("s") != 3 {
+		t.Fatalf("seq = %d, want 3", h.Seq("s"))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/fault"
 	"tdnstream/internal/notify"
 )
 
@@ -171,6 +172,37 @@ type Config struct {
 	// MiB); checkpoint-covered history is truncated whole segments at a
 	// time.
 	WALSegmentBytes int64
+	// WALCommitShards splits the FsyncAlways group-commit wait queue
+	// across this many shards (see wal.Options.CommitShards). 0 picks
+	// min(GOMAXPROCS, 16); 1 restores a single queue.
+	WALCommitShards int
+	// FS is the filesystem seam the write-ahead logs and file savers go
+	// through (nil = the real OS). Fault-injection tests install a
+	// fault.Injector here; when FS is nil but Fault is set, Fault is
+	// used, so one knob wires both the seam and the admin endpoint.
+	FS fault.FS
+	// Fault, when non-nil, enables the /v1/admin/fault endpoint: chaos
+	// harnesses install and clear fault rules over HTTP while the daemon
+	// runs. Nil (the default) leaves the endpoint absent (404).
+	Fault *fault.Injector
+	// Clock supplies time to the degraded-stream repair loop and the
+	// checkpoint retry backoff (nil = wall clock); fault tests pass a
+	// fake to make backoff schedules deterministic.
+	Clock fault.Clock
+	// RepairBackoff is the initial delay before a degraded stream's
+	// background repair attempt, doubling per failure up to
+	// RepairBackoffMax (defaults 100ms and 5s). While degraded, ingest
+	// answers 503 + Retry-After and reads keep serving the last good
+	// snapshot; a successful repair flips the stream back to healthy.
+	RepairBackoff    time.Duration
+	RepairBackoffMax time.Duration
+	// CheckpointRetries bounds how many times CheckpointAll re-runs a
+	// failed SaveFunc before giving up on that stream for the round
+	// (default 3 retries), sleeping CheckpointRetryBackoff (default
+	// 50ms, doubling) between attempts — transient mkdir/rename ENOSPC
+	// heals within a round instead of waiting a whole interval.
+	CheckpointRetries      int
+	CheckpointRetryBackoff time.Duration
 	// NotifyExplainGains spends oracle calls at every snapshot publish to
 	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
 	// calls): events then carry true greedy ranks and gains, enabling
@@ -202,7 +234,43 @@ func (c Config) withDefaults() Config {
 	if c.NotifyHeartbeat <= 0 {
 		c.NotifyHeartbeat = 15 * time.Second
 	}
+	if c.RepairBackoff <= 0 {
+		c.RepairBackoff = 100 * time.Millisecond
+	}
+	if c.RepairBackoffMax <= 0 {
+		c.RepairBackoffMax = 5 * time.Second
+	}
+	switch {
+	case c.CheckpointRetries == 0:
+		c.CheckpointRetries = 3
+	case c.CheckpointRetries < 0: // explicit opt-out
+		c.CheckpointRetries = 0
+	}
+	if c.CheckpointRetryBackoff <= 0 {
+		c.CheckpointRetryBackoff = 50 * time.Millisecond
+	}
 	return c
+}
+
+// fs resolves the filesystem seam: an explicit FS wins, else the fault
+// injector doubles as the seam (one -fault-inject knob wires both), else
+// the real OS.
+func (c Config) fs() fault.FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	if c.Fault != nil {
+		return c.Fault
+	}
+	return fault.OS()
+}
+
+// clock resolves the time seam for repair and retry backoffs.
+func (c Config) clock() fault.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return fault.WallClock()
 }
 
 // walFor reports whether a stream runs with the write-ahead log: the

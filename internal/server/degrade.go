@@ -1,0 +1,88 @@
+package server
+
+import "time"
+
+// Stream serving states, surfaced in /v1/streams, /healthz and
+// stream_status notify events.
+const (
+	StateHealthy  = "healthy"
+	StateDegraded = "degraded"
+)
+
+// serveState reports the stream's serving state.
+func (w *worker) serveState() string {
+	if w.degraded.Load() {
+		return StateDegraded
+	}
+	return StateHealthy
+}
+
+// degradedFor reports how long the stream has been degraded (0 when
+// healthy).
+func (w *worker) degradedFor() time.Duration {
+	if !w.degraded.Load() {
+		return 0
+	}
+	return w.cfg.clock().Now().Sub(time.Unix(0, w.degradedAt.Load()))
+}
+
+// degrade records a write-ahead-log fault and flips the stream into the
+// degraded serving state: ingest answers 503 + Retry-After (the handler
+// gate), reads keep serving the last published snapshot, and exactly one
+// background repair loop is armed by the CAS. Safe from any goroutine —
+// the ingest handlers call it under walMu via sendLocked and lock-free
+// via commitWAL.
+func (w *worker) degrade(err error) {
+	msg := err.Error()
+	w.lastErr.Store(&msg)
+	if w.wlog == nil {
+		return
+	}
+	if !w.degraded.CompareAndSwap(false, true) {
+		return // already degraded: the existing repair loop owns recovery
+	}
+	w.degradedAt.Store(w.cfg.clock().Now().UnixNano())
+	if w.hub != nil {
+		w.hub.PublishStatus(w.name, StateDegraded, msg)
+	}
+	go w.repairLoop()
+}
+
+// repairLoop is the background healer for a degraded stream: it retries
+// wal.Repair with exponential backoff (RepairBackoff doubling up to
+// RepairBackoffMax) until the log rotates past the damage, then probes
+// durability with one Sync through the fresh handle before declaring the
+// stream healthy — a repair that cannot prove an fsync has not repaired
+// anything. Repair itself never re-fsyncs a poisoned file descriptor
+// (the kernel may have dropped the dirty pages and marked them clean),
+// so tokens caught mid-fault stay fenced; only new appends are promised.
+// The loop exits when the worker stops.
+func (w *worker) repairLoop() {
+	clk := w.cfg.clock()
+	backoff := w.cfg.RepairBackoff
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-clk.After(backoff):
+		}
+		err := w.wlog.Repair()
+		if err == nil {
+			err = w.wlog.Sync()
+		}
+		if err == nil {
+			w.m.walRepairs.Add(1)
+			w.lastErr.Store(nil)
+			if w.hub != nil {
+				w.hub.PublishStatus(w.name, StateHealthy, "")
+			}
+			w.degraded.Store(false)
+			return
+		}
+		msg := err.Error()
+		w.lastErr.Store(&msg)
+		if backoff *= 2; backoff > w.cfg.RepairBackoffMax {
+			backoff = w.cfg.RepairBackoffMax
+		}
+	}
+}

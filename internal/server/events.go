@@ -94,7 +94,7 @@ func eventsTypes(r *http.Request) ([]notify.EventType, error) {
 		}
 		t := notify.EventType(part)
 		if !notify.ValidEventType(t) {
-			return nil, fmt.Errorf("unknown event type %q in ?types= (want entered, left, rank_changed, gain_changed or keyframe)", part)
+			return nil, fmt.Errorf("unknown event type %q in ?types= (want entered, left, rank_changed, gain_changed, keyframe or stream_status)", part)
 		}
 		types = append(types, t)
 	}

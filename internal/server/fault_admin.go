@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"syscall"
+	"time"
+
+	"tdnstream/internal/fault"
+)
+
+// The fault-injection admin surface, present only when Config.Fault is
+// set (influtrackd -fault-inject): chaos harnesses install, inspect and
+// clear fault rules over HTTP while the daemon runs, so disk-full
+// windows and slow-fsync phases can be scheduled against a live process.
+//
+//	GET    /v1/admin/fault        installed rules + per-op counts
+//	POST   /v1/admin/fault        install a rule (faultRuleJSON body) → {"id": N}
+//	DELETE /v1/admin/fault[?id=N] drop one rule, or clear all
+//
+// Without an injector every verb answers 404 — production builds carry
+// no reachable chaos surface.
+
+// faultRuleJSON is the wire form of a fault.Rule. Err names the injected
+// errno ("enospc", "eio", "emfile"; empty with short_by set defaults to
+// a short-write error; empty otherwise makes a pure latency rule).
+type faultRuleJSON struct {
+	Op      string  `json:"op"`
+	Path    string  `json:"path,omitempty"`
+	Err     string  `json:"err,omitempty"`
+	After   uint64  `json:"after,omitempty"`
+	Count   uint64  `json:"count,omitempty"`
+	Prob    float64 `json:"prob,omitempty"`
+	DelayMs int64   `json:"delay_ms,omitempty"`
+	ShortBy int     `json:"short_by,omitempty"`
+	Crash   bool    `json:"crash,omitempty"`
+	TTLMs   int64   `json:"ttl_ms,omitempty"`
+}
+
+// faultOps is the op vocabulary the endpoint accepts.
+var faultOps = map[string]fault.Op{
+	string(fault.OpOpen):     fault.OpOpen,
+	string(fault.OpWrite):    fault.OpWrite,
+	string(fault.OpSync):     fault.OpSync,
+	string(fault.OpRename):   fault.OpRename,
+	string(fault.OpRemove):   fault.OpRemove,
+	string(fault.OpMkdir):    fault.OpMkdir,
+	string(fault.OpTruncate): fault.OpTruncate,
+	string(fault.OpStat):     fault.OpStat,
+	string(fault.OpRead):     fault.OpRead,
+}
+
+// faultErrnos maps wire names to injected errors — the faults a real
+// disk serves up: full (ENOSPC), dying (EIO), out of descriptors
+// (EMFILE).
+var faultErrnos = map[string]error{
+	"enospc": syscall.ENOSPC,
+	"eio":    syscall.EIO,
+	"emfile": syscall.EMFILE,
+}
+
+// faultInjector gates the admin surface: nil Config.Fault → 404.
+func (s *Server) faultInjector(w http.ResponseWriter) (*fault.Injector, bool) {
+	if s.cfg.Fault == nil {
+		writeError(w, http.StatusNotFound, "fault injection is not enabled on this server")
+		return nil, false
+	}
+	return s.cfg.Fault, true
+}
+
+func (s *Server) handleFaultList(w http.ResponseWriter, r *http.Request) {
+	inj, ok := s.faultInjector(w)
+	if !ok {
+		return
+	}
+	rules := inj.Rules()
+	if rules == nil {
+		rules = []fault.RuleStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": rules, "ops": inj.OpCounts()})
+}
+
+func (s *Server) handleFaultAdd(w http.ResponseWriter, r *http.Request) {
+	inj, ok := s.faultInjector(w)
+	if !ok {
+		return
+	}
+	var jr faultRuleJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&jr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault rule: %v", err)
+		return
+	}
+	op, ok := faultOps[jr.Op]
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown fault op %q", jr.Op)
+		return
+	}
+	rule := fault.Rule{
+		Op:      op,
+		Path:    jr.Path,
+		After:   jr.After,
+		Count:   jr.Count,
+		Prob:    jr.Prob,
+		Delay:   time.Duration(jr.DelayMs) * time.Millisecond,
+		ShortBy: jr.ShortBy,
+		Crash:   jr.Crash,
+		TTL:     time.Duration(jr.TTLMs) * time.Millisecond,
+	}
+	if jr.Err != "" {
+		e, ok := faultErrnos[jr.Err]
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown fault err %q (want enospc, eio or emfile)", jr.Err)
+			return
+		}
+		rule.Err = e
+	}
+	if rule.Err == nil && rule.Delay == 0 && rule.ShortBy == 0 && !rule.Crash {
+		writeError(w, http.StatusBadRequest, "fault rule has no effect: set err, delay_ms, short_by or crash")
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"id": inj.Add(rule)})
+}
+
+func (s *Server) handleFaultDrop(w http.ResponseWriter, r *http.Request) {
+	inj, ok := s.faultInjector(w)
+	if !ok {
+		return
+	}
+	if q := r.URL.Query().Get("id"); q != "" {
+		id, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad rule id %q", q)
+			return
+		}
+		if !inj.Drop(id) {
+			writeError(w, http.StatusNotFound, "no fault rule %d", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dropped": id})
+		return
+	}
+	inj.Clear()
+	writeJSON(w, http.StatusOK, map[string]any{"cleared": true})
+}

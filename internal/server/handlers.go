@@ -30,6 +30,9 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{name}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/admin/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/admin/fault", s.handleFaultList)
+	mux.HandleFunc("POST /v1/admin/fault", s.handleFaultAdd)
+	mux.HandleFunc("DELETE /v1/admin/fault", s.handleFaultDrop)
 	return s.countStatuses(mux)
 }
 
@@ -113,6 +116,12 @@ type ingestResponse struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// retryAfterSeconds renders a Retry-After header value, rounding up to a
+// whole second (the header's granularity).
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(int((d + time.Second - 1) / time.Second))
+}
+
 // bodyLimitTracker notes when the wrapped MaxBytesReader refuses a read.
 // The record decoders can mask the limit error behind a parse failure on
 // the truncated final line, so the handler needs this out-of-band signal
@@ -146,6 +155,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r, wk) {
 		return
 	}
+	if wk.degraded.Load() {
+		// Graceful degradation: the stream's write-ahead log is faulted
+		// and under background repair. Refuse new writes before reading a
+		// byte of body — nothing is acknowledged that cannot be made
+		// durable — while /v1/topk and the events feed keep serving the
+		// last good state. Retry-After points past the repair backoff.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{
+			Stream: wk.name,
+			Error:  "stream degraded: write-ahead log fault, repair in progress: " + wk.lastError(),
+		})
+		return
+	}
 	body := &bodyLimitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
 	decoded, inflate, err := decodeContentEncoding(r.Header.Get("Content-Encoding"), body, s.cfg.MaxBodyBytes)
 	if err != nil {
@@ -168,7 +190,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		resp.Error = "ingest queue full"
 		writeJSON(w, http.StatusTooManyRequests, resp)
 	case errors.Is(err, errStreamClosed):
@@ -367,9 +389,18 @@ type streamInfo struct {
 	// WAL reports whether the stream runs with a write-ahead log (200
 	// OK ⇒ the record survives a process kill); WALBytes is the log's
 	// current on-disk footprint across segments.
-	WAL       bool   `json:"wal,omitempty"`
-	WALBytes  int64  `json:"wal_bytes,omitempty"`
-	LastError string `json:"last_error,omitempty"`
+	WAL      bool  `json:"wal,omitempty"`
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// State is the serving state: "healthy", or "degraded" while the
+	// stream's write-ahead log is faulted and under background repair —
+	// ingest answers 503 + Retry-After, reads keep serving the last good
+	// snapshot. DegradedSeconds is how long the current degradation has
+	// lasted (absent when healthy); WALRepairs counts successful
+	// background repairs over the stream's lifetime.
+	State           string  `json:"state"`
+	DegradedSeconds float64 `json:"degraded_seconds,omitempty"`
+	WALRepairs      uint64  `json:"wal_repairs,omitempty"`
+	LastError       string  `json:"last_error,omitempty"`
 }
 
 func (s *Server) infoFor(wk *worker) streamInfo {
@@ -381,25 +412,28 @@ func (s *Server) infoFor(wk *worker) streamInfo {
 		walBytes = wk.wlog.Stats().Bytes
 	}
 	return streamInfo{
-		Name:         wk.name,
-		WAL:          walOn,
-		WALBytes:     walBytes,
-		Algo:         snap.Algo,
-		TimeMode:     wk.state.Load().timeMode,
-		T:            snap.T,
-		QueueDepth:   len(wk.queue),
-		QueueCap:     cap(wk.queue),
-		Ingested:     wk.m.ingested.Load(),
-		Processed:    wk.m.processed.Load(),
-		StaleDropped: wk.m.staleDrop.Load(),
-		Failed:       wk.m.failed.Load(),
-		Superseded:   wk.m.superseded.Load(),
-		Steps:        wk.m.steps.Load(),
-		Value:        snap.Solution.Value,
-		AuthRequired: wk.token != "",
-		Seq:          snap.Seq,
-		Subscribers:  s.hub.Stats(wk.name).Subscribers,
-		LastError:    wk.lastError(),
+		Name:            wk.name,
+		WAL:             walOn,
+		WALBytes:        walBytes,
+		State:           wk.serveState(),
+		DegradedSeconds: wk.degradedFor().Seconds(),
+		WALRepairs:      wk.m.walRepairs.Load(),
+		Algo:            snap.Algo,
+		TimeMode:        wk.state.Load().timeMode,
+		T:               snap.T,
+		QueueDepth:      len(wk.queue),
+		QueueCap:        cap(wk.queue),
+		Ingested:        wk.m.ingested.Load(),
+		Processed:       wk.m.processed.Load(),
+		StaleDropped:    wk.m.staleDrop.Load(),
+		Failed:          wk.m.failed.Load(),
+		Superseded:      wk.m.superseded.Load(),
+		Steps:           wk.m.steps.Load(),
+		Value:           snap.Solution.Value,
+		AuthRequired:    wk.token != "",
+		Seq:             snap.Seq,
+		Subscribers:     s.hub.Stats(wk.name).Subscribers,
+		LastError:       wk.lastError(),
 	}
 }
 
@@ -500,13 +534,21 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	infos := []streamInfo{}
+	status := "ok"
 	for _, name := range s.StreamNames() {
 		if wk, ok := s.stream(name); ok {
-			infos = append(infos, s.infoFor(wk))
+			info := s.infoFor(wk)
+			if info.State == StateDegraded {
+				// Degraded ≠ dead: the answer stays 200 (reads serve, the
+				// process is live) but the status field flags that some
+				// stream is refusing writes while its log heals.
+				status = StateDegraded
+			}
+			infos = append(infos, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"streams":        infos,
 	})

@@ -24,6 +24,8 @@ type streamMetrics struct {
 	superseded    atomic.Uint64 // acknowledged records discarded unprocessed by a restore
 	walAppended   atomic.Uint64 // records appended to the write-ahead log before their ack
 	walReplayed   atomic.Uint64 // records rebuilt from the log by crash recovery
+	walRepairs    atomic.Uint64 // successful background repairs of a degraded log
+	ckptRetries   atomic.Uint64 // checkpoint save attempts retried after transient failures
 	processed     atomic.Uint64 // records fed to the tracker
 	steps         atomic.Uint64 // tracker steps taken
 	chunks        atomic.Uint64 // chunks drained from the queue
@@ -181,6 +183,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 			p("influtrackd_topk_value{stream=%q} %d\n", r.name, snap.Solution.Value)
 		}
 	}
+	counter("checkpoint_retries_total", "Checkpoint save attempts retried after a transient failure (bounded by CheckpointRetries per round).")
+	for _, r := range rows {
+		p("influtrackd_checkpoint_retries_total{stream=%q} %d\n", r.name, r.w.m.ckptRetries.Load())
+	}
 
 	// Write-ahead-log surface: rows only for WAL-enabled streams, so a
 	// scrape can tell "no WAL" from "WAL with zero traffic". One Stats
@@ -217,6 +223,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 		gauge("wal_segments", "Live write-ahead-log segment files.")
 		for _, r := range walRows {
 			p("influtrackd_wal_segments{stream=%q} %d\n", r.name, r.st.Segments)
+		}
+		gauge("wal_degraded", "1 while the stream's write-ahead log is faulted and under background repair (ingest answers 503), 0 when healthy.")
+		for _, r := range walRows {
+			v := 0
+			if r.w.degraded.Load() {
+				v = 1
+			}
+			p("influtrackd_wal_degraded{stream=%q} %d\n", r.name, v)
+		}
+		counter("wal_repairs_total", "Degraded-log background repairs that succeeded (the log rotated past the fault and proved an fsync).")
+		for _, r := range walRows {
+			p("influtrackd_wal_repairs_total{stream=%q} %d\n", r.name, r.w.m.walRepairs.Load())
 		}
 	}
 

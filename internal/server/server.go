@@ -44,7 +44,12 @@ type Server struct {
 
 	mu      sync.RWMutex
 	streams map[string]*worker
-	closed  bool
+	// creating reserves stream names whose workers are still being
+	// built. Worker construction can replay a long WAL, so it runs
+	// outside mu — the reservation keeps concurrent creates of the same
+	// name out while every other request proceeds against live streams.
+	creating map[string]bool
+	closed   bool
 
 	req2xx, req4xx, req5xx atomic.Uint64
 
@@ -59,10 +64,11 @@ func New(cfg Config) (*Server, error) {
 			cfg.WALFsync, wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNone)
 	}
 	s := &Server{
-		cfg:     cfg,
-		start:   time.Now(),
-		hub:     notify.NewHub(cfg.Notify),
-		streams: make(map[string]*worker),
+		cfg:      cfg,
+		start:    time.Now(),
+		hub:      notify.NewHub(cfg.Notify),
+		streams:  make(map[string]*worker),
+		creating: make(map[string]bool),
 	}
 	s.handler = s.buildMux()
 	for _, spec := range cfg.Streams {
@@ -83,19 +89,41 @@ func (s *Server) AddStream(spec StreamSpec) error {
 }
 
 func (s *Server) addWorker(spec StreamSpec, ckpt *checkpointEnvelope) error {
+	// Reserve the name, then build the worker OUTSIDE the lock: creation
+	// replays the stream's write-ahead log, which after a crash can mean
+	// tens of seconds of work — holding mu for it would stall every
+	// other stream's ingest and reads for the duration. The reservation
+	// makes a concurrent create of the same name a clean conflict
+	// instead of a double build.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return errStreamClosed
 	}
-	if _, dup := s.streams[spec.Name]; dup {
+	if _, dup := s.streams[spec.Name]; dup || s.creating[spec.Name] {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", errDuplicateStream, spec.Name)
 	}
+	s.creating[spec.Name] = true
+	s.mu.Unlock()
+
 	w, err := newWorker(spec, s.cfg, ckpt, s.hub)
+
+	s.mu.Lock()
+	delete(s.creating, spec.Name)
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
+	if s.closed {
+		// Close ran while the worker was being built; it could not see
+		// this worker, so it is ours to stop.
+		s.mu.Unlock()
+		w.stop()
+		return errStreamClosed
+	}
 	s.streams[spec.Name] = w
+	s.mu.Unlock()
 	return nil
 }
 
@@ -235,7 +263,7 @@ func (s *Server) CheckpointAll(ctx context.Context, save SaveFunc) error {
 			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
 			continue
 		}
-		if err := save(name, data); err != nil {
+		if err := s.saveWithRetry(w, name, data, save); err != nil {
 			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
 			continue // an unsaved checkpoint proves nothing: keep the log
 		}
@@ -247,6 +275,26 @@ func (s *Server) CheckpointAll(ctx context.Context, save SaveFunc) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// saveWithRetry runs save with bounded retries: a transient failure
+// (ENOSPC during a disk-full window, a flaky network filesystem) heals
+// within this checkpoint round instead of forfeiting the round and
+// waiting a whole interval with the WAL untruncated. Backoff doubles
+// from CheckpointRetryBackoff; retries are counted per stream in
+// checkpoint_retries_total. The checkpoint bytes are immutable across
+// attempts, so a retry can never save a different state than the first
+// attempt claimed.
+func (s *Server) saveWithRetry(w *worker, name string, data []byte, save SaveFunc) error {
+	err := save(name, data)
+	backoff := s.cfg.CheckpointRetryBackoff
+	for attempt := 0; err != nil && attempt < s.cfg.CheckpointRetries; attempt++ {
+		w.m.ckptRetries.Add(1)
+		s.cfg.clock().Sleep(backoff)
+		backoff *= 2
+		err = save(name, data)
+	}
+	return err
 }
 
 // PeriodicCheckpoints checkpoints every hosted stream each interval

@@ -102,6 +102,15 @@ type worker struct {
 
 	lastErr atomic.Pointer[string]
 
+	// degraded flips on when the stream's write-ahead log faults on the
+	// ingest path (append or commit failure): ingest answers 503 +
+	// Retry-After while reads keep serving the last good snapshot, and a
+	// single background repair loop (armed by the flip's CAS) retries
+	// wal.Repair with exponential backoff until the log takes appends
+	// again. degradedAt is the clock reading at the flip, for /healthz.
+	degraded   atomic.Bool
+	degradedAt atomic.Int64
+
 	// wlog is the stream's write-ahead log (nil when the server has no
 	// WAL directory or the stream opted out). It is assigned once in
 	// newWorker, before any goroutine can observe the worker. walMu
@@ -227,6 +236,8 @@ func (w *worker) openWAL(ckpt *checkpointEnvelope) error {
 		Fsync:        w.cfg.WALFsync,
 		FsyncEvery:   w.cfg.WALFsyncInterval,
 		SegmentBytes: w.cfg.WALSegmentBytes,
+		CommitShards: w.cfg.WALCommitShards,
+		FS:           w.cfg.fs(),
 	})
 	if err != nil {
 		return fmt.Errorf("server: stream %q: %w", w.name, err)
@@ -528,8 +539,7 @@ func (w *worker) sendLocked(c chunk) (wal.Token, error) {
 		w.walScratch = rec.AppendEncode(w.walScratch[:0])
 		pos, t, err := w.wlog.Append(w.walScratch)
 		if err != nil {
-			msg := err.Error()
-			w.lastErr.Store(&msg)
+			w.degrade(err)
 			return 0, fmt.Errorf("%w: %v", errWAL, err)
 		}
 		w.walDictLen = total
@@ -598,8 +608,16 @@ func (w *worker) commitWAL(tok wal.Token) error {
 		// their durability is unproven — the one ack-ambiguous outcome.
 		// The handler answers 500 and the client's retry is
 		// at-least-once, exactly like any acked-but-unanswered request.
-		msg := err.Error()
-		w.lastErr.Store(&msg)
+		if errors.Is(err, wal.ErrFenced) {
+			// Repair already rotated past the fault; only this token's
+			// durability is unprovable. Report without re-degrading — the
+			// log takes new appends, and flipping degraded again would
+			// flap the stream for a fault that is already healed.
+			msg := err.Error()
+			w.lastErr.Store(&msg)
+		} else {
+			w.degrade(err)
+		}
 		return fmt.Errorf("%w: %v", errWAL, err)
 	}
 	return nil

@@ -1,0 +1,418 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+	"testing"
+
+	"tdnstream/internal/fault"
+)
+
+// replayAll reopens dir with a clean filesystem and returns every
+// replayed payload in order.
+func replayAll(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	var out [][]byte
+	err = l.ReadFrom(l.Start(), func(p []byte, _ Pos) error {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		out = append(out, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func payloadFor(i int) []byte {
+	// 24 bytes, distinct per index: frame = 32 bytes.
+	return []byte(fmt.Sprintf("record-%05d-%010d", i, i*i))
+}
+
+// TestTornWriteEveryFrameBoundary tears the log at every frame of a
+// 100-record history — a short write of 1..31 bytes into the i-th
+// frame — and proves replay recovers exactly the i records before the
+// tear, byte-identical, with the garbage truncated away.
+func TestTornWriteEveryFrameBoundary(t *testing.T) {
+	const records = 100
+	for i := 0; i < records; i++ {
+		shortBy := i%31 + 1 // frames are 32 bytes; tear at every offset depth over the sweep
+		dir := t.TempDir()
+		inj := fault.NewInjector(nil, 1)
+		inj.Add(fault.Rule{Op: fault.OpWrite, Path: "seg-", After: uint64(i), Count: 1, ShortBy: shortBy})
+		l, err := Open(dir, Options{Fsync: FsyncNone, FS: inj})
+		if err != nil {
+			t.Fatalf("i=%d open: %v", i, err)
+		}
+		sawErr := false
+		for j := 0; j < records; j++ {
+			_, _, err := l.Append(payloadFor(j))
+			if err != nil {
+				sawErr = true
+				if j < i {
+					t.Fatalf("i=%d: append %d failed before the scheduled tear: %v", i, j, err)
+				}
+			} else if j >= i {
+				t.Fatalf("i=%d: append %d succeeded past the tear (poison not sticky)", i, j)
+			}
+		}
+		if !sawErr {
+			t.Fatalf("i=%d: tear never fired", i)
+		}
+		l.Close() // error expected under poison; replay is the oracle
+		got := replayAll(t, dir)
+		if len(got) != i {
+			t.Fatalf("i=%d: replayed %d records, want %d", i, len(got), i)
+		}
+		for j, p := range got {
+			if string(p) != string(payloadFor(j)) {
+				t.Fatalf("i=%d: record %d corrupted: %q", i, j, p)
+			}
+		}
+	}
+}
+
+// TestRotationUnderENOSPC fails segment creation with ENOSPC and
+// verifies the log neither wedges nor gaps: appends that hit the failed
+// rotation error out cleanly, the log state is untouched, and once
+// space returns the rotation succeeds and every acknowledged append
+// replays in order.
+func TestRotationUnderENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	// Fires on segment creations after the initial seg-0 open: the
+	// first two rotations fail.
+	inj.Add(fault.Rule{Op: fault.OpOpen, Path: "seg-", After: 1, Count: 2, Err: syscall.ENOSPC})
+	l, err := Open(dir, Options{Fsync: FsyncNone, FS: inj, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked [][]byte
+	failures := 0
+	for i := 0; i < 20; i++ {
+		p := payloadFor(i)
+		if _, _, err := l.Append(p); err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("append %d: %v, want ENOSPC", i, err)
+			}
+			failures++
+			continue
+		}
+		acked = append(acked, p)
+	}
+	if failures != 2 {
+		t.Fatalf("%d rotation failures, want 2", failures)
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("no rotation ever succeeded: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != len(acked) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(acked))
+	}
+	for i := range got {
+		if string(got[i]) != string(acked[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestFsyncEIONeverAcksLostRecord hammers an FsyncAlways log from many
+// goroutines while fsync starts failing, then proves the core promise:
+// every record whose Commit returned nil is present after replay.
+func TestFsyncEIONeverAcksLostRecord(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	inj.Add(fault.Rule{Op: fault.OpSync, After: 3, Err: syscall.EIO})
+	l, err := Open(dir, Options{Fsync: FsyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 16, 20
+	var mu sync.Mutex
+	acked := map[string]bool{}
+	failed := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := []byte(fmt.Sprintf("w%02d-r%03d", w, i))
+				_, tok, err := l.Append(p)
+				if err != nil {
+					continue
+				}
+				err = l.Commit(tok)
+				mu.Lock()
+				if err == nil {
+					acked[string(p)] = true
+				} else {
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed == 0 {
+		t.Fatal("EIO rule never failed a commit")
+	}
+	l.Close()
+	replayed := map[string]bool{}
+	for _, p := range replayAll(t, dir) {
+		replayed[string(p)] = true
+	}
+	for p := range acked {
+		if !replayed[p] {
+			t.Fatalf("record %q was acked by Commit but lost on replay", p)
+		}
+	}
+}
+
+// TestRepairAfterFsyncEIO drives the full degradation arc: a failed
+// fsync poisons the log, Repair rotates past the poisoned handle, new
+// appends commit cleanly, and the fenced tokens keep failing — no
+// late Commit can extract an ack the disk may not honor.
+func TestRepairAfterFsyncEIO(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	l, err := Open(dir, Options{Fsync: FsyncAlways, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy append.
+	if _, tok, err := l.Append(payloadFor(0)); err != nil || l.Commit(tok) != nil {
+		t.Fatalf("healthy commit failed: %v", err)
+	}
+	// Poison: one EIO on the next fsync.
+	inj.Add(fault.Rule{Op: fault.OpSync, Count: 1, Err: syscall.EIO})
+	_, tokBad, err := l.Append(payloadFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(tokBad); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("commit after EIO = %v, want EIO", err)
+	}
+	// Sticky: the next commit fails without touching the disk.
+	_, tok2, err := l.Append(payloadFor(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(tok2); err == nil {
+		t.Fatal("poisoned log acked a commit")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	// Fenced tokens still fail — their durability is unprovable.
+	if err := l.Commit(tokBad); err == nil {
+		t.Fatal("fenced token committed after repair")
+	}
+	// New appends prove durability through the fresh handle.
+	_, tok3, err := l.Append(payloadFor(3))
+	if err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := l.Commit(tok3); err != nil {
+		t.Fatalf("commit after repair: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close after repair: %v", err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(got))
+	}
+}
+
+// TestRepairAfterTornWrite proves Repair truncates a torn frame before
+// rotating, so the abandoned segment never carries mid-log garbage.
+func TestRepairAfterTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	inj.Add(fault.Rule{Op: fault.OpWrite, Path: "seg-", After: 2, Count: 1, ShortBy: 5})
+	l, err := Open(dir, Options{Fsync: FsyncNone, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, _, err := l.Append(payloadFor(2)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// Sticky until repaired.
+	if _, _, err := l.Append(payloadFor(3)); err == nil {
+		t.Fatal("append after tear succeeded without repair")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	for i := 3; i < 6; i++ {
+		if _, _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatalf("append %d after repair: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Replay must cross the abandoned segment cleanly: records 0,1 then
+	// 3,4,5. Mid-log corruption would error here.
+	got := replayAll(t, dir)
+	want := []int{0, 1, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, idx := range want {
+		if string(got[i]) != string(payloadFor(idx)) {
+			t.Fatalf("record %d = %q, want payload %d", i, got[i], idx)
+		}
+	}
+}
+
+// TestRepairWhileFaultPersists: Repair itself fails while the disk is
+// still sick, leaves the log poisoned, and succeeds once the fault
+// clears.
+func TestRepairWhileFaultPersists(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	l, err := Open(dir, Options{Fsync: FsyncNone, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tear := inj.Add(fault.Rule{Op: fault.OpWrite, Path: "seg-", ShortBy: 3})
+	full := inj.Add(fault.Rule{Op: fault.OpOpen, Path: "seg-", Err: syscall.ENOSPC})
+	if _, _, err := l.Append(payloadFor(0)); err == nil {
+		t.Fatal("append during fault succeeded")
+	}
+	if err := l.Repair(); err == nil {
+		t.Fatal("repair succeeded while segment creation still fails")
+	}
+	if _, _, err := l.Append(payloadFor(0)); err == nil {
+		t.Fatal("failed repair cleared the poison")
+	}
+	inj.Drop(tear)
+	inj.Drop(full)
+	if err := l.Repair(); err != nil {
+		t.Fatalf("repair after fault cleared: %v", err)
+	}
+	if _, _, err := l.Append(payloadFor(1)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := replayAll(t, dir); len(got) != 1 || string(got[0]) != string(payloadFor(1)) {
+		t.Fatalf("replay mismatch: %d records", len(got))
+	}
+}
+
+// TestCommitShardsConcurrent exercises the sharded group-commit queue
+// at several shard counts: every commit must succeed and every record
+// must replay.
+func TestCommitShardsConcurrent(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Fsync: FsyncAlways, CommitShards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, per = 8, 25
+			var wg sync.WaitGroup
+			errs := make(chan error, workers*per)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						_, tok, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := l.Commit(tok); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatalf("commit: %v", err)
+			}
+			st := l.Stats()
+			if st.Appends != workers*per {
+				t.Fatalf("%d appends, want %d", st.Appends, workers*per)
+			}
+			if st.Fsyncs == 0 || st.Fsyncs > st.Appends {
+				t.Fatalf("fsyncs=%d outside (0, %d]: group commit broken?", st.Fsyncs, st.Appends)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := replayAll(t, dir); len(got) != workers*per {
+				t.Fatalf("replayed %d, want %d", len(got), workers*per)
+			}
+		})
+	}
+}
+
+// TestShardedCommitSurvivesReset: Reset mid-commit-storm releases
+// waiters with ErrReset (or an ack for already-synced tokens) and the
+// log keeps working afterwards at a fresh history.
+func TestShardedCommitSurvivesReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncAlways, CommitShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, tok, err := l.Append([]byte(fmt.Sprintf("pre-%d-%d", w, i)))
+				if err != nil {
+					return // reset closed the appender's world; fine
+				}
+				_ = l.Commit(tok) // nil or ErrReset, both legal
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	_, tok, err := l.Append([]byte("post-reset"))
+	if err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	if err := l.Commit(tok); err != nil {
+		t.Fatalf("commit after reset: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 1 || string(got[0]) != "post-reset" {
+		t.Fatalf("post-reset replay: %d records", len(got))
+	}
+}

@@ -14,12 +14,21 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tdnstream/internal/fault"
 )
 
 // ErrReset reports a Commit interrupted by Reset: the log's history was
 // wiped (a checkpoint restore superseded it), so the durability of the
 // awaited append is moot — its record no longer exists.
 var ErrReset = errors.New("wal: log reset while awaiting commit")
+
+// ErrFenced reports a Commit for a token Repair fenced off: the fault
+// hit while the append's durability was in flight, so it can never be
+// proven. Unlike a live fault, a fenced Commit does not mean the log is
+// still broken — Repair already rotated past the damage; the caller's
+// record is simply ack-ambiguous and must be retried as a new append.
+var ErrFenced = errors.New("wal: durability unproven at repair")
 
 const (
 	metaName    = "meta"
@@ -36,6 +45,7 @@ const (
 type Log struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	mu       sync.Mutex // file state: active handle, offsets, rotation, truncation
 	id       string
@@ -43,13 +53,19 @@ type Log struct {
 	seg      uint64 // active segment index
 	segSize  int64  // bytes in the active segment
 	bytes    int64  // bytes across all live segments
-	f        *os.File
+	f        fault.File
 	appends  uint64 // frames appended (the Token sequence)
 	scratch  []byte // frame assembly buffer, reused under mu
+	// writeErr is the sticky append poison: once a write(2) fails, the
+	// active segment may carry a torn tail past segSize, and appending
+	// after it would bury that garbage mid-segment — where replay must
+	// treat it as fatal corruption, not a crash tail. Appends refuse
+	// until Repair truncates the tear and rotates to a fresh segment.
+	writeErr error
 	// retiring holds rotated-away segment handles awaiting their final
 	// fsync+close by the next sync leader — rotation itself must not
 	// fsync under mu, or every append would stall behind the disk.
-	retiring []*os.File
+	retiring []fault.File
 
 	sm      sync.Mutex // group-commit state
 	cond    *sync.Cond
@@ -57,7 +73,23 @@ type Log struct {
 	syncing bool   // a leader fsync is in flight
 	syncErr error  // sticky: a failed fsync poisons durability claims
 	gen     uint64 // bumped by Reset so waiters bail with ErrReset
+	sv      uint64 // state version: bumped on every sync-state mutation
 	fsyncs  uint64
+	// fence marks the durability hole a Repair leaves behind: tokens at
+	// or below it sat in a poisoned handle when the log was abandoned
+	// mid-fault, so their durability can never be proven. Commit answers
+	// fenceErr for them — conservatively even for tokens that were
+	// synced before the fault, because the scalar synced frontier cannot
+	// represent a hole. No caller re-commits an acked token, so the
+	// conservatism costs nothing in practice.
+	fence    uint64
+	fenceErr error
+
+	// shards are the FsyncAlways commit wait queues (satellite of the
+	// group-commit design): waiters park per shard and only shard
+	// leaders contend on the global cond, so an fsync completion wakes
+	// O(shards) goroutines instead of every committer in flight.
+	shards []commitShard
 
 	stop chan struct{} // interval-fsync goroutine shutdown
 	done chan struct{}
@@ -69,6 +101,28 @@ type Log struct {
 	lockf *os.File
 }
 
+// syncState is the group-commit state a shard mirrors. sv orders
+// snapshots so a slow push can never roll a shard's view backwards.
+type syncState struct {
+	synced   uint64
+	err      error
+	gen      uint64
+	sv       uint64
+	fence    uint64
+	fenceErr error
+}
+
+// commitShard is one FsyncAlways wait queue. Waiters for token t park
+// on shard t%N; the first waiter to find no shard leader becomes one
+// and runs the global syncThrough on the shard's behalf.
+type commitShard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	leading bool
+	want    uint64 // highest token a waiter in this shard awaits
+	st      syncState
+}
+
 // Open opens (or creates) the log in dir. An existing log is validated:
 // the final segment is scanned frame by frame and a torn tail — the
 // partial frame a crash mid-write leaves — is truncated away, so the
@@ -78,11 +132,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	l := &Log{dir: dir, opts: opts, fs: opts.FS}
+	if err := l.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
 	l.cond = sync.NewCond(&l.sm)
+	if opts.Fsync == FsyncAlways {
+		l.shards = make([]commitShard, opts.CommitShards)
+		for i := range l.shards {
+			l.shards[i].cond = sync.NewCond(&l.shards[i].mu)
+		}
+	}
 	if l.lockf, err = lockDir(dir); err != nil {
 		return nil, err
 	}
@@ -107,7 +167,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	} else {
 		l.firstSeg, l.seg = segs[0], segs[len(segs)-1]
 		for _, s := range segs[:len(segs)-1] {
-			fi, err := os.Stat(l.segPath(s))
+			fi, err := l.fs.Stat(l.segPath(s))
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
@@ -115,11 +175,11 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		// Scan the last segment — the only place a crash can tear a
 		// frame — and drop the torn tail, if any.
-		valid, _, err := scanSegment(l.segPath(l.seg), 0, nil)
+		valid, _, err := scanSegment(l.fs, l.segPath(l.seg), 0, nil)
 		if err != nil {
 			return nil, err
 		}
-		if err := os.Truncate(l.segPath(l.seg), valid); err != nil {
+		if err := l.fs.Truncate(l.segPath(l.seg), valid); err != nil {
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 		if err := l.openActive(0); err != nil {
@@ -146,7 +206,7 @@ func (l *Log) unlock() {
 // openActive opens the active segment for appending and accounts its
 // size. Callers hold no locks (Open / Reset, both exclusive).
 func (l *Log) openActive(create int) error {
-	f, err := os.OpenFile(l.segPath(l.seg), os.O_WRONLY|os.O_APPEND|create, 0o644)
+	f, err := l.fs.OpenFile(l.segPath(l.seg), os.O_WRONLY|os.O_APPEND|create, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -164,7 +224,7 @@ func (l *Log) openActive(create int) error {
 // loadMeta reads the log identity, minting one for a fresh directory.
 func (l *Log) loadMeta() error {
 	path := filepath.Join(l.dir, metaName)
-	data, err := os.ReadFile(path)
+	data, err := l.fs.ReadFile(path)
 	if err == nil {
 		fields := strings.Fields(string(data))
 		if len(fields) == 2 && fields[0] == metaVersion && fields[1] != "" {
@@ -186,21 +246,21 @@ func (l *Log) writeMeta() error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(l.dir, metaName+".tmp-*")
+	tmp, err := l.fs.CreateTemp(l.dir, metaName+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := fmt.Fprintf(tmp, "%s %s\n", metaVersion, id); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		l.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		l.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, metaName)); err != nil {
-		os.Remove(tmp.Name())
+	if err := l.fs.Rename(tmp.Name(), filepath.Join(l.dir, metaName)); err != nil {
+		l.fs.Remove(tmp.Name())
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.id = id
@@ -213,7 +273,7 @@ func (l *Log) segPath(seg uint64) string {
 
 // listSegments returns the live segment indices, sorted.
 func (l *Log) listSegments() ([]uint64, error) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -269,6 +329,11 @@ func (l *Log) End() Pos {
 // plus the Token to Commit. The write(2) is issued before Append
 // returns — no user-space buffering — so the record survives process
 // death immediately; Commit adds the fsync the policy calls for.
+//
+// A failed write poisons the log: the active segment may end in a torn
+// frame, so further appends are refused (with the original error) until
+// Repair rotates past the damage. Commits fail alongside — no record is
+// acknowledged whose durability the log cannot vouch for.
 func (l *Log) Append(payload []byte) (Pos, Token, error) {
 	if len(payload) > maxFrameBytes {
 		return Pos{}, 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame bound", len(payload), maxFrameBytes)
@@ -277,6 +342,9 @@ func (l *Log) Append(payload []byte) (Pos, Token, error) {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return Pos{}, 0, errors.New("wal: log closed")
+	}
+	if l.writeErr != nil {
+		return Pos{}, 0, l.writeErr
 	}
 	if l.segSize >= l.opts.SegmentBytes && l.segSize > 0 {
 		if err := l.rotateLocked(); err != nil {
@@ -292,16 +360,16 @@ func (l *Log) Append(payload []byte) (Pos, Token, error) {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	frame = append(frame, payload...)
 	if _, err := l.f.Write(frame); err != nil {
-		// A short write leaves a torn tail exactly like a crash would;
-		// the next Open truncates it away. Poison durability claims:
-		// the file state past segSize is unknown.
-		l.sm.Lock()
-		if l.syncErr == nil {
-			l.syncErr = fmt.Errorf("wal: append: %w", err)
-		}
-		l.cond.Broadcast()
-		l.sm.Unlock()
-		return Pos{}, 0, fmt.Errorf("wal: append: %w", err)
+		// A short write leaves a torn tail exactly like a crash would.
+		// Poison both paths: appends (the bytes past segSize are
+		// unknown) and durability claims.
+		l.writeErr = fmt.Errorf("wal: append: %w", err)
+		l.mutateSync(func() {
+			if l.syncErr == nil {
+				l.syncErr = l.writeErr
+			}
+		})
+		return Pos{}, 0, l.writeErr
 	}
 	l.segSize += int64(len(frame))
 	l.bytes += int64(len(frame))
@@ -321,7 +389,7 @@ func (l *Log) Append(payload []byte) (Pos, Token, error) {
 // (Under FsyncNone nothing ever fsyncs, so the handle closes
 // immediately.)
 func (l *Log) rotateLocked() error {
-	next, err := os.OpenFile(l.segPath(l.seg+1), os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
+	next, err := l.fs.OpenFile(l.segPath(l.seg+1), os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
@@ -341,15 +409,64 @@ func (l *Log) rotateLocked() error {
 // background loop carries those), after an fsync for FsyncAlways.
 // Concurrent FsyncAlways committers share fsyncs — one leader syncs for
 // every append that landed before it, the group-commit batching that
-// keeps per-request durability affordable.
+// keeps per-request durability affordable. Committers wait on per-shard
+// queues (token mod CommitShards); only shard leaders contend on the
+// global fsync round, so a completed fsync wakes a handful of shard
+// leaders instead of every waiting request.
 func (l *Log) Commit(t Token) error {
 	if l.opts.Fsync != FsyncAlways {
 		l.sm.Lock()
-		err := l.syncErr
-		l.sm.Unlock()
-		return err
+		defer l.sm.Unlock()
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if uint64(t) <= l.fence {
+			return l.fenceErr
+		}
+		return nil
 	}
-	return l.syncThrough(uint64(t))
+	seq := uint64(t)
+	s := &l.shards[seq%uint64(len(l.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.st.gen
+	if seq > s.want {
+		s.want = seq
+	}
+	for {
+		if s.st.gen != gen {
+			return ErrReset
+		}
+		if seq <= s.st.fence {
+			return s.st.fenceErr
+		}
+		if s.st.err != nil {
+			return s.st.err
+		}
+		if s.st.synced >= seq {
+			return nil
+		}
+		if s.leading {
+			s.cond.Wait()
+			continue
+		}
+		// Lead the shard: run one global sync round for the highest
+		// token parked here, then publish the resulting state to the
+		// shard and loop to re-examine it.
+		s.leading = true
+		want := s.want
+		s.mu.Unlock()
+		_ = l.syncThrough(want) // the loop re-reads the outcome from state
+		l.sm.Lock()
+		st := l.syncStateLocked()
+		l.sm.Unlock()
+		s.mu.Lock()
+		s.leading = false
+		if st.sv > s.st.sv {
+			s.st = st
+		}
+		s.cond.Broadcast()
+	}
 }
 
 // Sync forces an fsync of the active segment regardless of policy
@@ -364,8 +481,48 @@ func (l *Log) Sync() error {
 	return l.syncThrough(target)
 }
 
+// syncStateLocked snapshots the group-commit state. Callers hold sm.
+func (l *Log) syncStateLocked() syncState {
+	return syncState{
+		synced: l.synced, err: l.syncErr, gen: l.gen, sv: l.sv,
+		fence: l.fence, fenceErr: l.fenceErr,
+	}
+}
+
+// mutateSync applies fn to the group-commit state under sm, bumps the
+// state version, and wakes every waiter — the global cond and each
+// commit shard. Callers may hold mu; never sm or a shard lock.
+func (l *Log) mutateSync(fn func()) {
+	l.sm.Lock()
+	fn()
+	l.sv++
+	l.cond.Broadcast()
+	st := l.syncStateLocked()
+	l.sm.Unlock()
+	l.pushShards(st)
+}
+
+// pushShards publishes a sync-state snapshot to every commit shard and
+// wakes their waiters. Stale snapshots (a slower writer racing a newer
+// one) are dropped by the version check.
+func (l *Log) pushShards(st syncState) {
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		if st.sv > s.st.sv {
+			if st.gen != s.st.gen {
+				s.want = 0 // tokens from the wiped history are moot
+			}
+			s.st = st
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
 // syncThrough blocks until appends ≤ seq are fsynced, electing one
-// waiter as the fsync leader per round.
+// waiter as the fsync leader per round. seq beyond the current frontier
+// (a stale shard high-water mark after Reset) is clamped to it.
 func (l *Log) syncThrough(seq uint64) error {
 	l.sm.Lock()
 	defer l.sm.Unlock()
@@ -400,6 +557,9 @@ func (l *Log) syncThrough(seq uint64) error {
 		retiring := l.retiring
 		l.retiring = nil
 		l.mu.Unlock()
+		if seq > target {
+			seq = target
+		}
 		var err error
 		syncs := uint64(0)
 		for _, f := range retiring {
@@ -422,8 +582,13 @@ func (l *Log) syncThrough(seq uint64) error {
 		l.sm.Lock()
 		l.syncing = false
 		l.fsyncs += syncs
+		l.sv++
 		if l.gen != gen {
 			l.cond.Broadcast()
+			st := l.syncStateLocked()
+			l.sm.Unlock()
+			l.pushShards(st)
+			l.sm.Lock()
 			return ErrReset
 		}
 		if err != nil {
@@ -434,6 +599,10 @@ func (l *Log) syncThrough(seq uint64) error {
 			l.synced = target
 		}
 		l.cond.Broadcast()
+		st := l.syncStateLocked()
+		l.sm.Unlock()
+		l.pushShards(st)
+		l.sm.Lock()
 	}
 }
 
@@ -461,6 +630,73 @@ func (l *Log) syncLoop() {
 	}
 }
 
+// Repair fences off a poisoned log and makes it writable again. It is
+// the only recovery from a failed write or fsync, built on fsyncgate
+// semantics: after an fsync error the kernel may already have dropped
+// the dirty pages and marked them clean, so re-fsyncing the same file
+// descriptor could report success for data that never reached the
+// platter. The poisoned handle (and any retiring handles awaiting their
+// final fsync) are therefore closed WITHOUT another fsync, a torn tail
+// from a failed append is truncated back to the last frame boundary
+// (segments must only end torn, never carry garbage mid-file), and the
+// log rotates to a freshly created segment.
+//
+// Tokens whose durability was in flight when the fault hit are fenced:
+// their Commit fails permanently with the original error, so no caller
+// can extract an ack for a record the disk may not hold. Tokens
+// appended after a successful Repair prove durability through the new
+// handle as usual.
+//
+// If the fault persists (the rotation or truncation itself fails — the
+// disk is still full), Repair returns the error and leaves the log
+// poisoned; callers retry with backoff.
+func (l *Log) Repair() error {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return errors.New("wal: log closed")
+	}
+	if l.writeErr != nil {
+		// Cut the torn frame so the abandoned segment ends at a frame
+		// boundary: replay treats mid-log corruption as fatal (records
+		// provably exist beyond it), and rotation is about to make this
+		// segment mid-log.
+		if err := l.fs.Truncate(l.segPath(l.seg), l.segSize); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("wal: repair truncate: %w", err)
+		}
+	}
+	next, err := l.fs.OpenFile(l.segPath(l.seg+1), os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: repair: %w", err)
+	}
+	old := l.f
+	retiring := l.retiring
+	l.retiring = nil
+	l.seg++
+	l.f = next
+	l.segSize = 0
+	l.writeErr = nil
+	fence := l.appends
+	l.mu.Unlock()
+	// Close, never fsync: these handles are the poisoned ones.
+	old.Close()
+	for _, f := range retiring {
+		f.Close()
+	}
+	l.mutateSync(func() {
+		if l.syncErr != nil {
+			if fence > l.fence {
+				l.fence = fence
+				l.fenceErr = fmt.Errorf("%w: %w", ErrFenced, l.syncErr)
+			}
+			l.syncErr = nil
+		}
+	})
+	return nil
+}
+
 // ReadFrom replays record payloads starting at the frame boundary pos,
 // calling fn with each payload and the position *after* its frame (what
 // a checkpoint taken after applying it should store). The payload slice
@@ -485,7 +721,7 @@ func (l *Log) ReadFrom(pos Pos, fn func(payload []byte, end Pos) error) error {
 		if seg == pos.Seg {
 			skip = pos.Off
 		}
-		valid, clean, err := scanSegment(l.segPath(seg), skip, fn)
+		valid, clean, err := scanSegment(l.fs, l.segPath(seg), skip, fn)
 		if err != nil {
 			return err
 		}
@@ -502,8 +738,8 @@ func (l *Log) ReadFrom(pos Pos, fn func(payload []byte, end Pos) error) error {
 // scanSegment walks one segment's frames, calling fn (when non-nil) for
 // frames that end after skip. It returns the offset of the last valid
 // frame boundary and whether the segment scanned clean to EOF.
-func scanSegment(path string, skip int64, fn func(payload []byte, end Pos) error) (valid int64, clean bool, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys fault.FS, path string, skip int64, fn func(payload []byte, end Pos) error) (valid int64, clean bool, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, false, fmt.Errorf("wal: %w", err)
 	}
@@ -561,7 +797,7 @@ func (l *Log) FirstKind() (Kind, bool, error) {
 	l.mu.Unlock()
 	var kind Kind
 	found := false
-	_, _, err := scanSegment(l.segPath(first), 0, func(p []byte, _ Pos) error {
+	_, _, err := scanSegment(l.fs, l.segPath(first), 0, func(p []byte, _ Pos) error {
 		if k, kerr := PayloadKind(p); kerr == nil {
 			kind, found = k, true
 		}
@@ -585,7 +821,7 @@ func (l *Log) TruncateBefore(pos Pos) (int, error) {
 	removed := 0
 	for l.firstSeg < pos.Seg && l.firstSeg < l.seg {
 		path := l.segPath(l.firstSeg)
-		fi, err := os.Stat(path)
+		fi, err := l.fs.Stat(path)
 		if errors.Is(err, os.ErrNotExist) {
 			// Already gone — the whole log may have been removed out
 			// from under a late truncation (a stream deleted while its
@@ -596,7 +832,7 @@ func (l *Log) TruncateBefore(pos Pos) (int, error) {
 		if err != nil {
 			return removed, fmt.Errorf("wal: truncate: %w", err)
 		}
-		if err := os.Remove(path); err != nil {
+		if err := l.fs.Remove(path); err != nil {
 			return removed, fmt.Errorf("wal: truncate: %w", err)
 		}
 		l.bytes -= fi.Size()
@@ -627,7 +863,7 @@ func (l *Log) Reset() error {
 		return err
 	}
 	for _, s := range segs {
-		if err := os.Remove(l.segPath(s)); err != nil {
+		if err := l.fs.Remove(l.segPath(s)); err != nil {
 			return fmt.Errorf("wal: reset: %w", err)
 		}
 	}
@@ -636,16 +872,18 @@ func (l *Log) Reset() error {
 	}
 	l.firstSeg, l.seg, l.segSize, l.bytes, l.appends = 0, 0, 0, 0, 0
 	l.f = nil
+	l.writeErr = nil
 	if err := l.openActive(os.O_CREATE | os.O_EXCL); err != nil {
 		return err
 	}
 	l.bytes = 0 // openActive re-added the (empty) active size
-	l.sm.Lock()
-	l.gen++
-	l.synced = 0
-	l.syncErr = nil
-	l.cond.Broadcast()
-	l.sm.Unlock()
+	l.mutateSync(func() {
+		l.gen++
+		l.synced = 0
+		l.syncErr = nil
+		l.fence = 0
+		l.fenceErr = nil
+	})
 	return nil
 }
 
@@ -660,7 +898,6 @@ func (l *Log) Close() error {
 	}
 	syncErr := l.Sync()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	var closeErr error
 	if l.f != nil {
 		closeErr = l.f.Close()
@@ -672,9 +909,8 @@ func (l *Log) Close() error {
 	}
 	l.retiring = nil
 	l.unlock()
-	l.sm.Lock()
-	l.cond.Broadcast()
-	l.sm.Unlock()
+	l.mu.Unlock()
+	l.mutateSync(func() {})
 	if syncErr != nil {
 		return syncErr
 	}
@@ -687,7 +923,7 @@ func (l *Log) Close() error {
 // replay would resurrect the deleted stream's records.
 func (l *Log) Remove() error {
 	closeErr := l.Close()
-	if err := os.RemoveAll(l.dir); err != nil {
+	if err := l.fs.RemoveAll(l.dir); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	return closeErr

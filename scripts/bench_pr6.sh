@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# bench_pr6.sh [output.json] [duration]
+#
+# Measures the serving stack under the chaos/load harness
+# (cmd/influtrack-loadgen), end to end over HTTP against a spawned
+# influtrackd:
+#
+#   * ingest throughput and p50/p99/p999 latency with -wal-fsync always
+#     at 8 concurrent ingesters, with the sharded group-commit wait
+#     queue (default) vs a single commit shard (the PR-5 layout) —
+#     commit_shard_speedup records the ratio;
+#   * a full chaos pass — disk-full window, slow-fsync phase, kill -9
+#     mid-traffic with restart + WAL-replay re-host — whose built-in
+#     verification must report zero acked-record loss and a healthy
+#     final state (the loadgen exits non-zero otherwise, failing this
+#     script).
+#
+# Default duration is 20s per throughput run (pass e.g. "8s" for a CI
+# smoke run). The chaos pass runs a fixed throttled 15s schedule so the
+# post-kill WAL replay stays bounded.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR6.json}"
+dur="${2:-20s}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/influtrackd" ./cmd/influtrackd
+go build -o "$tmp/loadgen" ./cmd/influtrack-loadgen
+
+run_loadgen() { # report port commit_shards loadgen-args...
+    local report="$1" port="$2" shards="$3"
+    shift 3
+    rm -rf "$tmp/wal"
+    "$tmp/loadgen" \
+        -spawn "$tmp/influtrackd -addr 127.0.0.1:$port -wal-dir $tmp/wal -wal-fsync always -wal-commit-shards $shards -fault-inject" \
+        -addr "http://127.0.0.1:$port" \
+        -streams 2 -queriers 2 -subscribers 2 -batch 100 \
+        -json "$report" "$@"
+}
+
+# Unthrottled ingesters ack records several times faster than the
+# trackers process them, so a throughput run banks a backlog that takes
+# a multiple of the traffic phase to drain — give verification room.
+echo "== throughput: -wal-fsync always, 8 ingesters, sharded group commit (default)"
+run_loadgen "$tmp/sharded.json" 8183 0 -ingesters 8 -duration "$dur" -settle 6m
+echo "== throughput: single commit shard (PR-5 layout)"
+run_loadgen "$tmp/single.json" 8184 1 -ingesters 8 -duration "$dur" -settle 6m
+echo "== chaos: diskfull + slowfsync + kill -9; the ledger must balance"
+run_loadgen "$tmp/chaos.json" 8185 0 -ingesters 4 -rate 10 -duration 15s \
+    -chaos "diskfull@3s/2s,slowfsync@7s/2s/20ms,kill@11s"
+
+# field FILE KEY — first occurrence wins, which for the latency keys is
+# the ingest histogram (it precedes the query one in the report).
+field() { grep -m1 -o "\"$2\": [0-9.]*" "$1" | grep -o '[0-9.]*$'; }
+okflag() { if grep -q '"ok": true' "$1"; then echo true; else echo false; fi; }
+
+sharded_rps=$(field "$tmp/sharded.json" records_per_sec)
+single_rps=$(field "$tmp/single.json" records_per_sec)
+speedup=$(awk -v a="$sharded_rps" -v b="$single_rps" 'BEGIN { if (b + 0 > 0) printf "%.3f", a / b; else print "null" }')
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr6-chaos-load\","
+    echo "  \"description\": \"cmd/influtrack-loadgen against a spawned influtrackd over HTTP: ingest throughput and latency percentiles with -wal-fsync always at 8 concurrent ingesters (sharded group-commit queue vs single shard), plus a chaos pass (disk-full, slow fsync, kill -9 + WAL-replay re-host) whose ledger must show zero acked-record loss. Latencies are per 100-record batch request.\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"duration\": \"$dur\","
+    for run in sharded single chaos; do
+        f="$tmp/$run.json"
+        key="always_sharded"
+        [ "$run" = single ] && key="always_single_shard"
+        [ "$run" = chaos ] && key="chaos"
+        echo "  \"$key\": {"
+        echo "    \"records_per_sec\": $(field "$f" records_per_sec),"
+        echo "    \"ingest_p50_ms\": $(field "$f" p50_ms),"
+        echo "    \"ingest_p99_ms\": $(field "$f" p99_ms),"
+        echo "    \"ingest_p999_ms\": $(field "$f" p999_ms),"
+        echo "    \"http_503\": $(field "$f" http_503),"
+        if [ "$run" = chaos ]; then
+            echo "    \"lost_acked\": $(field "$f" lost_acked),"
+            echo "    \"net_errors\": $(field "$f" net_errors),"
+        fi
+        echo "    \"verify_ok\": $(okflag "$f")"
+        echo "  },"
+    done
+    echo "  \"commit_shard_speedup\": $speedup"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
