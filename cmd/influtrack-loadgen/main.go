@@ -178,6 +178,7 @@ func main() {
 	elapsed := *duration
 
 	rep := buildReport(base, names, elapsed, st, execLog, proc != nil)
+	rep.Server = scrapeServer(client, base, names)
 	if *verify {
 		rep.Verify = verifyRun(client, base, names, st, *settle)
 		rep.OK = rep.Verify.OK()
@@ -842,8 +843,89 @@ type report struct {
 		Drops    uint64 `json:"reconnects"`
 	} `json:"events"`
 	Chaos  []chaosExec  `json:"chaos,omitempty"`
+	Server serverReport `json:"server"`
 	Verify verifyReport `json:"verify"`
 	OK     bool         `json:"ok"`
+}
+
+// serverSummaryJSON is one server-side latency summary scraped from the
+// daemon's /metrics — the daemon's own view of the run, to set against
+// the client-observed latencies above (the gap between the two is
+// network + Go HTTP stack).
+type serverSummaryJSON struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	Count  uint64  `json:"count"`
+}
+
+// serverReport carries the daemon-side histograms for the streams this
+// run drove. Scraped is false when /metrics was unreachable or did not
+// parse — an old daemon, not a failed run.
+type serverReport struct {
+	Scraped bool                                    `json:"scraped"`
+	Streams map[string]map[string]serverSummaryJSON `json:"streams,omitempty"`
+}
+
+// scrapeServer pulls the daemon's serving-path summaries off /metrics at
+// the end of the run: ingest HTTP, topk, WAL group-commit and worker
+// batch latency per stream, keyed by a short family name.
+func scrapeServer(client *http.Client, base string, names []string) serverReport {
+	var sr serverReport
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return sr
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sr
+	}
+	fams, err := metrics.ParseProm(resp.Body)
+	if err != nil {
+		return sr
+	}
+	short := map[string]string{
+		"influtrackd_ingest_request_seconds": "ingest",
+		"influtrackd_topk_request_seconds":   "topk",
+		"influtrackd_wal_commit_seconds":     "wal_commit",
+		"influtrackd_worker_batch_seconds":   "worker_batch",
+	}
+	inRun := make(map[string]bool, len(names))
+	for _, n := range names {
+		inRun[n] = true
+	}
+	sr.Scraped = true
+	sr.Streams = make(map[string]map[string]serverSummaryJSON)
+	for _, fam := range fams {
+		key, ok := short[fam.Name]
+		if !ok {
+			continue
+		}
+		for _, smp := range fam.Samples {
+			stream := smp.Labels["stream"]
+			if !inRun[stream] {
+				continue
+			}
+			byFam := sr.Streams[stream]
+			if byFam == nil {
+				byFam = make(map[string]serverSummaryJSON)
+				sr.Streams[stream] = byFam
+			}
+			s := byFam[key]
+			switch {
+			case smp.Labels["quantile"] == "0.5":
+				s.P50Ms = smp.Value * 1e3
+			case smp.Labels["quantile"] == "0.99":
+				s.P99Ms = smp.Value * 1e3
+			case smp.Labels["quantile"] == "0.999":
+				s.P999Ms = smp.Value * 1e3
+			case smp.Name == fam.Name+"_count":
+				s.Count = uint64(smp.Value)
+			}
+			byFam[key] = s
+		}
+	}
+	return sr
 }
 
 func buildReport(base string, names []string, elapsed time.Duration, st *stats, chaosLog func() []chaosExec, spawned bool) *report {

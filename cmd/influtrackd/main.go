@@ -90,6 +90,17 @@
 // I/O errors and crash points against the live daemon. A fault rule
 // with crash=true exits the process with status 137, simulating kill -9
 // at exactly the chosen syscall.
+//
+// Observability: the daemon logs structured records via log/slog
+// (-log-format text|json), every serving-path latency is exported as a
+// p50/p99/p999 summary on /metrics, and per-request lifecycle traces
+// (decode → intern → WAL → queue → tracker → publish → notify) are
+// served by /v1/streams/{name}/trace. -debug-addr starts a second
+// listener carrying /debug/pprof/* and a /metrics mirror, so profiling
+// endpoints never ship on the public -addr. -version prints the build
+// (injectable with -ldflags "-X tdnstream/internal/obs.Version=v1.2.3")
+// and exits. See the package documentation's Observability section and
+// examples/serving/README.md for a monitoring walkthrough.
 package main
 
 import (
@@ -97,8 +108,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -110,6 +122,7 @@ import (
 	"tdnstream"
 	"tdnstream/internal/fault"
 	"tdnstream/internal/notify"
+	"tdnstream/internal/obs"
 	"tdnstream/internal/server"
 )
 
@@ -221,12 +234,42 @@ func main() {
 	notifyBuffer := flag.Int("notify-buffer", 0, "per-subscriber event queue bound; overflowing subscribers are dropped (0 = default 64)")
 	notifyHeartbeat := flag.Duration("notify-heartbeat", 0, "idle keepalive interval on event subscriptions (0 = default 15s)")
 	notifyGains := flag.Bool("notify-gains", false, "spend oracle calls per publish to attribute per-seed ranks and gains to events (enables rank_changed / per-seed gain_changed)")
+	logFormat := flag.String("log-format", "text", "log output format: text | json (structured logs on stderr via log/slog)")
+	debugAddr := flag.String("debug-addr", "", "separate debug listener serving /debug/pprof/* and a /metrics mirror (empty = off; profiling endpoints never ship on the public -addr)")
+	traceOn := flag.Bool("trace", true, "record per-request lifecycle traces: stage summaries on /metrics plus the /v1/streams/{name}/trace drill-down")
+	traceRing := flag.Int("trace-ring", 0, "recent request traces retained per stream (0 = default 256)")
+	traceSlow := flag.Duration("trace-slow", 0, "log any request slower than this with its per-stage breakdown (0 = default 500ms)")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	var streams streamFlags
 	flag.Var(&streams, "stream", "hosted stream spec (repeatable); see command doc")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println(obs.Build().String())
+		return
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "influtrackd: -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	// The default logger feeds every package that logs without an
+	// explicit *slog.Logger (checkpoint restore lines, libraries).
+	slog.SetDefault(logger)
+	die := func(msg string, attrs ...any) {
+		logger.Error(msg, attrs...)
+		os.Exit(1)
+	}
+
 	if *ckptInterval > 0 && *ckptDir == "" {
-		log.Fatal("influtrackd: -checkpoint-interval needs -checkpoint-dir")
+		die("-checkpoint-interval needs -checkpoint-dir")
 	}
 
 	if len(streams) == 0 {
@@ -250,6 +293,11 @@ func main() {
 		},
 		NotifyHeartbeat:    *notifyHeartbeat,
 		NotifyExplainGains: *notifyGains,
+		Logger:             logger,
+		DisableTracing:     !*traceOn,
+		TraceRing:          *traceRing,
+		SlowTrace:          *traceSlow,
+		BuildLabels:        map[string]string{"shards": strconv.Itoa(*shards)},
 	}
 	if *faultInject {
 		inj := fault.NewInjector(nil, *faultSeed)
@@ -259,21 +307,22 @@ func main() {
 		// kill -9 reports, so harnesses treat both identically.
 		inj.CrashFn = func() { os.Exit(137) }
 		cfg.Fault = inj
-		log.Printf("influtrackd: FAULT INJECTION ENABLED (seed %d) — /v1/admin/fault is live; not for production", *faultSeed)
+		logger.Warn("FAULT INJECTION ENABLED — /v1/admin/fault is live; not for production",
+			slog.Int64("seed", *faultSeed))
 	}
 	var specs []server.StreamSpec
 	seen := make(map[string]bool)
 	for _, arg := range streams {
 		spec, err := parseStreamSpec(arg)
 		if err != nil {
-			log.Fatalf("influtrackd: -stream %q: %v", arg, err)
+			die("bad -stream flag", slog.String("flag", arg), slog.Any("error", err))
 		}
 		// Duplicate names fail loudly here: the restore-before-create
 		// boot below skips specs whose stream a checkpoint already
 		// hosts, which must never silently eat an operator's second
 		// -stream flag for the same name.
 		if seen[spec.Name] {
-			log.Fatalf("influtrackd: duplicate -stream name %q", spec.Name)
+			die("duplicate -stream name", slog.String("stream", spec.Name))
 		}
 		seen[spec.Name] = true
 		if spec.Tracker.Shards == 0 {
@@ -290,11 +339,11 @@ func main() {
 	// the fields checkpoints cannot carry (bearer token, wal= toggle).
 	srv, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("influtrackd: %v", err)
+		die("server construction failed", slog.Any("error", err))
 	}
 	if *ckptDir != "" {
 		if err := restoreCheckpoints(srv, *ckptDir, specs); err != nil {
-			log.Fatalf("influtrackd: %v", err)
+			die("checkpoint restore failed", slog.Any("error", err))
 		}
 	}
 	for _, spec := range specs {
@@ -302,7 +351,7 @@ func main() {
 			continue // restored from its checkpoint above
 		}
 		if err := srv.AddStream(spec); err != nil {
-			log.Fatalf("influtrackd: %v", err)
+			die("stream creation failed", slog.String("stream", spec.Name), slog.Any("error", err))
 		}
 	}
 
@@ -312,25 +361,52 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("influtrackd: serving %d stream(s) on %s", len(srv.StreamNames()), *addr)
+	logger.Info("serving",
+		slog.Int("streams", len(srv.StreamNames())),
+		slog.String("addr", *addr),
+		slog.String("version", obs.Build().Version),
+		slog.Bool("tracing", *traceOn))
+
+	// The debug listener carries the profiling surface (and a /metrics
+	// mirror so one scrape config can stay off the public port). It is a
+	// separate mux on a separate address: nothing here is ever routed on
+	// -addr, so exposing pprof to operators cannot expose it to clients.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metrics", srv.Handler())
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: dbg}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+		logger.Info("debug listener up (pprof + metrics)", slog.String("addr", *debugAddr))
+	}
 
 	var ckptLoopDone chan struct{}
 	if *ckptInterval > 0 {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			log.Fatalf("influtrackd: %v", err)
+			die("checkpoint dir creation failed", slog.Any("error", err))
 		}
 		ckptLoopDone = make(chan struct{})
 		go func() {
 			defer close(ckptLoopDone)
 			srv.PeriodicCheckpoints(ctx, *ckptInterval, fileSaver(*ckptDir, false),
-				func(err error) { log.Printf("influtrackd: background checkpoint: %v", err) })
+				func(err error) { logger.Error("background checkpoint failed", slog.Any("error", err)) })
 		}()
-		log.Printf("influtrackd: background checkpoints every %s into %s", *ckptInterval, *ckptDir)
+		logger.Info("background checkpoints enabled",
+			slog.Duration("interval", *ckptInterval), slog.String("dir", *ckptDir))
 	}
 
 	select {
 	case err := <-errc:
-		log.Fatalf("influtrackd: %v", err)
+		die("listener failed", slog.Any("error", err))
 	case <-ctx.Done():
 	}
 
@@ -339,16 +415,19 @@ func main() {
 	// the client leaves, so without this every live dashboard would hold
 	// Shutdown hostage for the full drain timeout. Their notify state
 	// survives for the checkpoint; clients reconnect after restart.
-	log.Printf("influtrackd: shutting down — draining ingest queues")
+	logger.Info("shutting down — draining ingest queues")
 	srv.CloseSubscriptions()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if dbgSrv != nil {
+		dbgSrv.Close()
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		// Graceful drain timed out with handlers still live. Force the
 		// connections closed before checkpointing: no client can receive a
 		// 200 past this point, so nothing acknowledged is absent from the
 		// checkpoint.
-		log.Printf("influtrackd: http shutdown: %v (closing connections)", err)
+		logger.Warn("http shutdown timed out; closing connections", slog.Any("error", err))
 		httpSrv.Close()
 	}
 	if *ckptDir != "" {
@@ -364,14 +443,14 @@ func main() {
 		// skip the checkpoint exactly when it matters most.
 		ckptCtx, ckptCancel := context.WithTimeout(context.Background(), *drainTimeout)
 		if err := saveCheckpoints(srv, ckptCtx, *ckptDir); err != nil {
-			log.Printf("influtrackd: checkpoint: %v", err)
+			logger.Error("shutdown checkpoint failed", slog.Any("error", err))
 		}
 		ckptCancel()
 	}
 	if err := srv.Close(); err != nil {
-		log.Printf("influtrackd: drain: %v", err)
+		logger.Error("drain failed", slog.Any("error", err))
 	}
-	log.Printf("influtrackd: bye")
+	logger.Info("bye")
 }
 
 // checkpointPath names a stream's checkpoint file. Stream names are
@@ -433,7 +512,8 @@ func restoreCheckpoints(srv *server.Server, dir string, specs []server.StreamSpe
 		if err != nil {
 			return fmt.Errorf("restore %s: %w", e.Name(), err)
 		}
-		log.Printf("influtrackd: restored stream %q from %s", name, e.Name())
+		slog.Info("restored stream from checkpoint",
+			slog.String("stream", name), slog.String("file", e.Name()))
 	}
 	return nil
 }
@@ -474,7 +554,8 @@ func fileSaver(dir string, loud bool) server.SaveFunc {
 			return err
 		}
 		if loud {
-			log.Printf("influtrackd: checkpointed stream %q (%d bytes)", name, len(data))
+			slog.Info("checkpointed stream",
+				slog.String("stream", name), slog.Int("bytes", len(data)))
 		}
 		return nil
 	}

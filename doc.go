@@ -174,6 +174,39 @@
 // at the end. BENCH_PR6.json records the serving figures under
 // -wal-fsync always at 8 concurrent ingesters.
 //
+// # Observability
+//
+// The daemon explains its own latency. Every ingest request is traced
+// through the record lifecycle — decode → intern → WAL append → queue
+// wait → tracker step → WAL group commit → snapshot publish → notify
+// fan-out — by a lock-free span recorder (internal/obs) with no
+// external dependencies: per-stage p50/p99/p999 summaries on /metrics
+// (influtrackd_stage_seconds{stream,stage}), and a per-stream ring of
+// recent traces served by GET /v1/streams/{name}/trace, slowest first,
+// each with its stage breakdown in milliseconds. On a single-chunk
+// request the stages tile the wall time, so the endpoint answers "where
+// did this request's latency go" directly; requests over a threshold
+// (-trace-slow, default 500ms) are additionally logged with their
+// breakdown. -trace=false removes the recorder entirely.
+//
+// The serving paths carry their own summaries independent of tracing:
+// influtrackd_ingest_request_seconds, _topk_request_seconds,
+// _wal_commit_seconds (the group-commit fsync wait an ack blocks on),
+// _worker_batch_seconds and _notify_publish_seconds, all per stream
+// with p50/p99/p999 plus _sum/_count. influtrackd_build_info carries
+// version/go/os/arch/revision labels (set the version at link time with
+// -ldflags "-X tdnstream/internal/obs.Version=v1.2.3"; -version prints
+// it), and influtrackd_go_* export runtime health (goroutines, heap, GC
+// pauses). Logs are structured log/slog records, text or JSON
+// (-log-format), with stream/status/elapsed attributes on failures and
+// state transitions. -debug-addr starts a separate listener with
+// /debug/pprof/* and a /metrics mirror, so CPU and heap profiles are
+// taken from an operator port that never serves clients.
+// cmd/influtrack-loadgen scrapes the daemon's summaries into its
+// report's "server" section, putting client-observed and server-side
+// p99 side by side. See examples/serving/README.md for the monitoring
+// walkthrough.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

@@ -49,6 +49,10 @@ func (h *LatencyHist) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *LatencyHist) Count() uint64 { return h.count.Load() }
 
+// Sum returns the exact sum of all observations — the _sum sample of a
+// Prometheus summary rendering.
+func (h *LatencyHist) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
 // Max returns the largest observation.
 func (h *LatencyHist) Max() time.Duration { return time.Duration(h.max.Load()) }
 

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistSum(t *testing.T) {
+	var h LatencyHist
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if got := h.Sum(); got != 5*time.Millisecond {
+		t.Fatalf("Sum = %v, want 5ms", got)
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	in := `# HELP influtrackd_uptime_seconds Daemon uptime.
+# TYPE influtrackd_uptime_seconds gauge
+influtrackd_uptime_seconds 12.5
+# HELP influtrackd_ingest_request_seconds Ingest latency.
+# TYPE influtrackd_ingest_request_seconds summary
+influtrackd_ingest_request_seconds{stream="demo",quantile="0.5"} 0.001
+influtrackd_ingest_request_seconds{stream="demo",quantile="0.99"} 0.25
+influtrackd_ingest_request_seconds_sum{stream="demo"} 1.5
+influtrackd_ingest_request_seconds_count{stream="demo"} 100
+# HELP influtrackd_build_info Build metadata.
+# TYPE influtrackd_build_info gauge
+influtrackd_build_info{version="dev",go="go1.22",os="linux",arch="amd64"} 1
+`
+	metrics, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PromMetric{}
+	for _, m := range metrics {
+		byName[m.Name] = m
+	}
+	up, ok := byName["influtrackd_uptime_seconds"]
+	if !ok || up.Type != "gauge" || up.Help == "" || len(up.Samples) != 1 || up.Samples[0].Value != 12.5 {
+		t.Fatalf("uptime family = %+v", up)
+	}
+	ing := byName["influtrackd_ingest_request_seconds"]
+	if ing.Type != "summary" {
+		t.Fatalf("ingest type = %q", ing.Type)
+	}
+	// Summary _sum/_count group under the base family.
+	if len(ing.Samples) != 4 {
+		t.Fatalf("ingest samples = %d, want 4 (%+v)", len(ing.Samples), ing.Samples)
+	}
+	var sawP99, sawCount bool
+	for _, s := range ing.Samples {
+		if s.Labels["quantile"] == "0.99" {
+			sawP99 = true
+			if s.Value != 0.25 || s.Labels["stream"] != "demo" {
+				t.Fatalf("p99 sample = %+v", s)
+			}
+		}
+		if s.Name == "influtrackd_ingest_request_seconds_count" {
+			sawCount = true
+			if s.Value != 100 {
+				t.Fatalf("count sample = %+v", s)
+			}
+		}
+	}
+	if !sawP99 || !sawCount {
+		t.Fatalf("missing samples: p99=%v count=%v", sawP99, sawCount)
+	}
+	bi := byName["influtrackd_build_info"]
+	if bi.Samples[0].Labels["go"] != "go1.22" || bi.Samples[0].Labels["arch"] != "amd64" {
+		t.Fatalf("build_info labels = %+v", bi.Samples[0].Labels)
+	}
+}
+
+func TestParsePromEscapes(t *testing.T) {
+	in := `m{path="a\"b\\c",note="line\nbreak"} 1` + "\n"
+	metrics, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := metrics[0].Samples[0]
+	if s.Labels["path"] != `a"b\c` || s.Labels["note"] != "line\nbreak" {
+		t.Fatalf("labels = %+v", s.Labels)
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	for _, bad := range []string{
+		"metric_without_value\n",
+		`m{a="unterminated} 1` + "\n",
+		"m notanumber\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseProm(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPromSampleKey(t *testing.T) {
+	a := PromSample{Name: "m", Labels: map[string]string{"b": "2", "a": "1"}}
+	b := PromSample{Name: "m", Labels: map[string]string{"a": "1", "b": "2"}}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := PromSample{Name: "m", Labels: map[string]string{"a": "1"}}
+	if a.Key() == c.Key() {
+		t.Fatal("distinct label sets collide")
+	}
+}

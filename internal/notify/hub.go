@@ -131,6 +131,7 @@ type hubStream struct {
 	dropped uint64
 	lastPub time.Time
 	rate    metrics.EWMA
+	pubLat  metrics.LatencyHist // diff + journal append + fanout, per Publish
 }
 
 // drop detaches sub under st.mu. slow records why, for Dropped() and the
@@ -210,6 +211,8 @@ func (h *Hub) Publish(name string, topk TopK) uint64 {
 	st := h.ensure(name)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	pubStart := time.Now()
+	defer func() { st.pubLat.Observe(time.Since(pubStart)) }()
 	evs := st.differ.Diff(topk)
 	st.resync = false // the forced post-restore keyframe (if any) is in evs
 	now := time.Now()
@@ -511,4 +514,18 @@ func (h *Hub) Stats(name string) StreamStats {
 		Dropped:      st.dropped,
 		EventsPerSec: st.rate.Value(),
 	}
+}
+
+// PublishLatency exposes one stream's publish-latency histogram (diff,
+// journal append, and fanout per Publish call) for /metrics summaries.
+// Nil for streams the hub has never seen; the histogram itself is safe
+// to read concurrently with publishes.
+func (h *Hub) PublishLatency(name string) *metrics.LatencyHist {
+	h.mu.RLock()
+	st := h.streams[name]
+	h.mu.RUnlock()
+	if st == nil {
+		return nil
+	}
+	return &st.pubLat
 }

@@ -1,0 +1,495 @@
+// Package obs is the serving stack's telemetry layer: per-request
+// stage tracing through the record lifecycle (decode → intern → WAL
+// append → group-commit fsync → queue wait → tracker step → snapshot
+// publish → notify fan-out), per-stage latency histograms, a ring
+// buffer of recent traces for the /v1/streams/{name}/trace endpoint,
+// slow-request logging, and build/runtime introspection helpers.
+//
+// Everything here is dependency-free and cheap enough for the hot
+// path: stage accumulation is a handful of atomic adds per chunk, the
+// histograms are lock-free (metrics.LatencyHist), and a nil *Recorder
+// or nil *Trace is a valid no-op receiver, so tracing can be disabled
+// without branching at every call site.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdnstream/internal/metrics"
+)
+
+// Stage identifies one segment of the record lifecycle. Stages are
+// reported in pipeline order on /metrics (label stage=...) and in
+// trace breakdowns.
+type Stage int
+
+const (
+	// StageDecode is wire-format parsing: reading the (possibly
+	// gzipped) request body and splitting it into raw records.
+	StageDecode Stage = iota
+	// StageIntern maps raw src/dst labels to dense node ids and
+	// builds the worker's row batch.
+	StageIntern
+	// StageWALAppend is the write(2) of a chunk's WAL frame (not
+	// the fsync — that is StageWALCommit).
+	StageWALAppend
+	// StageWALCommit is the group-commit fsync wait that makes the
+	// ack durable under -wal-fsync always.
+	StageWALCommit
+	// StageQueueWait is time spent in the bounded ingest queue
+	// between enqueue and the worker picking the chunk up.
+	StageQueueWait
+	// StageTrackerStep is the tracker feeding the chunk's rows
+	// (the paper's per-interaction update cost).
+	StageTrackerStep
+	// StagePublish is solution extraction plus the atomic snapshot
+	// swap that makes the new answer visible to /v1/topk.
+	StagePublish
+	// StageNotify is the notify hub's diff + journal + fan-out of
+	// the published snapshot to subscribers.
+	StageNotify
+
+	// NumStages is the number of lifecycle stages.
+	NumStages = int(StageNotify) + 1
+)
+
+var stageNames = [NumStages]string{
+	"decode",
+	"intern",
+	"wal_append",
+	"wal_commit",
+	"queue_wait",
+	"tracker_step",
+	"snapshot_publish",
+	"notify_fanout",
+}
+
+// String returns the stage's snake_case metric label.
+func (s Stage) String() string {
+	if s < 0 || int(s) >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// Stages lists all stages in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// RingSize bounds the ring of recent trace summaries kept for
+	// the trace endpoint. ≤ 0 means the default (256).
+	RingSize int
+	// SlowThreshold marks a finished request as slow: it bumps the
+	// slow counter and logs the per-stage breakdown. ≤ 0 means the
+	// default (500ms).
+	SlowThreshold time.Duration
+	// Logger receives slow-request records. Nil means slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// TraceSummary is one finished request's per-stage breakdown, as kept
+// in the Recorder's ring and served by the trace endpoint.
+type TraceSummary struct {
+	Op      string
+	Start   time.Time
+	Total   time.Duration
+	Status  int
+	Records int64
+	Chunks  int32
+	Stages  [NumStages]time.Duration
+}
+
+// StageSum is the sum of the per-stage durations. On a single-chunk
+// request the stages tile the request wall time (within scheduler
+// noise); on multi-chunk requests decode pipelines against worker
+// processing, so the sum can legitimately exceed Total.
+func (s TraceSummary) StageSum() time.Duration {
+	var sum time.Duration
+	for _, d := range s.Stages {
+		sum += d
+	}
+	return sum
+}
+
+// Recorder aggregates one stream's telemetry: per-stage and
+// whole-request latency histograms, a bounded ring of recent trace
+// summaries, and slow-request accounting. A nil *Recorder is a valid
+// no-op receiver.
+type Recorder struct {
+	cfg    Config
+	stream string
+
+	stages [NumStages]metrics.LatencyHist
+	total  metrics.LatencyHist
+	slow   atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []TraceSummary
+	next  int
+	count int
+}
+
+// NewRecorder builds a Recorder for the named stream.
+func NewRecorder(stream string, cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		cfg:    cfg,
+		stream: stream,
+		ring:   make([]TraceSummary, cfg.RingSize),
+	}
+}
+
+// Observe feeds one duration into the stage's histogram without
+// attributing it to any particular trace.
+func (r *Recorder) Observe(s Stage, d time.Duration) {
+	if r == nil || s < 0 || int(s) >= NumStages {
+		return
+	}
+	r.stages[s].Observe(d)
+}
+
+// StageHist returns the stage's latency histogram (nil on a nil
+// Recorder). The histogram is safe for concurrent reads.
+func (r *Recorder) StageHist(s Stage) *metrics.LatencyHist {
+	if r == nil || s < 0 || int(s) >= NumStages {
+		return nil
+	}
+	return &r.stages[s]
+}
+
+// TotalHist returns the whole-request latency histogram.
+func (r *Recorder) TotalHist() *metrics.LatencyHist {
+	if r == nil {
+		return nil
+	}
+	return &r.total
+}
+
+// SlowCount returns how many finished requests exceeded the slow
+// threshold.
+func (r *Recorder) SlowCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.slow.Load()
+}
+
+// SlowThreshold returns the configured slow-request threshold.
+func (r *Recorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.cfg.SlowThreshold
+}
+
+// Start opens a trace for one request. Returns nil (a valid no-op
+// trace) on a nil Recorder. The caller must eventually call Finish;
+// workers holding chunk references call Retain/Release around
+// asynchronous processing.
+func (r *Recorder) Start(op string) *Trace {
+	if r == nil {
+		return nil
+	}
+	t := &Trace{rec: r, op: op, start: time.Now()}
+	t.refs.Store(1)
+	return t
+}
+
+// Slowest returns up to n recent traces ordered by total duration,
+// slowest first.
+func (r *Recorder) Slowest(n int) []TraceSummary {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]TraceSummary, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.ring[i])
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Recent returns how many trace summaries the ring currently holds.
+func (r *Recorder) Recent() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+func (r *Recorder) push(s TraceSummary) {
+	r.mu.Lock()
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) finalize(t *Trace) {
+	total := time.Since(t.start)
+	r.total.Observe(total)
+	sum := TraceSummary{
+		Op:      t.op,
+		Start:   t.start,
+		Total:   total,
+		Status:  int(t.status.Load()),
+		Records: t.records.Load(),
+		Chunks:  t.chunks.Load(),
+	}
+	for i := range sum.Stages {
+		sum.Stages[i] = time.Duration(t.stages[i].Load())
+	}
+	r.push(sum)
+	if total >= r.cfg.SlowThreshold {
+		r.slow.Add(1)
+		attrs := make([]any, 0, 2*NumStages+10)
+		attrs = append(attrs,
+			slog.String("stream", r.stream),
+			slog.String("op", t.op),
+			slog.Int("status", sum.Status),
+			slog.Int64("records", sum.Records),
+			slog.Int("chunks", int(sum.Chunks)),
+			slog.Duration("total", total),
+		)
+		for i, d := range sum.Stages {
+			if d > 0 {
+				attrs = append(attrs, slog.Duration(stageNames[i], d))
+			}
+		}
+		r.cfg.Logger.Warn("slow request", attrs...)
+	}
+}
+
+// Trace accumulates one request's per-stage durations. All methods
+// are safe on a nil receiver and safe for concurrent use: the HTTP
+// handler and the stream worker feed the same trace from different
+// goroutines.
+//
+// Lifecycle: Start gives the request one reference; each enqueued
+// chunk takes another via Retain and drops it via Done when the
+// worker finishes the chunk; the handler drops the request reference
+// via Finish once the response status is known. When the last
+// reference drops, the trace finalizes: total = now − start, the
+// summary enters the Recorder's ring, and slow requests are logged.
+type Trace struct {
+	rec   *Recorder
+	op    string
+	start time.Time
+
+	stages  [NumStages]atomic.Int64
+	records atomic.Int64
+	chunks  atomic.Int32
+	status  atomic.Int32
+
+	// lastDone is the unix-nano instant the previous chunk of this
+	// request finished processing; the queue-wait attribution uses
+	// it so overlapping per-chunk waits are not double counted.
+	lastDone atomic.Int64
+	refs     atomic.Int32
+}
+
+// Observe adds d to the stage's breakdown AND the recorder's stage
+// histogram.
+func (t *Trace) Observe(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Add(s, d)
+	t.rec.Observe(s, d)
+}
+
+// Add adds d to the stage's breakdown only (the caller feeds the
+// histogram separately, or not at all).
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t == nil || s < 0 || int(s) >= NumStages || d <= 0 {
+		return
+	}
+	t.stages[s].Add(int64(d))
+}
+
+// AddRecords notes n accepted records on the trace.
+func (t *Trace) AddRecords(n int64) {
+	if t == nil {
+		return
+	}
+	t.records.Add(n)
+}
+
+// Retain takes a chunk reference: the trace will not finalize until
+// the matching Done (and every other reference) is released. Call it
+// before the chunk becomes visible to the worker.
+func (t *Trace) Retain() {
+	if t == nil {
+		return
+	}
+	t.chunks.Add(1)
+	t.refs.Add(1)
+}
+
+// QueueWait attributes the idle gap before a chunk's processing to
+// the queue_wait stage: the time between the chunk's enqueue (or the
+// end of this request's previous chunk, whichever is later) and
+// dequeuedNs. Clamped at zero, so pipelined chunks whose wait fully
+// overlaps earlier processing add nothing.
+func (t *Trace) QueueWait(enqueuedNs, dequeuedNs int64) {
+	if t == nil {
+		return
+	}
+	from := enqueuedNs
+	if last := t.lastDone.Load(); last > from {
+		from = last
+	}
+	if gap := dequeuedNs - from; gap > 0 {
+		t.Add(StageQueueWait, time.Duration(gap))
+	}
+}
+
+// Done releases a chunk reference taken by Retain and records the
+// chunk's completion instant for queue-wait attribution.
+func (t *Trace) Done(doneNs int64) {
+	if t == nil {
+		return
+	}
+	for {
+		last := t.lastDone.Load()
+		if doneNs <= last || t.lastDone.CompareAndSwap(last, doneNs) {
+			break
+		}
+	}
+	t.release()
+}
+
+// Release drops a chunk reference without marking progress — used
+// when a chunk is discarded unprocessed (queue teardown).
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	t.release()
+}
+
+// Unretain undoes a Retain whose chunk never became visible to the
+// worker (a failed enqueue): drops the reference and the chunk count.
+func (t *Trace) Unretain() {
+	if t == nil {
+		return
+	}
+	t.chunks.Add(-1)
+	t.release()
+}
+
+// Finish records the response status and drops the request's
+// reference. The trace finalizes once all chunk references are done.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	t.status.Store(int32(status))
+	t.release()
+}
+
+func (t *Trace) release() {
+	if t.refs.Add(-1) == 0 {
+		t.rec.finalize(t)
+	}
+}
+
+// Version is the daemon's build version, overridable at link time:
+//
+//	go build -ldflags "-X tdnstream/internal/obs.Version=v1.2.3" ./cmd/influtrackd
+var Version = "dev"
+
+// Info is the build metadata exposed by influtrackd_build_info and
+// the -version flag.
+type Info struct {
+	Version   string
+	GoVersion string
+	OS        string
+	Arch      string
+	Revision  string
+}
+
+// Build reports the running binary's build metadata. The VCS revision
+// comes from debug.ReadBuildInfo when the binary was built inside a
+// checkout ("unknown" otherwise).
+func Build() Info {
+	info := Info{
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Revision:  "unknown",
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				info.Revision = s.Value
+				if len(info.Revision) > 12 {
+					info.Revision = info.Revision[:12]
+				}
+			}
+		}
+	}
+	return info
+}
+
+// String renders the build info as the -version flag prints it.
+func (i Info) String() string {
+	return fmt.Sprintf("influtrackd %s (%s %s/%s, revision %s)",
+		i.Version, i.GoVersion, i.OS, i.Arch, i.Revision)
+}
+
+// WriteRuntimeMetrics writes Go runtime gauges (goroutines, heap, GC)
+// in Prometheus text format. One runtime.ReadMemStats per scrape — a
+// brief stop-the-world, microseconds on modern Go.
+func WriteRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	gauge := func(name, help string, v float64) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("influtrackd_go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("influtrackd_go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("influtrackd_go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	gauge("influtrackd_go_next_gc_bytes", "Heap size target of the next GC cycle.", float64(ms.NextGC))
+	p("# HELP influtrackd_go_gc_runs_total Completed GC cycles.\n# TYPE influtrackd_go_gc_runs_total counter\ninflutrackd_go_gc_runs_total %d\n", ms.NumGC)
+	p("# HELP influtrackd_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE influtrackd_go_gc_pause_seconds_total counter\ninflutrackd_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{
+		"decode", "intern", "wal_append", "wal_commit",
+		"queue_wait", "tracker_step", "snapshot_publish", "notify_fanout",
+	}
+	got := Stages()
+	if len(got) != len(want) {
+		t.Fatalf("Stages() = %d stages, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.String(), want[i])
+		}
+	}
+	if Stage(99).String() != "stage(99)" {
+		t.Errorf("out-of-range stage String = %q", Stage(99).String())
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	r := NewRecorder("s", Config{RingSize: 8, SlowThreshold: time.Hour})
+	tr := r.Start("ingest")
+	tr.Observe(StageDecode, 2*time.Millisecond)
+	tr.Observe(StageIntern, time.Millisecond)
+	tr.Retain() // chunk enqueued
+	tr.AddRecords(100)
+	tr.Finish(200) // handler done; chunk still in flight
+	if got := r.Recent(); got != 0 {
+		t.Fatalf("trace finalized before chunk done: ring=%d", got)
+	}
+	tr.Observe(StageTrackerStep, 3*time.Millisecond)
+	tr.Done(time.Now().UnixNano())
+	if got := r.Recent(); got != 1 {
+		t.Fatalf("ring=%d after last release, want 1", got)
+	}
+	s := r.Slowest(10)[0]
+	if s.Op != "ingest" || s.Status != 200 || s.Records != 100 || s.Chunks != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Stages[StageDecode] != 2*time.Millisecond || s.Stages[StageTrackerStep] != 3*time.Millisecond {
+		t.Fatalf("stage breakdown = %v", s.Stages)
+	}
+	if s.StageSum() != 6*time.Millisecond {
+		t.Fatalf("StageSum = %v, want 6ms", s.StageSum())
+	}
+	if s.Total <= 0 {
+		t.Fatalf("Total = %v", s.Total)
+	}
+	if r.StageHist(StageDecode).Count() != 1 || r.TotalHist().Count() != 1 {
+		t.Fatalf("histogram counts: stage=%d total=%d",
+			r.StageHist(StageDecode).Count(), r.TotalHist().Count())
+	}
+}
+
+func TestQueueWaitGap(t *testing.T) {
+	r := NewRecorder("s", Config{})
+	tr := r.Start("ingest")
+	base := time.Now().UnixNano()
+	// First chunk waited 10ms raw.
+	tr.QueueWait(base, base+10e6)
+	tr.Done(base + 20e6)
+	// Second chunk enqueued at base+5ms, dequeued at base+25ms: raw
+	// wait 20ms, but 15ms overlapped the first chunk's handling —
+	// only the 5ms idle gap counts.
+	tr.QueueWait(base+5e6, base+25e6)
+	if got := time.Duration(tr.stages[StageQueueWait].Load()); got != 15*time.Millisecond {
+		t.Fatalf("queue_wait = %v, want 15ms", got)
+	}
+	// Fully overlapped wait adds nothing.
+	tr.QueueWait(base, base+15e6)
+	if got := time.Duration(tr.stages[StageQueueWait].Load()); got != 15*time.Millisecond {
+		t.Fatalf("queue_wait after overlapped chunk = %v, want 15ms", got)
+	}
+}
+
+func TestRingEvictionAndSlowest(t *testing.T) {
+	r := NewRecorder("s", Config{RingSize: 4, SlowThreshold: time.Hour})
+	for i := 0; i < 10; i++ {
+		tr := r.Start("op")
+		tr.Add(StageDecode, time.Duration(i+1)*time.Millisecond)
+		tr.Finish(200)
+	}
+	if got := r.Recent(); got != 4 {
+		t.Fatalf("ring holds %d, want 4", got)
+	}
+	if got := len(r.Slowest(2)); got != 2 {
+		t.Fatalf("Slowest(2) = %d entries", got)
+	}
+	all := r.Slowest(10)
+	for i := 1; i < len(all); i++ {
+		if all[i].Total > all[i-1].Total {
+			t.Fatalf("Slowest not ordered: %v then %v", all[i-1].Total, all[i].Total)
+		}
+	}
+}
+
+func TestSlowLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	r := NewRecorder("demo", Config{SlowThreshold: time.Nanosecond, Logger: logger})
+	tr := r.Start("ingest")
+	tr.Add(StageTrackerStep, time.Millisecond)
+	tr.Finish(200)
+	if r.SlowCount() != 1 {
+		t.Fatalf("SlowCount = %d, want 1", r.SlowCount())
+	}
+	out := buf.String()
+	for _, want := range []string{"slow request", "stream=demo", "op=ingest", "tracker_step="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log missing %q: %s", want, out)
+		}
+	}
+	// Fast requests below threshold are not logged.
+	r2 := NewRecorder("demo", Config{SlowThreshold: time.Hour, Logger: logger})
+	buf.Reset()
+	tr2 := r2.Start("ingest")
+	tr2.Finish(200)
+	if buf.Len() != 0 || r2.SlowCount() != 0 {
+		t.Fatalf("fast request logged: %q slow=%d", buf.String(), r2.SlowCount())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	var tr *Trace
+	if tr = r.Start("op"); tr != nil {
+		t.Fatalf("nil recorder Start = %v, want nil", tr)
+	}
+	// All of these must be no-ops, not panics.
+	tr.Observe(StageDecode, time.Millisecond)
+	tr.Add(StageIntern, time.Millisecond)
+	tr.AddRecords(5)
+	tr.Retain()
+	tr.Unretain()
+	tr.QueueWait(0, 1)
+	tr.Done(1)
+	tr.Release()
+	tr.Finish(200)
+	r.Observe(StageDecode, time.Millisecond)
+	if r.StageHist(StageDecode) != nil || r.TotalHist() != nil {
+		t.Fatal("nil recorder returned a histogram")
+	}
+	if r.Slowest(5) != nil || r.Recent() != 0 || r.SlowCount() != 0 || r.SlowThreshold() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestUnretainFailedEnqueue(t *testing.T) {
+	r := NewRecorder("s", Config{SlowThreshold: time.Hour})
+	tr := r.Start("ingest")
+	tr.Retain()
+	tr.Unretain() // enqueue failed
+	tr.Finish(429)
+	s := r.Slowest(1)
+	if len(s) != 1 || s[0].Chunks != 0 || s[0].Status != 429 {
+		t.Fatalf("summary after failed enqueue = %+v", s)
+	}
+}
+
+func TestConcurrentTraceFeed(t *testing.T) {
+	r := NewRecorder("s", Config{RingSize: 64, SlowThreshold: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := r.Start("ingest")
+				tr.Retain()
+				tr.Observe(StageDecode, time.Microsecond)
+				go func() {
+					tr.Observe(StageTrackerStep, time.Microsecond)
+					tr.Done(time.Now().UnixNano())
+				}()
+				tr.Finish(200)
+			}
+		}()
+	}
+	wg.Wait()
+	// Every trace finalizes exactly once.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.TotalHist().Count() < 8*200 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := r.TotalHist().Count(); got != 8*200 {
+		t.Fatalf("finalized %d traces, want %d", got, 8*200)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	info := Build()
+	if info.Version == "" || info.GoVersion == "" || info.OS == "" || info.Arch == "" {
+		t.Fatalf("incomplete build info: %+v", info)
+	}
+	s := info.String()
+	if !strings.Contains(s, "influtrackd") || !strings.Contains(s, info.GoVersion) {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRuntimeMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"influtrackd_go_goroutines",
+		"influtrackd_go_heap_alloc_bytes",
+		"influtrackd_go_gc_runs_total",
+		"# TYPE influtrackd_go_goroutines gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+}

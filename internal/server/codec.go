@@ -7,7 +7,9 @@ import (
 	"io"
 	"mime"
 	"strings"
+	"time"
 
+	"tdnstream/internal/obs"
 	"tdnstream/internal/stream"
 	"tdnstream/internal/wal"
 )
@@ -116,7 +118,7 @@ func recordReaderFor(contentType string, body io.Reader) (stream.RecordReader, e
 // before stepping), but records whose timestamp regresses across a chunk
 // boundary are dropped as stale — event-time producers should send
 // bodies in non-decreasing timestamp order.
-func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, err error) {
+func ingestBody(w *worker, rr stream.RecordReader, maxChunk int, tr *obs.Trace) (accepted int, err error) {
 	// The epoch is captured before decoding begins. Labels are interned a
 	// whole chunk at a time, atomically with the epoch re-check
 	// (worker.internAndEnqueue): if a checkpoint restore replaces the
@@ -135,16 +137,23 @@ func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, 
 	// ack the log cannot back answers 500.
 	var lastTok wal.Token
 	finish := func(err error) (int, error) {
-		if cerr := w.commitWAL(lastTok); cerr != nil {
+		if cerr := w.commitWAL(lastTok, tr); cerr != nil {
 			return accepted, cerr
 		}
 		return accepted, err
 	}
+	// Decode time is accounted a chunk at a time — the span between
+	// flushes is the reader pulling and parsing this chunk's records —
+	// two clock reads per chunk instead of two per record.
+	decodeStart := time.Now()
 	flush := func() error {
 		if len(raws) == 0 {
 			return nil
 		}
-		tok, err := w.internAndEnqueue(raws, epoch)
+		decodeD := time.Since(decodeStart)
+		w.rec.Observe(obs.StageDecode, decodeD)
+		tr.Add(obs.StageDecode, decodeD)
+		tok, err := w.internAndEnqueue(raws, epoch, tr)
 		if err != nil {
 			return err
 		}
@@ -153,6 +162,7 @@ func ingestBody(w *worker, rr stream.RecordReader, maxChunk int) (accepted int, 
 		}
 		accepted += len(raws)
 		raws = make([]rawRecord, 0, maxChunk)
+		decodeStart = time.Now()
 		return nil
 	}
 	for {

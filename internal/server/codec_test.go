@@ -97,7 +97,7 @@ func TestIngestChunkingKeepsTimestampGroupsWhole(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		b.WriteString(`{"src":"b` + string(rune('a'+i)) + `","dst":"hub","t":2}` + "\n")
 	}
-	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(b.String())), 4)
+	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(b.String())), 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestIngestChunkingArrival(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		b.WriteString(`{"src":"x` + string(rune('a'+i)) + `","dst":"hub"}` + "\n")
 	}
-	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(b.String())), 4)
+	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(b.String())), 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestIngestChunkingArrival(t *testing.T) {
 func TestIngestBodyDecodeErrorKeepsPrefix(t *testing.T) {
 	w := testWorker(t, testSpec("badbody"), Config{QueueDepth: 64})
 	body := "{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\nnot json\n"
-	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(body)), 4)
+	accepted, err := ingestBody(w, stream.NewNDJSONReader(strings.NewReader(body)), 4, nil)
 	if err == nil {
 		t.Fatal("want decode error")
 	}

@@ -16,6 +16,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"tdnstream"
@@ -203,6 +204,27 @@ type Config struct {
 	// heals within a round instead of waiting a whole interval.
 	CheckpointRetries      int
 	CheckpointRetryBackoff time.Duration
+	// Logger receives the server's structured log records: degradation
+	// and repair transitions, 5xx responses, slow-request traces. Nil
+	// means slog.Default().
+	Logger *slog.Logger
+	// DisableTracing turns off per-request stage tracing (the trace
+	// ring, per-stage histograms and the /v1/streams/{name}/trace
+	// endpoint). The coarse serving histograms (ingest, topk, WAL
+	// commit, worker batch) stay on — they are a handful of atomic
+	// adds per request.
+	DisableTracing bool
+	// TraceRing bounds each stream's ring of recent request traces
+	// (default 256).
+	TraceRing int
+	// SlowTrace is the slow-request threshold: finished requests at or
+	// above it are logged with their per-stage breakdown (default
+	// 500ms).
+	SlowTrace time.Duration
+	// BuildLabels are extra labels rendered on influtrackd_build_info
+	// (the daemon adds e.g. shards="4"). Keys must be valid Prometheus
+	// label names; values are quoted verbatim.
+	BuildLabels map[string]string
 	// NotifyExplainGains spends oracle calls at every snapshot publish to
 	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
 	// calls): events then carry true greedy ranks and gains, enabling
@@ -249,7 +271,21 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointRetryBackoff <= 0 {
 		c.CheckpointRetryBackoff = 50 * time.Millisecond
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
+	if c.SlowTrace <= 0 {
+		c.SlowTrace = 500 * time.Millisecond
+	}
 	return c
+}
+
+// logger resolves the structured-log seam.
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.Default()
 }
 
 // fs resolves the filesystem seam: an explicit FS wins, else the fault

@@ -1,6 +1,9 @@
 package server
 
-import "time"
+import (
+	"log/slog"
+	"time"
+)
 
 // Stream serving states, surfaced in /v1/streams, /healthz and
 // stream_status notify events.
@@ -42,6 +45,9 @@ func (w *worker) degrade(err error) {
 		return // already degraded: the existing repair loop owns recovery
 	}
 	w.degradedAt.Store(w.cfg.clock().Now().UnixNano())
+	w.cfg.logger().Error("stream degraded: write-ahead log fault",
+		slog.String("stream", w.name),
+		slog.String("error", msg))
 	if w.hub != nil {
 		w.hub.PublishStatus(w.name, StateDegraded, msg)
 	}
@@ -73,6 +79,9 @@ func (w *worker) repairLoop() {
 		if err == nil {
 			w.m.walRepairs.Add(1)
 			w.lastErr.Store(nil)
+			w.cfg.logger().Info("stream repaired: write-ahead log healthy",
+				slog.String("stream", w.name),
+				slog.Duration("degraded_for", w.degradedFor()))
 			if w.hub != nil {
 				w.hub.PublishStatus(w.name, StateHealthy, "")
 			}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -28,6 +29,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
 	mux.HandleFunc("DELETE /v1/streams/{name}", s.handleDeleteStream)
 	mux.HandleFunc("GET /v1/streams/{name}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/streams/{name}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/admin/restore", s.handleRestore)
 	mux.HandleFunc("GET /v1/admin/fault", s.handleFaultList)
@@ -68,11 +70,29 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 
 func (s *Server) countStatuses(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		switch {
 		case rec.status >= 500:
 			s.req5xx.Add(1)
+			// 5xx means the server failed the client — worth a line with
+			// request-scoped attributes. 4xx is the client's problem and
+			// 2xx is the common case; neither earns log traffic. 503 is
+			// excluded too: a degraded stream answers it per request
+			// (potentially thousands per second under load), and the
+			// degrade/repair transitions are already logged once each.
+			if rec.status == http.StatusServiceUnavailable {
+				break
+			}
+			s.cfg.logger().Error("request failed",
+				slog.Int("status", rec.status),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("stream", r.URL.Query().Get("stream")),
+				slog.String("remote", r.RemoteAddr),
+				slog.Duration("elapsed", time.Since(start)),
+			)
 		case rec.status >= 400:
 			s.req4xx.Add(1)
 		default:
@@ -155,6 +175,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r, wk) {
 		return
 	}
+	start := time.Now()
+	defer func() { wk.m.ingestLat.Observe(time.Since(start)) }()
 	if wk.degraded.Load() {
 		// Graceful degradation: the stream's write-ahead log is faulted
 		// and under background repair. Refuse new writes before reading a
@@ -168,54 +190,64 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	tr := wk.rec.Start("ingest")
 	body := &bodyLimitTracker{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
 	decoded, inflate, err := decodeContentEncoding(r.Header.Get("Content-Encoding"), body, s.cfg.MaxBodyBytes)
 	if err != nil {
 		if errors.Is(err, errUnknownEncoding) {
+			tr.Finish(http.StatusUnsupportedMediaType)
 			writeError(w, http.StatusUnsupportedMediaType, "%v", err)
 		} else { // present but corrupt (bad gzip header) — a decode error like any other 400
 			wk.m.malformed.Add(1)
+			tr.Finish(http.StatusBadRequest)
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}
 		return
 	}
 	rr, err := recordReaderFor(r.Header.Get("Content-Type"), decoded)
 	if err != nil {
+		tr.Finish(http.StatusUnsupportedMediaType)
 		writeError(w, http.StatusUnsupportedMediaType, "%v", err)
 		return
 	}
-	accepted, err := ingestBody(wk, rr, s.cfg.MaxChunk)
+	accepted, err := ingestBody(wk, rr, s.cfg.MaxChunk, tr)
 	resp := ingestResponse{Stream: wk.name, Accepted: accepted}
+	status := http.StatusOK
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		resp.Error = "ingest queue full"
-		writeJSON(w, http.StatusTooManyRequests, resp)
+		status = http.StatusTooManyRequests
 	case errors.Is(err, errStreamClosed):
 		resp.Error = "stream shutting down"
-		writeJSON(w, http.StatusServiceUnavailable, resp)
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, errStaleIngest):
 		resp.Error = "stream restored during ingest; retry"
-		writeJSON(w, http.StatusConflict, resp)
+		status = http.StatusConflict
 	case errors.Is(err, errWAL):
 		// Durability fault, not an input fault: the write-ahead log
 		// refused the append (or its fsync failed), so the server will
 		// not acknowledge what it cannot promise to recover.
 		resp.Error = err.Error()
-		writeJSON(w, http.StatusInternalServerError, resp)
+		status = http.StatusInternalServerError
 	case body.hit:
 		resp.Error = "ingest body exceeds the server's max body size"
-		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
+		status = http.StatusRequestEntityTooLarge
 	case inflate != nil && inflate.hit:
 		resp.Error = "decompressed ingest body exceeds the server's max body size"
-		writeJSON(w, http.StatusRequestEntityTooLarge, resp)
+		status = http.StatusRequestEntityTooLarge
 	default:
 		wk.m.malformed.Add(1)
 		resp.Error = err.Error()
-		writeJSON(w, http.StatusBadRequest, resp)
+		status = http.StatusBadRequest
 	}
+	// Finish before writing the response: the trace measures the ingest
+	// pipeline (its last reference is usually the worker finishing the
+	// final chunk), not response serialization.
+	tr.AddRecords(int64(accepted))
+	tr.Finish(status)
+	writeJSON(w, status, resp)
 }
 
 // seedJSON is one solution seed with its resolved label.
@@ -294,6 +326,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	start := time.Now()
+	defer func() { wk.m.topkLat.Observe(time.Since(start)) }()
 	limit := 0
 	if q := r.URL.Query().Get("limit"); q != "" {
 		n, err := strconv.Atoi(q)

@@ -9,6 +9,7 @@ import (
 
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/notify"
+	"tdnstream/internal/obs"
 	"tdnstream/internal/wal"
 )
 
@@ -33,6 +34,13 @@ type streamMetrics struct {
 	lastBatchNs   atomic.Uint64 // latency of the most recent chunk
 	stepsPerSec   metrics.EWMA  // smoothed step throughput
 	rowsPerSec    metrics.EWMA  // smoothed record throughput
+
+	// Serving-path latency distributions (lock-free log-bucketed
+	// histograms), rendered as Prometheus summaries with p50/p99/p999.
+	ingestLat    metrics.LatencyHist // POST /v1/ingest wall time, all statuses
+	topkLat      metrics.LatencyHist // GET /v1/topk wall time, 304s included
+	walCommitLat metrics.LatencyHist // group-commit waits (wal.Commit), per request
+	batchLat     metrics.LatencyHist // worker time per drained chunk
 }
 
 // checkpointCounters snapshots the stream-logical counters in envelope
@@ -75,6 +83,7 @@ func (m *streamMetrics) observeChunk(n, s int, d time.Duration) {
 	ns := uint64(d.Nanoseconds())
 	m.batchNanos.Add(ns)
 	m.lastBatchNs.Store(ns)
+	m.batchLat.Observe(d)
 	if d > 0 {
 		sec := d.Seconds()
 		m.stepsPerSec.Observe(float64(s) / sec)
@@ -108,12 +117,42 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for i, n := range []*atomic.Uint64{&s.req2xx, &s.req4xx, &s.req5xx} {
 		p("influtrackd_http_requests_total{class=\"%dxx\"} %d\n", i+2, n.Load())
 	}
+	info := obs.Build()
+	p("# HELP influtrackd_build_info Build metadata; the value is always 1.\n")
+	p("# TYPE influtrackd_build_info gauge\n")
+	p("influtrackd_build_info{version=%q,go=%q,os=%q,arch=%q,revision=%q",
+		info.Version, info.GoVersion, info.OS, info.Arch, info.Revision)
+	extraKeys := make([]string, 0, len(s.cfg.BuildLabels))
+	for k := range s.cfg.BuildLabels {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+	for _, k := range extraKeys {
+		p(",%s=%q", k, s.cfg.BuildLabels[k])
+	}
+	p("} 1\n")
 
 	gauge := func(name, help string) {
 		p("# HELP influtrackd_%s %s\n# TYPE influtrackd_%s gauge\n", name, help, name)
 	}
 	counter := func(name, help string) {
 		p("# HELP influtrackd_%s %s\n# TYPE influtrackd_%s counter\n", name, help, name)
+	}
+	// summary renders one latency histogram family as a Prometheus
+	// summary: p50/p99/p999 samples per stream plus _sum/_count.
+	quantiles := [...]struct {
+		label string
+		q     float64
+	}{{"0.5", 0.50}, {"0.99", 0.99}, {"0.999", 0.999}}
+	summaryRow := func(name, stream string, h *metrics.LatencyHist) {
+		for _, q := range quantiles {
+			p("influtrackd_%s{stream=%q,quantile=%q} %g\n", name, stream, q.label, h.Quantile(q.q).Seconds())
+		}
+		p("influtrackd_%s_sum{stream=%q} %g\n", name, stream, h.Sum().Seconds())
+		p("influtrackd_%s_count{stream=%q} %d\n", name, stream, h.Count())
+	}
+	summaryHead := func(name, help string) {
+		p("# HELP influtrackd_%s %s\n# TYPE influtrackd_%s summary\n", name, help, name)
 	}
 
 	counter("ingested_records_total", "Records accepted into the ingest queue.")
@@ -172,10 +211,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		p("influtrackd_records_per_sec{stream=%q} %g\n", r.name, r.w.m.rowsPerSec.Value())
 	}
-	gauge("batch_latency_seconds", "Worker time spent on the most recent chunk.")
+	gauge("batch_latency_seconds", "Worker time spent on the most recent chunk (point gauge, kept for existing dashboards; influtrackd_worker_batch_seconds carries the full distribution).")
 	for _, r := range rows {
 		p("influtrackd_batch_latency_seconds{stream=%q} %g\n", r.name,
 			float64(r.w.m.lastBatchNs.Load())/1e9)
+	}
+	summaryHead("ingest_request_seconds", "Server-side POST /v1/ingest latency, all statuses.")
+	for _, r := range rows {
+		summaryRow("ingest_request_seconds", r.name, &r.w.m.ingestLat)
+	}
+	summaryHead("topk_request_seconds", "Server-side GET /v1/topk latency, 304s included.")
+	for _, r := range rows {
+		summaryRow("topk_request_seconds", r.name, &r.w.m.topkLat)
+	}
+	summaryHead("worker_batch_seconds", "Worker time per drained chunk (the distribution behind the batch_latency_seconds gauge).")
+	for _, r := range rows {
+		summaryRow("worker_batch_seconds", r.name, &r.w.m.batchLat)
 	}
 	gauge("topk_value", "Influence spread of the current solution snapshot.")
 	for _, r := range rows {
@@ -216,6 +267,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 		for _, r := range walRows {
 			p("influtrackd_wal_fsyncs_total{stream=%q} %d\n", r.name, r.st.Fsyncs)
 		}
+		counter("wal_fsync_seconds_total", "Wall time inside WAL fsync batches — pure device time; against wal_commit_seconds it separates a slow disk from a deep commit queue.")
+		for _, r := range walRows {
+			p("influtrackd_wal_fsync_seconds_total{stream=%q} %g\n", r.name, float64(r.st.FsyncNanos)/1e9)
+		}
 		gauge("wal_bytes", "Write-ahead-log on-disk footprint across live segments; drops when checkpoints truncate covered history.")
 		for _, r := range walRows {
 			p("influtrackd_wal_bytes{stream=%q} %d\n", r.name, r.st.Bytes)
@@ -235,6 +290,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 		counter("wal_repairs_total", "Degraded-log background repairs that succeeded (the log rotated past the fault and proved an fsync).")
 		for _, r := range walRows {
 			p("influtrackd_wal_repairs_total{stream=%q} %d\n", r.name, r.w.m.walRepairs.Load())
+		}
+		summaryHead("wal_commit_seconds", "Group-commit wait per ingest request (wal.Commit — the fsync the ack waits for under -wal-fsync always).")
+		for _, r := range walRows {
+			summaryRow("wal_commit_seconds", r.name, &r.w.m.walCommitLat)
 		}
 	}
 
@@ -263,6 +322,46 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, st := range stats {
 		p("influtrackd_notify_seq{stream=%q} %d\n", st.name, st.s.Seq)
 	}
+	summaryHead("notify_publish_seconds", "Notify hub time per snapshot publish: diff + journal + fan-out to every subscriber queue.")
+	for _, r := range rows {
+		if h := s.hub.PublishLatency(r.name); h != nil {
+			summaryRow("notify_publish_seconds", r.name, h)
+		}
+	}
+
+	// Per-stage lifecycle summaries (absent with tracing disabled): the
+	// aggregate behind the /v1/streams/{name}/trace drill-down. Stages
+	// with no observations yet are skipped, not rendered as zeros.
+	var traced []row
+	for _, r := range rows {
+		if r.w.rec != nil {
+			traced = append(traced, r)
+		}
+	}
+	if len(traced) > 0 {
+		p("# HELP influtrackd_stage_seconds Per-stage record-lifecycle latency, decode through notify fan-out.\n")
+		p("# TYPE influtrackd_stage_seconds summary\n")
+		for _, r := range traced {
+			for _, st := range obs.Stages() {
+				h := r.w.rec.StageHist(st)
+				if h.Count() == 0 {
+					continue
+				}
+				for _, q := range quantiles {
+					p("influtrackd_stage_seconds{stream=%q,stage=%q,quantile=%q} %g\n",
+						r.name, st.String(), q.label, h.Quantile(q.q).Seconds())
+				}
+				p("influtrackd_stage_seconds_sum{stream=%q,stage=%q} %g\n", r.name, st.String(), h.Sum().Seconds())
+				p("influtrackd_stage_seconds_count{stream=%q,stage=%q} %d\n", r.name, st.String(), h.Count())
+			}
+		}
+		counter("slow_requests_total", "Finished requests at or above the slow-trace threshold (each is logged with its per-stage breakdown).")
+		for _, r := range traced {
+			p("influtrackd_slow_requests_total{stream=%q} %d\n", r.name, r.w.rec.SlowCount())
+		}
+	}
+
+	obs.WriteRuntimeMetrics(w)
 }
 
 // notifyStats pairs a stream name with its hub counters for the metrics

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/obs"
+)
+
+// traceStageJSON is one stage's share of a request trace.
+type traceStageJSON struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
+}
+
+// traceJSON is one recent request's per-stage breakdown. StageSumMs is
+// the sum of the stage durations: on a single-chunk request it tiles
+// TotalMs (within scheduler noise); on multi-chunk requests decode
+// pipelines against worker processing, so the sum can exceed the wall
+// total — that overlap is reported, not hidden.
+type traceJSON struct {
+	Op         string           `json:"op"`
+	Start      time.Time        `json:"start"`
+	Status     int              `json:"status"`
+	Records    int64            `json:"records"`
+	Chunks     int32            `json:"chunks"`
+	TotalMs    float64          `json:"total_ms"`
+	StageSumMs float64          `json:"stage_sum_ms"`
+	Stages     []traceStageJSON `json:"stages"`
+}
+
+// stageStatsJSON is one stage's aggregate latency distribution.
+type stageStatsJSON struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func stageStats(h *metrics.LatencyHist) stageStatsJSON {
+	return stageStatsJSON{
+		Count:  h.Count(),
+		P50Ms:  durMs(h.Quantile(0.50)),
+		P99Ms:  durMs(h.Quantile(0.99)),
+		P999Ms: durMs(h.Quantile(0.999)),
+		MaxMs:  durMs(h.Max()),
+	}
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// handleTrace serves the stream's N slowest recent request traces with
+// per-stage breakdowns, plus the per-stage latency aggregates — the
+// drill-down behind the /metrics stage summaries. ?n= bounds the trace
+// count (default 10).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wk, ok := s.stream(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	if wk.rec == nil {
+		writeError(w, http.StatusNotFound, "stream %q: tracing is disabled", name)
+		return
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	traces := make([]traceJSON, 0, n)
+	for _, t := range wk.rec.Slowest(n) {
+		tj := traceJSON{
+			Op:         t.Op,
+			Start:      t.Start,
+			Status:     t.Status,
+			Records:    t.Records,
+			Chunks:     t.Chunks,
+			TotalMs:    durMs(t.Total),
+			StageSumMs: durMs(t.StageSum()),
+			Stages:     make([]traceStageJSON, 0, obs.NumStages),
+		}
+		for _, st := range obs.Stages() {
+			if d := t.Stages[st]; d > 0 {
+				tj.Stages = append(tj.Stages, traceStageJSON{Stage: st.String(), Ms: durMs(d)})
+			}
+		}
+		traces = append(traces, tj)
+	}
+	stages := make(map[string]stageStatsJSON, obs.NumStages+1)
+	for _, st := range obs.Stages() {
+		if h := wk.rec.StageHist(st); h.Count() > 0 {
+			stages[st.String()] = stageStats(h)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream":            name,
+		"slow_threshold_ms": durMs(wk.rec.SlowThreshold()),
+		"slow_requests":     wk.rec.SlowCount(),
+		"recent":            wk.rec.Recent(),
+		"request":           stageStats(wk.rec.TotalHist()),
+		"stages":            stages,
+		"traces":            traces,
+	})
+}

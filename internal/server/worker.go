@@ -14,6 +14,7 @@ import (
 
 	"tdnstream"
 	"tdnstream/internal/notify"
+	"tdnstream/internal/obs"
 	"tdnstream/internal/wal"
 )
 
@@ -39,6 +40,12 @@ type chunk struct {
 	// chunk is processed, so a checkpoint knows exactly how much of the
 	// log its state already covers.
 	walPos wal.Pos
+	// trace, when non-nil, is the originating request's stage trace:
+	// the worker attributes queue wait and tracker time to it and
+	// releases the chunk's reference once processed. enqueuedNs is the
+	// wall-clock instant the chunk entered the queue.
+	trace      *obs.Trace
+	enqueuedNs int64
 }
 
 // rawRecord is one decoded-but-not-yet-interned ingest record. The
@@ -99,6 +106,12 @@ type worker struct {
 	state atomic.Pointer[workerState]
 	snap  atomic.Pointer[Snapshot]
 	m     streamMetrics
+
+	// rec aggregates the stream's stage telemetry: per-stage latency
+	// histograms, the ring of recent request traces, slow-request
+	// accounting. Nil when Config.DisableTracing — every call site is
+	// nil-safe, so disabling costs nothing.
+	rec *obs.Recorder
 
 	lastErr atomic.Pointer[string]
 
@@ -189,6 +202,13 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope, hub *notif
 		queue:  make(chan chunk, cfg.QueueDepth),
 		admin:  make(chan func()),
 		done:   make(chan struct{}),
+	}
+	if !cfg.DisableTracing {
+		w.rec = obs.NewRecorder(spec.Name, obs.Config{
+			RingSize:      cfg.TraceRing,
+			SlowThreshold: cfg.SlowTrace,
+			Logger:        cfg.logger(),
+		})
 	}
 	if ckpt != nil {
 		w.labels.reset(ckpt.Names)
@@ -537,7 +557,11 @@ func (w *worker) sendLocked(c chunk) (wal.Token, error) {
 		labels, total := w.labels.delta(w.walDictLen)
 		rec := wal.Record{DictBase: w.walDictLen, Labels: labels, Rows: c.rows}
 		w.walScratch = rec.AppendEncode(w.walScratch[:0])
+		appendStart := time.Now()
 		pos, t, err := w.wlog.Append(w.walScratch)
+		appendD := time.Since(appendStart)
+		w.rec.Observe(obs.StageWALAppend, appendD)
+		c.trace.Add(obs.StageWALAppend, appendD)
 		if err != nil {
 			w.degrade(err)
 			return 0, fmt.Errorf("%w: %v", errWAL, err)
@@ -547,6 +571,7 @@ func (w *worker) sendLocked(c chunk) (wal.Token, error) {
 		c.walPos = pos
 		tok = t
 	}
+	c.enqueuedNs = time.Now().UnixNano()
 	w.queue <- c
 	w.m.ingested.Add(uint64(len(c.rows)))
 	return tok, nil
@@ -565,7 +590,7 @@ func (w *worker) sendLocked(c chunk) (wal.Token, error) {
 // has no log): the caller must pass its last token to commitWAL before
 // acknowledging — durability is deliberately not awaited here, so a
 // multi-chunk request pays one group commit, not one per chunk.
-func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) (wal.Token, error) {
+func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64, tr *obs.Trace) (wal.Token, error) {
 	if len(raws) == 0 {
 		return 0, nil
 	}
@@ -579,6 +604,7 @@ func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) (wal.Token, er
 		w.closeMu.RUnlock()
 		return 0, errStaleIngest
 	}
+	internStart := time.Now()
 	rows := make([]tdnstream.Interaction, len(raws))
 	for i, r := range raws {
 		rows[i] = tdnstream.Interaction{
@@ -587,7 +613,17 @@ func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) (wal.Token, er
 			T:   r.t,
 		}
 	}
-	tok, err := w.enqueueLocked(chunk{rows: rows, epoch: epoch})
+	internD := time.Since(internStart)
+	w.rec.Observe(obs.StageIntern, internD)
+	tr.Add(obs.StageIntern, internD)
+	// The chunk reference must exist before the chunk is visible to the
+	// worker — otherwise the worker could release the trace's last
+	// reference before the handler is done with it.
+	tr.Retain()
+	tok, err := w.enqueueLocked(chunk{rows: rows, epoch: epoch, trace: tr})
+	if err != nil {
+		tr.Unretain()
+	}
 	w.closeMu.RUnlock()
 	return tok, err
 }
@@ -599,11 +635,17 @@ func (w *worker) internAndEnqueue(raws []rawRecord, epoch uint64) (wal.Token, er
 // multi-chunk request commits once with its last token instead of
 // fsyncing per chunk. tok zero (no WAL, or nothing appended) is a
 // no-op.
-func (w *worker) commitWAL(tok wal.Token) error {
+func (w *worker) commitWAL(tok wal.Token, tr *obs.Trace) error {
 	if tok == 0 || w.wlog == nil {
 		return nil
 	}
-	if err := w.wlog.Commit(tok); err != nil {
+	commitStart := time.Now()
+	err := w.wlog.Commit(tok)
+	commitD := time.Since(commitStart)
+	w.m.walCommitLat.Observe(commitD)
+	w.rec.Observe(obs.StageWALCommit, commitD)
+	tr.Add(obs.StageWALCommit, commitD)
+	if err != nil {
 		// The chunks are queued (their effect will be visible) but
 		// their durability is unproven — the one ack-ambiguous outcome.
 		// The handler answers 500 and the client's retry is
@@ -673,6 +715,10 @@ func (w *worker) do(ctx context.Context, fn func()) error {
 // mode and refreshes the read snapshot.
 func (w *worker) process(c chunk) {
 	start := time.Now()
+	if c.enqueuedNs != 0 {
+		w.rec.Observe(obs.StageQueueWait, start.Sub(time.Unix(0, c.enqueuedNs)))
+		c.trace.QueueWait(c.enqueuedNs, start.UnixNano())
+	}
 	st := w.state.Load()
 	rows := c.rows
 	fed, steps := 0, 0
@@ -716,7 +762,12 @@ func (w *worker) process(c chunk) {
 			i = j
 		}
 	}
-	w.m.observeChunk(fed, steps, time.Since(start))
+	stepD := time.Since(start)
+	w.m.observeChunk(fed, steps, stepD)
+	if !w.replaying {
+		w.rec.Observe(obs.StageTrackerStep, stepD)
+	}
+	c.trace.Add(obs.StageTrackerStep, stepD)
 	if c.walPos != (wal.Pos{}) {
 		// The tracker state now covers the log through this chunk;
 		// checkpoints record this watermark. (Stale-dropped and failed
@@ -730,8 +781,12 @@ func (w *worker) process(c chunk) {
 	// historical intermediate solutions would only burn the journal.
 	// newWorker publishes once, after recovery.
 	if !w.replaying && w.sinceSnap >= w.cfg.SnapshotEvery {
-		w.publish()
+		w.publishFor(c.trace)
 	}
+	// The chunk's work — publish included — is complete: release the
+	// trace's chunk reference and mark the completion instant so the
+	// next chunk's queue wait starts from here.
+	c.trace.Done(time.Now().UnixNano())
 }
 
 // observe runs one pipeline step, recording rather than propagating
@@ -752,12 +807,21 @@ func (w *worker) observe(st *workerState, t int64, batch []tdnstream.Interaction
 // for readers. The hub call takes only the stream's own fan-out lock
 // and never blocks on subscribers (slow ones are dropped), so the
 // publish path stays wait-free with respect to consumers.
-func (w *worker) publish() {
+func (w *worker) publish() { w.publishFor(nil) }
+
+// publishFor is publish with stage attribution: solution extraction
+// plus the snapshot swap count as snapshot_publish, the notify hub's
+// diff + journal + fan-out as notify_fanout.
+func (w *worker) publishFor(tr *obs.Trace) {
+	pubStart := time.Now()
 	st := w.state.Load()
 	sol := st.tracker.Solution()
 	var seq uint64
+	var notifyD time.Duration
 	if w.hub != nil {
+		notifyStart := time.Now()
 		seq = w.hub.Publish(w.name, w.topkOf(st, sol))
+		notifyD = time.Since(notifyStart)
 	}
 	w.snap.Store(&Snapshot{
 		Stream:      w.name,
@@ -769,6 +833,13 @@ func (w *worker) publish() {
 		Seq:         seq,
 		Solution:    sol,
 	})
+	pubD := time.Since(pubStart) - notifyD
+	if !w.replaying {
+		w.rec.Observe(obs.StagePublish, pubD)
+		w.rec.Observe(obs.StageNotify, notifyD)
+	}
+	tr.Add(obs.StagePublish, pubD)
+	tr.Add(obs.StageNotify, notifyD)
 	w.sinceSnap = 0
 }
 
@@ -1043,7 +1114,7 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 	// reported like the ingest path reports it — the caller must not
 	// believe the restore survives a machine crash when the log could
 	// not prove it.
-	if err := w.commitWAL(markerTok); err != nil {
+	if err := w.commitWAL(markerTok, nil); err != nil {
 		return fmt.Errorf("restore marker: %w", err)
 	}
 	return nil
@@ -1084,6 +1155,7 @@ func (w *worker) discardQueued() {
 				return
 			}
 			w.m.superseded.Add(uint64(len(c.rows)))
+			c.trace.Release()
 		default:
 			return
 		}

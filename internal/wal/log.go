@@ -75,6 +75,11 @@ type Log struct {
 	gen     uint64 // bumped by Reset so waiters bail with ErrReset
 	sv      uint64 // state version: bumped on every sync-state mutation
 	fsyncs  uint64
+	// fsyncNanos is cumulative wall time inside leader fsync rounds —
+	// pure device time, no queue wait. Against the per-request commit
+	// latency histogram it separates "the disk is slow" from "the
+	// commit queue is deep".
+	fsyncNanos uint64
 	// fence marks the durability hole a Repair leaves behind: tokens at
 	// or below it sat in a poisoned handle when the log was abandoned
 	// mid-fault, so their durability can never be proven. Commit answers
@@ -562,6 +567,7 @@ func (l *Log) syncThrough(seq uint64) error {
 		}
 		var err error
 		syncs := uint64(0)
+		syncStart := time.Now()
 		for _, f := range retiring {
 			if e := f.Sync(); e != nil && err == nil {
 				err = e
@@ -579,9 +585,11 @@ func (l *Log) syncThrough(seq uint64) error {
 				err = e
 			}
 		}
+		syncD := time.Since(syncStart)
 		l.sm.Lock()
 		l.syncing = false
 		l.fsyncs += syncs
+		l.fsyncNanos += uint64(syncD.Nanoseconds())
 		l.sv++
 		if l.gen != gen {
 			l.cond.Broadcast()
@@ -938,6 +946,8 @@ func (l *Log) Stats() Stats {
 	l.mu.Unlock()
 	l.sm.Lock()
 	fsyncs := l.fsyncs
+	fsyncNanos := l.fsyncNanos
 	l.sm.Unlock()
-	return Stats{Segments: segs, Bytes: bytes, Appends: appends, Fsyncs: fsyncs}
+	return Stats{Segments: segs, Bytes: bytes, Appends: appends,
+		Fsyncs: fsyncs, FsyncNanos: fsyncNanos}
 }

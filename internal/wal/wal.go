@@ -162,10 +162,11 @@ type Token uint64
 
 // Stats is a Log's observability snapshot.
 type Stats struct {
-	Segments int    // live segment files
-	Bytes    int64  // total bytes across live segments
-	Appends  uint64 // frames appended since open
-	Fsyncs   uint64 // fsync(2) calls issued since open
+	Segments   int    // live segment files
+	Bytes      int64  // total bytes across live segments
+	Appends    uint64 // frames appended since open
+	Fsyncs     uint64 // fsync(2) calls issued since open
+	FsyncNanos uint64 // cumulative wall time inside fsync batches (device time, no queue wait)
 }
 
 // ErrTruncated reports a ReadFrom position that precedes the log's

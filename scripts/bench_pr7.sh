@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench_pr7.sh [output.json] [duration]
+#
+# Measures what the PR-7 telemetry costs: the same -wal-fsync always,
+# 8-concurrent-ingester serving run as BENCH_PR6's always_sharded
+# figure, once with the default tracing/histogram pipeline on and once
+# with -trace=false, plus the client-vs-server latency split the
+# loadgen's new "server" report section provides (the daemon's own
+# ingest p99 scraped from /metrics next to the client-observed one).
+#
+#   * trace_on / trace_off: records/sec and ingest latency percentiles;
+#   * overhead_pct: (off - on) / off * 100 — the acceptance gate is
+#     <= 5% against the full-telemetry run;
+#   * server_ingest_p99_ms: the daemon-side histogram for the traced
+#     run — server p99 <= client p99 always; the gap is the HTTP stack.
+#
+# Default duration is 20s per run (pass e.g. "8s" for a CI smoke run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR7.json}"
+dur="${2:-20s}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/influtrackd" ./cmd/influtrackd
+go build -o "$tmp/loadgen" ./cmd/influtrack-loadgen
+
+run_loadgen() { # report port daemon-extra-flags
+    local report="$1" port="$2" extra="$3"
+    rm -rf "$tmp/wal"
+    "$tmp/loadgen" \
+        -spawn "$tmp/influtrackd -addr 127.0.0.1:$port -wal-dir $tmp/wal -wal-fsync always $extra" \
+        -addr "http://127.0.0.1:$port" \
+        -streams 2 -queriers 2 -subscribers 2 -batch 100 \
+        -ingesters 8 -duration "$dur" -settle 6m \
+        -json "$report"
+}
+
+echo "== telemetry on (default): tracing + stage histograms + serving summaries"
+run_loadgen "$tmp/on.json" 8186 ""
+echo "== telemetry off: -trace=false"
+run_loadgen "$tmp/off.json" 8187 "-trace=false"
+
+# field FILE KEY — first occurrence wins, which for the latency keys is
+# the client-side ingest histogram (it precedes the query one).
+field() { grep -m1 -o "\"$2\": [0-9.]*" "$1" | grep -o '[0-9.]*$'; }
+okflag() { if grep -q '"ok": true' "$1"; then echo true; else echo false; fi; }
+# server_field FILE FAMILY KEY — digs the daemon-side summary the
+# loadgen scraped into the report's "server" section.
+server_field() {
+    python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+streams = (rep.get("server") or {}).get("streams") or {}
+vals = [s[sys.argv[2]][sys.argv[3]] for s in streams.values() if sys.argv[2] in s]
+print(round(max(vals), 4) if vals else "null")
+EOF
+}
+
+on_rps=$(field "$tmp/on.json" records_per_sec)
+off_rps=$(field "$tmp/off.json" records_per_sec)
+overhead=$(awk -v on="$on_rps" -v off="$off_rps" \
+    'BEGIN { if (off + 0 > 0) printf "%.2f", (off - on) / off * 100; else print "null" }')
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr7-telemetry-overhead\","
+    echo "  \"description\": \"cmd/influtrack-loadgen against a spawned influtrackd (-wal-fsync always, 8 concurrent ingesters, 100-record batches): full record-lifecycle tracing + latency histograms (default) vs -trace=false. overhead_pct is the throughput cost of telemetry; server_* are the daemon's own /metrics summaries scraped into the loadgen report, set against the client-observed latencies.\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"duration\": \"$dur\","
+    echo "  \"baseline_pr6_always_sharded_rps\": 3415,"
+    for run in on off; do
+        f="$tmp/$run.json"
+        echo "  \"trace_$run\": {"
+        echo "    \"records_per_sec\": $(field "$f" records_per_sec),"
+        echo "    \"ingest_p50_ms\": $(field "$f" p50_ms),"
+        echo "    \"ingest_p99_ms\": $(field "$f" p99_ms),"
+        echo "    \"ingest_p999_ms\": $(field "$f" p999_ms),"
+        echo "    \"verify_ok\": $(okflag "$f")"
+        echo "  },"
+    done
+    echo "  \"server\": {"
+    echo "    \"ingest_p50_ms\": $(server_field "$tmp/on.json" ingest p50_ms),"
+    echo "    \"ingest_p99_ms\": $(server_field "$tmp/on.json" ingest p99_ms),"
+    echo "    \"wal_commit_p99_ms\": $(server_field "$tmp/on.json" wal_commit p99_ms),"
+    echo "    \"worker_batch_p99_ms\": $(server_field "$tmp/on.json" worker_batch p99_ms)"
+    echo "  },"
+    echo "  \"overhead_pct\": $overhead"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
