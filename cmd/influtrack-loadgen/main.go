@@ -16,6 +16,8 @@
 //	diskfull@10s/3s        ENOSPC on WAL segment writes for 3s
 //	eio@20s/2s             EIO on WAL fsync for 2s
 //	slowfsync@30s/5s/50ms  +50ms latency on every fsync for 5s
+//	ckptfault@25s/2s       EIO on checkpoint rename/mkdir for 2s (the
+//	                       daemon's save path retries past it)
 //	kill@40s               kill -9 the daemon mid-traffic, restart it
 //	                       (needs -spawn so the harness owns the process)
 //
@@ -33,6 +35,17 @@
 // a shortfall is an acknowledged record the server lost), every 503 must
 // have carried Retry-After, and every stream must end healthy. A failed
 // check exits 1.
+//
+// SLO gating (-slo): a comma-separated budget list asserted against the
+// final report, for CI gates and capacity tests:
+//
+//	-slo "ingest_p99=50ms,query_p99=10ms,lost_acked=0"
+//
+// ingest_p99 and query_p99 bound the client-observed p99 latencies
+// (time.ParseDuration values), lost_acked bounds the verified
+// acked-record loss (needs -verify). Budgets, measured values and
+// per-objective verdicts land in the report's "slo" section; any breach
+// makes the run exit non-zero.
 //
 // The run report is JSON on stdout (or -json FILE):
 //
@@ -55,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,8 +103,9 @@ func main() {
 		maxLife     = flag.Int("maxlife", 200, "tracker maximum lifetime L")
 		window      = flag.Int("window", 100, "constant-lifetime window for created streams")
 		timeMode    = flag.String("time-mode", server.TimeArrival, "time mode for created streams: arrival or event")
-		chaos       = flag.String("chaos", "", "fault schedule: kind@start[/dur[/arg]],... (kinds: diskfull, eio, slowfsync, kill)")
+		chaos       = flag.String("chaos", "", "fault schedule: kind@start[/dur[/arg]],... (kinds: diskfull, eio, slowfsync, ckptfault, kill)")
 		verify      = flag.Bool("verify", true, "after traffic, verify zero acked-record loss and a healthy final state")
+		slo         = flag.String("slo", "", "SLO budgets asserted against the final report, e.g. ingest_p99=50ms,query_p99=10ms,lost_acked=0; any breach exits non-zero")
 		settle      = flag.Duration("settle", 2*time.Minute, "verification budget for queues to drain and counters to settle (unthrottled runs can bank a backlog several times the traffic phase)")
 		jsonOut     = flag.String("json", "", "write the run report here instead of stdout")
 	)
@@ -99,6 +114,13 @@ func main() {
 	actions, err := parseChaos(*chaos)
 	if err != nil {
 		log.Fatal(err)
+	}
+	budgets, err := parseSLO(*slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if budgets.lostAcked >= 0 && !*verify {
+		log.Fatal("-slo lost_acked needs -verify: the loss ledger is what it asserts against")
 	}
 	needsSpawn := false
 	for _, a := range actions {
@@ -185,6 +207,10 @@ func main() {
 	} else {
 		rep.OK = true
 	}
+	rep.SLO = evalSLO(budgets, st, rep)
+	if rep.SLO != nil && !rep.SLO.OK {
+		rep.OK = false
+	}
 
 	out, _ := json.MarshalIndent(rep, "", "  ")
 	out = append(out, '\n')
@@ -199,8 +225,15 @@ func main() {
 	if proc != nil {
 		proc.stop(10 * time.Second)
 	}
+	if rep.SLO != nil {
+		for _, c := range rep.SLO.Checks {
+			if !c.OK {
+				log.Printf("SLO BREACH: %s measured %s against budget %s", c.Objective, c.Actual, c.Budget)
+			}
+		}
+	}
 	if !rep.OK {
-		log.Fatal("VERIFY FAILED — see report")
+		log.Fatal("RUN FAILED — see report")
 	}
 	log.Printf("ok: %d records acked at p99 %.2fms ingest latency, 0 acked records lost",
 		st.recordsAcked.Load(), ms(st.ingestLat.Quantile(0.99)))
@@ -526,7 +559,7 @@ func retryAfterDelay(h string) time.Duration {
 // ---- chaos -----------------------------------------------------------
 
 type chaosAction struct {
-	kind string        // diskfull | eio | slowfsync | kill
+	kind string        // diskfull | eio | slowfsync | ckptfault | kill
 	at   time.Duration // offset from traffic start
 	dur  time.Duration // fault TTL (diskfull/eio/slowfsync)
 	arg  time.Duration // slowfsync delay
@@ -564,7 +597,7 @@ func parseChaos(s string) ([]chaosAction, error) {
 			}
 		}
 		switch a.kind {
-		case "diskfull", "eio":
+		case "diskfull", "eio", "ckptfault":
 			if a.dur <= 0 {
 				return nil, fmt.Errorf("chaos phase %q needs a duration (kind@start/dur)", part)
 			}
@@ -574,7 +607,7 @@ func parseChaos(s string) ([]chaosAction, error) {
 			}
 		case "kill":
 		default:
-			return nil, fmt.Errorf("chaos phase %q: unknown kind (want diskfull, eio, slowfsync or kill)", part)
+			return nil, fmt.Errorf("chaos phase %q: unknown kind (want diskfull, eio, slowfsync, ckptfault or kill)", part)
 		}
 		out = append(out, a)
 	}
@@ -634,6 +667,18 @@ func runChaos(ctx context.Context, client *http.Client, base string, proc *daemo
 				ex.Error = postFault(client, base, map[string]any{
 					"op": "sync", "delay_ms": a.arg.Milliseconds(), "ttl_ms": a.dur.Milliseconds(),
 				})
+			case "ckptfault":
+				// Two rules, one phase: the checkpoint save path's rename
+				// (temp file → .ckpt) and its directory creation. The
+				// daemon's bounded checkpoint retries should absorb both.
+				ex.Detail = fmt.Sprintf("EIO on checkpoint rename/mkdir for %s", a.dur)
+				e1 := postFault(client, base, map[string]any{
+					"op": "rename", "path": ".ckpt", "err": "eio", "ttl_ms": a.dur.Milliseconds(),
+				})
+				e2 := postFault(client, base, map[string]any{
+					"op": "mkdir", "err": "eio", "ttl_ms": a.dur.Milliseconds(),
+				})
+				ex.Error = strings.TrimSpace(strings.Join([]string{e1, e2}, " "))
 			case "kill":
 				ex.Detail = "SIGKILL mid-traffic, restart, wait healthy, re-host streams (WAL replay)"
 				proc.kill9()
@@ -670,6 +715,101 @@ func postFault(client *http.Client, base string, rule map[string]any) string {
 		return fmt.Sprintf("%s: %s (is the daemon running -fault-inject?)", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	return ""
+}
+
+// ---- SLO gating ------------------------------------------------------
+
+// sloSpec holds parsed -slo budgets. Zero durations and a negative
+// lostAcked mean "objective not asserted".
+type sloSpec struct {
+	ingestP99, queryP99 time.Duration
+	lostAcked           int64
+}
+
+// parseSLO parses "key=value,..." budgets: ingest_p99 and query_p99 are
+// durations bounding the client-observed p99 latencies, lost_acked an
+// integer bounding verified acked-record loss.
+func parseSLO(s string) (sloSpec, error) {
+	spec := sloSpec{lostAcked: -1}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return spec, fmt.Errorf("slo %q: want key=value", part)
+		}
+		var err error
+		switch strings.TrimSpace(key) {
+		case "ingest_p99":
+			spec.ingestP99, err = time.ParseDuration(val)
+			if err == nil && spec.ingestP99 <= 0 {
+				err = fmt.Errorf("budget must be positive")
+			}
+		case "query_p99":
+			spec.queryP99, err = time.ParseDuration(val)
+			if err == nil && spec.queryP99 <= 0 {
+				err = fmt.Errorf("budget must be positive")
+			}
+		case "lost_acked":
+			spec.lostAcked, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && spec.lostAcked < 0 {
+				err = fmt.Errorf("budget must be ≥ 0")
+			}
+		default:
+			return spec, fmt.Errorf("slo %q: unknown objective (want ingest_p99, query_p99 or lost_acked)", key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("slo %q: %v", part, err)
+		}
+	}
+	return spec, nil
+}
+
+// sloCheck is one objective's verdict in the report.
+type sloCheck struct {
+	Objective string `json:"objective"`
+	Budget    string `json:"budget"`
+	Actual    string `json:"actual"`
+	OK        bool   `json:"ok"`
+}
+
+type sloReport struct {
+	Checks []sloCheck `json:"checks"`
+	OK     bool       `json:"ok"`
+}
+
+// evalSLO asserts the budgets against the measured run; nil when no
+// objective was set.
+func evalSLO(spec sloSpec, st *stats, rep *report) *sloReport {
+	if spec.ingestP99 == 0 && spec.queryP99 == 0 && spec.lostAcked < 0 {
+		return nil
+	}
+	out := &sloReport{OK: true}
+	add := func(objective, budget, actual string, ok bool) {
+		out.Checks = append(out.Checks, sloCheck{Objective: objective, Budget: budget, Actual: actual, OK: ok})
+		if !ok {
+			out.OK = false
+		}
+	}
+	if spec.ingestP99 > 0 {
+		got := st.ingestLat.Quantile(0.99)
+		add("ingest_p99", spec.ingestP99.String(), got.String(), got <= spec.ingestP99)
+	}
+	if spec.queryP99 > 0 {
+		got := st.queryLat.Quantile(0.99)
+		add("query_p99", spec.queryP99.String(), got.String(), got <= spec.queryP99)
+	}
+	if spec.lostAcked >= 0 {
+		lost := rep.Verify.LostAcked
+		add("lost_acked", strconv.FormatInt(spec.lostAcked, 10),
+			strconv.FormatUint(lost, 10), lost <= uint64(spec.lostAcked))
+	}
+	return out
 }
 
 // ---- verification ----------------------------------------------------
@@ -845,6 +985,7 @@ type report struct {
 	Chaos  []chaosExec  `json:"chaos,omitempty"`
 	Server serverReport `json:"server"`
 	Verify verifyReport `json:"verify"`
+	SLO    *sloReport   `json:"slo,omitempty"`
 	OK     bool         `json:"ok"`
 }
 

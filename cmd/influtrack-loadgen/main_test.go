@@ -6,13 +6,14 @@ import (
 )
 
 func TestParseChaos(t *testing.T) {
-	actions, err := parseChaos("diskfull@10s/3s, slowfsync@20s/5s/50ms ,kill@30s,eio@40s/2s")
+	actions, err := parseChaos("diskfull@10s/3s, slowfsync@20s/5s/50ms ,ckptfault@25s/2s,kill@30s,eio@40s/2s")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := []chaosAction{
 		{kind: "diskfull", at: 10 * time.Second, dur: 3 * time.Second},
 		{kind: "slowfsync", at: 20 * time.Second, dur: 5 * time.Second, arg: 50 * time.Millisecond},
+		{kind: "ckptfault", at: 25 * time.Second, dur: 2 * time.Second},
 		{kind: "kill", at: 30 * time.Second},
 		{kind: "eio", at: 40 * time.Second, dur: 2 * time.Second},
 	}
@@ -34,6 +35,7 @@ func TestParseChaosRejects(t *testing.T) {
 		"diskfull",                 // no @start
 		"kill@30s,diskfull@10s/1s", // out of order
 		"diskfull@ten/3s",          // bad duration
+		"ckptfault@10s",            // needs a duration
 	} {
 		if _, err := parseChaos(bad); err == nil {
 			t.Errorf("parseChaos(%q) accepted, want error", bad)
@@ -44,6 +46,84 @@ func TestParseChaosRejects(t *testing.T) {
 func TestParseChaosEmpty(t *testing.T) {
 	if actions, err := parseChaos("  "); err != nil || actions != nil {
 		t.Fatalf("blank schedule: got %v, %v", actions, err)
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	spec, err := parseSLO(" ingest_p99=50ms, query_p99=10ms ,lost_acked=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ingestP99 != 50*time.Millisecond || spec.queryP99 != 10*time.Millisecond || spec.lostAcked != 0 {
+		t.Errorf("parsed %+v", spec)
+	}
+
+	spec, err = parseSLO("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ingestP99 != 0 || spec.queryP99 != 0 || spec.lostAcked != -1 {
+		t.Errorf("blank spec %+v, want all objectives unset", spec)
+	}
+
+	for _, bad := range []string{
+		"ingest_p99",           // no value
+		"ingest_p99=fast",      // bad duration
+		"ingest_p99=-5ms",      // negative budget
+		"query_p99=0s",         // zero budget asserts nothing — reject
+		"lost_acked=-1",        // negative loss budget
+		"lost_acked=a few",     // not an integer
+		"error_rate=0.01",      // unknown objective
+		"ingest_p99=1ms extra", // trailing junk
+	} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestEvalSLO(t *testing.T) {
+	st := newStats(1)
+	for i := 0; i < 100; i++ {
+		st.ingestLat.Observe(2 * time.Millisecond)
+		st.queryLat.Observe(time.Millisecond)
+	}
+	rep := &report{}
+	rep.Verify.LostAcked = 3
+
+	if got := evalSLO(sloSpec{lostAcked: -1}, st, rep); got != nil {
+		t.Errorf("no objectives asserted, got %+v", got)
+	}
+
+	// Generous budgets: every check passes.
+	out := evalSLO(sloSpec{ingestP99: time.Second, queryP99: time.Second, lostAcked: 3}, st, rep)
+	if out == nil || !out.OK || len(out.Checks) != 3 {
+		t.Fatalf("generous budgets: %+v", out)
+	}
+	for _, c := range out.Checks {
+		if !c.OK {
+			t.Errorf("check %+v failed under a generous budget", c)
+		}
+	}
+
+	// Impossible latency budget and an exceeded loss budget both breach;
+	// the passing objective stays OK so the report names the culprit.
+	out = evalSLO(sloSpec{ingestP99: time.Nanosecond, queryP99: time.Second, lostAcked: 2}, st, rep)
+	if out == nil || out.OK {
+		t.Fatalf("impossible budgets passed: %+v", out)
+	}
+	verdicts := map[string]bool{}
+	for _, c := range out.Checks {
+		verdicts[c.Objective] = c.OK
+	}
+	if verdicts["ingest_p99"] {
+		t.Error("1ns ingest budget passed")
+	}
+	if !verdicts["query_p99"] {
+		t.Error("1s query budget failed")
+	}
+	if verdicts["lost_acked"] {
+		t.Error("loss 3 against budget 2 passed")
 	}
 }
 

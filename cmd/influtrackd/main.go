@@ -95,7 +95,14 @@
 // (-log-format text|json), every serving-path latency is exported as a
 // p50/p99/p999 summary on /metrics, and per-request lifecycle traces
 // (decode → intern → WAL → queue → tracker → publish → notify) are
-// served by /v1/streams/{name}/trace. -debug-addr starts a second
+// served by /v1/streams/{name}/trace. Engine introspection reports what
+// each tracker's algorithm state costs: /v1/streams/{name}/stats walks
+// the live structures (graphs, histogram instances, candidate reach
+// sets, shard balance) for a deep JSON breakdown, the
+// influtrackd_engine_* gauges track the walked footprint per stream on
+// /metrics (-engine-stats=false disables the per-publish refresh), and
+// -mem-watermark logs a Warn when any stream's engine memory crosses
+// the given byte budget. -debug-addr starts a second
 // listener carrying /debug/pprof/* and a /metrics mirror, so profiling
 // endpoints never ship on the public -addr. -version prints the build
 // (injectable with -ldflags "-X tdnstream/internal/obs.Version=v1.2.3")
@@ -234,6 +241,8 @@ func main() {
 	notifyBuffer := flag.Int("notify-buffer", 0, "per-subscriber event queue bound; overflowing subscribers are dropped (0 = default 64)")
 	notifyHeartbeat := flag.Duration("notify-heartbeat", 0, "idle keepalive interval on event subscriptions (0 = default 15s)")
 	notifyGains := flag.Bool("notify-gains", false, "spend oracle calls per publish to attribute per-seed ranks and gains to events (enables rank_changed / per-seed gain_changed)")
+	memWatermark := flag.Int64("mem-watermark", 0, "per-stream engine-memory watermark in bytes: streams whose introspected footprint crosses it are logged at Warn (0 = off)")
+	engineStats := flag.Bool("engine-stats", true, "refresh per-stream engine introspection at each snapshot publish (the influtrackd_engine_* gauges and the memory-watermark log)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json (structured logs on stderr via log/slog)")
 	debugAddr := flag.String("debug-addr", "", "separate debug listener serving /debug/pprof/* and a /metrics mirror (empty = off; profiling endpoints never ship on the public -addr)")
 	traceOn := flag.Bool("trace", true, "record per-request lifecycle traces: stage summaries on /metrics plus the /v1/streams/{name}/trace drill-down")
@@ -291,14 +300,20 @@ func main() {
 			Epsilon:          *notifyEpsilon,
 			SubscriberBuffer: *notifyBuffer,
 		},
-		NotifyHeartbeat:    *notifyHeartbeat,
-		NotifyExplainGains: *notifyGains,
-		Logger:             logger,
-		DisableTracing:     !*traceOn,
-		TraceRing:          *traceRing,
-		SlowTrace:          *traceSlow,
-		BuildLabels:        map[string]string{"shards": strconv.Itoa(*shards)},
+		NotifyHeartbeat:      *notifyHeartbeat,
+		NotifyExplainGains:   *notifyGains,
+		MemoryWatermarkBytes: *memWatermark,
+		DisableEngineStats:   !*engineStats,
+		Logger:               logger,
+		DisableTracing:       !*traceOn,
+		TraceRing:            *traceRing,
+		SlowTrace:            *traceSlow,
+		BuildLabels:          map[string]string{"shards": strconv.Itoa(*shards)},
 	}
+	// The checkpoint savers below write through this seam, so chaos
+	// harnesses can schedule rename/mkdir faults against the checkpoint
+	// path (influtrack-loadgen's ckptfault@ phases), not just the WAL.
+	fsys := fault.FS(fault.OS())
 	if *faultInject {
 		inj := fault.NewInjector(nil, *faultSeed)
 		// A crash rule means "die as if kill -9 at this syscall": exit
@@ -307,6 +322,7 @@ func main() {
 		// kill -9 reports, so harnesses treat both identically.
 		inj.CrashFn = func() { os.Exit(137) }
 		cfg.Fault = inj
+		fsys = inj
 		logger.Warn("FAULT INJECTION ENABLED — /v1/admin/fault is live; not for production",
 			slog.Int64("seed", *faultSeed))
 	}
@@ -397,7 +413,7 @@ func main() {
 		ckptLoopDone = make(chan struct{})
 		go func() {
 			defer close(ckptLoopDone)
-			srv.PeriodicCheckpoints(ctx, *ckptInterval, fileSaver(*ckptDir, false),
+			srv.PeriodicCheckpoints(ctx, *ckptInterval, fileSaver(fsys, *ckptDir, false),
 				func(err error) { logger.Error("background checkpoint failed", slog.Any("error", err)) })
 		}()
 		logger.Info("background checkpoints enabled",
@@ -442,7 +458,7 @@ func main() {
 		// spent if Shutdown timed out, and an expired context here would
 		// skip the checkpoint exactly when it matters most.
 		ckptCtx, ckptCancel := context.WithTimeout(context.Background(), *drainTimeout)
-		if err := saveCheckpoints(srv, ckptCtx, *ckptDir); err != nil {
+		if err := saveCheckpoints(srv, ckptCtx, fsys, *ckptDir); err != nil {
 			logger.Error("shutdown checkpoint failed", slog.Any("error", err))
 		}
 		ckptCancel()
@@ -526,31 +542,31 @@ func restoreCheckpoints(srv *server.Server, dir string, specs []server.StreamSpe
 // names do not end in ".ckpt", so restoreCheckpoints skips any a crash
 // leaves behind. The quiet form is for the background interval loop
 // (one log line per stream per tick would flood).
-func fileSaver(dir string, loud bool) server.SaveFunc {
+func fileSaver(fsys fault.FS, dir string, loud bool) server.SaveFunc {
 	return func(name string, data []byte) error {
 		path, err := checkpointPath(dir, name)
 		if err != nil {
 			return err
 		}
-		tmp, err := os.CreateTemp(dir, name+".ckpt.tmp-*")
+		tmp, err := fsys.CreateTemp(dir, name+".ckpt.tmp-*")
 		if err != nil {
 			return err
 		}
 		if _, err := tmp.Write(data); err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 			return err
 		}
 		if err := tmp.Close(); err != nil {
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 			return err
 		}
 		if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 			return err
 		}
-		if err := os.Rename(tmp.Name(), path); err != nil {
-			os.Remove(tmp.Name())
+		if err := fsys.Rename(tmp.Name(), path); err != nil {
+			fsys.Remove(tmp.Name())
 			return err
 		}
 		if loud {
@@ -568,9 +584,9 @@ func fileSaver(dir string, loud bool) server.SaveFunc {
 // (e.g. a baseline tracker without snapshot support) does not cost the
 // other streams their state — CheckpointAll keeps going and the caller
 // logs the joined error once.
-func saveCheckpoints(srv *server.Server, ctx context.Context, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func saveCheckpoints(srv *server.Server, ctx context.Context, fsys fault.FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return srv.CheckpointAll(ctx, fileSaver(dir, true))
+	return srv.CheckpointAll(ctx, fileSaver(fsys, dir, true))
 }

@@ -207,6 +207,42 @@
 // p99 side by side. See examples/serving/README.md for the monitoring
 // walkthrough.
 //
+// # Engine introspection
+//
+// Latency tells you where time goes; introspection tells you where
+// memory and algorithmic effort go. Every tracker implements an
+// optional EngineStats hook (discovered by type assertion, like the
+// clock and live-graph hooks; EngineStatsOf is the package-level
+// accessor) that walks its actual backing structures — bitset words,
+// adjacency pages, candidate sets, oracle scratch — and reports a
+// bottom-up byte account alongside the algorithm's internals: live
+// sieve instances and per-instance breakdowns (HISTAPPROX's histogram,
+// with copy-on-write pages shared inside a clone family counted once),
+// ε-reduction kills, threshold counts and the (1+ε)^i exponent window,
+// candidate-set high-water marks, expiry-slot counts, RR-sketch counts
+// for the RIS family, and per-shard record counts with a max/mean skew
+// ratio for the partitioned engine. The walk is validated against
+// runtime.MemStats heap growth (within 30% in the accountant tests), so
+// the numbers are capacity-planning grade, not vibes.
+//
+// The serving layer surfaces it three ways: GET /v1/streams/{name}/stats
+// returns the full deep report as JSON (collected on the worker
+// goroutine, token-gated like explain); /metrics carries cheap cached
+// gauges — influtrackd_engine_bytes, _engine_instances, _engine_nodes,
+// _engine_edges per stream, plus _shard_skew_ratio on sharded streams
+// and _wal_applied_segment/_wal_applied_offset marking the WAL position
+// last applied to tracker state (also in /v1/streams as "wal_applied";
+// the gap to the newest segment is replay debt) — refreshed on snapshot
+// publish and disabled with -engine-stats=false; and -mem-watermark N
+// logs a Warn when a stream's footprint crosses N bytes (re-warned
+// once a minute while above, Info on recovery). influtrack-loadgen
+// closes the loop with -slo "ingest_p99=50ms,query_p99=10ms,
+// lost_acked=0": budgets asserted against the measured report, any
+// breach exiting non-zero, so capacity tests and CI gates are one flag.
+// The retired influtrackd_batch_latency_seconds point gauge is
+// superseded by the worker_batch_seconds summary. BENCH_PR8.json
+// records the introspection overhead (≤ 1% of ingest throughput).
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

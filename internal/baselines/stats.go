@@ -1,0 +1,38 @@
+package baselines
+
+import (
+	"tdnstream/internal/core"
+	"tdnstream/internal/graph"
+	"tdnstream/internal/influence"
+)
+
+// tdnStats is the shared introspection walk for trackers whose state is
+// one global TDN plus an oracle (both nil before the first step).
+func tdnStats(g *graph.TDN, o *influence.Oracle) core.Stats {
+	var st core.Stats
+	if g != nil {
+		st.Nodes = g.NumNodes()
+		st.Edges = g.NumAliveEdges()
+		st.ExpirySlots = g.NumExpirySlots()
+		st.Bytes += g.SizeBytes()
+	}
+	if o != nil {
+		st.ScratchBytes = o.ScratchBytes()
+		st.Bytes += st.ScratchBytes
+	}
+	return st
+}
+
+// EngineStats implements core.Sizer.
+func (g *Greedy) EngineStats() core.Stats {
+	st := tdnStats(g.g, g.oracle)
+	st.Tracker = g.Name()
+	return st
+}
+
+// EngineStats implements core.Sizer.
+func (r *Random) EngineStats() core.Stats {
+	st := tdnStats(r.g, r.oracle)
+	st.Tracker = r.Name()
+	return st
+}

@@ -42,6 +42,10 @@ type HistApprox struct {
 	// freshly created instances can be fed their backlog (Alg. 3 line 15).
 	store *graph.TDN
 
+	// kills counts instances removed by reduceRedundancy over the tracker's
+	// lifetime (not instances that merely reached their deadline).
+	kills uint64
+
 	workers int // parallel candidate loop for all instances (0 = serial)
 
 	// Per-lifetime batch grouping scratch. The map is keyed afresh each
@@ -229,6 +233,7 @@ func (h *HistApprox) reduceRedundancy() {
 		if best > i+1 {
 			for m := i + 1; m < best; m++ {
 				delete(h.insts, h.xs[m])
+				h.kills++
 			}
 			h.xs = append(h.xs[:i+1], h.xs[best:]...)
 		}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/stream"
+)
+
+// liveHeap settles the collector and reads the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// feedRandom drives a tracker with a zipf-free uniform mix: batches are
+// transient (nothing but the tracker survives the loop), so the live-heap
+// delta around the build is the tracker's own footprint.
+func feedRandom(t *testing.T, tr Tracker, seed int64, steps, nodes, rate, maxL int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	batch := make([]stream.Edge, 0, rate)
+	for tt := int64(1); tt <= int64(steps); tt++ {
+		batch = batch[:0]
+		for i := 0; i < rate; i++ {
+			u := ids.NodeID(rng.Intn(nodes))
+			v := ids.NodeID(rng.Intn(nodes))
+			if u == v {
+				continue
+			}
+			batch = append(batch, stream.Edge{Src: u, Dst: v, T: tt, Lifetime: 1 + rng.Intn(maxL)})
+		}
+		if err := tr.Step(tt, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineStatsTracksHeapGrowth validates the walk-the-structures
+// accountant against the runtime: build several trackers, measure the
+// live-heap growth they cause, and require the summed EngineStats bytes
+// to land within 30% of it. Several trackers amplify the signal over
+// baseline GC noise; the workload keeps most bytes in structures the
+// accountant measures exactly (bitsets, adjacency pages, member slices)
+// with maps as a modeled minority.
+func TestEngineStatsTracksHeapGrowth(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(seed int64) Tracker
+	}{
+		{"SieveADN", func(seed int64) Tracker {
+			tr := NewSieveADN(6, 0.25, nil)
+			feedRandom(t, tr, seed, 60, 1500, 30, 60)
+			return tr
+		}},
+		{"HistApprox", func(seed int64) Tracker {
+			tr := NewHistApprox(8, 0.2, 60, nil)
+			feedRandom(t, tr, seed, 300, 3000, 40, 60)
+			return tr
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const copies = 4
+			trackers := make([]Tracker, copies)
+			before := liveHeap()
+			for i := range trackers {
+				trackers[i] = tc.build(int64(100 + i))
+			}
+			grown := int64(liveHeap() - before)
+			var est int64
+			for _, tr := range trackers {
+				st, ok := StatsFor(tr)
+				if !ok {
+					t.Fatalf("%s reports no engine stats", tr.Name())
+				}
+				if st.Bytes <= 0 || st.Nodes <= 0 || st.Edges <= 0 {
+					t.Fatalf("degenerate stats: %+v", st)
+				}
+				est += st.Bytes
+			}
+			runtime.KeepAlive(trackers)
+			if grown <= 0 {
+				t.Skipf("no measurable heap growth (%d bytes) — GC noise swamped the build", grown)
+			}
+			ratio := float64(est) / float64(grown)
+			t.Logf("estimated %d bytes vs %d grown (ratio %.3f)", est, grown, ratio)
+			if ratio < 0.7 || ratio > 1.3 {
+				t.Errorf("accountant off by more than 30%%: estimated %d, heap grew %d (ratio %.3f)",
+					est, grown, ratio)
+			}
+		})
+	}
+}
+
+// TestEngineStatsShape pins the algorithm-level fields the serving layer
+// surfaces: instance counts, candidate thresholds, the threshold window,
+// and reduction kills accumulate on a decaying stream.
+func TestEngineStatsShape(t *testing.T) {
+	h := NewHistApprox(5, 0.2, 40, nil)
+	feedRandom(t, h, 7, 200, 500, 10, 40)
+	st, ok := StatsFor(h)
+	if !ok {
+		t.Fatal("HistApprox reports no engine stats")
+	}
+	if st.Tracker == "" {
+		t.Error("tracker name missing")
+	}
+	if st.Instances != h.NumInstances() {
+		t.Errorf("instances %d, want %d", st.Instances, h.NumInstances())
+	}
+	if len(st.InstanceStats) != st.Instances {
+		t.Errorf("%d instance breakdowns for %d instances", len(st.InstanceStats), st.Instances)
+	}
+	if st.ReductionKills == 0 {
+		t.Error("no reduction kills recorded on a long decaying stream")
+	}
+	if st.Thresholds <= 0 || st.MaxCandidate <= 0 {
+		t.Errorf("sieve internals missing: thresholds %d, max candidate %d", st.Thresholds, st.MaxCandidate)
+	}
+	if st.ExpirySlots <= 0 {
+		t.Errorf("expiry slots %d, want > 0", st.ExpirySlots)
+	}
+	var sum int64
+	for _, inst := range st.InstanceStats {
+		if inst.Bytes < 0 {
+			t.Errorf("instance %d: negative bytes", inst.Index)
+		}
+		sum += inst.Bytes
+	}
+	if sum > st.Bytes {
+		t.Errorf("instance bytes %d exceed total %d", sum, st.Bytes)
+	}
+
+	sv := NewSieveADN(4, 0.25, nil)
+	feedRandom(t, sv, 8, 100, 300, 8, 50)
+	st2, ok := StatsFor(sv)
+	if !ok {
+		t.Fatal("SieveADN reports no engine stats")
+	}
+	if st2.Instances != 1 {
+		t.Errorf("sieve instances %d, want 1", st2.Instances)
+	}
+	if st2.ThresholdExpHi < st2.ThresholdExpLo {
+		t.Errorf("threshold window inverted: [%d, %d]", st2.ThresholdExpLo, st2.ThresholdExpHi)
+	}
+	if st2.ReachBytes <= 0 {
+		t.Error("no reach-set bytes on a populated sieve")
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+// Memory accounting for the two graph representations. Sizes are walked
+// bottom-up from the actual backing arrays (slice capacities, bitset
+// words) so the totals track runtime.MemStats growth; map footprints are
+// estimated from entry counts and the runtime's bucket layout, which is
+// the best a portable accountant can do.
+
+const (
+	sliceHeaderBytes = 24 // ptr + len + cap
+	nodeIDBytes      = 4  // ids.NodeID is uint32
+	edgeBytes        = 24 // stream.Edge: two uint32 + int64 + int, aligned
+)
+
+// mapBytes estimates the heap footprint of a Go map with n entries whose
+// key+value pair occupies kv bytes: 8-entry buckets each carrying eight
+// tophash bytes and an overflow pointer, at roughly 6.5 live entries per
+// bucket under the default load factor, plus the map header.
+func mapBytes(n, kv int) int64 {
+	if n == 0 {
+		return 48
+	}
+	buckets := int64(n)*2/13 + 1
+	return 48 + buckets*(16+8*int64(kv))
+}
+
+// PageSeen dedupes copy-on-write adjacency pages across ADN clones: a
+// HISTAPPROX instance family shares most pages with its neighbors, and
+// counting a shared page once per family — not once per instance — is
+// what keeps the accountant honest against measured heap growth. Pass one
+// set through every SizeBytes call belonging to the same clone family.
+type PageSeen map[*adjPage]struct{}
+
+// sizeBytes sums the page table plus every not-yet-seen page: 64 slice
+// headers per page and the capacity of each neighbor list.
+func (a *adjacency) sizeBytes(seen PageSeen) int64 {
+	total := int64(cap(a.pages))*8 + int64(cap(a.owned))
+	for _, p := range a.pages {
+		if p == nil {
+			continue
+		}
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		total += pageSize * sliceHeaderBytes
+		for _, s := range p {
+			total += int64(cap(s)) * nodeIDBytes
+		}
+	}
+	return total
+}
+
+// SizeBytes returns the heap bytes held by the graph's adjacency pages,
+// presence bitset and dedup accelerator. seen carries page identity across
+// clones so shared copy-on-write pages are counted once per family; pass
+// nil for a standalone graph.
+func (g *ADN) SizeBytes(seen PageSeen) int64 {
+	if seen == nil {
+		seen = make(PageSeen)
+	}
+	total := g.out.sizeBytes(seen) + g.in.sizeBytes(seen)
+	total += int64(cap(g.present)) * 8
+	total += mapBytes(len(g.dedup), nodeIDBytes+8)
+	for _, d := range g.dedup {
+		total += mapBytes(len(d), nodeIDBytes)
+	}
+	return total
+}
+
+// NumExpirySlots reports the number of distinct expiry times currently
+// holding live edges — the bucket count behind AdvanceTo.
+func (g *TDN) NumExpirySlots() int { return len(g.buckets) }
+
+// SizeBytes returns the estimated heap bytes held by the TDN: both
+// adjacency maps with their per-node multiplicity maps, the node refcount
+// map, and the expiry buckets with their edge payloads.
+func (g *TDN) SizeBytes() int64 {
+	total := mapBytes(len(g.out), nodeIDBytes+8) + mapBytes(len(g.in), nodeIDBytes+8)
+	for _, m := range g.out {
+		total += mapBytes(len(m), nodeIDBytes+8)
+	}
+	for _, m := range g.in {
+		total += mapBytes(len(m), nodeIDBytes+8)
+	}
+	total += mapBytes(len(g.refs), nodeIDBytes+8)
+	total += mapBytes(len(g.buckets), 8+sliceHeaderBytes)
+	for _, bucket := range g.buckets {
+		total += int64(cap(bucket)) * edgeBytes
+	}
+	return total
+}

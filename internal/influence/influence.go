@@ -106,6 +106,10 @@ func (r *ReachSet) Reset() {
 	r.count = 0
 }
 
+// SizeBytes returns the heap bytes held by the bitset's backing array —
+// the unit the engine-introspection memory accountant sums bottom-up.
+func (r *ReachSet) SizeBytes() int64 { return int64(cap(r.words)) * 8 }
+
 // ForEach visits every member in ascending NodeID order.
 func (r *ReachSet) ForEach(visit func(n ids.NodeID)) {
 	for w, word := range r.words {
@@ -150,6 +154,14 @@ func New(g Graph, c *metrics.Counter) *Oracle {
 
 // Calls returns the shared oracle-call counter.
 func (o *Oracle) Calls() *metrics.Counter { return o.calls }
+
+// ScratchBytes returns the heap bytes held by the oracle's reusable BFS
+// scratch (generation-stamped visited stamps plus the queue/delta/affected
+// buffers). The graph itself is accounted separately by its owner.
+func (o *Oracle) ScratchBytes() int64 {
+	return int64(cap(o.visited))*4 +
+		int64(cap(o.queue)+cap(o.delta)+cap(o.affected))*4
+}
 
 // Graph returns the underlying graph view.
 func (o *Oracle) Graph() Graph { return o.g }

@@ -1,0 +1,82 @@
+package ris
+
+import (
+	"tdnstream/internal/core"
+)
+
+// Engine introspection for the RIS family. Map footprints use the same
+// entry-count model as the graph package's accountant.
+
+func risMapBytes(n, kv int) int64 {
+	if n == 0 {
+		return 48
+	}
+	buckets := int64(n)*2/13 + 1
+	return 48 + buckets*(16+8*int64(kv))
+}
+
+// engineStats is the shared walk for the snapshot trackers (IMM, TIM+),
+// whose only state is the global TDN plus the valuation oracle.
+func (s *snapshotTracker) engineStats() core.Stats {
+	var st core.Stats
+	if s.g != nil {
+		st.Nodes = s.g.NumNodes()
+		st.Edges = s.g.NumAliveEdges()
+		st.ExpirySlots = s.g.NumExpirySlots()
+		st.Bytes += s.g.SizeBytes()
+	}
+	if s.oracle != nil {
+		st.ScratchBytes = s.oracle.ScratchBytes()
+		st.Bytes += st.ScratchBytes
+	}
+	return st
+}
+
+// EngineStats implements core.Sizer.
+func (m *IMMTracker) EngineStats() core.Stats {
+	st := m.engineStats()
+	st.Tracker = m.Name()
+	return st
+}
+
+// EngineStats implements core.Sizer.
+func (m *TIMPlusTracker) EngineStats() core.Stats {
+	st := m.engineStats()
+	st.Tracker = m.Name()
+	return st
+}
+
+// EngineStats implements core.Sizer: the snapshot walk plus the sketch
+// pool, the containing index and the expiry-pair buckets.
+func (d *DIM) EngineStats() core.Stats {
+	var st core.Stats
+	st.Tracker = d.Name()
+	if d.g != nil {
+		st.Nodes = d.g.NumNodes()
+		st.Edges = d.g.NumAliveEdges()
+		st.ExpirySlots = d.g.NumExpirySlots()
+		st.Bytes += d.g.SizeBytes()
+	}
+	if d.oracle != nil {
+		st.ScratchBytes = d.oracle.ScratchBytes()
+		st.Bytes += st.ScratchBytes
+	}
+	st.Sketches = len(d.sketches)
+	st.Bytes += int64(cap(d.sketches)) * 8
+	for _, sk := range d.sketches {
+		if sk == nil {
+			continue
+		}
+		st.Bytes += 16 + risMapBytes(len(sk.nodes), 4)
+	}
+	st.Bytes += risMapBytes(len(d.containing), 4+8)
+	for _, s := range d.containing {
+		st.Bytes += risMapBytes(len(s), 8)
+	}
+	st.Bytes += risMapBytes(len(d.buckets), 8+24)
+	for _, b := range d.buckets {
+		st.Bytes += int64(cap(b)) * 8
+	}
+	st.Bytes += int64(cap(d.nodesCache)) * 4
+	return st
+}

@@ -225,6 +225,16 @@ type Config struct {
 	// (the daemon adds e.g. shards="4"). Keys must be valid Prometheus
 	// label names; values are quoted verbatim.
 	BuildLabels map[string]string
+	// MemoryWatermarkBytes, when > 0, is the per-stream engine-memory
+	// watermark: a stream whose introspected footprint (engine_bytes)
+	// crosses it is logged at Warn on the upward crossing and once a
+	// minute while above, and at Info on recovery. 0 disables the log.
+	MemoryWatermarkBytes int64
+	// DisableEngineStats turns off the per-publish engine-introspection
+	// refresh (the walk behind the influtrackd_engine_* gauges and the
+	// memory-watermark log). The deep stats endpoint
+	// (/v1/streams/{name}/stats) still works — it collects on demand.
+	DisableEngineStats bool
 	// NotifyExplainGains spends oracle calls at every snapshot publish to
 	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
 	// calls): events then carry true greedy ranks and gains, enabling

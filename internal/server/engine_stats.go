@@ -1,0 +1,41 @@
+package server
+
+import (
+	"net/http"
+
+	"tdnstream"
+)
+
+// handleEngineStats serves the deep engine-introspection report for one
+// stream: the tracker's walked memory footprint and algorithm internals
+// (instance counts, candidate sets, threshold windows, shard balance —
+// see tdnstream.EngineStats). Unlike the cheap cached gauges on /metrics
+// this collects on demand, and the walk must run on the worker goroutine
+// (trackers are not concurrency-safe), so like /v1/explain it waits
+// behind in-flight chunks and is token-gated.
+func (s *Server) handleEngineStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wk, ok := s.stream(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	if !s.authorize(w, r, wk) {
+		return
+	}
+	var es tdnstream.EngineStats
+	var supported bool
+	err := wk.do(r.Context(), func() {
+		es, supported = tdnstream.EngineStatsOf(wk.state.Load().tracker)
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if !supported {
+		writeError(w, http.StatusUnprocessableEntity,
+			"stream %q: tracker %q reports no engine stats", wk.name, wk.snapshot().Algo)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream": wk.name, "stats": es})
+}

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tdnstream"
+)
+
+// engineStatsResponse mirrors handleEngineStats's JSON for tests.
+type engineStatsResponse struct {
+	Stream string                `json:"stream"`
+	Stats  tdnstream.EngineStats `json:"stats"`
+}
+
+func getEngineStats(t *testing.T, base, name string) engineStatsResponse {
+	t.Helper()
+	code, body := get(t, base+"/v1/streams/"+name+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats %s: status %d: %s", name, code, body)
+	}
+	var resp engineStatsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// TestEngineStatsEndpoint covers the deep introspection endpoint for a
+// single-instance stream and a sharded one, plus the cached /metrics
+// gauges and the wal_applied watermark in stream listings.
+func TestEngineStatsEndpoint(t *testing.T) {
+	shardedSpec := testSpec("sharded")
+	shardedSpec.Tracker.Shards = 2
+	s, ts := newTestServer(t, Config{
+		QueueDepth: 64,
+		WALDir:     t.TempDir(),
+		Streams:    []StreamSpec{testSpec("solo"), shardedSpec},
+	})
+
+	for _, name := range []string{"solo", "sharded"} {
+		var b strings.Builder
+		for i := 0; i < 200; i++ {
+			fmt.Fprintf(&b, "{\"src\":\"n%d\",\"dst\":\"n%d\",\"t\":%d}\n", i%31, (i+7)%31, i+1)
+		}
+		code, body := post(t, ts.URL+"/v1/ingest?stream="+name, ctNDJSON, b.String())
+		if code != http.StatusOK {
+			t.Fatalf("ingest %s: status %d: %s", name, code, body)
+		}
+		wk, _ := s.stream(name)
+		waitProcessed(t, wk, 200)
+	}
+
+	solo := getEngineStats(t, ts.URL, "solo")
+	if solo.Stream != "solo" {
+		t.Errorf("stream %q, want solo", solo.Stream)
+	}
+	if solo.Stats.Bytes <= 0 || solo.Stats.Nodes <= 0 || solo.Stats.Edges <= 0 {
+		t.Errorf("degenerate solo stats: %+v", solo.Stats)
+	}
+	if solo.Stats.Instances < 1 {
+		t.Errorf("solo instances %d, want ≥ 1", solo.Stats.Instances)
+	}
+	if len(solo.Stats.Shards) != 0 {
+		t.Errorf("solo stream reports %d shards", len(solo.Stats.Shards))
+	}
+
+	sharded := getEngineStats(t, ts.URL, "sharded")
+	if len(sharded.Stats.Shards) != 2 {
+		t.Fatalf("sharded stream reports %d shard breakdowns, want 2", len(sharded.Stats.Shards))
+	}
+	if len(sharded.Stats.ShardRecords) != 2 {
+		t.Fatalf("shard records %v, want 2 partitions", sharded.Stats.ShardRecords)
+	}
+	if sharded.Stats.ShardSkew < 1 {
+		t.Errorf("shard skew %g, want ≥ 1 (max/mean)", sharded.Stats.ShardSkew)
+	}
+	var sub int64
+	for _, sh := range sharded.Stats.Shards {
+		if sh.Bytes <= 0 {
+			t.Errorf("shard breakdown with no bytes: %+v", sh)
+		}
+		sub += sh.Bytes
+	}
+	if sub > sharded.Stats.Bytes {
+		t.Errorf("shard bytes %d exceed engine total %d", sub, sharded.Stats.Bytes)
+	}
+
+	// Unknown stream: 404.
+	if code, _ := get(t, ts.URL+"/v1/streams/nosuch/stats"); code != http.StatusNotFound {
+		t.Errorf("unknown stream: status %d, want 404", code)
+	}
+
+	// The cached gauges surface on /metrics after the publishes above.
+	fams := scrape(t, ts.URL)
+	for _, fam := range []string{
+		"influtrackd_engine_bytes", "influtrackd_engine_instances",
+		"influtrackd_engine_nodes", "influtrackd_engine_edges",
+	} {
+		f := famOf(fams, fam)
+		if f == nil {
+			t.Fatalf("family %s missing from /metrics", fam)
+		}
+		streams := map[string]float64{}
+		for _, smp := range f.Samples {
+			streams[smp.Labels["stream"]] = smp.Value
+		}
+		for _, name := range []string{"solo", "sharded"} {
+			if v, ok := streams[name]; !ok || v <= 0 {
+				t.Errorf("%s{stream=%q} = %g, want > 0", fam, name, v)
+			}
+		}
+	}
+	if f := famOf(fams, "influtrackd_shard_skew_ratio"); f == nil {
+		t.Error("shard_skew_ratio missing from /metrics")
+	} else {
+		for _, smp := range f.Samples {
+			if smp.Labels["stream"] == "solo" {
+				t.Error("shard_skew_ratio rendered for the unsharded stream")
+			}
+		}
+	}
+
+	// engine_bytes should agree with the deep endpoint's walk to within
+	// normal between-publish drift (both walked the same structures).
+	if f := famOf(fams, "influtrackd_engine_bytes"); f != nil {
+		for _, smp := range f.Samples {
+			if smp.Labels["stream"] != "solo" {
+				continue
+			}
+			lo, hi := float64(solo.Stats.Bytes)*0.5, float64(solo.Stats.Bytes)*2
+			if smp.Value < lo || smp.Value > hi {
+				t.Errorf("engine_bytes gauge %g far from deep walk %d", smp.Value, solo.Stats.Bytes)
+			}
+		}
+	}
+
+	// wal_applied: present in stream info and as gauges, and non-zero
+	// after acknowledged traffic on a WAL-backed stream.
+	code, body := get(t, ts.URL+"/v1/streams")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	var list struct {
+		Streams []struct {
+			Name       string `json:"name"`
+			WALApplied *struct {
+				Segment uint64 `json:"segment"`
+				Offset  int64  `json:"offset"`
+			} `json:"wal_applied"`
+		} `json:"streams"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range list.Streams {
+		if si.WALApplied == nil {
+			t.Errorf("stream %s: wal_applied missing from listing", si.Name)
+		} else if si.WALApplied.Offset <= 0 {
+			t.Errorf("stream %s: wal_applied offset %d, want > 0 after acked traffic",
+				si.Name, si.WALApplied.Offset)
+		}
+	}
+	for _, fam := range []string{"influtrackd_wal_applied_segment", "influtrackd_wal_applied_offset"} {
+		if famOf(fams, fam) == nil {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+}
+
+// TestEngineStatsAuth: a tokened stream's stats endpoint is gated like
+// explain (the walk costs worker time), and the watermark log fires when
+// the footprint crosses the configured budget.
+func TestEngineStatsAuth(t *testing.T) {
+	spec := testSpec("sec")
+	spec.Token = "s3cret-token"
+	s, ts := newTestServer(t, Config{Streams: []StreamSpec{spec}})
+	wk, _ := s.stream("sec")
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/ingest?stream=sec", strings.NewReader(
+		"{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n{\"src\":\"b\",\"dst\":\"c\",\"t\":2}\n"))
+	req.Header.Set("Content-Type", ctNDJSON)
+	req.Header.Set("Authorization", "Bearer s3cret-token")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authed ingest: %d", resp.StatusCode)
+	}
+	waitProcessed(t, wk, 2)
+
+	if code, _ := get(t, ts.URL+"/v1/streams/sec/stats"); code != http.StatusUnauthorized {
+		t.Errorf("bare stats: status %d, want 401", code)
+	}
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/streams/sec/stats", nil)
+	req.Header.Set("Authorization", "Bearer s3cret-token")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authed stats: %d: %s", resp.StatusCode, body)
+	}
+	var got engineStatsResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Bytes <= 0 {
+		t.Errorf("authed stats degenerate: %+v", got.Stats)
+	}
+}
+
+// TestEngineStatsDisabled: with the per-publish refresh off, the gauges
+// never materialize but the on-demand endpoint still answers.
+func TestEngineStatsDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		DisableEngineStats: true,
+		Streams:            []StreamSpec{testSpec("quiet")},
+	})
+	code, _ := post(t, ts.URL+"/v1/ingest?stream=quiet", ctNDJSON, "{\"src\":\"a\",\"dst\":\"b\",\"t\":1}\n")
+	if code != http.StatusOK {
+		t.Fatalf("ingest: %d", code)
+	}
+	wk, _ := s.stream("quiet")
+	waitProcessed(t, wk, 1)
+	// Give the publish path a beat: the absence being tested is the
+	// refresh that would have happened during it.
+	time.Sleep(20 * time.Millisecond)
+	fams := scrape(t, ts.URL)
+	if famOf(fams, "influtrackd_engine_bytes") != nil {
+		t.Error("engine_bytes rendered with engine stats disabled")
+	}
+	st := getEngineStats(t, ts.URL, "quiet")
+	if st.Stats.Bytes <= 0 {
+		t.Errorf("on-demand stats degenerate with refresh disabled: %+v", st.Stats)
+	}
+}

@@ -30,6 +30,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("DELETE /v1/streams/{name}", s.handleDeleteStream)
 	mux.HandleFunc("GET /v1/streams/{name}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/streams/{name}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/streams/{name}/stats", s.handleEngineStats)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/admin/restore", s.handleRestore)
 	mux.HandleFunc("GET /v1/admin/fault", s.handleFaultList)
@@ -425,6 +426,11 @@ type streamInfo struct {
 	// current on-disk footprint across segments.
 	WAL      bool  `json:"wal,omitempty"`
 	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// WALApplied is the apply watermark: the log position (segment,
+	// byte offset) through which the worker has fed acknowledged chunks
+	// into the tracker. Replay after a crash resumes from at most here;
+	// the gap to the log tail is the stream's replay debt.
+	WALApplied *walAppliedJSON `json:"wal_applied,omitempty"`
 	// State is the serving state: "healthy", or "degraded" while the
 	// stream's write-ahead log is faulted and under background repair —
 	// ingest answers 503 + Retry-After, reads keep serving the last good
@@ -437,18 +443,30 @@ type streamInfo struct {
 	LastError       string  `json:"last_error,omitempty"`
 }
 
+// walAppliedJSON renders the WAL apply watermark in stream listings.
+type walAppliedJSON struct {
+	Segment uint64 `json:"segment"`
+	Offset  int64  `json:"offset"`
+}
+
 func (s *Server) infoFor(wk *worker) streamInfo {
 	snap := wk.snapshot()
 	var walOn bool
 	var walBytes int64
+	var walApplied *walAppliedJSON
 	if wk.wlog != nil {
 		walOn = true
 		walBytes = wk.wlog.Stats().Bytes
+		walApplied = &walAppliedJSON{
+			Segment: wk.walAppliedSeg.Load(),
+			Offset:  wk.walAppliedOff.Load(),
+		}
 	}
 	return streamInfo{
 		Name:            wk.name,
 		WAL:             walOn,
 		WALBytes:        walBytes,
+		WALApplied:      walApplied,
 		State:           wk.serveState(),
 		DegradedSeconds: wk.degradedFor().Seconds(),
 		WALRepairs:      wk.m.walRepairs.Load(),

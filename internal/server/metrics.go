@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tdnstream"
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/notify"
 	"tdnstream/internal/obs"
@@ -31,7 +32,6 @@ type streamMetrics struct {
 	steps         atomic.Uint64 // tracker steps taken
 	chunks        atomic.Uint64 // chunks drained from the queue
 	batchNanos    atomic.Uint64 // cumulative worker time processing chunks
-	lastBatchNs   atomic.Uint64 // latency of the most recent chunk
 	stepsPerSec   metrics.EWMA  // smoothed step throughput
 	rowsPerSec    metrics.EWMA  // smoothed record throughput
 
@@ -80,9 +80,7 @@ func (m *streamMetrics) observeChunk(n, s int, d time.Duration) {
 	m.processed.Add(uint64(n))
 	m.steps.Add(uint64(s))
 	m.chunks.Add(1)
-	ns := uint64(d.Nanoseconds())
-	m.batchNanos.Add(ns)
-	m.lastBatchNs.Store(ns)
+	m.batchNanos.Add(uint64(d.Nanoseconds()))
 	m.batchLat.Observe(d)
 	if d > 0 {
 		sec := d.Seconds()
@@ -211,11 +209,6 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		p("influtrackd_records_per_sec{stream=%q} %g\n", r.name, r.w.m.rowsPerSec.Value())
 	}
-	gauge("batch_latency_seconds", "Worker time spent on the most recent chunk (point gauge, kept for existing dashboards; influtrackd_worker_batch_seconds carries the full distribution).")
-	for _, r := range rows {
-		p("influtrackd_batch_latency_seconds{stream=%q} %g\n", r.name,
-			float64(r.w.m.lastBatchNs.Load())/1e9)
-	}
 	summaryHead("ingest_request_seconds", "Server-side POST /v1/ingest latency, all statuses.")
 	for _, r := range rows {
 		summaryRow("ingest_request_seconds", r.name, &r.w.m.ingestLat)
@@ -224,7 +217,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		summaryRow("topk_request_seconds", r.name, &r.w.m.topkLat)
 	}
-	summaryHead("worker_batch_seconds", "Worker time per drained chunk (the distribution behind the batch_latency_seconds gauge).")
+	summaryHead("worker_batch_seconds", "Worker time per drained chunk (supersedes the retired batch_latency_seconds point gauge).")
 	for _, r := range rows {
 		summaryRow("worker_batch_seconds", r.name, &r.w.m.batchLat)
 	}
@@ -237,6 +230,52 @@ func (s *Server) writeMetrics(w io.Writer) {
 	counter("checkpoint_retries_total", "Checkpoint save attempts retried after a transient failure (bounded by CheckpointRetries per round).")
 	for _, r := range rows {
 		p("influtrackd_checkpoint_retries_total{stream=%q} %d\n", r.name, r.w.m.ckptRetries.Load())
+	}
+
+	// Engine-introspection surface: the worker-cached tracker reports
+	// (refreshed at each snapshot publish unless DisableEngineStats).
+	// Rows appear only once a stream has published with a reporting
+	// tracker, so a scrape can tell "no report yet" from zeros; the deep
+	// breakdown lives on /v1/streams/{name}/stats.
+	type engineRow struct {
+		name string
+		es   *tdnstream.EngineStats
+	}
+	var engineRows []engineRow
+	for _, r := range rows {
+		if es := r.w.engineStats.Load(); es != nil {
+			engineRows = append(engineRows, engineRow{r.name, es})
+		}
+	}
+	if len(engineRows) > 0 {
+		gauge("engine_bytes", "Walked engine memory footprint: graphs, candidate reach sets, histogram instances and oracle scratch, summed bottom-up.")
+		for _, r := range engineRows {
+			p("influtrackd_engine_bytes{stream=%q} %d\n", r.name, r.es.Bytes)
+		}
+		gauge("engine_instances", "Live algorithm instances (HistApprox sieves across deadlines; 1 for single-instance trackers).")
+		for _, r := range engineRows {
+			p("influtrackd_engine_instances{stream=%q} %d\n", r.name, r.es.Instances)
+		}
+		gauge("engine_nodes", "Nodes alive in the tracker's time-decaying graph state.")
+		for _, r := range engineRows {
+			p("influtrackd_engine_nodes{stream=%q} %d\n", r.name, r.es.Nodes)
+		}
+		gauge("engine_edges", "Edges alive in the tracker's time-decaying graph state.")
+		for _, r := range engineRows {
+			p("influtrackd_engine_edges{stream=%q} %d\n", r.name, r.es.Edges)
+		}
+		var sharded []engineRow
+		for _, r := range engineRows {
+			if r.es.ShardSkew > 0 {
+				sharded = append(sharded, r)
+			}
+		}
+		if len(sharded) > 0 {
+			gauge("shard_skew_ratio", "Partition balance of sharded engines: max records routed to one partition over the mean (1.0 is perfectly balanced).")
+			for _, r := range sharded {
+				p("influtrackd_shard_skew_ratio{stream=%q} %g\n", r.name, r.es.ShardSkew)
+			}
+		}
 	}
 
 	// Write-ahead-log surface: rows only for WAL-enabled streams, so a
@@ -278,6 +317,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 		gauge("wal_segments", "Live write-ahead-log segment files.")
 		for _, r := range walRows {
 			p("influtrackd_wal_segments{stream=%q} %d\n", r.name, r.st.Segments)
+		}
+		gauge("wal_applied_segment", "Segment index of the apply watermark: the log position through which acknowledged chunks reached the tracker.")
+		for _, r := range walRows {
+			p("influtrackd_wal_applied_segment{stream=%q} %d\n", r.name, r.w.walAppliedSeg.Load())
+		}
+		gauge("wal_applied_offset", "Byte offset within the watermark segment; with wal_applied_segment it bounds replay after a crash.")
+		for _, r := range walRows {
+			p("influtrackd_wal_applied_offset{stream=%q} %d\n", r.name, r.w.walAppliedOff.Load())
 		}
 		gauge("wal_degraded", "1 while the stream's write-ahead log is faulted and under background repair (ingest answers 503), 0 when healthy.")
 		for _, r := range walRows {

@@ -144,6 +144,54 @@ func TestMetricsConformance(t *testing.T) {
 		}
 	}
 
+	// Engine-introspection gauges round-trip through ParseProm with one
+	// sample per stream; the structural counts must be live.
+	for _, fam := range []string{
+		"influtrackd_engine_bytes", "influtrackd_engine_instances",
+		"influtrackd_engine_nodes", "influtrackd_engine_edges",
+	} {
+		f := famOf(fams, fam)
+		if f == nil {
+			t.Fatalf("family %s missing from /metrics", fam)
+		}
+		if f.Type != "gauge" {
+			t.Errorf("family %s: type %q, want gauge", fam, f.Type)
+		}
+		byStream := map[string]float64{}
+		for _, smp := range f.Samples {
+			byStream[smp.Labels["stream"]] = smp.Value
+		}
+		for _, stream := range []string{"plain", "walstream"} {
+			if v, ok := byStream[stream]; !ok || v <= 0 {
+				t.Errorf("%s{stream=%q} = %g, want > 0", fam, stream, v)
+			}
+		}
+	}
+
+	// The WAL applied watermark is a gauge pair on WAL-backed streams only.
+	for _, fam := range []string{"influtrackd_wal_applied_segment", "influtrackd_wal_applied_offset"} {
+		f := famOf(fams, fam)
+		if f == nil {
+			t.Fatalf("family %s missing from /metrics", fam)
+		}
+		streams := map[string]bool{}
+		for _, smp := range f.Samples {
+			streams[smp.Labels["stream"]] = true
+		}
+		if streams["plain"] {
+			t.Errorf("%s rendered for WAL-less stream", fam)
+		}
+		if !streams["walstream"] {
+			t.Errorf("%s missing for WAL-backed stream", fam)
+		}
+	}
+
+	// batch_latency_seconds retired in favor of the worker_batch_seconds
+	// summary — the old point gauge must not resurface.
+	if famOf(fams, "influtrackd_batch_latency_seconds") != nil {
+		t.Error("retired batch_latency_seconds gauge rendered")
+	}
+
 	bi := famOf(fams, "influtrackd_build_info")
 	if bi == nil || len(bi.Samples) != 1 {
 		t.Fatalf("build_info: %+v", bi)

@@ -138,11 +138,30 @@ type worker struct {
 	walDictLen int
 	walScratch []byte
 
+	// walAppliedSeg/Off mirror walApplied for readers off the worker
+	// goroutine (/v1/streams info and the /metrics wal_applied gauges).
+	walAppliedSeg atomic.Uint64
+	walAppliedOff atomic.Int64
+
+	// engineStats caches the tracker's introspection report. Only the
+	// worker goroutine refreshes it (on publish, unless
+	// Config.DisableEngineStats); /metrics and the memory-watermark log
+	// read the cache, so scrapes never touch the tracker.
+	engineStats atomic.Pointer[tdnstream.EngineStats]
+
 	// Worker-goroutine-private state.
 	lastT      int64   // high-water tracker time (event) / step clock (arrival)
 	sinceSnap  int     // chunks since the last snapshot publish
 	walApplied wal.Pos // log position covered by the tracker state
 	replaying  bool    // WAL replay in progress: suppress per-chunk publishes
+	// aboveWatermark/watermarkLogNs drive the memory-watermark slog:
+	// warn on the upward crossing, re-warn periodically while above,
+	// note the recovery on the way back down.
+	aboveWatermark bool
+	watermarkLogNs int64
+	// statsRefreshNs throttles the engine-introspection walk while the
+	// queue is backlogged (idle-queue publishes always refresh).
+	statsRefreshNs int64
 }
 
 // buildState constructs a stream's swap-in state from its spec. When
@@ -328,7 +347,7 @@ func (w *worker) openWAL(ckpt *checkpointEnvelope) error {
 	// would checkpoint a zero watermark and the *next* boot would
 	// re-apply the whole log on top of a state that already contains
 	// it.
-	w.walApplied = start
+	w.setWALApplied(start)
 	if err := w.replayWAL(start); err != nil {
 		log.Close()
 		w.wlog = nil
@@ -336,6 +355,15 @@ func (w *worker) openWAL(ckpt *checkpointEnvelope) error {
 	}
 	w.walDictLen = w.labels.len()
 	return nil
+}
+
+// setWALApplied advances the applied watermark together with its atomic
+// mirrors. Every assignment must go through here so off-goroutine
+// readers see the same position checkpoints will record.
+func (w *worker) setWALApplied(pos wal.Pos) {
+	w.walApplied = pos
+	w.walAppliedSeg.Store(pos.Seg)
+	w.walAppliedOff.Store(pos.Off)
 }
 
 // errMarkerPeek ends a genesisMarkerMatches scan after one record.
@@ -400,7 +428,7 @@ func (w *worker) appendBootMarker(ckpt *checkpointEnvelope) error {
 	if err != nil {
 		return err
 	}
-	w.walApplied = pos
+	w.setWALApplied(pos)
 	if err := w.wlog.Commit(tok); err != nil {
 		return fmt.Errorf("server: stream %q: boot marker: %w", w.name, err)
 	}
@@ -471,7 +499,7 @@ func (w *worker) applyRestoreMarker(env *checkpointEnvelope, end wal.Pos) error 
 	w.lastT, _ = tdnstream.TrackerNow(st.tracker)
 	w.m.seed(env.Counters)
 	w.state.Store(st)
-	w.walApplied = end
+	w.setWALApplied(end)
 	if w.hub != nil {
 		w.hub.Resume(w.name, env.NotifySeq)
 	}
@@ -773,7 +801,7 @@ func (w *worker) process(c chunk) {
 		// checkpoints record this watermark. (Stale-dropped and failed
 		// records are covered too — re-feeding them would drop or fail
 		// them again.)
-		w.walApplied = c.walPos
+		w.setWALApplied(c.walPos)
 	}
 	w.sinceSnap++
 	// During WAL replay the per-chunk publish is suppressed: nobody can
@@ -840,7 +868,55 @@ func (w *worker) publishFor(tr *obs.Trace) {
 	}
 	tr.Add(obs.StagePublish, pubD)
 	tr.Add(obs.StageNotify, notifyD)
+	if !w.cfg.DisableEngineStats {
+		// The walk costs O(structures), so a publish-per-chunk backlog
+		// must not pay it every time: refresh when the queue is idle
+		// (the worker has nothing better to do, and quiescent gauges
+		// are the ones operators read) and otherwise at most once per
+		// second, so a deep drain still updates the footprint while it
+		// mutates the structures the walk measures.
+		now := time.Now().UnixNano()
+		if len(w.queue) == 0 || now-w.statsRefreshNs >= int64(time.Second) {
+			w.refreshEngineStats(st)
+			w.statsRefreshNs = now
+		}
+	}
 	w.sinceSnap = 0
+}
+
+// refreshEngineStats re-walks the tracker's structures into the cached
+// introspection snapshot and drives the memory-watermark log. Runs on
+// the worker goroutine (it touches the tracker); piggybacking on publish
+// keeps the walk off the per-chunk hot path.
+func (w *worker) refreshEngineStats(st *workerState) {
+	es, ok := tdnstream.EngineStatsOf(st.tracker)
+	if !ok {
+		return
+	}
+	w.engineStats.Store(&es)
+	wm := w.cfg.MemoryWatermarkBytes
+	if wm <= 0 {
+		return
+	}
+	above := es.Bytes >= wm
+	now := time.Now().UnixNano()
+	switch {
+	case above && (!w.aboveWatermark || now-w.watermarkLogNs >= int64(time.Minute)):
+		w.cfg.logger().Warn("stream over memory watermark",
+			"stream", w.name,
+			"engine_bytes", es.Bytes,
+			"watermark_bytes", wm,
+			"instances", es.Instances,
+			"nodes", es.Nodes,
+			"edges", es.Edges)
+		w.watermarkLogNs = now
+	case !above && w.aboveWatermark:
+		w.cfg.logger().Info("stream back under memory watermark",
+			"stream", w.name,
+			"engine_bytes", es.Bytes,
+			"watermark_bytes", wm)
+	}
+	w.aboveWatermark = above
 }
 
 // topkOf renders a solution as the notify differ's input. By default the
@@ -1091,7 +1167,7 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 			w.lastErr.Store(&msg)
 			return err
 		}
-		w.walApplied = pos
+		w.setWALApplied(pos)
 		markerTok = tok
 	}
 	w.labels.reset(env.Names)

@@ -104,6 +104,7 @@ func ReadEngineSnapshot(r io.Reader, calls *metrics.Counter) (*Engine, error) {
 		parts:   make([][]stream.Edge, p),
 		errs:    make([]error, p),
 		oracles: make([]*influence.Oracle, p),
+		records: make([]uint64, p),
 		t:       snap.T,
 		begun:   snap.Begun,
 		dirty:   true,

@@ -71,6 +71,10 @@ type Engine struct {
 	parts [][]stream.Edge // per-shard partition scratch, reused across steps
 	errs  []error         // per-shard Step errors, reused across steps
 
+	// records counts the edges routed to each partition since construction
+	// — the balance signal behind the introspection skew ratio.
+	records []uint64
+
 	// Per-shard merge oracles, created lazily and retargeted at each
 	// merge (partition graphs may be replaced across steps).
 	oracles []*influence.Oracle
@@ -105,6 +109,7 @@ func NewEngine(p, k int, factory Factory, calls *metrics.Counter) (*Engine, erro
 		last:    make([]int64, p),
 		parts:   make([][]stream.Edge, p),
 		errs:    make([]error, p),
+		records: make([]uint64, p),
 		oracles: make([]*influence.Oracle, p),
 	}
 	for i := range e.shards {
@@ -175,6 +180,7 @@ func (e *Engine) Step(t int64, edges []stream.Edge) error {
 	for _, ed := range edges {
 		i := ShardOf(ed.Src, p)
 		e.parts[i] = append(e.parts[i], ed)
+		e.records[i]++
 	}
 
 	var wg sync.WaitGroup
@@ -272,4 +278,52 @@ func (e *Engine) Parallel() int {
 		}
 	}
 	return 0
+}
+
+// EngineStats implements core.Sizer: the partition trackers' reports
+// summed, plus the record routing counters and their skew ratio
+// (max/mean; 1.0 is a perfectly balanced partition function).
+func (e *Engine) EngineStats() core.Stats {
+	st := core.Stats{Tracker: e.Name()}
+	st.ShardRecords = append([]uint64(nil), e.records...)
+	var max, total uint64
+	for _, n := range e.records {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(e.records))
+		st.ShardSkew = float64(max) / mean
+	}
+	for i, sh := range e.shards {
+		sub, ok := core.StatsFor(sh)
+		if !ok {
+			continue
+		}
+		st.Shards = append(st.Shards, sub)
+		st.Bytes += sub.Bytes
+		st.Instances += sub.Instances
+		st.ReductionKills += sub.ReductionKills
+		st.Nodes += sub.Nodes
+		st.Edges += sub.Edges
+		st.ExpirySlots += sub.ExpirySlots
+		st.Thresholds += sub.Thresholds
+		st.ReachBytes += sub.ReachBytes
+		st.ScratchBytes += sub.ScratchBytes
+		st.Sketches += sub.Sketches
+		if sub.MaxCandidate > st.MaxCandidate {
+			st.MaxCandidate = sub.MaxCandidate
+		}
+		if o := e.oracles[i]; o != nil {
+			st.ScratchBytes += o.ScratchBytes()
+			st.Bytes += o.ScratchBytes()
+		}
+	}
+	st.Bytes += int64(len(e.records)) * 8
+	for _, part := range e.parts {
+		st.Bytes += int64(cap(part)) * 24
+	}
+	return st
 }

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# bench_pr8.sh [output.json] [duration] [gate_pct]
+#
+# Measures what the PR-8 engine introspection costs: the same
+# -wal-fsync always, 8-concurrent-ingester serving run as BENCH_PR7,
+# once with the per-publish engine-stats refresh on (default) and once
+# with -engine-stats=false.
+#
+#   * stats_on / stats_off: records/sec and ingest latency percentiles;
+#   * overhead_pct: (off - on) / off * 100 — the acceptance gate is
+#     <= 1% against the full-introspection run (the walk piggybacks on
+#     snapshot publish, so an fsync-bound run barely notices it).
+#
+# The gate is enforced: overhead above gate_pct (default 1) fails the
+# script. CI smoke runs pass a looser gate — short runs put normal
+# run-to-run throughput noise above the real signal; the 1% figure is
+# asserted at the default 20s duration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR8.json}"
+dur="${2:-20s}"
+gate="${3:-1}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/influtrackd" ./cmd/influtrackd
+go build -o "$tmp/loadgen" ./cmd/influtrack-loadgen
+
+run_loadgen() { # report port daemon-extra-flags
+    local report="$1" port="$2" extra="$3"
+    rm -rf "$tmp/wal"
+    "$tmp/loadgen" \
+        -spawn "$tmp/influtrackd -addr 127.0.0.1:$port -wal-dir $tmp/wal -wal-fsync always $extra" \
+        -addr "http://127.0.0.1:$port" \
+        -streams 2 -queriers 2 -subscribers 2 -batch 100 \
+        -ingesters 8 -duration "$dur" -settle 6m \
+        -json "$report"
+}
+
+echo "== engine stats on (default): per-publish introspection refresh + gauges"
+run_loadgen "$tmp/on.json" 8188 ""
+echo "== engine stats off: -engine-stats=false"
+run_loadgen "$tmp/off.json" 8189 "-engine-stats=false"
+
+# field FILE KEY — first occurrence wins, which for the latency keys is
+# the client-side ingest histogram (it precedes the query one).
+field() { grep -m1 -o "\"$2\": [0-9.]*" "$1" | grep -o '[0-9.]*$'; }
+okflag() { if grep -q '"ok": true' "$1"; then echo true; else echo false; fi; }
+
+on_rps=$(field "$tmp/on.json" records_per_sec)
+off_rps=$(field "$tmp/off.json" records_per_sec)
+overhead=$(awk -v on="$on_rps" -v off="$off_rps" \
+    'BEGIN { if (off + 0 > 0) printf "%.2f", (off - on) / off * 100; else print "null" }')
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr8-engine-introspection-overhead\","
+    echo "  \"description\": \"cmd/influtrack-loadgen against a spawned influtrackd (-wal-fsync always, 8 concurrent ingesters, 100-record batches): per-publish engine-stats refresh (default) vs -engine-stats=false. overhead_pct is the throughput cost of the walk-the-structures accountant behind the influtrackd_engine_* gauges; the gate is <= ${gate}%.\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"duration\": \"$dur\","
+    echo "  \"gate_pct\": $gate,"
+    for run in on off; do
+        f="$tmp/$run.json"
+        echo "  \"stats_$run\": {"
+        echo "    \"records_per_sec\": $(field "$f" records_per_sec),"
+        echo "    \"ingest_p50_ms\": $(field "$f" p50_ms),"
+        echo "    \"ingest_p99_ms\": $(field "$f" p99_ms),"
+        echo "    \"ingest_p999_ms\": $(field "$f" p999_ms),"
+        echo "    \"verify_ok\": $(okflag "$f")"
+        echo "  },"
+    done
+    echo "  \"overhead_pct\": $overhead"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
+awk -v o="$overhead" -v g="$gate" 'BEGIN {
+    if (o + 0 > g + 0) { printf "engine-stats overhead %.2f%% exceeds the %.2f%% gate\n", o, g; exit 1 }
+    printf "engine-stats overhead %.2f%% within the %.2f%% gate\n", o, g
+}'

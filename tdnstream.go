@@ -244,6 +244,19 @@ func Explain(tr Tracker) []SeedContribution {
 	return nil
 }
 
+// EngineStats is a tracker's introspection report: algorithm internals
+// (instance counts, threshold windows, shard balance) plus a
+// walk-the-structures memory account in bytes.
+type EngineStats = core.Stats
+
+// EngineStatsOf returns tr's introspection report. Every tracker in this
+// module supports it; ok is false for foreign Tracker implementations.
+// Collection walks the tracker's live structures, so — like Solution —
+// it must be called from the goroutine driving the tracker.
+func EngineStatsOf(tr Tracker) (EngineStats, bool) {
+	return core.StatsFor(tr)
+}
+
 // SaveTracker checkpoints a streaming tracker's state so a service can
 // restart without replaying history. Supported trackers: SieveADN,
 // BasicReduction, HistApprox (plain or refined), and sharded engines
