@@ -39,13 +39,18 @@
 // SLO gating (-slo): a comma-separated budget list asserted against the
 // final report, for CI gates and capacity tests:
 //
-//	-slo "ingest_p99=50ms,query_p99=10ms,lost_acked=0"
+//	-slo "ingest_p99=50ms,query_p99=10ms,lost_acked=0,quality_ratio_min=0.5"
 //
 // ingest_p99 and query_p99 bound the client-observed p99 latencies
 // (time.ParseDuration values), lost_acked bounds the verified
-// acked-record loss (needs -verify). Budgets, measured values and
-// per-objective verdicts land in the report's "slo" section; any breach
-// makes the run exit non-zero.
+// acked-record loss (needs -verify), and quality_ratio_min floors the
+// worst audited quality ratio across the run's streams (needs the
+// daemon's quality auditor — a -spawn line carrying -audit-interval 0
+// fails at startup, and a daemon exporting no quality gauges breaches
+// loudly). The scraped per-stream gauges land in the report's "quality"
+// section either way. Budgets, measured values and per-objective
+// verdicts land in the report's "slo" section; any breach makes the run
+// exit non-zero.
 //
 // The run report is JSON on stdout (or -json FILE):
 //
@@ -64,6 +69,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -105,7 +111,7 @@ func main() {
 		timeMode    = flag.String("time-mode", server.TimeArrival, "time mode for created streams: arrival or event")
 		chaos       = flag.String("chaos", "", "fault schedule: kind@start[/dur[/arg]],... (kinds: diskfull, eio, slowfsync, ckptfault, kill)")
 		verify      = flag.Bool("verify", true, "after traffic, verify zero acked-record loss and a healthy final state")
-		slo         = flag.String("slo", "", "SLO budgets asserted against the final report, e.g. ingest_p99=50ms,query_p99=10ms,lost_acked=0; any breach exits non-zero")
+		slo         = flag.String("slo", "", "SLO budgets asserted against the final report, e.g. ingest_p99=50ms,query_p99=10ms,lost_acked=0,quality_ratio_min=0.5; any breach exits non-zero")
 		settle      = flag.Duration("settle", 2*time.Minute, "verification budget for queues to drain and counters to settle (unthrottled runs can bank a backlog several times the traffic phase)")
 		jsonOut     = flag.String("json", "", "write the run report here instead of stdout")
 	)
@@ -121,6 +127,9 @@ func main() {
 	}
 	if budgets.lostAcked >= 0 && !*verify {
 		log.Fatal("-slo lost_acked needs -verify: the loss ledger is what it asserts against")
+	}
+	if budgets.qualityRatioMin > 0 && spawnDisablesAudit(*spawn) {
+		log.Fatal("-slo quality_ratio_min needs the daemon's quality auditor: drop -audit-interval 0 from -spawn")
 	}
 	needsSpawn := false
 	for _, a := range actions {
@@ -201,6 +210,7 @@ func main() {
 
 	rep := buildReport(base, names, elapsed, st, execLog, proc != nil)
 	rep.Server = scrapeServer(client, base, names)
+	rep.Quality = scrapeQuality(client, base, names)
 	if *verify {
 		rep.Verify = verifyRun(client, base, names, st, *settle)
 		rep.OK = rep.Verify.OK()
@@ -719,18 +729,22 @@ func postFault(client *http.Client, base string, rule map[string]any) string {
 
 // ---- SLO gating ------------------------------------------------------
 
-// sloSpec holds parsed -slo budgets. Zero durations and a negative
-// lostAcked mean "objective not asserted".
+// sloSpec holds parsed -slo budgets. Zero durations and negative
+// lostAcked / qualityRatioMin mean "objective not asserted".
 type sloSpec struct {
 	ingestP99, queryP99 time.Duration
 	lostAcked           int64
+	qualityRatioMin     float64
 }
 
 // parseSLO parses "key=value,..." budgets: ingest_p99 and query_p99 are
 // durations bounding the client-observed p99 latencies, lost_acked an
-// integer bounding verified acked-record loss.
+// integer bounding verified acked-record loss, quality_ratio_min a
+// floor on the worst audited quality ratio across the run's streams
+// (needs the daemon's quality auditor enabled — a run that scrapes no
+// quality gauges breaches loudly rather than passing vacuously).
 func parseSLO(s string) (sloSpec, error) {
-	spec := sloSpec{lostAcked: -1}
+	spec := sloSpec{lostAcked: -1, qualityRatioMin: -1}
 	if strings.TrimSpace(s) == "" {
 		return spec, nil
 	}
@@ -760,14 +774,38 @@ func parseSLO(s string) (sloSpec, error) {
 			if err == nil && spec.lostAcked < 0 {
 				err = fmt.Errorf("budget must be ≥ 0")
 			}
+		case "quality_ratio_min":
+			spec.qualityRatioMin, err = strconv.ParseFloat(val, 64)
+			if err == nil && spec.qualityRatioMin <= 0 {
+				err = fmt.Errorf("budget must be positive")
+			}
 		default:
-			return spec, fmt.Errorf("slo %q: unknown objective (want ingest_p99, query_p99 or lost_acked)", key)
+			return spec, fmt.Errorf("slo %q: unknown objective (want ingest_p99, query_p99, lost_acked or quality_ratio_min)", key)
 		}
 		if err != nil {
 			return spec, fmt.Errorf("slo %q: %v", part, err)
 		}
 	}
 	return spec, nil
+}
+
+// spawnDisablesAudit reports whether a -spawn command line turns the
+// daemon's quality auditor off (-audit-interval 0). Asserting
+// quality_ratio_min against such a daemon could only ever breach on
+// "no gauges scraped" after the whole run — fail at startup instead,
+// like lost_acked does without -verify.
+func spawnDisablesAudit(spawn string) bool {
+	argv := strings.Fields(spawn)
+	for i, a := range argv {
+		if a == "-audit-interval=0" || a == "--audit-interval=0" {
+			return true
+		}
+		if (a == "-audit-interval" || a == "--audit-interval") &&
+			i+1 < len(argv) && argv[i+1] == "0" {
+			return true
+		}
+	}
+	return false
 }
 
 // sloCheck is one objective's verdict in the report.
@@ -786,7 +824,7 @@ type sloReport struct {
 // evalSLO asserts the budgets against the measured run; nil when no
 // objective was set.
 func evalSLO(spec sloSpec, st *stats, rep *report) *sloReport {
-	if spec.ingestP99 == 0 && spec.queryP99 == 0 && spec.lostAcked < 0 {
+	if spec.ingestP99 == 0 && spec.queryP99 == 0 && spec.lostAcked < 0 && spec.qualityRatioMin <= 0 {
 		return nil
 	}
 	out := &sloReport{OK: true}
@@ -808,6 +846,25 @@ func evalSLO(spec sloSpec, st *stats, rep *report) *sloReport {
 		lost := rep.Verify.LostAcked
 		add("lost_acked", strconv.FormatInt(spec.lostAcked, 10),
 			strconv.FormatUint(lost, 10), lost <= uint64(spec.lostAcked))
+	}
+	if spec.qualityRatioMin > 0 {
+		// The floor is asserted against the WORST audited stream: quality
+		// regressions on one stream must not hide behind a healthy mean.
+		// No scraped quality gauges means the auditor never ran (disabled,
+		// or the daemon predates it) — a loud breach, never a vacuous pass.
+		budget := strconv.FormatFloat(spec.qualityRatioMin, 'g', -1, 64)
+		if rep.Quality == nil || len(rep.Quality.Streams) == 0 {
+			add("quality_ratio_min", budget, "no quality gauges scraped (audit disabled?)", false)
+		} else {
+			worst := math.Inf(1)
+			for _, q := range rep.Quality.Streams {
+				if q.QualityRatio < worst {
+					worst = q.QualityRatio
+				}
+			}
+			add("quality_ratio_min", budget,
+				strconv.FormatFloat(worst, 'g', -1, 64), worst >= spec.qualityRatioMin)
+		}
 	}
 	return out
 }
@@ -982,11 +1039,12 @@ type report struct {
 		Received uint64 `json:"received"`
 		Drops    uint64 `json:"reconnects"`
 	} `json:"events"`
-	Chaos  []chaosExec  `json:"chaos,omitempty"`
-	Server serverReport `json:"server"`
-	Verify verifyReport `json:"verify"`
-	SLO    *sloReport   `json:"slo,omitempty"`
-	OK     bool         `json:"ok"`
+	Chaos   []chaosExec    `json:"chaos,omitempty"`
+	Server  serverReport   `json:"server"`
+	Quality *qualityReport `json:"quality,omitempty"`
+	Verify  verifyReport   `json:"verify"`
+	SLO     *sloReport     `json:"slo,omitempty"`
+	OK      bool           `json:"ok"`
 }
 
 // serverSummaryJSON is one server-side latency summary scraped from the
@@ -1067,6 +1125,78 @@ func scrapeServer(client *http.Client, base string, names []string) serverReport
 		}
 	}
 	return sr
+}
+
+// streamQuality is one stream's audited answer quality, scraped off the
+// daemon's cached influtrackd_quality_* gauges at the end of the run.
+type streamQuality struct {
+	QualityRatio  float64  `json:"quality_ratio"`
+	TopkJaccard   float64  `json:"topk_jaccard"`
+	KendallTau    float64  `json:"kendall_tau"`
+	OracleCalls   uint64   `json:"audit_oracle_calls"`
+	MergeGapRatio *float64 `json:"merge_gap_ratio,omitempty"` // sharded streams only
+}
+
+// qualityReport carries the per-stream audit gauges for the streams the
+// run drove; nil Streams entries mean the daemon exports no quality
+// surface (auditing disabled or an old daemon).
+type qualityReport struct {
+	Scraped bool                     `json:"scraped"`
+	Streams map[string]streamQuality `json:"streams,omitempty"`
+}
+
+// scrapeQuality pulls the quality-audit gauges off /metrics for the
+// run's streams. Distinct from scrapeServer on purpose: latency
+// summaries answer "how fast", these answer "how good", and the SLO
+// gate (quality_ratio_min) keys off this section alone.
+func scrapeQuality(client *http.Client, base string, names []string) *qualityReport {
+	qr := &qualityReport{}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return qr
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return qr
+	}
+	fams, err := metrics.ParseProm(resp.Body)
+	if err != nil {
+		return qr
+	}
+	inRun := make(map[string]bool, len(names))
+	for _, n := range names {
+		inRun[n] = true
+	}
+	qr.Scraped = true
+	set := func(stream string, f func(*streamQuality)) {
+		if !inRun[stream] {
+			return
+		}
+		if qr.Streams == nil {
+			qr.Streams = make(map[string]streamQuality)
+		}
+		q := qr.Streams[stream]
+		f(&q)
+		qr.Streams[stream] = q
+	}
+	for _, fam := range fams {
+		for _, smp := range fam.Samples {
+			stream, v := smp.Labels["stream"], smp.Value
+			switch fam.Name {
+			case "influtrackd_quality_ratio":
+				set(stream, func(q *streamQuality) { q.QualityRatio = v })
+			case "influtrackd_topk_jaccard":
+				set(stream, func(q *streamQuality) { q.TopkJaccard = v })
+			case "influtrackd_kendall_tau":
+				set(stream, func(q *streamQuality) { q.KendallTau = v })
+			case "influtrackd_audit_oracle_calls":
+				set(stream, func(q *streamQuality) { q.OracleCalls = uint64(v) })
+			case "influtrackd_merge_gap_ratio":
+				set(stream, func(q *streamQuality) { q.MergeGapRatio = &v })
+			}
+		}
+	}
+	return qr
 }
 
 func buildReport(base string, names []string, elapsed time.Duration, st *stats, chaosLog func() []chaosExec, spawned bool) *report {

@@ -58,23 +58,38 @@ func TestParseSLO(t *testing.T) {
 		t.Errorf("parsed %+v", spec)
 	}
 
+	spec, err = parseSLO("quality_ratio_min=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.qualityRatioMin != 0.8 {
+		t.Errorf("quality floor %v, want 0.8", spec.qualityRatioMin)
+	}
+	// An impossible floor parses fine — CI uses it to prove the gate
+	// actually fails runs.
+	if spec, err = parseSLO("quality_ratio_min=1.1"); err != nil || spec.qualityRatioMin != 1.1 {
+		t.Errorf("impossible floor: %v, %v", spec.qualityRatioMin, err)
+	}
+
 	spec, err = parseSLO("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.ingestP99 != 0 || spec.queryP99 != 0 || spec.lostAcked != -1 {
+	if spec.ingestP99 != 0 || spec.queryP99 != 0 || spec.lostAcked != -1 || spec.qualityRatioMin != -1 {
 		t.Errorf("blank spec %+v, want all objectives unset", spec)
 	}
 
 	for _, bad := range []string{
-		"ingest_p99",           // no value
-		"ingest_p99=fast",      // bad duration
-		"ingest_p99=-5ms",      // negative budget
-		"query_p99=0s",         // zero budget asserts nothing — reject
-		"lost_acked=-1",        // negative loss budget
-		"lost_acked=a few",     // not an integer
-		"error_rate=0.01",      // unknown objective
-		"ingest_p99=1ms extra", // trailing junk
+		"ingest_p99",            // no value
+		"ingest_p99=fast",       // bad duration
+		"ingest_p99=-5ms",       // negative budget
+		"query_p99=0s",          // zero budget asserts nothing — reject
+		"lost_acked=-1",         // negative loss budget
+		"lost_acked=a few",      // not an integer
+		"error_rate=0.01",       // unknown objective
+		"ingest_p99=1ms extra",  // trailing junk
+		"quality_ratio_min=0",   // zero floor asserts nothing — reject
+		"quality_ratio_min=bad", // not a float
 	} {
 		if _, err := parseSLO(bad); err == nil {
 			t.Errorf("parseSLO(%q) accepted, want error", bad)
@@ -124,6 +139,54 @@ func TestEvalSLO(t *testing.T) {
 	}
 	if verdicts["lost_acked"] {
 		t.Error("loss 3 against budget 2 passed")
+	}
+}
+
+func TestEvalSLOQualityRatio(t *testing.T) {
+	st := newStats(1)
+	gap := 1.3
+	rep := &report{Quality: &qualityReport{
+		Scraped: true,
+		Streams: map[string]streamQuality{
+			"load-0": {QualityRatio: 0.95},
+			"load-1": {QualityRatio: 0.7, MergeGapRatio: &gap},
+		},
+	}}
+
+	// The worst stream (0.7) is what the floor gates.
+	out := evalSLO(sloSpec{lostAcked: -1, qualityRatioMin: 0.6}, st, rep)
+	if out == nil || !out.OK || len(out.Checks) != 1 || out.Checks[0].Actual != "0.7" {
+		t.Fatalf("floor 0.6 vs worst 0.7: %+v", out)
+	}
+	out = evalSLO(sloSpec{lostAcked: -1, qualityRatioMin: 0.8}, st, rep)
+	if out == nil || out.OK {
+		t.Fatalf("floor 0.8 vs worst 0.7 passed: %+v", out)
+	}
+
+	// No quality section at all (audit disabled / old daemon): loud breach.
+	out = evalSLO(sloSpec{lostAcked: -1, qualityRatioMin: 0.5}, st, &report{})
+	if out == nil || out.OK {
+		t.Fatalf("missing quality section passed the gate: %+v", out)
+	}
+	if out.Checks[0].Actual == "" {
+		t.Error("breach on missing gauges carries no explanation")
+	}
+}
+
+func TestSpawnDisablesAudit(t *testing.T) {
+	for spawn, want := range map[string]bool{
+		"":                                         false,
+		"influtrackd -addr :8080":                  false,
+		"influtrackd -audit-interval 0":            true,
+		"influtrackd -audit-interval=0 -addr :1":   true,
+		"influtrackd --audit-interval 0":           true,
+		"influtrackd --audit-interval=0":           true,
+		"influtrackd -audit-interval 5s":           false,
+		"influtrackd -audit-interval=30s -addr :1": false,
+	} {
+		if got := spawnDisablesAudit(spawn); got != want {
+			t.Errorf("spawnDisablesAudit(%q) = %v, want %v", spawn, got, want)
+		}
 	}
 }
 

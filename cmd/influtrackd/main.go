@@ -102,7 +102,22 @@
 // influtrackd_engine_* gauges track the walked footprint per stream on
 // /metrics (-engine-stats=false disables the per-publish refresh), and
 // -mem-watermark logs a Warn when any stream's engine memory crosses
-// the given byte budget. -debug-addr starts a second
+// the given byte budget.
+//
+// Quality auditing closes the loop on *answer* quality, not just cost:
+// on a background cadence (-audit-interval, default 15s; 0 disables)
+// each stream rescored exactly — the served seeds' true spread on the
+// live graph versus a budget-capped reference greedy (-audit-budget
+// oracle calls) — plus top-k stability (Jaccard / Kendall-tau vs the
+// previous audit) and, for sharded streams, the cross-partition merge
+// gap. Results surface as cached influtrackd_quality_* gauges on
+// /metrics and a deep JSON report (with history ring) at
+// /v1/streams/{name}/quality, which runs a fresh audit on demand.
+// -audit-floor sets a quality-ratio floor: crossings log a Warn (re-
+// warned once a minute while below, Info on recovery) and publish
+// quality events on the push feed, mirroring -mem-watermark semantics.
+// Audits are suppressed while a stream is replaying its WAL or
+// degraded. -debug-addr starts a second
 // listener carrying /debug/pprof/* and a /metrics mirror, so profiling
 // endpoints never ship on the public -addr. -version prints the build
 // (injectable with -ldflags "-X tdnstream/internal/obs.Version=v1.2.3")
@@ -242,6 +257,9 @@ func main() {
 	notifyHeartbeat := flag.Duration("notify-heartbeat", 0, "idle keepalive interval on event subscriptions (0 = default 15s)")
 	notifyGains := flag.Bool("notify-gains", false, "spend oracle calls per publish to attribute per-seed ranks and gains to events (enables rank_changed / per-seed gain_changed)")
 	memWatermark := flag.Int64("mem-watermark", 0, "per-stream engine-memory watermark in bytes: streams whose introspected footprint crosses it are logged at Warn (0 = off)")
+	auditInterval := flag.Duration("audit-interval", 15*time.Second, "background quality-audit cadence per stream: exact rescoring of served seeds vs a budgeted reference greedy (0 disables auditing entirely)")
+	auditBudget := flag.Int("audit-budget", 0, "oracle-call budget per audit's reference greedy (0 = default 4096); the served-seed rescore is always exact")
+	auditFloor := flag.Float64("audit-floor", 0, "quality-ratio floor: audits below it log a Warn and publish a quality event on the push feed, mirroring -mem-watermark semantics (0 = off)")
 	engineStats := flag.Bool("engine-stats", true, "refresh per-stream engine introspection at each snapshot publish (the influtrackd_engine_* gauges and the memory-watermark log)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json (structured logs on stderr via log/slog)")
 	debugAddr := flag.String("debug-addr", "", "separate debug listener serving /debug/pprof/* and a /metrics mirror (empty = off; profiling endpoints never ship on the public -addr)")
@@ -304,6 +322,10 @@ func main() {
 		NotifyExplainGains:   *notifyGains,
 		MemoryWatermarkBytes: *memWatermark,
 		DisableEngineStats:   !*engineStats,
+		AuditInterval:        *auditInterval,
+		AuditBudget:          *auditBudget,
+		AuditFloor:           *auditFloor,
+		DisableAudit:         *auditInterval <= 0,
 		Logger:               logger,
 		DisableTracing:       !*traceOn,
 		TraceRing:            *traceRing,

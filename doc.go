@@ -243,6 +243,43 @@
 // superseded by the worker_batch_seconds summary. BENCH_PR8.json
 // records the introspection overhead (≤ 1% of ingest throughput).
 //
+// # Quality auditing
+//
+// Latency and memory gauges can all be green while the answers quietly
+// rot — a decay bug, a skewed shard routing, or a threshold regression
+// degrades the top-k without touching a single latency percentile. The
+// online auditor (internal/audit) closes that gap: on a per-stream
+// cadence (-audit-interval, default 15s; count-based via AuditEvery in
+// the server config; 0 disables) the serving worker rescores its
+// published solution exactly on the tracker's live graph — the served
+// seeds' true spread against a budget-capped CELF reference greedy
+// (-audit-budget oracle calls, default 4096, spent and accounted like
+// the paper costs everything) — yielding a quality ratio that tracks
+// the SieveADN/HistApprox (1/2−ε) guarantee in production. Each audit
+// also measures top-k stability against the previous one (Jaccard
+// membership overlap, Kendall-tau rank correlation over the Explain
+// order, and the value drift of the old seed set attributable to pure
+// decay), and on sharded streams the cross-partition merge gap: the
+// CELF merge's summed-per-shard score versus a union-graph rescore of
+// the same seeds — 1.0 means the boundary-blind merge score was exact,
+// below 1 it double-counted overlap between partitions, above 1 it
+// missed cross-partition reach.
+//
+// Surfaces: GET /v1/streams/{name}/quality runs a fresh audit on the
+// worker goroutine (token-gated like explain and stats) and returns the
+// deep report plus a history ring; /metrics carries the cached gauges
+// influtrackd_quality_ratio, _topk_jaccard, _kendall_tau,
+// _audit_oracle_calls and — sharded only — _merge_gap_ratio.
+// -audit-floor F turns the ratio into an alert: crossings below F log a
+// Warn (re-warned once a minute while below, Info on recovery,
+// mirroring -mem-watermark) and publish "quality" events on the push
+// feed with the measured ratio and floor. Audits are suppressed while a
+// stream replays its WAL or is degraded. influtrack-loadgen scrapes the
+// gauges into its report's "quality" section and gates on them with
+// -slo quality_ratio_min=0.8, so answer quality is a CI objective next
+// to latency and loss. BENCH_PR9.json records the audit overhead on
+// ingest throughput.
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

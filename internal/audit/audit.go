@@ -1,0 +1,340 @@
+// Package audit is the online quality auditor: it periodically rescoring
+// a tracker's served solution against ground truth computed on the same
+// live graph, so a decay bug, a skewed shard routing, or a threshold
+// regression shows up as a falling quality ratio instead of silently
+// degraded answers behind green latency gauges.
+//
+// One audit produces a Report with three families of findings:
+//
+//   - Quality: the exact spread of the served seeds (one oracle BFS on
+//     the tracker's LiveGraph) against a budget-capped CELF reference
+//     greedy over the same graph — the paper's quality-ratio experiment
+//     (Fig. 9/13) run continuously in production, with the oracle-call
+//     budget capped and accounted per audit.
+//   - Stability: Jaccard overlap and Kendall-tau rank correlation of
+//     the top-k versus the previous audit, plus the drift of the
+//     previous seed set's value attributable to pure decay.
+//   - Shard merge gap (sharded engines only): the CELF merge's
+//     summed-per-shard score versus a union-graph rescore of the same
+//     seed set, quantifying how far the boundary-blind merge score is
+//     from the truth — double-counted overlap in one direction, unseen
+//     cross-partition paths in the other (ROADMAP item 3).
+//
+// The Auditor is driven by its owner's goroutine (the serving worker) —
+// it is not safe for concurrent use. Cadence is count- or time-based
+// and clock-injected (fault.Clock) so tests run it on a fake clock.
+package audit
+
+import (
+	"fmt"
+	"time"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/fault"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultBudget  = 4096 // oracle calls per audit
+	DefaultHistory = 32   // reports kept in the ring
+)
+
+// Config parameterizes an Auditor.
+type Config struct {
+	// Interval is the time cadence: an audit becomes due once this much
+	// clock time passed since the last one (the first audit is due
+	// immediately). <= 0 disables the time leg.
+	Interval time.Duration
+	// Every is the count cadence: an audit becomes due once this many
+	// records were noted since the last one. <= 0 disables the count leg.
+	Every int
+	// Budget caps the oracle calls one audit may spend (the reference
+	// greedy dominates; serving/drift/merge-gap rescores are counted
+	// against it too). <= 0 means DefaultBudget.
+	Budget int
+	// Floor is the quality-ratio alert threshold; <= 0 disables floor
+	// tracking (Run always returns FloorNone).
+	Floor float64
+	// ReWarn is the re-warn interval while below the floor; 0 means
+	// DefaultReWarn.
+	ReWarn time.Duration
+	// History is the report-ring size; <= 0 means DefaultHistory.
+	History int
+	// K is the seed budget the reference greedy matches; <= 0 falls
+	// back to the served solution's size.
+	K int
+	// Clock supplies time; nil means the wall clock.
+	Clock fault.Clock
+}
+
+// LiveGrapher is the tracker hook an audit scores against — the same
+// live-graph view the shard merge layer uses.
+type LiveGrapher interface {
+	LiveGraph() influence.Graph
+}
+
+// Explainer is the optional rank-order hook: trackers expose their
+// solution in greedy selection order (rank by marginal gain), which is
+// what Kendall-tau correlates. Without it the audit falls back to the
+// id-sorted Solution seeds, whose ordering carries no rank signal.
+type Explainer interface {
+	Explain() []core.SeedContribution
+}
+
+// MergeGapper is the sharded-engine hook: summed-per-shard versus
+// union-graph score of the current merged solution (shard.Engine
+// implements it; single trackers do not, so their reports carry no
+// merge-gap section).
+type MergeGapper interface {
+	MergeGap(calls *metrics.Counter) (summed, union int, ok bool)
+}
+
+// MergeGap is the sharded-stream section of a Report.
+type MergeGap struct {
+	// SummedPerShard is the merge's own score of the served seed set:
+	// reach summed per partition, never crossing a boundary.
+	SummedPerShard int `json:"summed_per_shard"`
+	// UnionRescore is the exact spread of the same seed set on the
+	// union graph, cross-partition paths included.
+	UnionRescore int `json:"union_rescore"`
+	// Ratio is union/summed: 1.0 means the merge score was exact.
+	// Below 1 the per-shard sum double-counted nodes reachable from
+	// seeds in several partitions; above 1 cross-partition paths added
+	// reach the boundary-respecting per-shard scores never saw.
+	Ratio float64 `json:"ratio"`
+}
+
+// Report is one audit's findings.
+type Report struct {
+	Seq       int       `json:"seq"`
+	Time      time.Time `json:"time"`
+	K         int       `json:"k"`
+	SeedCount int       `json:"seed_count"`
+
+	// ServedValue is the exact spread of the served seeds on the live
+	// graph; TrackerValue is what the tracker's own Solution claimed
+	// (for sharded engines that is the summed per-shard merge score).
+	ServedValue  int `json:"served_value"`
+	TrackerValue int `json:"tracker_value"`
+	// ReferenceValue is the budget-capped CELF greedy's k-seed value on
+	// the same graph; QualityRatio = served/reference. BudgetExhausted
+	// flags a reference that ran out of oracle budget (the ratio then
+	// compares against a possibly weaker reference).
+	ReferenceValue  int     `json:"reference_value"`
+	QualityRatio    float64 `json:"quality_ratio"`
+	BudgetExhausted bool    `json:"budget_exhausted"`
+
+	// Stability versus the previous audit: top-k Jaccard overlap,
+	// Kendall-tau rank correlation, and the relative drift of the
+	// previous seed set's value when rescored on today's graph — churn
+	// attributable to decay/new edges rather than to reselection. All 1
+	// (drift 0) on the first audit.
+	TopkJaccard float64 `json:"topk_jaccard"`
+	KendallTau  float64 `json:"kendall_tau"`
+	DecayDrift  float64 `json:"decay_drift"`
+
+	// OracleCalls is what this audit spent; OracleCallsTotal is the
+	// auditor's lifetime total (the influtrackd_audit_oracle_calls
+	// gauge).
+	OracleCalls      uint64 `json:"oracle_calls"`
+	OracleCallsTotal uint64 `json:"oracle_calls_total"`
+
+	MergeGap *MergeGap `json:"merge_gap,omitempty"`
+}
+
+// Auditor runs audits against one tracker on a cadence. Not safe for
+// concurrent use: Due, NoteRecords, Run and History must all be called
+// from the goroutine that owns the tracker.
+type Auditor struct {
+	cfg   Config
+	clk   fault.Clock
+	calls metrics.Counter // lifetime audit oracle calls
+	floor FloorTracker
+
+	seq     int
+	ranOnce bool
+	lastRun time.Time
+	records int // records noted since the last audit
+
+	prevSeeds  []ids.NodeID // previous audit's seeds, rank order
+	prevServed int
+
+	history []*Report
+}
+
+// New builds an Auditor. The zero Config is valid but never due; give
+// it an Interval or Every.
+func New(cfg Config) *Auditor {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = fault.WallClock()
+	}
+	return &Auditor{
+		cfg:   cfg,
+		clk:   clk,
+		floor: FloorTracker{Floor: cfg.Floor, ReWarn: cfg.ReWarn},
+	}
+}
+
+// NoteRecords feeds the count cadence: n records were processed since
+// the last call.
+func (a *Auditor) NoteRecords(n int) { a.records += n }
+
+// Due reports whether an audit should run now: the count cadence
+// tripped, or the time cadence elapsed (the first audit is due as soon
+// as a time cadence is configured).
+func (a *Auditor) Due() bool {
+	if a.cfg.Every > 0 && a.records >= a.cfg.Every {
+		return true
+	}
+	if a.cfg.Interval > 0 {
+		if !a.ranOnce {
+			return true
+		}
+		return a.clk.Now().Sub(a.lastRun) >= a.cfg.Interval
+	}
+	return false
+}
+
+// budget returns the per-audit oracle-call cap.
+func (a *Auditor) budget() int {
+	if a.cfg.Budget > 0 {
+		return a.cfg.Budget
+	}
+	return DefaultBudget
+}
+
+// Run performs one audit of tr, resets the cadence, appends the report
+// to the history ring, and returns the floor transition (FloorNone
+// unless a floor is configured and crossed/held/recovered). The tracker
+// must expose a live graph; errors leave the auditor unchanged except
+// for the cadence reset.
+func (a *Auditor) Run(tr core.Tracker) (*Report, FloorAction, error) {
+	now := a.clk.Now()
+	a.records = 0
+	a.lastRun = now
+	a.ranOnce = true
+
+	lg, ok := tr.(LiveGrapher)
+	if !ok {
+		return nil, FloorNone, fmt.Errorf("audit: tracker %s exposes no live graph", tr.Name())
+	}
+
+	sol := tr.Solution()
+	seeds := rankedSeeds(tr, sol)
+	a.seq++
+	rep := &Report{
+		Seq:          a.seq,
+		Time:         now,
+		K:            a.k(sol),
+		SeedCount:    len(sol.Seeds),
+		TrackerValue: sol.Value,
+		TopkJaccard:  1,
+		KendallTau:   1,
+		QualityRatio: 1,
+	}
+
+	before := a.calls.Value()
+	g := lg.LiveGraph()
+	if g != nil {
+		o := influence.New(g, &a.calls)
+		budget := a.budget()
+		if len(seeds) > 0 {
+			rep.ServedValue = o.Spread(seeds...)
+		}
+		if len(a.prevSeeds) > 0 && a.prevServed > 0 {
+			prevNow := o.Spread(a.prevSeeds...)
+			rep.DecayDrift = (float64(prevNow) - float64(a.prevServed)) / float64(a.prevServed)
+		}
+		spent := int(a.calls.Value() - before)
+		rep.ReferenceValue, rep.BudgetExhausted =
+			referenceValue(o, g.NodeCap(), rep.K, budget-spent)
+		if rep.ReferenceValue > 0 {
+			rep.QualityRatio = float64(rep.ServedValue) / float64(rep.ReferenceValue)
+		}
+	}
+
+	if a.ranBefore() {
+		rep.TopkJaccard = Jaccard(a.prevSeeds, seeds)
+		rep.KendallTau = KendallTau(a.prevSeeds, seeds)
+	}
+
+	if mg, isSharded := tr.(MergeGapper); isSharded {
+		if summed, union, ok := mg.MergeGap(&a.calls); ok {
+			gap := &MergeGap{SummedPerShard: summed, UnionRescore: union, Ratio: 1}
+			if summed > 0 {
+				gap.Ratio = float64(union) / float64(summed)
+			}
+			rep.MergeGap = gap
+		}
+	}
+
+	rep.OracleCalls = a.calls.Value() - before
+	rep.OracleCallsTotal = a.calls.Value()
+
+	a.prevSeeds = append(a.prevSeeds[:0], seeds...)
+	a.prevServed = rep.ServedValue
+	a.push(rep)
+	return rep, a.floor.Check(rep.QualityRatio, now), nil
+}
+
+// ranBefore reports whether a previous audit exists (seq counts this
+// run already).
+func (a *Auditor) ranBefore() bool { return a.seq > 1 }
+
+// k resolves the reference greedy's seed budget.
+func (a *Auditor) k(sol core.Solution) int {
+	if a.cfg.K > 0 {
+		return a.cfg.K
+	}
+	return len(sol.Seeds)
+}
+
+// rankedSeeds returns the served seeds in rank order (greedy selection
+// order via Explain when the tracker offers it, id-sorted otherwise).
+func rankedSeeds(tr core.Tracker, sol core.Solution) []ids.NodeID {
+	if ex, ok := tr.(Explainer); ok {
+		if cs := ex.Explain(); len(cs) == len(sol.Seeds) && len(cs) > 0 {
+			out := make([]ids.NodeID, len(cs))
+			for i, c := range cs {
+				out[i] = c.Seed
+			}
+			return out
+		}
+	}
+	return sol.Seeds
+}
+
+// push appends to the history ring, dropping the oldest beyond the cap.
+func (a *Auditor) push(rep *Report) {
+	max := a.cfg.History
+	if max <= 0 {
+		max = DefaultHistory
+	}
+	a.history = append(a.history, rep)
+	if len(a.history) > max {
+		copy(a.history, a.history[len(a.history)-max:])
+		a.history = a.history[:max]
+	}
+}
+
+// History returns the retained reports, oldest first (a copy of the
+// ring; the reports themselves are shared and must be treated as
+// immutable).
+func (a *Auditor) History() []*Report {
+	return append([]*Report(nil), a.history...)
+}
+
+// Latest returns the most recent report, nil before any audit.
+func (a *Auditor) Latest() *Report {
+	if len(a.history) == 0 {
+		return nil
+	}
+	return a.history[len(a.history)-1]
+}
+
+// Calls returns the lifetime audit oracle-call total.
+func (a *Auditor) Calls() uint64 { return a.calls.Value() }

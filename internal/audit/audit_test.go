@@ -1,0 +1,336 @@
+package audit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tdnstream/internal/core"
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+	"tdnstream/internal/stream"
+)
+
+// fakeClock is a hand-advanced fault.Clock for cadence tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.t }
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- c.t.Add(d)
+	return ch
+}
+func (c *fakeClock) Sleep(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// adjGraph is a tiny adjacency-map influence.Graph fixture.
+type adjGraph struct {
+	out map[ids.NodeID][]ids.NodeID
+	cap int
+}
+
+func (g *adjGraph) OutNeighbors(u ids.NodeID, visit func(ids.NodeID)) {
+	for _, v := range g.out[u] {
+		visit(v)
+	}
+}
+func (g *adjGraph) InNeighbors(u ids.NodeID, visit func(ids.NodeID)) {
+	for s, vs := range g.out {
+		for _, v := range vs {
+			if v == u {
+				visit(s)
+			}
+		}
+	}
+}
+func (g *adjGraph) NodeCap() int { return g.cap }
+
+// fakeTracker is a core.Tracker + LiveGrapher with a scripted solution.
+type fakeTracker struct {
+	sol   core.Solution
+	graph influence.Graph
+	calls metrics.Counter
+	rank  []ids.NodeID // Explain order; nil = no Explainer semantics
+}
+
+func (f *fakeTracker) Step(t int64, edges []stream.Edge) error { return nil }
+func (f *fakeTracker) Solution() core.Solution                 { return f.sol }
+func (f *fakeTracker) Calls() *metrics.Counter                 { return &f.calls }
+func (f *fakeTracker) Name() string                            { return "fake" }
+func (f *fakeTracker) LiveGraph() influence.Graph              { return f.graph }
+
+func (f *fakeTracker) Explain() []core.SeedContribution {
+	out := make([]core.SeedContribution, len(f.rank))
+	for i, v := range f.rank {
+		out[i] = core.SeedContribution{Seed: v}
+	}
+	return out
+}
+
+// noGraphTracker is a Tracker without LiveGraph — audits must error.
+type noGraphTracker struct{ calls metrics.Counter }
+
+func (*noGraphTracker) Step(t int64, edges []stream.Edge) error { return nil }
+func (*noGraphTracker) Solution() core.Solution                 { return core.Solution{} }
+func (n *noGraphTracker) Calls() *metrics.Counter               { return &n.calls }
+func (*noGraphTracker) Name() string                            { return "bare" }
+
+// starGraph builds hub → {1..fan} plus a disjoint chain, so node 0 is
+// the unambiguous greedy winner.
+func starGraph() *adjGraph {
+	g := &adjGraph{out: map[ids.NodeID][]ids.NodeID{
+		0: {1, 2, 3, 4},
+		5: {6},
+		6: {7},
+	}, cap: 8}
+	return g
+}
+
+func TestDueCountCadence(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Every: 100, Clock: clk})
+	if a.Due() {
+		t.Fatal("due before any records")
+	}
+	a.NoteRecords(60)
+	if a.Due() {
+		t.Fatal("due at 60/100 records")
+	}
+	a.NoteRecords(40)
+	if !a.Due() {
+		t.Fatal("not due at 100/100 records")
+	}
+	tr := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+	if _, _, err := a.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if a.Due() {
+		t.Fatal("Run must reset the count cadence")
+	}
+}
+
+func TestDueTimeCadence(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := New(Config{Interval: 15 * time.Second, Clock: clk})
+	if !a.Due() {
+		t.Fatal("first audit must be due immediately on a time cadence")
+	}
+	tr := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+	if _, _, err := a.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if a.Due() {
+		t.Fatal("due right after a run")
+	}
+	clk.advance(14 * time.Second)
+	if a.Due() {
+		t.Fatal("due at 14s of a 15s interval")
+	}
+	clk.advance(time.Second)
+	if !a.Due() {
+		t.Fatal("not due after the full interval")
+	}
+}
+
+func TestRunNoLiveGraphErrors(t *testing.T) {
+	a := New(Config{Interval: time.Second, Clock: &fakeClock{}})
+	if _, _, err := a.Run(&noGraphTracker{}); err == nil {
+		t.Fatal("want error for a tracker without LiveGraph")
+	}
+}
+
+func TestRunScoresServedVsReference(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Interval: time.Second, K: 1, Clock: clk})
+	// Served the true optimum: hub 0 reaches {0,1,2,3,4} = 5.
+	tr := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+	rep, _, err := a.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServedValue != 5 || rep.ReferenceValue != 5 {
+		t.Fatalf("served=%d reference=%d, want 5/5", rep.ServedValue, rep.ReferenceValue)
+	}
+	if rep.QualityRatio != 1 {
+		t.Fatalf("quality ratio %v, want 1", rep.QualityRatio)
+	}
+	if rep.BudgetExhausted {
+		t.Fatal("default budget must cover an 8-node graph")
+	}
+	if rep.OracleCalls == 0 || rep.OracleCallsTotal != rep.OracleCalls {
+		t.Fatalf("oracle accounting: spent=%d total=%d", rep.OracleCalls, rep.OracleCallsTotal)
+	}
+
+	// Serve a bad answer: leaf 7 reaches only itself → ratio 1/5.
+	clk.advance(time.Second)
+	tr.sol = core.Solution{Seeds: []ids.NodeID{7}, Value: 1}
+	rep2, _, err := a.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ServedValue != 1 || rep2.ReferenceValue != 5 {
+		t.Fatalf("served=%d reference=%d, want 1/5", rep2.ServedValue, rep2.ReferenceValue)
+	}
+	if got, want := rep2.QualityRatio, 0.2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("quality ratio %v, want %v", got, want)
+	}
+	// Stability vs the previous audit: disjoint seed sets.
+	if rep2.TopkJaccard != 0 {
+		t.Fatalf("jaccard %v, want 0 for disjoint top-k", rep2.TopkJaccard)
+	}
+	if rep2.OracleCallsTotal <= rep.OracleCallsTotal {
+		t.Fatal("lifetime call counter must grow across audits")
+	}
+}
+
+func TestRunBudgetCap(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Interval: time.Second, K: 1, Budget: 3, Clock: clk})
+	tr := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+	rep, _, err := a.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BudgetExhausted {
+		t.Fatal("3 calls cannot audit an 8-node graph: want BudgetExhausted")
+	}
+	if rep.OracleCalls > 3 {
+		t.Fatalf("audit spent %d oracle calls over a budget of 3", rep.OracleCalls)
+	}
+}
+
+func TestRunFloorSequence(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Interval: time.Second, K: 1, Floor: 0.9, ReWarn: time.Minute, Clock: clk})
+	tr := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+
+	run := func() FloorAction {
+		t.Helper()
+		_, action, err := a.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return action
+	}
+
+	if got := run(); got != FloorNone {
+		t.Fatalf("healthy audit: action %v, want FloorNone", got)
+	}
+	// Regress: ratio 0.2 < 0.9 → Warn once, then quiet until ReWarn.
+	tr.sol = core.Solution{Seeds: []ids.NodeID{7}, Value: 1}
+	clk.advance(time.Second)
+	if got := run(); got != FloorWarn {
+		t.Fatalf("crossing: action %v, want FloorWarn", got)
+	}
+	clk.advance(time.Second)
+	if got := run(); got != FloorNone {
+		t.Fatalf("held breach inside re-warn window: action %v, want FloorNone", got)
+	}
+	clk.advance(time.Minute)
+	if got := run(); got != FloorReWarn {
+		t.Fatalf("held breach past re-warn interval: action %v, want FloorReWarn", got)
+	}
+	// Recover.
+	tr.sol = core.Solution{Seeds: []ids.NodeID{0}, Value: 5}
+	clk.advance(time.Second)
+	if got := run(); got != FloorRecover {
+		t.Fatalf("recovery: action %v, want FloorRecover", got)
+	}
+	clk.advance(time.Second)
+	if got := run(); got != FloorNone {
+		t.Fatalf("steady healthy: action %v, want FloorNone", got)
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Interval: time.Second, K: 1, History: 3, Clock: clk})
+	tr := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Second)
+		if _, _, err := a.Run(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := a.History()
+	if len(h) != 3 {
+		t.Fatalf("history length %d, want ring cap 3", len(h))
+	}
+	if h[0].Seq != 3 || h[2].Seq != 5 {
+		t.Fatalf("ring kept seqs %d..%d, want 3..5", h[0].Seq, h[2].Seq)
+	}
+	if a.Latest() != h[2] {
+		t.Fatal("Latest must be the newest ring entry")
+	}
+}
+
+func TestRankedSeedsPrefersExplainOrder(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Interval: time.Second, K: 2, Clock: clk})
+	// Solution seeds are id-sorted {0,5}; Explain says rank order 5,0.
+	tr := &fakeTracker{
+		graph: starGraph(),
+		sol:   core.Solution{Seeds: []ids.NodeID{0, 5}, Value: 7},
+		rank:  []ids.NodeID{5, 0},
+	}
+	if _, _, err := a.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Same members, reversed rank order next audit → Jaccard 1, tau -1.
+	tr.rank = []ids.NodeID{0, 5}
+	clk.advance(time.Second)
+	rep, _, err := a.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TopkJaccard != 1 {
+		t.Fatalf("jaccard %v, want 1 for identical membership", rep.TopkJaccard)
+	}
+	if rep.KendallTau != -1 {
+		t.Fatalf("kendall tau %v, want -1 for a reversed ranking", rep.KendallTau)
+	}
+}
+
+// gapTracker adds a MergeGap hook to the fake.
+type gapTracker struct {
+	fakeTracker
+	summed, union int
+}
+
+func (g *gapTracker) MergeGap(calls *metrics.Counter) (int, int, bool) {
+	calls.Add(1)
+	return g.summed, g.union, true
+}
+
+func TestRunMergeGap(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{Interval: time.Second, K: 1, Clock: clk})
+	tr := &gapTracker{
+		fakeTracker: fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}},
+		summed:      4, union: 5,
+	}
+	rep, _, err := a.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MergeGap == nil {
+		t.Fatal("sharded tracker: want a merge-gap section")
+	}
+	if rep.MergeGap.SummedPerShard != 4 || rep.MergeGap.UnionRescore != 5 {
+		t.Fatalf("merge gap %+v, want summed=4 union=5", rep.MergeGap)
+	}
+	if got, want := rep.MergeGap.Ratio, 1.25; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merge gap ratio %v, want %v", got, want)
+	}
+
+	plain := &fakeTracker{graph: starGraph(), sol: core.Solution{Seeds: []ids.NodeID{0}, Value: 5}}
+	b := New(Config{Interval: time.Second, K: 1, Clock: clk})
+	rep2, _, err := b.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.MergeGap != nil {
+		t.Fatal("single tracker: merge-gap section must be absent")
+	}
+}

@@ -1,0 +1,72 @@
+package audit
+
+import "time"
+
+// DefaultReWarn is how often a held floor breach re-announces itself.
+const DefaultReWarn = time.Minute
+
+// FloorAction is what a quality-floor check asks its owner to do,
+// mirroring the memory-watermark log semantics: warn on the downward
+// crossing, re-warn periodically while below, announce recovery once.
+type FloorAction int
+
+const (
+	FloorNone    FloorAction = iota
+	FloorWarn                // ratio just crossed below the floor
+	FloorReWarn              // still below; the re-warn interval elapsed
+	FloorRecover             // ratio climbed back above the floor
+)
+
+// String names the action for logs and events.
+func (a FloorAction) String() string {
+	switch a {
+	case FloorWarn:
+		return "quality_regressed"
+	case FloorReWarn:
+		return "quality_still_regressed"
+	case FloorRecover:
+		return "quality_recovered"
+	default:
+		return "none"
+	}
+}
+
+// FloorTracker is the floor-crossing state machine. Like the Auditor
+// that embeds it, it is single-goroutine.
+type FloorTracker struct {
+	// Floor is the quality-ratio threshold; <= 0 disables the tracker.
+	Floor float64
+	// ReWarn is the repeat interval while below; 0 means DefaultReWarn.
+	ReWarn time.Duration
+
+	below    bool
+	lastWarn time.Time
+}
+
+// Below reports whether the last checked ratio was under the floor.
+func (f *FloorTracker) Below() bool { return f.below }
+
+// Check folds one observation in and returns the transition to act on.
+func (f *FloorTracker) Check(ratio float64, now time.Time) FloorAction {
+	if f.Floor <= 0 {
+		return FloorNone
+	}
+	rewarn := f.ReWarn
+	if rewarn <= 0 {
+		rewarn = DefaultReWarn
+	}
+	below := ratio < f.Floor
+	switch {
+	case below && !f.below:
+		f.below = true
+		f.lastWarn = now
+		return FloorWarn
+	case below && now.Sub(f.lastWarn) >= rewarn:
+		f.lastWarn = now
+		return FloorReWarn
+	case !below && f.below:
+		f.below = false
+		return FloorRecover
+	}
+	return FloorNone
+}

@@ -1,0 +1,105 @@
+// Budget-capped reference greedy: the quality baseline an audit
+// compares the served solution against. CELF lazy re-evaluation over
+// every node of the live graph, with a hard cap on oracle calls — the
+// paper costs everything in oracle evaluations, and an audit must not
+// spend unbounded worker time, so the scan stops (and says so) when the
+// budget runs dry.
+package audit
+
+import (
+	"container/heap"
+
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+)
+
+// refCand is one CELF heap entry: a candidate with the (possibly stale)
+// gain computed at a selection round.
+type refCand struct {
+	v     ids.NodeID
+	gain  int
+	round int
+}
+
+// refHeap orders candidates by gain descending, node id ascending; the
+// tie-break keeps reference values deterministic across runs.
+type refHeap []refCand
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].v < h[j].v
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refCand)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// referenceValue greedily builds a k-seed set over nodes [0, nodeCap)
+// of o's graph and returns its value, spending at most budget oracle
+// calls (each MarginalGain is one). The second result reports whether
+// the budget ran out — the candidate scan or the CELF refinement was
+// then cut short, so the value is a weaker baseline than an unbounded
+// greedy would give.
+func referenceValue(o *influence.Oracle, nodeCap, k, budget int) (value int, budgetExhausted bool) {
+	if k <= 0 || nodeCap <= 0 {
+		return 0, false
+	}
+	if budget <= 0 {
+		return 0, true
+	}
+	used := 0
+	rs := influence.NewReachSet()
+
+	// Seed the CELF heap: one gain-on-empty-selection (= singleton
+	// spread) per node, until the budget stops the scan.
+	h := make(refHeap, 0, nodeCap)
+	for v := 0; v < nodeCap; v++ {
+		if used >= budget {
+			budgetExhausted = true
+			break
+		}
+		g := o.MarginalGain(rs, ids.NodeID(v), false)
+		used++
+		if g > 0 {
+			h = append(h, refCand{v: ids.NodeID(v), gain: g, round: 0})
+		}
+	}
+	heap.Init(&h)
+
+	// An entry's gain is exact when its round matches the selection
+	// size; submodularity only shrinks gains, so a re-evaluated top that
+	// stays on top is the true argmax (CELF). Committing a seed costs
+	// one more call to materialize its reach into rs.
+	selected := 0
+	for selected < k && h.Len() > 0 {
+		if h[0].gain == 0 {
+			break
+		}
+		if h[0].round != selected {
+			if used >= budget {
+				return value, true
+			}
+			h[0] = refCand{v: h[0].v, gain: o.MarginalGain(rs, h[0].v, false), round: selected}
+			used++
+			heap.Fix(&h, 0)
+			continue
+		}
+		if used >= budget {
+			return value, true
+		}
+		top := heap.Pop(&h).(refCand)
+		o.MarginalGain(rs, top.v, true)
+		used++
+		value += top.gain
+		selected++
+	}
+	return value, budgetExhausted
+}

@@ -1,0 +1,68 @@
+// Top-k stability metrics: how much the served solution churned
+// between consecutive audits. Jaccard measures membership overlap,
+// Kendall-tau measures whether the seeds the solutions share kept
+// their relative ranking.
+package audit
+
+import "tdnstream/internal/ids"
+
+// Jaccard returns |a∩b| / |a∪b| over the two seed sets (order and
+// duplicates ignored). Two empty sets are identical: 1.
+func Jaccard(a, b []ids.NodeID) float64 {
+	setA := make(map[ids.NodeID]struct{}, len(a))
+	for _, v := range a {
+		setA[v] = struct{}{}
+	}
+	setB := make(map[ids.NodeID]struct{}, len(b))
+	for _, v := range b {
+		setB[v] = struct{}{}
+	}
+	inter := 0
+	for v := range setB {
+		if _, ok := setA[v]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// KendallTau returns the rank correlation τ between two orderings,
+// computed over the elements they share: τ = (C − D) / (n(n−1)/2) with
+// C/D the concordant/discordant pairs and n the common-element count.
+// 1 means the shared seeds kept their relative order, −1 means it fully
+// reversed. With fewer than two common elements no pair can disagree,
+// so τ is defined as 1 (membership churn is Jaccard's job, not τ's).
+// Each input must not repeat elements; ranks come from slice positions.
+func KendallTau(a, b []ids.NodeID) float64 {
+	posA := make(map[ids.NodeID]int, len(a))
+	for i, v := range a {
+		posA[v] = i
+	}
+	// Common elements in b's rank order, each mapped to its rank in a.
+	var ranks []int
+	for _, v := range b {
+		if p, ok := posA[v]; ok {
+			ranks = append(ranks, p)
+		}
+	}
+	n := len(ranks)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ranks[i] < ranks[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}

@@ -1,0 +1,65 @@
+package audit
+
+import (
+	"math"
+	"testing"
+
+	"tdnstream/internal/ids"
+)
+
+func n(vs ...uint32) []ids.NodeID {
+	out := make([]ids.NodeID, len(vs))
+	for i, v := range vs {
+		out[i] = ids.NodeID(v)
+	}
+	return out
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []ids.NodeID
+		want float64
+	}{
+		{"both empty", nil, nil, 1},
+		{"identical", n(1, 2, 3), n(3, 2, 1), 1},
+		{"disjoint", n(1, 2), n(3, 4), 0},
+		// |{2,3}| / |{1,2,3,4}| = 2/4.
+		{"half overlap", n(1, 2, 3), n(2, 3, 4), 0.5},
+		{"one empty", n(1, 2), nil, 0},
+		// Duplicates count once: {1,2} vs {2} → 1/2.
+		{"duplicates", n(1, 1, 2), n(2, 2), 0.5},
+	}
+	for _, tc := range cases {
+		if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: Jaccard=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []ids.NodeID
+		want float64
+	}{
+		{"same order", n(1, 2, 3, 4), n(1, 2, 3, 4), 1},
+		{"reversed", n(1, 2, 3, 4), n(4, 3, 2, 1), -1},
+		// Common elements {1,2,3}; b orders them 2,1,3: pairs (2,1)
+		// discordant, (2,3) and (1,3) concordant → (2-1)/3 = 1/3.
+		{"one swap among three", n(1, 2, 3), n(2, 1, 3), 1.0 / 3},
+		// Fewer than two common elements: rank correlation undefined,
+		// reported as 1 (membership churn is Jaccard's job).
+		{"single common", n(1, 2), n(2, 3), 1},
+		{"disjoint", n(1, 2), n(3, 4), 1},
+		{"empty", nil, nil, 1},
+		// Non-common elements are ignored: common {1,4} keep their
+		// relative order.
+		{"ignores non-common", n(1, 2, 4), n(1, 3, 4), 1},
+	}
+	for _, tc := range cases {
+		if got := KendallTau(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: KendallTau=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package metrics
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Counter counts oracle calls. It is safe for concurrent use so the
@@ -38,11 +39,21 @@ func (c *Counter) Reset() uint64 { return c.n.Swap(0) }
 // /metrics scrape). The zero value is ready to use and reads as 0 until
 // the first observation.
 type EWMA struct {
-	bits atomic.Uint64
+	bits   atomic.Uint64
+	lastNs atomic.Int64 // unix nanos of the most recent Observe; 0 = never
 	// Alpha is the smoothing factor in (0, 1]; 0 means the default 0.2.
 	// Set it before the first Observe, if at all.
 	Alpha float64
+	// HalfLife controls how fast ValueAt decays toward zero once
+	// observations stop arriving; 0 means DefaultEWMAHalfLife. Set it
+	// before the first read, if at all.
+	HalfLife time.Duration
 }
+
+// DefaultEWMAHalfLife is the idle-decay half-life ValueAt uses when
+// EWMA.HalfLife is unset: an idle source reads at half its last smoothed
+// value after 5s and under 2% of it after 30s.
+const DefaultEWMAHalfLife = 5 * time.Second
 
 // Observe folds one observation into the average. The first observation
 // initializes the average rather than being smoothed toward zero.
@@ -66,13 +77,42 @@ func (e *EWMA) Observe(v float64) {
 			bits = math.Float64bits(math.Copysign(0, -1))
 		}
 		if e.bits.CompareAndSwap(old, bits) {
+			e.lastNs.Store(time.Now().UnixNano())
 			return
 		}
 	}
 }
 
 // Value returns the current smoothed value (0 before any observation).
+// It holds the last observed average forever; rate gauges that should
+// read as quiet once their source goes idle want ValueAt instead.
 func (e *EWMA) Value() float64 { return math.Float64frombits(e.bits.Load()) }
+
+// ValueAt returns the smoothed value decayed for the time elapsed between
+// the most recent observation and now: halving once per HalfLife, so an
+// idle source reads asymptotically as zero instead of holding its last
+// busy value. While observations keep arriving the elapsed time is tiny
+// and ValueAt tracks Value. now values at or before the last observation
+// (including the zero time) read undecayed.
+func (e *EWMA) ValueAt(now time.Time) float64 {
+	v := math.Float64frombits(e.bits.Load())
+	if v == 0 {
+		return 0
+	}
+	last := e.lastNs.Load()
+	if last == 0 {
+		return v
+	}
+	dt := now.UnixNano() - last
+	if dt <= 0 {
+		return v
+	}
+	hl := e.HalfLife
+	if hl <= 0 {
+		hl = DefaultEWMAHalfLife
+	}
+	return v * math.Exp2(-float64(dt)/float64(hl))
+}
 
 // Series accumulates a numeric series (one point per time step) and offers
 // the aggregations the paper plots: running values, cumulative sums, and

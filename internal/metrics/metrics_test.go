@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestEWMAFirstObservationInitializes(t *testing.T) {
@@ -60,6 +61,48 @@ func TestEWMAConcurrent(t *testing.T) {
 	wg.Wait()
 	if e.Value() != 50 {
 		t.Fatalf("constant stream: %g, want 50", e.Value())
+	}
+}
+
+func TestEWMAValueAtDecaysWhileIdle(t *testing.T) {
+	var e EWMA
+	e.Observe(100)
+	last := time.Unix(0, e.lastNs.Load())
+	if got := e.ValueAt(last); got != 100 {
+		t.Fatalf("no elapsed time: %g, want 100", got)
+	}
+	if got := e.ValueAt(last.Add(-time.Second)); got != 100 {
+		t.Fatalf("now before last observation: %g, want undecayed 100", got)
+	}
+	if got, want := e.ValueAt(last.Add(DefaultEWMAHalfLife)), 50.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("one half-life idle: %g, want %g", got, want)
+	}
+	if got, want := e.ValueAt(last.Add(3*DefaultEWMAHalfLife)), 12.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("three half-lives idle: %g, want %g", got, want)
+	}
+	// Value() stays sticky — only ValueAt decays.
+	if e.Value() != 100 {
+		t.Fatalf("Value decayed to %g; idle decay must be read-side only", e.Value())
+	}
+}
+
+func TestEWMAValueAtCustomHalfLife(t *testing.T) {
+	e := EWMA{HalfLife: 2 * time.Second}
+	e.Observe(80)
+	last := time.Unix(0, e.lastNs.Load())
+	if got, want := e.ValueAt(last.Add(2*time.Second)), 40.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("custom half-life: %g, want %g", got, want)
+	}
+}
+
+func TestEWMAValueAtZeroAndUninitialized(t *testing.T) {
+	var e EWMA
+	if got := e.ValueAt(time.Now()); got != 0 {
+		t.Fatalf("uninitialized: %g, want 0", got)
+	}
+	e.Observe(0)
+	if got := e.ValueAt(time.Now().Add(time.Hour)); got != 0 {
+		t.Fatalf("observed zero: %g, want 0", got)
 	}
 }
 

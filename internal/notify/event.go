@@ -56,13 +56,23 @@ const (
 	// operator sees the degradation the moment it happens, not on the
 	// next poll.
 	StreamStatus EventType = "stream_status"
+	// Quality announces an audit floor transition: the online quality
+	// auditor found the served solution's approximation ratio below the
+	// configured floor ("quality_regressed" in Status, re-warned
+	// periodically as "quality_still_regressed") or back above it
+	// ("quality_recovered"). Ratio carries the measured served/reference
+	// value, Floor the configured threshold, Detail a human-readable
+	// summary. Like stream_status it is out of band with the top-k diff
+	// stream: an operator subscribed to these sees a silent quality loss
+	// the moment an audit measures it.
+	Quality EventType = "quality"
 )
 
 // ValidEventType reports whether t names a known event type — the
 // vocabulary the events endpoint's ?types= filter accepts.
 func ValidEventType(t EventType) bool {
 	switch t {
-	case Entered, Left, RankChanged, GainChanged, Keyframe, StreamStatus:
+	case Entered, Left, RankChanged, GainChanged, Keyframe, StreamStatus, Quality:
 		return true
 	}
 	return false
@@ -120,11 +130,16 @@ type Event struct {
 
 	TopK []Entry `json:"topk,omitempty"`
 
-	// Status and Detail accompany stream_status events only: the
-	// stream's new serving state ("degraded" or "healthy") and the
-	// fault it degraded on.
+	// Status and Detail accompany stream_status and quality events: the
+	// stream's new serving state ("degraded" or "healthy", or a quality
+	// transition) and the fault or finding behind it.
 	Status string `json:"status,omitempty"`
 	Detail string `json:"detail,omitempty"`
+
+	// Ratio and Floor accompany quality events only: the audited
+	// quality ratio and the configured alert floor it crossed.
+	Ratio float64 `json:"ratio,omitempty"`
+	Floor float64 `json:"floor,omitempty"`
 }
 
 // MarshalJSON is the wire form shared by the SSE data payload and the

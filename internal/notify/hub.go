@@ -295,6 +295,30 @@ func (h *Hub) PublishStatus(name, status, detail string) uint64 {
 	return st.seq
 }
 
+// PublishQuality emits a quality event: the online auditor measured the
+// served solution's approximation ratio crossing (or recovering from)
+// the configured floor. Journaled and sequence-stamped like any other
+// event, so a resuming subscriber replays the regression in order with
+// the change events around it.
+func (h *Hub) PublishQuality(name, status, detail string, ratio, floor float64) uint64 {
+	st := h.ensure(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	last := st.differ.Last()
+	st.seq++
+	ev := Event{
+		Seq: st.seq, Type: Quality, Stream: name,
+		T: last.T, Value: last.Value,
+		Rank: -1, PrevRank: -1,
+		Status: status, Detail: detail,
+		Ratio: ratio, Floor: floor,
+	}
+	st.journal.Append(ev)
+	st.events++
+	st.fanout([]Event{ev})
+	return st.seq
+}
+
 // filterEvents returns the events whose type the subscriber asked for
 // (plus keyframes, when the subscriber still needs its rebase point),
 // sharing the input slice when nothing is pruned.
@@ -508,11 +532,13 @@ func (h *Hub) Stats(name string) StreamStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return StreamStats{
-		Seq:          st.seq,
-		Subscribers:  len(st.subs),
-		Events:       st.events,
-		Dropped:      st.dropped,
-		EventsPerSec: st.rate.Value(),
+		Seq:         st.seq,
+		Subscribers: len(st.subs),
+		Events:      st.events,
+		Dropped:     st.dropped,
+		// Time-aware read: the rate decays toward zero once publishes
+		// stop, instead of holding the last busy value forever.
+		EventsPerSec: st.rate.ValueAt(time.Now()),
 	}
 }
 

@@ -549,3 +549,53 @@ func TestHubPublishStatus(t *testing.T) {
 		t.Fatalf("seq = %d, want 3", h.Seq("s"))
 	}
 }
+
+func TestHubPublishQuality(t *testing.T) {
+	if !ValidEventType(Quality) {
+		t.Fatal("quality must be in the ?types= vocabulary")
+	}
+	h := NewHub(Config{})
+	h.Publish("s", topkOf(10, 5, 1, 2)) // seq 1: keyframe
+	all, err := h.Subscribe("s", h.Seq("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := h.SubscribeTypes("s", h.Seq("s"), []EventType{Quality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrelated, err := h.SubscribeTypes("s", h.Seq("s"), []EventType{Entered})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := h.PublishQuality("s", "quality_regressed", "audit #3: quality_ratio 0.41 vs floor 0.80", 0.41, 0.8)
+	if seq != 2 {
+		t.Fatalf("quality seq = %d, want 2", seq)
+	}
+	h.PublishQuality("s", "quality_recovered", "", 0.93, 0.8)
+
+	got := drain(all)
+	if len(got) != 2 || got[0].Type != Quality || got[0].Status != "quality_regressed" ||
+		got[1].Status != "quality_recovered" {
+		t.Fatalf("unfiltered subscriber saw %+v", got)
+	}
+	if got[0].Ratio != 0.41 || got[0].Floor != 0.8 || got[0].Stream != "s" || got[0].T != 10 {
+		t.Fatalf("quality event missing context: %+v", got[0])
+	}
+	if got := drain(filtered); len(got) != 2 || got[0].Type != Quality {
+		t.Fatalf("quality-filtered subscriber saw %+v", got)
+	}
+	if got := drain(unrelated); len(got) != 0 {
+		t.Fatalf("entered-only subscriber saw quality events: %+v", got)
+	}
+
+	// Journaled like any other event: a resume replays the regression.
+	resumed, err := h.Subscribe("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Backlog) != 2 || resumed.Backlog[0].Ratio != 0.41 {
+		t.Fatalf("resume backlog = %+v", resumed.Backlog)
+	}
+}

@@ -235,6 +235,30 @@ type Config struct {
 	// memory-watermark log). The deep stats endpoint
 	// (/v1/streams/{name}/stats) still works — it collects on demand.
 	DisableEngineStats bool
+	// AuditInterval is the quality auditor's time cadence: each stream's
+	// worker re-audits its served solution (exact rescoring vs a
+	// budget-capped reference greedy, top-k stability, shard merge gap —
+	// see internal/audit) once this much time passed since its last
+	// audit, piggybacking on snapshot publishes so the audit never
+	// preempts a drain. Default 15s; audits also stay off while a
+	// stream replays its WAL or is degraded. Set DisableAudit to turn
+	// auditing off entirely.
+	AuditInterval time.Duration
+	// AuditEvery is the optional count cadence: an audit also becomes
+	// due every N processed records (0 = time cadence only).
+	AuditEvery int
+	// AuditBudget caps the oracle calls one audit may spend (default
+	// audit.DefaultBudget).
+	AuditBudget int
+	// AuditFloor, when > 0, alerts on quality regressions: an audit
+	// measuring quality_ratio below the floor logs at Warn (re-warned
+	// once a minute while below, Info on recovery) and publishes a
+	// "quality" notify event, mirroring the memory-watermark semantics.
+	AuditFloor float64
+	// DisableAudit turns the quality auditor off: no background audits,
+	// no influtrackd_quality_* gauges, and the deep quality endpoint
+	// answers 422.
+	DisableAudit bool
 	// NotifyExplainGains spends oracle calls at every snapshot publish to
 	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
 	// calls): events then carry true greedy ranks and gains, enabling
@@ -283,6 +307,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
+	}
+	if c.AuditInterval <= 0 {
+		c.AuditInterval = 15 * time.Second
 	}
 	if c.SlowTrace <= 0 {
 		c.SlowTrace = 500 * time.Millisecond

@@ -31,6 +31,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{name}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/streams/{name}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/streams/{name}/stats", s.handleEngineStats)
+	mux.HandleFunc("GET /v1/streams/{name}/quality", s.handleQuality)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/admin/restore", s.handleRestore)
 	mux.HandleFunc("GET /v1/admin/fault", s.handleFaultList)
@@ -473,7 +474,7 @@ func (s *Server) infoFor(wk *worker) streamInfo {
 		Algo:            snap.Algo,
 		TimeMode:        wk.state.Load().timeMode,
 		T:               snap.T,
-		QueueDepth:      len(wk.queue),
+		QueueDepth:      wk.queueDepth(),
 		QueueCap:        cap(wk.queue),
 		Ingested:        wk.m.ingested.Load(),
 		Processed:       wk.m.processed.Load(),

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/audit"
 	"tdnstream/internal/metrics"
 	"tdnstream/internal/notify"
 	"tdnstream/internal/obs"
@@ -193,21 +194,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, r := range rows {
 		p("influtrackd_oracle_calls_total{stream=%q} %d\n", r.name, r.w.oracleCalls())
 	}
-	gauge("queue_depth", "Chunks waiting in the ingest queue.")
+	gauge("queue_depth", "Chunks not yet applied to the tracker: waiting in the ingest queue, plus the chunk the worker is currently processing.")
 	for _, r := range rows {
-		p("influtrackd_queue_depth{stream=%q} %d\n", r.name, len(r.w.queue))
+		p("influtrackd_queue_depth{stream=%q} %d\n", r.name, r.w.queueDepth())
 	}
 	gauge("queue_capacity", "Ingest queue capacity, in chunks.")
 	for _, r := range rows {
 		p("influtrackd_queue_capacity{stream=%q} %d\n", r.name, cap(r.w.queue))
 	}
-	gauge("steps_per_sec", "Smoothed tracker step throughput while processing; holds the last value when the stream is idle.")
+	now := time.Now()
+	gauge("steps_per_sec", "Smoothed tracker step throughput; decays toward zero while the stream is idle (5s half-life).")
 	for _, r := range rows {
-		p("influtrackd_steps_per_sec{stream=%q} %g\n", r.name, r.w.m.stepsPerSec.Value())
+		p("influtrackd_steps_per_sec{stream=%q} %g\n", r.name, r.w.m.stepsPerSec.ValueAt(now))
 	}
-	gauge("records_per_sec", "Smoothed record processing throughput while processing; holds the last value when the stream is idle.")
+	gauge("records_per_sec", "Smoothed record processing throughput; decays toward zero while the stream is idle (5s half-life).")
 	for _, r := range rows {
-		p("influtrackd_records_per_sec{stream=%q} %g\n", r.name, r.w.m.rowsPerSec.Value())
+		p("influtrackd_records_per_sec{stream=%q} %g\n", r.name, r.w.m.rowsPerSec.ValueAt(now))
 	}
 	summaryHead("ingest_request_seconds", "Server-side POST /v1/ingest latency, all statuses.")
 	for _, r := range rows {
@@ -274,6 +276,52 @@ func (s *Server) writeMetrics(w io.Writer) {
 			gauge("shard_skew_ratio", "Partition balance of sharded engines: max records routed to one partition over the mean (1.0 is perfectly balanced).")
 			for _, r := range sharded {
 				p("influtrackd_shard_skew_ratio{stream=%q} %g\n", r.name, r.es.ShardSkew)
+			}
+		}
+	}
+
+	// Quality-audit surface: the worker-cached report of each stream's
+	// most recent audit (background cadence or on-demand via the deep
+	// /v1/streams/{name}/quality endpoint). Rows appear only once a
+	// stream has been audited, so a scrape can tell "no audit yet" from
+	// a genuine ratio of zero; merge-gap rows only for sharded engines.
+	type auditRow struct {
+		name string
+		rep  *audit.Report
+	}
+	var auditRows []auditRow
+	for _, r := range rows {
+		if rep := r.w.auditRep.Load(); rep != nil {
+			auditRows = append(auditRows, auditRow{r.name, rep})
+		}
+	}
+	if len(auditRows) > 0 {
+		gauge("quality_ratio", "Audited approximation quality: exact spread of the served seeds over a budget-capped reference greedy on the same live graph (last audit).")
+		for _, r := range auditRows {
+			p("influtrackd_quality_ratio{stream=%q} %g\n", r.name, r.rep.QualityRatio)
+		}
+		gauge("topk_jaccard", "Top-k membership overlap between the last two audits (1 = identical seed sets).")
+		for _, r := range auditRows {
+			p("influtrackd_topk_jaccard{stream=%q} %g\n", r.name, r.rep.TopkJaccard)
+		}
+		gauge("kendall_tau", "Kendall-tau rank correlation of the seeds the last two audits share (1 = same order, -1 = reversed).")
+		for _, r := range auditRows {
+			p("influtrackd_kendall_tau{stream=%q} %g\n", r.name, r.rep.KendallTau)
+		}
+		gauge("audit_oracle_calls", "Lifetime influence-oracle calls spent by quality audits (the audit budget's account, separate from the tracker's oracle_calls_total).")
+		for _, r := range auditRows {
+			p("influtrackd_audit_oracle_calls{stream=%q} %d\n", r.name, r.rep.OracleCallsTotal)
+		}
+		var gapped []auditRow
+		for _, r := range auditRows {
+			if r.rep.MergeGap != nil {
+				gapped = append(gapped, r)
+			}
+		}
+		if len(gapped) > 0 {
+			gauge("merge_gap_ratio", "Sharded engines: union-graph rescore of the merged seed set over the summed per-shard merge score (1.0 = exact; <1 double-counted overlap, >1 unseen cross-partition reach).")
+			for _, r := range gapped {
+				p("influtrackd_merge_gap_ratio{stream=%q} %g\n", r.name, r.rep.MergeGap.Ratio)
 			}
 		}
 	}
@@ -361,7 +409,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, st := range stats {
 		p("influtrackd_notify_dropped_subscribers_total{stream=%q} %d\n", st.name, st.s.Dropped)
 	}
-	gauge("notify_events_per_sec", "Smoothed change-event publish rate; holds the last value while the stream is idle.")
+	gauge("notify_events_per_sec", "Smoothed change-event publish rate; decays toward zero while the stream is idle (5s half-life).")
 	for _, st := range stats {
 		p("influtrackd_notify_events_per_sec{stream=%q} %g\n", st.name, st.s.EventsPerSec)
 	}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"net/http"
+
+	"tdnstream/internal/audit"
+)
+
+// handleQuality serves the deep quality-audit report for one stream: an
+// on-demand audit (exact rescoring of the served seeds vs the budgeted
+// reference greedy, top-k stability vs the previous audit, and — for
+// sharded streams — the cross-partition merge gap) plus the ring of
+// recent background audits. Unlike the cached influtrackd_quality_*
+// gauges this collects fresh, and the audit's oracle BFS work must run
+// on the worker goroutine (trackers are not concurrency-safe), so like
+// /v1/explain it waits behind in-flight chunks and is token-gated. The
+// on-demand audit counts toward the cadence and the floor alerting like
+// any other.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wk, ok := s.stream(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	if !s.authorize(w, r, wk) {
+		return
+	}
+	var latest *audit.Report
+	var history []*audit.Report
+	var enabled bool
+	err := wk.do(r.Context(), func() {
+		if wk.auditor == nil {
+			return
+		}
+		st := wk.state.Load()
+		rep, action, aerr := wk.auditor.Run(st.tracker)
+		if aerr != nil {
+			return // no live graph: leave enabled false → 422
+		}
+		enabled = true
+		wk.auditRep.Store(rep)
+		wk.noteFloor(rep, action)
+		latest = rep
+		history = wk.auditor.History()
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if !enabled {
+		writeError(w, http.StatusUnprocessableEntity,
+			"stream %q: quality auditing disabled or unsupported by tracker %q",
+			wk.name, wk.snapshot().Algo)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream":  wk.name,
+		"latest":  latest,
+		"history": history,
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tdnstream"
+	"tdnstream/internal/audit"
 	"tdnstream/internal/notify"
 	"tdnstream/internal/obs"
 	"tdnstream/internal/wal"
@@ -149,6 +150,20 @@ type worker struct {
 	// read the cache, so scrapes never touch the tracker.
 	engineStats atomic.Pointer[tdnstream.EngineStats]
 
+	// auditRep caches the latest quality-audit report for the
+	// influtrackd_quality_* gauges; only the worker goroutine stores it
+	// (after each audit), so scrapes never touch the tracker. The
+	// auditor itself is worker-goroutine-private (see below).
+	auditRep atomic.Pointer[audit.Report]
+
+	// inFlight is set while the worker is applying a dequeued chunk.
+	// queue_depth reports len(queue) plus this flag: a popped chunk's
+	// records are not yet in the accounting counters, so without it a
+	// poller waiting for the queue to drain (loadgen's verify ledger)
+	// could read "empty" while the final chunk is still mid-step and
+	// conclude its acked records were lost.
+	inFlight atomic.Bool
+
 	// Worker-goroutine-private state.
 	lastT      int64   // high-water tracker time (event) / step clock (arrival)
 	sinceSnap  int     // chunks since the last snapshot publish
@@ -162,6 +177,13 @@ type worker struct {
 	// statsRefreshNs throttles the engine-introspection walk while the
 	// queue is backlogged (idle-queue publishes always refresh).
 	statsRefreshNs int64
+	// auditor runs the online quality audits (nil when
+	// Config.DisableAudit, or after the tracker proved unsupported).
+	// Audits piggyback on snapshot publishes — Due is checked after the
+	// publish work, suppressed while the stream replays its WAL or is
+	// degraded — so they never preempt a drain, and an idle stream
+	// (whose graph cannot change) simply keeps its last report.
+	auditor *audit.Auditor
 }
 
 // buildState constructs a stream's swap-in state from its spec. When
@@ -227,6 +249,16 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope, hub *notif
 			RingSize:      cfg.TraceRing,
 			SlowThreshold: cfg.SlowTrace,
 			Logger:        cfg.logger(),
+		})
+	}
+	if !cfg.DisableAudit {
+		w.auditor = audit.New(audit.Config{
+			Interval: cfg.AuditInterval,
+			Every:    cfg.AuditEvery,
+			Budget:   cfg.AuditBudget,
+			Floor:    cfg.AuditFloor,
+			K:        spec.Tracker.K,
+			Clock:    cfg.clock(),
 		})
 	}
 	if ckpt != nil {
@@ -526,6 +558,17 @@ func (w *worker) run() {
 	}
 }
 
+// queueDepth is the number of chunks not yet reflected in the stream's
+// accounting counters: those waiting in the queue plus the one the
+// worker is currently applying.
+func (w *worker) queueDepth() int {
+	n := len(w.queue)
+	if w.inFlight.Load() {
+		n++
+	}
+	return n
+}
+
 // ingestEpoch reads the current state epoch. Ingest captures it before
 // decoding (and interning) any records; enqueue re-checks it under the
 // same lock a restore bumps it under.
@@ -742,6 +785,8 @@ func (w *worker) do(ctx context.Context, fn func()) error {
 // process feeds one chunk to the tracker according to the stream's time
 // mode and refreshes the read snapshot.
 func (w *worker) process(c chunk) {
+	w.inFlight.Store(true)
+	defer w.inFlight.Store(false)
 	start := time.Now()
 	if c.enqueuedNs != 0 {
 		w.rec.Observe(obs.StageQueueWait, start.Sub(time.Unix(0, c.enqueuedNs)))
@@ -792,6 +837,9 @@ func (w *worker) process(c chunk) {
 	}
 	stepD := time.Since(start)
 	w.m.observeChunk(fed, steps, stepD)
+	if w.auditor != nil {
+		w.auditor.NoteRecords(fed)
+	}
 	if !w.replaying {
 		w.rec.Observe(obs.StageTrackerStep, stepD)
 	}
@@ -881,7 +929,62 @@ func (w *worker) publishFor(tr *obs.Trace) {
 			w.statsRefreshNs = now
 		}
 	}
+	// Quality audits piggyback here for the same reason the stats walk
+	// does: the worker owns the tracker, and the publish cadence keeps
+	// the oracle work off the per-chunk hot path. Replay and degraded
+	// streams are exempt — a replaying tracker is mid-history, and a
+	// degraded stream's operator already has a louder signal.
+	if w.auditor != nil && !w.replaying && !w.degraded.Load() && w.auditor.Due() {
+		w.runAudit(st)
+	}
 	w.sinceSnap = 0
+}
+
+// runAudit performs one quality audit on the worker goroutine, caches
+// the report for the /metrics gauges, and drives the floor alerting. A
+// tracker without a live-graph hook disables auditing for the stream
+// (logged once) rather than erroring every publish.
+func (w *worker) runAudit(st *workerState) {
+	rep, action, err := w.auditor.Run(st.tracker)
+	if err != nil {
+		w.cfg.logger().Warn("quality auditing unsupported; disabled for stream",
+			"stream", w.name, "err", err)
+		w.auditor = nil
+		return
+	}
+	w.auditRep.Store(rep)
+	w.noteFloor(rep, action)
+}
+
+// noteFloor turns a floor transition into its slog line and notify
+// event, mirroring the memory-watermark semantics: Warn on the downward
+// crossing and once a minute while below, Info on recovery. Every
+// transition also publishes a "quality" event so subscribed dashboards
+// see the regression in order with the change events around it.
+func (w *worker) noteFloor(rep *audit.Report, action audit.FloorAction) {
+	floor := w.cfg.AuditFloor
+	switch action {
+	case audit.FloorWarn, audit.FloorReWarn:
+		w.cfg.logger().Warn("stream quality under audit floor",
+			"stream", w.name,
+			"quality_ratio", rep.QualityRatio,
+			"floor", floor,
+			"served_value", rep.ServedValue,
+			"reference_value", rep.ReferenceValue,
+			"budget_exhausted", rep.BudgetExhausted)
+	case audit.FloorRecover:
+		w.cfg.logger().Info("stream quality recovered above audit floor",
+			"stream", w.name,
+			"quality_ratio", rep.QualityRatio,
+			"floor", floor)
+	default:
+		return
+	}
+	if w.hub != nil {
+		detail := fmt.Sprintf("audit #%d: quality_ratio %.3f vs floor %.3f (served %d, reference %d)",
+			rep.Seq, rep.QualityRatio, floor, rep.ServedValue, rep.ReferenceValue)
+		w.hub.PublishQuality(w.name, action.String(), detail, rep.QualityRatio, floor)
+	}
 }
 
 // refreshEngineStats re-walks the tracker's structures into the cached

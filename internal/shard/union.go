@@ -1,0 +1,81 @@
+// Union graph view: the partitions' live graphs presented as one
+// logical graph, so a merged seed set can be rescored with paths that
+// cross partition boundaries — exactly the reachability the summed
+// per-shard merge score truncates. The quality auditor compares the two
+// scores to measure the cross-partition gap (ROADMAP item 3).
+package shard
+
+import (
+	"tdnstream/internal/ids"
+	"tdnstream/internal/influence"
+	"tdnstream/internal/metrics"
+)
+
+// unionGraph overlays the partition graphs. Source-hash partitioning
+// puts every edge (u,v) in exactly one partition (ShardOf(u)), so the
+// concatenated neighbor visits stay distinct, as influence.Graph
+// requires: u's out-edges all live in u's partition, and v's in-edges
+// come from sources that each live in exactly one partition.
+type unionGraph struct {
+	parts []influence.Graph
+	cap   int
+}
+
+func (g unionGraph) OutNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
+	for _, p := range g.parts {
+		p.OutNeighbors(u, visit)
+	}
+}
+
+func (g unionGraph) InNeighbors(u ids.NodeID, visit func(v ids.NodeID)) {
+	for _, p := range g.parts {
+		p.InNeighbors(u, visit)
+	}
+}
+
+func (g unionGraph) NodeCap() int { return g.cap }
+
+// LiveGraph implements LiveGrapher for the engine itself: the union
+// view over every partition's current live graph, clock-synced so
+// expiry state is aligned before anything traverses it. Nil before any
+// partition has data. Unlike the per-partition views the merge scores
+// against, BFS on this graph follows cross-partition paths.
+func (e *Engine) LiveGraph() influence.Graph {
+	e.syncClocks()
+	var parts []influence.Graph
+	cap := 0
+	for _, sh := range e.shards {
+		g := sh.(LiveGrapher).LiveGraph()
+		if g == nil {
+			continue
+		}
+		parts = append(parts, g)
+		if c := g.NodeCap(); c > cap {
+			cap = c
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return unionGraph{parts: parts, cap: cap}
+}
+
+// MergeGap rescores the current merged solution on the union graph and
+// returns it next to the CELF merge's summed-per-shard score: summed
+// never follows a path across a partition boundary, union does, so
+// union ≥ summed and the ratio union/summed quantifies the reach the
+// partitioning loses. Oracle work is charged to calls (nil is allowed);
+// ok is false before any data. Single-caller contract like every other
+// engine method — run it on the goroutine that owns the engine.
+func (e *Engine) MergeGap(calls *metrics.Counter) (summed, union int, ok bool) {
+	sol := e.Solution()
+	if len(sol.Seeds) == 0 {
+		return 0, 0, false
+	}
+	g := e.LiveGraph()
+	if g == nil {
+		return 0, 0, false
+	}
+	o := influence.New(g, calls)
+	return sol.Value, o.Spread(sol.Seeds...), true
+}
