@@ -114,6 +114,8 @@ func main() {
 		slo         = flag.String("slo", "", "SLO budgets asserted against the final report, e.g. ingest_p99=50ms,query_p99=10ms,lost_acked=0,quality_ratio_min=0.5; any breach exits non-zero")
 		settle      = flag.Duration("settle", 2*time.Minute, "verification budget for queues to drain and counters to settle (unthrottled runs can bank a backlog several times the traffic phase)")
 		jsonOut     = flag.String("json", "", "write the run report here instead of stdout")
+		reportEvery = flag.Duration("report-interval", 0, "soak mode: close a measurement window at this interval, assert the -slo latency budgets against that window alone (first breached window fails the run immediately), and flush an intermediate JSON report to the -json path; the final report carries the full window history")
+		subChurn    = flag.Duration("subscriber-churn", 0, "subscriber connection churn: each SSE subscriber deliberately disconnects at this interval and reconnects with Last-Event-ID resume (0 = hold connections open for the whole run)")
 	)
 	flag.Parse()
 
@@ -197,8 +199,13 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			subscribeWorker(ctx, base, names[id%len(names)], st)
+			subscribeWorker(ctx, base, names[id%len(names)], st, *subChurn)
 		}(i)
+	}
+
+	var soakDone func() ([]windowReport, bool)
+	if *reportEvery > 0 {
+		soakDone = runSoak(ctx, cancel, st, budgets, *reportEvery, *jsonOut)
 	}
 
 	recreate := func() error {
@@ -220,6 +227,13 @@ func main() {
 	rep.SLO = evalSLO(budgets, st, rep)
 	if rep.SLO != nil && !rep.SLO.OK {
 		rep.OK = false
+	}
+	if soakDone != nil {
+		windows, ok := soakDone()
+		rep.Soak = &soakReport{IntervalS: reportEvery.Seconds(), Windows: windows, OK: ok}
+		if !ok {
+			rep.OK = false
+		}
 	}
 
 	out, _ := json.MarshalIndent(rep, "", "  ")
@@ -257,8 +271,13 @@ type stats struct {
 	retryAfterMissing                                      atomic.Uint64
 	queryReq, query200, queryErr                           atomic.Uint64
 	eventsReceived, subscriberDrops                        atomic.Uint64
+	churnCycles, resumes                                   atomic.Uint64
 	ingestLat, queryLat                                    metrics.LatencyHist
 	ackedByStream                                          []atomic.Uint64
+	// winIngest/winQuery are the current soak window's histograms,
+	// swapped for fresh ones at every -report-interval tick so each
+	// window's latency verdict stands alone. Nil outside soak mode.
+	winIngest, winQuery atomic.Pointer[metrics.LatencyHist]
 }
 
 func newStats(n int) *stats { return &stats{ackedByStream: make([]atomic.Uint64, n)} }
@@ -437,7 +456,11 @@ func ingestWorker(ctx context.Context, client *http.Client, base string, names [
 			sleepCtx(ctx, 100*time.Millisecond)
 			continue
 		}
-		st.ingestLat.Observe(time.Since(start))
+		lat := time.Since(start)
+		st.ingestLat.Observe(lat)
+		if h := st.winIngest.Load(); h != nil {
+			h.Observe(lat)
+		}
 		var ir struct {
 			Accepted int `json:"accepted"`
 		}
@@ -495,7 +518,11 @@ func queryWorker(ctx context.Context, client *http.Client, base string, names []
 			sleepCtx(ctx, 100*time.Millisecond)
 			continue
 		}
-		st.queryLat.Observe(time.Since(start))
+		lat := time.Since(start)
+		st.queryLat.Observe(lat)
+		if h := st.winQuery.Load(); h != nil {
+			h.Observe(lat)
+		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
@@ -511,19 +538,41 @@ func queryWorker(ctx context.Context, client *http.Client, base string, names []
 // reconnecting whenever the connection drops (slow-consumer drop, daemon
 // kill). A plain non-timeout client: SSE connections are long-lived by
 // design.
-func subscribeWorker(ctx context.Context, base, name string, st *stats) {
+//
+// With churn > 0 the worker deliberately cycles the connection at that
+// interval: disconnect, reconnect with a Last-Event-ID resume header
+// built from the last "id:" line seen — the connect/resume/disconnect
+// treadmill that exercises the notify hub's subscribe, journal-resume
+// and eviction paths under sustained membership turnover.
+func subscribeWorker(ctx context.Context, base, name string, st *stats, churn time.Duration) {
 	client := &http.Client{}
+	lastEventID := ""
 	for ctx.Err() == nil {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		connCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if churn > 0 {
+			connCtx, cancel = context.WithTimeout(ctx, churn)
+		}
+		req, err := http.NewRequestWithContext(connCtx, http.MethodGet,
 			base+"/v1/streams/"+name+"/events", nil)
 		if err != nil {
+			cancel()
 			return
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+			st.resumes.Add(1)
 		}
 		resp, err := client.Do(req)
 		if err != nil || resp.StatusCode != http.StatusOK {
 			if resp != nil {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+			}
+			cancel()
+			if churn > 0 && connCtx.Err() != nil && ctx.Err() == nil {
+				st.churnCycles.Add(1) // timer fired mid-connect: still a planned cycle
+				continue
 			}
 			st.subscriberDrops.Add(1)
 			sleepCtx(ctx, 200*time.Millisecond)
@@ -532,12 +581,21 @@ func subscribeWorker(ctx context.Context, base, name string, st *stats) {
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 		for sc.Scan() {
-			if strings.HasPrefix(sc.Text(), "data:") {
+			line := sc.Text()
+			if strings.HasPrefix(line, "id:") {
+				lastEventID = strings.TrimSpace(line[len("id:"):])
+			}
+			if strings.HasPrefix(line, "data:") {
 				st.eventsReceived.Add(1)
 			}
 		}
 		resp.Body.Close()
-		if ctx.Err() == nil {
+		cancel()
+		switch {
+		case ctx.Err() != nil: // run over
+		case churn > 0 && connCtx.Err() != nil:
+			st.churnCycles.Add(1) // planned churn disconnect, not a drop
+		default:
 			st.subscriberDrops.Add(1)
 		}
 	}
@@ -869,6 +927,162 @@ func evalSLO(spec sloSpec, st *stats, rep *report) *sloReport {
 	return out
 }
 
+// ---- soak windows ----------------------------------------------------
+
+// windowReport is one -report-interval measurement window: throughput
+// deltas and window-local latency quantiles, with the window's own SLO
+// verdict when latency budgets are set.
+type windowReport struct {
+	Index        int         `json:"index"`
+	StartS       float64     `json:"start_s"`
+	EndS         float64     `json:"end_s"`
+	RecordsAcked uint64      `json:"records_acked"`
+	HTTP503      uint64      `json:"http_503"`
+	HTTP429      uint64      `json:"http_429"`
+	NetErrors    uint64      `json:"net_errors"`
+	Ingest       latencyJSON `json:"ingest_latency"`
+	Query        latencyJSON `json:"query_latency"`
+	SLO          *sloReport  `json:"slo,omitempty"`
+	OK           bool        `json:"ok"`
+}
+
+// soakReport is the final report's window history.
+type soakReport struct {
+	IntervalS float64        `json:"interval_s"`
+	Windows   []windowReport `json:"windows"`
+	OK        bool           `json:"ok"`
+}
+
+// evalWindowSLO asserts only the latency objectives against one
+// window's histograms — lost_acked and quality_ratio_min need the
+// post-traffic settle and stay end-of-run checks. An idle window (no
+// requests observed, e.g. mid kill@ restart) passes vacuously: there is
+// no latency to breach.
+func evalWindowSLO(spec sloSpec, ing, qry *metrics.LatencyHist) *sloReport {
+	if spec.ingestP99 == 0 && spec.queryP99 == 0 {
+		return nil
+	}
+	out := &sloReport{OK: true}
+	add := func(objective, budget, actual string, ok bool) {
+		out.Checks = append(out.Checks, sloCheck{Objective: objective, Budget: budget, Actual: actual, OK: ok})
+		if !ok {
+			out.OK = false
+		}
+	}
+	if spec.ingestP99 > 0 && ing.Count() > 0 {
+		got := ing.Quantile(0.99)
+		add("ingest_p99", spec.ingestP99.String(), got.String(), got <= spec.ingestP99)
+	}
+	if spec.queryP99 > 0 && qry.Count() > 0 {
+		got := qry.Quantile(0.99)
+		add("query_p99", spec.queryP99.String(), got.String(), got <= spec.queryP99)
+	}
+	return out
+}
+
+// runSoak closes a measurement window every interval: swaps the window
+// histograms, snapshots counter deltas, asserts the latency budgets
+// against the window alone, and (when -json is set) flushes an
+// intermediate report so an operator tailing a long soak sees progress
+// without waiting for the final report. The FIRST breached window
+// cancels the traffic context — a 10-minute soak that dies in window 2
+// fails in minute 2, not minute 10. Returns a join function yielding
+// the window history and the overall verdict.
+func runSoak(ctx context.Context, cancel context.CancelFunc, st *stats, spec sloSpec, interval time.Duration, jsonOut string) func() ([]windowReport, bool) {
+	type snap struct{ acked, h503, h429, netErr uint64 }
+	take := func() snap {
+		return snap{st.recordsAcked.Load(), st.http503.Load(), st.http429.Load(), st.netErrors.Load()}
+	}
+	st.winIngest.Store(&metrics.LatencyHist{})
+	st.winQuery.Store(&metrics.LatencyHist{})
+	out := make(chan struct {
+		windows []windowReport
+		ok      bool
+	}, 1)
+	start := time.Now()
+	go func() {
+		var windows []windowReport
+		ok := true
+		defer func() {
+			out <- struct {
+				windows []windowReport
+				ok      bool
+			}{windows, ok}
+		}()
+		flush := func() {
+			if jsonOut == "" {
+				return
+			}
+			doc := map[string]any{
+				"phase":     "running",
+				"elapsed_s": time.Since(start).Seconds(),
+				"soak": soakReport{
+					IntervalS: interval.Seconds(), Windows: windows, OK: ok,
+				},
+				"records_acked": st.recordsAcked.Load(),
+			}
+			b, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				return
+			}
+			if werr := os.WriteFile(jsonOut, append(b, '\n'), 0o644); werr != nil {
+				log.Printf("soak: intermediate report write failed: %v", werr)
+			}
+		}
+		prev := take()
+		winStart := start
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			ing := st.winIngest.Swap(&metrics.LatencyHist{})
+			qry := st.winQuery.Swap(&metrics.LatencyHist{})
+			cur := take()
+			w := windowReport{
+				Index:        i,
+				StartS:       winStart.Sub(start).Seconds(),
+				EndS:         time.Since(start).Seconds(),
+				RecordsAcked: cur.acked - prev.acked,
+				HTTP503:      cur.h503 - prev.h503,
+				HTTP429:      cur.h429 - prev.h429,
+				NetErrors:    cur.netErr - prev.netErr,
+				Ingest:       latJSON(ing),
+				Query:        latJSON(qry),
+				SLO:          evalWindowSLO(spec, ing, qry),
+				OK:           true,
+			}
+			if w.SLO != nil && !w.SLO.OK {
+				w.OK = false
+			}
+			windows = append(windows, w)
+			prev, winStart = cur, time.Now()
+			if !w.OK {
+				ok = false
+				for _, c := range w.SLO.Checks {
+					if !c.OK {
+						log.Printf("soak window %d BREACHED: %s measured %s against budget %s — failing fast",
+							i, c.Objective, c.Actual, c.Budget)
+					}
+				}
+				flush()
+				cancel()
+				return
+			}
+			log.Printf("soak window %d: %d records acked, ingest p99 %.2fms, query p99 %.2fms",
+				i, w.RecordsAcked, w.Ingest.P99Ms, w.Query.P99Ms)
+			flush()
+		}
+	}()
+	return func() ([]windowReport, bool) {
+		r := <-out
+		return r.windows, r.ok
+	}
+}
+
 // ---- verification ----------------------------------------------------
 
 type streamLedger struct {
@@ -1036,14 +1250,17 @@ type report struct {
 		Latency  latencyJSON `json:"latency"`
 	} `json:"query"`
 	Events struct {
-		Received uint64 `json:"received"`
-		Drops    uint64 `json:"reconnects"`
+		Received    uint64 `json:"received"`
+		Drops       uint64 `json:"reconnects"`
+		ChurnCycles uint64 `json:"churn_cycles,omitempty"`
+		Resumes     uint64 `json:"resumes,omitempty"`
 	} `json:"events"`
 	Chaos   []chaosExec    `json:"chaos,omitempty"`
 	Server  serverReport   `json:"server"`
 	Quality *qualityReport `json:"quality,omitempty"`
 	Verify  verifyReport   `json:"verify"`
 	SLO     *sloReport     `json:"slo,omitempty"`
+	Soak    *soakReport    `json:"soak,omitempty"`
 	OK      bool           `json:"ok"`
 }
 
@@ -1217,6 +1434,8 @@ func buildReport(base string, names []string, elapsed time.Duration, st *stats, 
 	rep.Query.Latency = latJSON(&st.queryLat)
 	rep.Events.Received = st.eventsReceived.Load()
 	rep.Events.Drops = st.subscriberDrops.Load()
+	rep.Events.ChurnCycles = st.churnCycles.Load()
+	rep.Events.Resumes = st.resumes.Load()
 	rep.Chaos = chaosLog()
 	return rep
 }

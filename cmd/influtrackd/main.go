@@ -138,6 +138,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -266,6 +267,9 @@ func main() {
 	traceOn := flag.Bool("trace", true, "record per-request lifecycle traces: stage summaries on /metrics plus the /v1/streams/{name}/trace drill-down")
 	traceRing := flag.Int("trace-ring", 0, "recent request traces retained per stream (0 = default 256)")
 	traceSlow := flag.Duration("trace-slow", 0, "log any request slower than this with its per-stage breakdown (0 = default 500ms)")
+	flightOn := flag.Bool("flight-recorder", true, "record lifecycle events (WAL degrade/repair, checkpoint retries, evictions, stalls, Warn+ logs) into a bounded in-memory ring dumped by the diagnostics bundle")
+	flightRing := flag.Int("flight-ring", 1024, "flight-recorder ring capacity (events)")
+	postmortemDir := flag.String("postmortem-dir", "", "write a diagnostics bundle (tar.gz) here on panic and on SIGQUIT (empty = off)")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	var streams streamFlags
 	flag.Var(&streams, "stream", "hosted stream spec (repeatable); see command doc")
@@ -286,6 +290,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "influtrackd: -log-format %q (want text or json)\n", *logFormat)
 		os.Exit(2)
 	}
+	// The flight recorder sits in front of the log handler as a tee:
+	// every Warn+ record lands in the black-box ring too, so a bundle
+	// pulled after an incident shows warnings interleaved with the typed
+	// lifecycle events even when stderr has long since scrolled away.
+	var flight *obs.Flight
+	if *flightOn {
+		flight = obs.NewFlight(*flightRing, nil)
+		handler = obs.NewTeeHandler(handler, flight)
+	}
 	logger := slog.New(handler)
 	// The default logger feeds every package that logs without an
 	// explicit *slog.Logger (checkpoint restore lines, libraries).
@@ -302,6 +315,35 @@ func main() {
 	if len(streams) == 0 {
 		streams = streamFlags{"name=default,algo=histapprox,k=10,eps=0.1,L=1000,lifetime=geometric,p=0.001,seed=42"}
 	}
+
+	// Crash postmortem: on a worker or HTTP-path panic (and on SIGQUIT)
+	// write the full diagnostics bundle to -postmortem-dir before the
+	// panic propagates — the flight ring, profiles and per-stream state
+	// captured at the moment of death, not reconstructed after it. The
+	// mutex serializes concurrent panics; the server pointer is filled
+	// in after construction (a boot-replay panic before that finds nil
+	// and skips the bundle, keeping only the flight EventPanic record).
+	var pm struct {
+		sync.Mutex
+		srv *server.Server
+	}
+	writePostmortem := func(reason string) {
+		if *postmortemDir == "" {
+			return
+		}
+		pm.Lock()
+		defer pm.Unlock()
+		if pm.srv == nil {
+			return
+		}
+		path, err := pm.srv.WritePostmortem(*postmortemDir, reason)
+		if err != nil {
+			logger.Error("postmortem bundle failed", slog.String("reason", reason), slog.Any("error", err))
+			return
+		}
+		logger.Error("postmortem bundle written", slog.String("reason", reason), slog.String("path", path))
+	}
+
 	cfg := server.Config{
 		QueueDepth:      *queue,
 		MaxChunk:        *chunkSize,
@@ -331,6 +373,8 @@ func main() {
 		TraceRing:            *traceRing,
 		SlowTrace:            *traceSlow,
 		BuildLabels:          map[string]string{"shards": strconv.Itoa(*shards)},
+		Flight:               flight,
+		OnPanic:              func(v any) { writePostmortem("panic") },
 	}
 	// The checkpoint savers below write through this seam, so chaos
 	// harnesses can schedule rename/mkdir faults against the checkpoint
@@ -343,6 +387,19 @@ func main() {
 		// against a genuinely torn state. 137 = 128+SIGKILL, what a real
 		// kill -9 reports, so harnesses treat both identically.
 		inj.CrashFn = func() { os.Exit(137) }
+		// Every fault-rule hit lands in the flight ring, so a chaos
+		// drill's bundle shows the injected cause right next to the
+		// degrade/repair events it provoked. Record is nil-safe, so this
+		// wiring is unconditional.
+		inj.OnFire = func(op fault.Op, path string, err error, delay time.Duration, crash bool) {
+			errno := ""
+			if err != nil {
+				errno = err.Error()
+			}
+			flight.Record(obs.EventFaultRuleHit, "", "injected fault rule fired", errno,
+				"op", string(op), "path", path,
+				"delay", delay.String(), "crash", strconv.FormatBool(crash))
+		}
 		cfg.Fault = inj
 		fsys = inj
 		logger.Warn("FAULT INJECTION ENABLED — /v1/admin/fault is live; not for production",
@@ -379,6 +436,9 @@ func main() {
 	if err != nil {
 		die("server construction failed", slog.Any("error", err))
 	}
+	pm.Lock()
+	pm.srv = srv
+	pm.Unlock()
 	if *ckptDir != "" {
 		if err := restoreCheckpoints(srv, *ckptDir, specs); err != nil {
 			die("checkpoint restore failed", slog.Any("error", err))
@@ -393,9 +453,28 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Panics on the request path write the postmortem too (then re-panic
+	// so net/http still aborts the connection and logs the stack).
+	onHTTPPanic := func(v any) {
+		flight.Record(obs.EventPanic, "", "http handler panic", obs.PanicValue(v))
+		writePostmortem("panic")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: obs.RecoverHandler(srv.Handler(), onHTTPPanic)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT triggers a postmortem without killing the process: the
+	// operator's "dump everything, I'll decide later" signal. (Installing
+	// the handler replaces the Go runtime's stack-dump-and-exit default;
+	// the goroutine dump still lands inside the bundle.)
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			logger.Warn("SIGQUIT received — writing postmortem bundle")
+			writePostmortem("sigquit")
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -418,6 +497,10 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dbg.Handle("/metrics", srv.Handler())
+		// The diagnostics bundle lives on the debug listener only — it
+		// carries goroutine dumps and directory listings that must not be
+		// reachable from the public -addr. ?cpu=15s adds a CPU profile.
+		dbg.Handle("/v1/admin/debug/bundle", srv.BundleHandler(*ckptDir))
 		dbgSrv = &http.Server{Addr: *debugAddr, Handler: dbg}
 		go func() {
 			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

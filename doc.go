@@ -280,6 +280,50 @@
 // to latency and loss. BENCH_PR9.json records the audit overhead on
 // ingest throughput.
 //
+// # Incident forensics
+//
+// Metrics say that something went wrong; the flight recorder says what
+// happened, in order. internal/obs carries a black-box ring
+// (-flight-recorder, default on; -flight-ring bounds it, default 1024
+// events) into which every significant lifecycle transition is recorded
+// as a typed, monotonically-sequenced event with stream/cause/errno
+// detail: WAL degrade and repair (the repair event's errno matches the
+// degrade's — the pairing chaos drills assert), rotation, truncation
+// and commit-token fencing, checkpoint saves and per-attempt retries,
+// restores and restore-marker binds, WAL replay completion, notify-hub
+// slow-subscriber evictions (with queue occupancy and sequence lag),
+// audit-floor and memory-watermark crossings and recoveries, injected
+// fault-rule hits, worker stalls, and recovered panics. A tee
+// slog.Handler mirrors every Warn+ log record into the same ring, so
+// anything instrumented only via logging still lands in the black box.
+// The stall watchdog adds active detection: a stream whose queue holds
+// work but whose worker has not finished a batch within 8× its EWMA
+// batch latency (floored at 1s) is flagged with a worker_stall event
+// and a Warn — the signature of a wedged tracker step.
+//
+// GET /v1/admin/debug/bundle (debug listener only, never the public
+// port) streams one tar.gz with everything an incident writeup needs:
+// the flight dump, a /metrics snapshot, the health breakdown, the
+// redacted config (stream tokens are unrepresentable in a bundle),
+// per-stream info/engine-stats/quality/traces from cached state (a
+// wedged worker cannot block its own postmortem), goroutine and heap
+// profiles (?cpu=15s adds a CPU profile), and WAL/checkpoint directory
+// listings. -postmortem-dir makes the daemon write the same bundle on
+// any worker or HTTP-path panic (then re-panic) and on SIGQUIT.
+//
+// /healthz rolls per-component readiness — wal, queue_headroom,
+// audit_floor, replay_debt, degraded_streams, each in [0,1] — into a
+// composite min() score, exported as influtrackd_health_score (with
+// per-component influtrackd_health_component gauges) and returned
+// machine-readably in the /healthz JSON, so one threshold drives load
+// balancers while the breakdown names the exhausted budget.
+// influtrack-loadgen's soak mode (-report-interval) closes the loop for
+// long runs: per-window latency SLO verdicts with fail-fast on the
+// first breached window, and -subscriber-churn cycles SSE
+// connect/resume/disconnect to keep the notify paths honest under
+// membership turnover. BENCH_PR10.json records the flight-recorder
+// overhead (≤ 1% of ingest throughput).
+//
 // # Quick start
 //
 //	assign := tdnstream.GeometricLifetime(0.001, 10_000, 42)

@@ -104,6 +104,14 @@ type Injector struct {
 	// Clock supplies time for TTL expiry and Delay stalls (nil = wall
 	// clock). Set before use.
 	Clock Clock
+	// OnFire, when set, is called after any rule fires on an operation —
+	// with the operation class, the path, the injected error (nil for
+	// pure-latency rules), the accumulated delay and whether a crash rule
+	// fired. Runs outside the injector's lock, before the fault's side
+	// effects are applied, so the daemon can flight-record the hit even
+	// when the firing is a crash. Set before use, not concurrently with
+	// operations.
+	OnFire func(op Op, path string, err error, delay time.Duration, crash bool)
 
 	mu     sync.Mutex
 	rules  []*Rule
@@ -210,10 +218,20 @@ type firing struct {
 	crash bool
 }
 
-// evaluate runs the rule table for one operation. It is the only place
-// rule state advances, so firing order is a pure function of the
-// operation sequence (plus the seeded generator for Prob rules).
+// evaluate runs the rule table for one operation and reports any firing
+// through OnFire (outside the lock — the hook may log or record).
 func (i *Injector) evaluate(op Op, path string) firing {
+	f := i.evaluateLocked(op, path)
+	if i.OnFire != nil && (f.err != nil || f.delay > 0 || f.short > 0 || f.crash) {
+		i.OnFire(op, path, f.err, f.delay, f.crash)
+	}
+	return f
+}
+
+// evaluateLocked advances the rule table for one operation. It is the
+// only place rule state advances, so firing order is a pure function of
+// the operation sequence (plus the seeded generator for Prob rules).
+func (i *Injector) evaluateLocked(op Op, path string) firing {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.ops[op]++

@@ -28,6 +28,13 @@ type Config struct {
 	// publish). A subscriber whose queue overflows is dropped — the
 	// publish path never blocks on a slow consumer.
 	SubscriberBuffer int
+	// OnEvict, when non-nil, runs once per slow-subscriber eviction with
+	// the stream name, the evicted subscriber's queue fill (batches
+	// buffered / capacity) and its sequence lag (events stamped past the
+	// last batch that reached its queue). Called under the stream's
+	// fan-out lock, so it must be cheap and must not call back into the
+	// hub — the server wires the flight recorder and a Warn log here.
+	OnEvict func(stream string, queueLen, queueCap int, seqLag uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +76,10 @@ type Subscription struct {
 	// through to it until one lands, then the filter applies fully.
 	needBase bool
 	slow     bool // guarded by st.mu: evicted for falling behind
+	// lastSeq (guarded by st.mu) is the newest sequence number that
+	// reached this subscriber's queue — backlog at subscribe time, then
+	// each fanned-out batch. The eviction report derives seq lag from it.
+	lastSeq uint64
 }
 
 // Types returns the subscription's event-type filter in sorted order
@@ -114,6 +125,9 @@ type StreamStats struct {
 // snapshot (for keyframe resyncs) lives inside the differ — it already
 // retains a clone, so the hub does not keep a second copy.
 type hubStream struct {
+	name    string
+	onEvict func(stream string, queueLen, queueCap int, seqLag uint64)
+
 	mu      sync.Mutex
 	differ  Differ
 	journal *Journal
@@ -144,6 +158,13 @@ func (st *hubStream) drop(sub *Subscription, slow bool) {
 	if slow {
 		sub.slow = true
 		st.dropped++
+		if st.onEvict != nil {
+			lag := uint64(0)
+			if st.seq > sub.lastSeq {
+				lag = st.seq - sub.lastSeq
+			}
+			st.onEvict(st.name, len(sub.ch), cap(sub.ch), lag)
+		}
 	}
 	close(sub.ch)
 }
@@ -192,6 +213,8 @@ func (h *Hub) ensure(name string) *hubStream {
 		return st
 	}
 	st = &hubStream{
+		name:    name,
+		onEvict: h.cfg.OnEvict,
 		differ:  Differ{Eps: h.cfg.Epsilon, KeyframeEvery: h.cfg.KeyframeEvery},
 		journal: NewJournal(h.cfg.JournalSize),
 		subs:    make(map[*Subscription]struct{}),
@@ -262,6 +285,7 @@ func (st *hubStream) fanout(evs []Event) {
 		}
 		select {
 		case sub.ch <- batch:
+			sub.lastSeq = batch[len(batch)-1].Seq
 		default:
 			// Bounded queue full: this consumer cannot keep up. Drop
 			// it rather than stall the publish path — it reconnects
@@ -472,6 +496,9 @@ func (h *Hub) SubscribeTypes(name string, since uint64, types []EventType) (*Sub
 			TopK: append([]Entry(nil), last.Entries...),
 		}}
 	}
+	// Whatever the backlog branch above chose, it hands the subscriber
+	// the stream's history through the current head: lag starts at zero.
+	sub.lastSeq = st.seq
 	st.subs[sub] = struct{}{}
 	return sub, nil
 }

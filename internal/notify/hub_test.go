@@ -599,3 +599,92 @@ func TestHubPublishQuality(t *testing.T) {
 		t.Fatalf("resume backlog = %+v", resumed.Backlog)
 	}
 }
+
+// TestHubOnEvictHook: the eviction callback fires exactly once per
+// dropped subscriber, with the stream name, the subscriber's queue
+// occupancy, and its sequence lag behind the stream head — the numbers
+// the flight recorder and the eviction Warn log carry.
+func TestHubOnEvictHook(t *testing.T) {
+	type evict struct {
+		stream             string
+		queueLen, queueCap int
+		seqLag             uint64
+	}
+	var mu sync.Mutex
+	var evictions []evict
+	h := NewHub(Config{
+		SubscriberBuffer: 2, KeyframeEvery: 1 << 30,
+		OnEvict: func(stream string, queueLen, queueCap int, seqLag uint64) {
+			mu.Lock()
+			evictions = append(evictions, evict{stream, queueLen, queueCap, seqLag})
+			mu.Unlock()
+		},
+	})
+	h.Publish("s", topkOf(1, 1, 1))
+	sub, err := h.Subscribe("s", h.Seq("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 6; i++ {
+		h.Publish("s", topkOf(int64(i), 1, i))
+	}
+	deadline := time.After(time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if ok {
+				continue
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(evictions) != 1 {
+				t.Fatalf("OnEvict fired %d times, want 1: %+v", len(evictions), evictions)
+			}
+			e := evictions[0]
+			if e.stream != "s" || e.queueCap != 2 || e.queueLen != 2 {
+				t.Fatalf("eviction = %+v", e)
+			}
+			// The subscriber drained nothing: everything past its resume
+			// point is lag (head seq 6, resumed at 1, two batches queued
+			// undelivered — lag counts what never reached the queue plus
+			// what sat in it; it must be > 0 and ≤ head).
+			if e.seqLag == 0 || e.seqLag > 6 {
+				t.Fatalf("seqLag = %d, want in (0, 6]", e.seqLag)
+			}
+			return
+		case <-deadline:
+			t.Fatal("slow consumer never dropped")
+		}
+	}
+}
+
+// TestHubFastConsumerNoEvict: a draining subscriber never triggers the
+// eviction hook.
+func TestHubFastConsumerNoEvict(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	h := NewHub(Config{
+		SubscriberBuffer: 2, KeyframeEvery: 1 << 30,
+		OnEvict: func(string, int, int, uint64) { fired <- struct{}{} },
+	})
+	h.Publish("s", topkOf(1, 1, 1))
+	sub, err := h.Subscribe("s", h.Seq("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain after every publish, so the queue never backs up: the hook
+	// must stay silent no matter how many events flow.
+	for i := 2; i <= 20; i++ {
+		h.Publish("s", topkOf(int64(i), 1, i))
+		select {
+		case <-sub.C:
+		case <-time.After(time.Second):
+			t.Fatal("publish never delivered")
+		}
+	}
+	sub.Cancel()
+	select {
+	case <-fired:
+		t.Fatal("OnEvict fired for a draining subscriber")
+	default:
+	}
+}

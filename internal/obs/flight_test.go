@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRingBoundedAndOrdered(t *testing.T) {
+	f := NewFlight(16, nil)
+	for i := 0; i < 40; i++ {
+		f.Record(EventCheckpointSaved, fmt.Sprintf("s%d", i), "save", "")
+	}
+	if got := f.Recorded(); got != 40 {
+		t.Fatalf("Recorded() = %d, want 40", got)
+	}
+	if got := f.Evicted(); got != 24 {
+		t.Fatalf("Evicted() = %d, want 24", got)
+	}
+	evs := f.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(evs))
+	}
+	// Oldest-first, gap-free, and ending at the newest sequence.
+	for i, ev := range evs {
+		want := uint64(40 - 16 + 1 + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first, contiguous)", i, ev.Seq, want)
+		}
+	}
+	if evs[len(evs)-1].Stream != "s39" {
+		t.Fatalf("newest retained event is %q, want s39", evs[len(evs)-1].Stream)
+	}
+}
+
+func TestFlightPartialRingAndMinimumSize(t *testing.T) {
+	f := NewFlight(0, nil) // clamped up to 16
+	f.Record(EventWALDegraded, "a", "fault", "eio", "queue_depth", "3")
+	f.Record(EventWALRepaired, "a", "healthy", "eio")
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != EventWALDegraded || evs[1].Kind != EventWALRepaired {
+		t.Fatalf("order wrong: %q then %q", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[0].Attrs["queue_depth"] != "3" {
+		t.Fatalf("attrs not retained: %v", evs[0].Attrs)
+	}
+	if f.Evicted() != 0 {
+		t.Fatalf("Evicted() = %d before any wraparound", f.Evicted())
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	if seq := f.Record(EventPanic, "", "boom", ""); seq != 0 {
+		t.Fatalf("nil Record returned %d", seq)
+	}
+	if f.Events() != nil || f.Recorded() != 0 || f.Evicted() != 0 {
+		t.Fatal("nil accessors must be zero-valued")
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlight(64, nil)
+	const goroutines, each = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				f.Record(EventLogWarn, fmt.Sprintf("g%d", g), "msg", "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := f.Recorded(); got != goroutines*each {
+		t.Fatalf("Recorded() = %d, want %d", got, goroutines*each)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	// Sequence numbers must be strictly increasing oldest-first even
+	// though slots were filled by racing goroutines.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order at %d: seq %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	f := NewFlight(16, func() time.Time { return base })
+	f.Record(EventWALDegraded, "load-0", "write-ahead log fault", "injected EIO")
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		Recorded uint64        `json:"recorded"`
+		Evicted  uint64        `json:"evicted"`
+		Capacity int           `json:"capacity"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if doc.Recorded != 1 || doc.Capacity != 16 || len(doc.Events) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Events[0].Errno != "injected EIO" || !doc.Events[0].Time.Equal(base) {
+		t.Fatalf("event round-trip lost fields: %+v", doc.Events[0])
+	}
+}
+
+func TestTeeHandlerMirrorsWarnPlus(t *testing.T) {
+	f := NewFlight(16, nil)
+	logger := slog.New(NewTeeHandler(slog.NewTextHandler(io.Discard, nil), f))
+
+	logger.Info("quiet info", "stream", "a") // below the mirror threshold
+	logger.Warn("stream degraded: write-ahead log fault",
+		"stream", "load-1", "error", "injected EIO", "queue_depth", 7)
+	logger.Error("checkpoint failed", "err", "enospc")
+
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("mirrored %d events, want 2 (Warn + Error only): %+v", len(evs), evs)
+	}
+	warn := evs[0]
+	if warn.Kind != EventLogWarn || warn.Stream != "load-1" || warn.Errno != "injected EIO" {
+		t.Fatalf("warn event lifted attrs wrong: %+v", warn)
+	}
+	if warn.Cause != "stream degraded: write-ahead log fault" {
+		t.Fatalf("cause should be the log message, got %q", warn.Cause)
+	}
+	if warn.Attrs["queue_depth"] != "7" || warn.Attrs["level"] != "WARN" {
+		t.Fatalf("attrs: %v", warn.Attrs)
+	}
+	if evs[1].Errno != "enospc" || evs[1].Attrs["level"] != "ERROR" {
+		t.Fatalf("error event: %+v", evs[1])
+	}
+}
+
+func TestTeeHandlerWithAttrsContext(t *testing.T) {
+	f := NewFlight(16, nil)
+	base := slog.New(NewTeeHandler(slog.NewTextHandler(io.Discard, nil), f))
+	logger := base.With("stream", "pinned")
+	logger.Warn("slow subscriber evicted")
+	evs := f.Events()
+	if len(evs) != 1 || evs[0].Stream != "pinned" {
+		t.Fatalf("WithAttrs context not carried into the mirror: %+v", evs)
+	}
+}

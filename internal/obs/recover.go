@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// RecoverHandler wraps an http.Handler so that a panic on the request
+// path runs onPanic with the recovered value — the daemon installs its
+// crash-postmortem writer there — and is then re-raised, so net/http's
+// own recovery still aborts the connection and logs the stack. onPanic
+// must not panic itself. http.ErrAbortHandler (the sanctioned way to
+// abort a response) passes through without triggering a postmortem.
+func RecoverHandler(next http.Handler, onPanic func(v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && err == http.ErrAbortHandler {
+				panic(v)
+			}
+			if onPanic != nil {
+				onPanic(v)
+			}
+			panic(v)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// PanicValue renders a recovered value the way the flight recorder and
+// postmortem file names want it: a short single-line string.
+func PanicValue(v any) string { return fmt.Sprintf("%v", v) }

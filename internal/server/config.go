@@ -22,6 +22,7 @@ import (
 	"tdnstream"
 	"tdnstream/internal/fault"
 	"tdnstream/internal/notify"
+	"tdnstream/internal/obs"
 )
 
 // Time modes for a stream: how ingested records map to TDN time steps.
@@ -259,6 +260,28 @@ type Config struct {
 	// no influtrackd_quality_* gauges, and the deep quality endpoint
 	// answers 422.
 	DisableAudit bool
+	// Flight, when non-nil, is the black-box flight recorder: every
+	// significant lifecycle transition (WAL degrade/repair, checkpoint
+	// save/retry, restores, subscriber evictions, audit floor crossings,
+	// watermark crossings, fault-rule hits, worker stalls) is recorded
+	// into its bounded ring, and the diagnostics bundle dumps it. Nil
+	// disables recording — every Record site is nil-safe.
+	Flight *obs.Flight
+	// StallFactor tunes the worker-stall watchdog: a stream whose queue
+	// is non-empty but has not finished a batch within
+	// StallFactor × its EWMA batch latency (floored at StallMin) is
+	// flagged with a worker_stall flight event and a Warn log. Default 8.
+	StallFactor float64
+	// StallCheckInterval is the watchdog sweep cadence (default 2s).
+	// Negative disables the watchdog goroutine entirely.
+	StallCheckInterval time.Duration
+	// StallMin floors the stall threshold so streams with microsecond
+	// batches are not flagged by scheduler jitter (default 1s).
+	StallMin time.Duration
+	// OnPanic, when non-nil, runs with the recovered value when a worker
+	// goroutine panics, before the panic is re-raised — the daemon
+	// installs its crash-postmortem writer here. Must not panic itself.
+	OnPanic func(v any)
 	// NotifyExplainGains spends oracle calls at every snapshot publish to
 	// attribute per-seed marginal gains (tdnstream.Explain, up to 2k
 	// calls): events then carry true greedy ranks and gains, enabling
@@ -313,6 +336,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowTrace <= 0 {
 		c.SlowTrace = 500 * time.Millisecond
+	}
+	if c.StallFactor <= 0 {
+		c.StallFactor = 8
+	}
+	if c.StallCheckInterval == 0 {
+		c.StallCheckInterval = 2 * time.Second
+	}
+	if c.StallMin <= 0 {
+		c.StallMin = time.Second
 	}
 	return c
 }

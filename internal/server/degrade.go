@@ -2,7 +2,10 @@ package server
 
 import (
 	"log/slog"
+	"strconv"
 	"time"
+
+	"tdnstream/internal/obs"
 )
 
 // Stream serving states, surfaced in /v1/streams, /healthz and
@@ -45,6 +48,8 @@ func (w *worker) degrade(err error) {
 		return // already degraded: the existing repair loop owns recovery
 	}
 	w.degradedAt.Store(w.cfg.clock().Now().UnixNano())
+	w.cfg.Flight.Record(obs.EventWALDegraded, w.name, "write-ahead log fault", msg,
+		"queue_depth", strconv.Itoa(w.queueDepth()))
 	w.cfg.logger().Error("stream degraded: write-ahead log fault",
 		slog.String("stream", w.name),
 		slog.String("error", msg))
@@ -78,7 +83,17 @@ func (w *worker) repairLoop() {
 		}
 		if err == nil {
 			w.m.walRepairs.Add(1)
+			// Report the fault the repair rotated past: read the sticky
+			// error before clearing it so the repaired event's errno
+			// matches its degraded counterpart — the pairing the chaos
+			// drill asserts on.
+			healed := ""
+			if p := w.lastErr.Load(); p != nil {
+				healed = *p
+			}
 			w.lastErr.Store(nil)
+			w.cfg.Flight.Record(obs.EventWALRepaired, w.name, "write-ahead log healthy", healed,
+				"degraded_for", w.degradedFor().String())
 			w.cfg.logger().Info("stream repaired: write-ahead log healthy",
 				slog.String("stream", w.name),
 				slog.Duration("degraded_for", w.degradedFor()))

@@ -600,8 +600,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			infos = append(infos, info)
 		}
 	}
+	score, components := s.healthComponents()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
+		"score":          score,
+		"components":     components,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"streams":        infos,
 	})

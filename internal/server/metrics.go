@@ -35,6 +35,7 @@ type streamMetrics struct {
 	batchNanos    atomic.Uint64 // cumulative worker time processing chunks
 	stepsPerSec   metrics.EWMA  // smoothed step throughput
 	rowsPerSec    metrics.EWMA  // smoothed record throughput
+	batchEWMA     metrics.EWMA  // smoothed per-chunk worker seconds (stall watchdog baseline)
 
 	// Serving-path latency distributions (lock-free log-bucketed
 	// histograms), rendered as Prometheus summaries with p50/p99/p999.
@@ -83,6 +84,7 @@ func (m *streamMetrics) observeChunk(n, s int, d time.Duration) {
 	m.chunks.Add(1)
 	m.batchNanos.Add(uint64(d.Nanoseconds()))
 	m.batchLat.Observe(d)
+	m.batchEWMA.Observe(d.Seconds())
 	if d > 0 {
 		sec := d.Seconds()
 		m.stepsPerSec.Observe(float64(s) / sec)
@@ -454,6 +456,24 @@ func (s *Server) writeMetrics(w io.Writer) {
 		for _, r := range traced {
 			p("influtrackd_slow_requests_total{stream=%q} %d\n", r.name, r.w.rec.SlowCount())
 		}
+	}
+
+	// Composite health surface: the one number load balancers gate on,
+	// plus its per-component breakdown (the same numbers /healthz
+	// reports as JSON).
+	score, components := s.healthComponents()
+	gauge("health_score", "Composite readiness in [0,1]: the minimum of the per-component scores (wal, queue_headroom, audit_floor, replay_debt, degraded_streams).")
+	p("influtrackd_health_score %g\n", score)
+	gauge("health_component", "Per-component readiness in [0,1] behind the composite health score.")
+	for _, name := range healthComponentOrder {
+		p("influtrackd_health_component{component=%q} %g\n", name, components[name])
+	}
+
+	if f := s.cfg.Flight; f != nil {
+		counter("flight_events_total", "Lifecycle events recorded by the flight recorder (including ones since evicted from the bounded ring).")
+		p("influtrackd_flight_events_total %d\n", f.Recorded())
+		counter("flight_evicted_total", "Flight-recorder events overwritten by ring wraparound.")
+		p("influtrackd_flight_evicted_total %d\n", f.Evicted())
 	}
 
 	obs.WriteRuntimeMetrics(w)

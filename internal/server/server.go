@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tdnstream/internal/notify"
+	"tdnstream/internal/obs"
 	"tdnstream/internal/wal"
 )
 
@@ -53,6 +54,11 @@ type Server struct {
 
 	req2xx, req4xx, req5xx atomic.Uint64
 
+	// watchdogStop ends the worker-stall watchdog goroutine; closed
+	// exactly once by Close. Nil when the watchdog is disabled.
+	watchdogStop chan struct{}
+	watchdogOnce sync.Once
+
 	handler http.Handler
 }
 
@@ -63,10 +69,28 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown wal fsync policy %q (want %s, %s or %s)",
 			cfg.WALFsync, wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNone)
 	}
+	// Slow-subscriber evictions are a fan-out implementation detail the
+	// notify package reports through this hook; the server turns each
+	// into forensics — a flight event plus a Warn with the attrs that
+	// distinguish one bad client (deep queue, small lag) from systemic
+	// backpressure (every subscriber lagging).
+	ncfg := cfg.Notify
+	if ncfg.OnEvict == nil {
+		ncfg.OnEvict = func(stream string, queueLen, queueCap int, seqLag uint64) {
+			cfg.Flight.Record(obs.EventSubscriberEvict, stream, "slow subscriber evicted", "",
+				"subscriber_queue", fmt.Sprintf("%d/%d", queueLen, queueCap),
+				"seq_lag", fmt.Sprintf("%d", seqLag))
+			cfg.logger().Warn("slow subscriber evicted from events feed",
+				"stream", stream,
+				"subscriber_queue_depth", queueLen,
+				"subscriber_queue_capacity", queueCap,
+				"seq_lag", seqLag)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		start:    time.Now(),
-		hub:      notify.NewHub(cfg.Notify),
+		hub:      notify.NewHub(ncfg),
 		streams:  make(map[string]*worker),
 		creating: make(map[string]bool),
 	}
@@ -76,6 +100,10 @@ func New(cfg Config) (*Server, error) {
 			s.Close()
 			return nil, err
 		}
+	}
+	if cfg.StallCheckInterval > 0 {
+		s.watchdogStop = make(chan struct{})
+		go s.watchdogLoop()
 	}
 	return s, nil
 }
@@ -170,6 +198,9 @@ func (s *Server) StreamNames() []string {
 // so no enqueue races the drain; late enqueues fail cleanly with 503
 // rather than being lost silently.
 func (s *Server) Close() error {
+	if s.watchdogStop != nil {
+		s.watchdogOnce.Do(func() { close(s.watchdogStop) })
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -267,11 +298,18 @@ func (s *Server) CheckpointAll(ctx context.Context, save SaveFunc) error {
 			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
 			continue // an unsaved checkpoint proves nothing: keep the log
 		}
+		s.cfg.Flight.Record(obs.EventCheckpointSaved, name, "checkpoint persisted", "",
+			"bytes", fmt.Sprintf("%d", len(data)),
+			"watermark_seg", fmt.Sprintf("%d", mark.Seg),
+			"watermark_off", fmt.Sprintf("%d", mark.Off))
 		// Truncate the checkpointed worker's log specifically: if the
 		// stream was deleted (and possibly re-created) while the save
 		// ran, the watermark describes the old incarnation's log only.
 		if err := w.truncateWAL(mark); err != nil {
 			errs = append(errs, fmt.Errorf("stream %q: %w", name, err))
+		} else if w.wlog != nil {
+			s.cfg.Flight.Record(obs.EventWALTruncated, name, "checkpoint-covered segments truncated", "",
+				"watermark_seg", fmt.Sprintf("%d", mark.Seg))
 		}
 	}
 	return errors.Join(errs...)
@@ -290,6 +328,8 @@ func (s *Server) saveWithRetry(w *worker, name string, data []byte, save SaveFun
 	backoff := s.cfg.CheckpointRetryBackoff
 	for attempt := 0; err != nil && attempt < s.cfg.CheckpointRetries; attempt++ {
 		w.m.ckptRetries.Add(1)
+		s.cfg.Flight.Record(obs.EventCheckpointRetry, name, "checkpoint save failed, retrying", err.Error(),
+			"attempt", fmt.Sprintf("%d", attempt+1))
 		s.cfg.clock().Sleep(backoff)
 		backoff *= 2
 		err = save(name, data)

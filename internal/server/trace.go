@@ -76,6 +76,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	writeJSON(w, http.StatusOK, traceDump(wk, n))
+}
+
+// traceDump builds the trace endpoint's document: the stream's n slowest
+// recent traces plus the per-stage aggregates. Shared between
+// handleTrace and the diagnostics bundle's per-stream traces.json; the
+// caller must have checked wk.rec != nil.
+func traceDump(wk *worker, n int) map[string]any {
 	traces := make([]traceJSON, 0, n)
 	for _, t := range wk.rec.Slowest(n) {
 		tj := traceJSON{
@@ -101,13 +109,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			stages[st.String()] = stageStats(h)
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"stream":            name,
+	return map[string]any{
+		"stream":            wk.name,
 		"slow_threshold_ms": durMs(wk.rec.SlowThreshold()),
 		"slow_requests":     wk.rec.SlowCount(),
 		"recent":            wk.rec.Recent(),
 		"request":           stageStats(wk.rec.TotalHist()),
 		"stages":            stages,
 		"traces":            traces,
-	})
+	}
 }

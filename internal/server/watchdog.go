@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"tdnstream/internal/obs"
+)
+
+// watchdogLoop sweeps every hosted stream for worker stalls on the
+// StallCheckInterval cadence until Close stops it. The sweep itself is
+// the pure function checkStalls, so tests drive it with synthetic times
+// instead of a clock.
+func (s *Server) watchdogLoop() {
+	clk := s.cfg.clock()
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case <-clk.After(s.cfg.StallCheckInterval):
+			s.checkStalls(clk.Now())
+		}
+	}
+}
+
+// checkStalls flags streams whose queue holds work but whose worker has
+// not finished a batch within StallFactor × its EWMA batch latency
+// (floored at StallMin) — the signature of a wedged tracker step or a
+// worker goroutine blocked on an admin operation. Each stall episode is
+// recorded once (the latch clears when the worker finishes a batch), as
+// a worker_stall flight event plus a Warn log.
+func (s *Server) checkStalls(now time.Time) {
+	s.mu.RLock()
+	workers := make([]*worker, 0, len(s.streams))
+	for _, w := range s.streams {
+		workers = append(workers, w)
+	}
+	s.mu.RUnlock()
+	for _, w := range workers {
+		depth := w.queueDepth()
+		if depth == 0 {
+			continue
+		}
+		ewma := time.Duration(w.m.batchEWMA.Value() * float64(time.Second))
+		threshold := time.Duration(s.cfg.StallFactor * float64(ewma))
+		if threshold < s.cfg.StallMin {
+			threshold = s.cfg.StallMin
+		}
+		idle := now.Sub(time.Unix(0, w.lastBatchNs.Load()))
+		if idle < threshold {
+			continue
+		}
+		if !w.stalled.CompareAndSwap(false, true) {
+			continue // already flagged this episode
+		}
+		s.cfg.Flight.Record(obs.EventWorkerStall, w.name,
+			"queued work but no batch finished within the stall threshold", "",
+			"queue_depth", fmt.Sprintf("%d", depth),
+			"idle", idle.String(),
+			"threshold", threshold.String(),
+			"ewma_batch", ewma.String())
+		s.cfg.logger().Warn("worker stall detected",
+			slog.String("stream", w.name),
+			slog.Int("queue_depth", depth),
+			slog.Duration("idle", idle),
+			slog.Duration("threshold", threshold),
+			slog.Duration("ewma_batch", ewma))
+	}
+}

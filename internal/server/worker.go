@@ -156,6 +156,14 @@ type worker struct {
 	// auditor itself is worker-goroutine-private (see below).
 	auditRep atomic.Pointer[audit.Report]
 
+	// lastBatchNs is the wall-clock instant the worker last finished a
+	// chunk; the stall watchdog compares it against the EWMA batch
+	// latency for streams whose queue is non-empty. stalled latches a
+	// flagged stall so the watchdog records one event per episode, not
+	// one per sweep; finishing a chunk clears it.
+	lastBatchNs atomic.Int64
+	stalled     atomic.Bool
+
 	// inFlight is set while the worker is applying a dequeued chunk.
 	// queue_depth reports len(queue) plus this flag: a popped chunk's
 	// records are not yet in the accounting counters, so without it a
@@ -287,6 +295,7 @@ func newWorker(spec StreamSpec, cfg Config, ckpt *checkpointEnvelope, hub *notif
 	if err := w.openWAL(ckpt); err != nil {
 		return nil, err
 	}
+	w.lastBatchNs.Store(time.Now().UnixNano())
 	w.publish()
 	go w.run()
 	return w, nil
@@ -386,6 +395,10 @@ func (w *worker) openWAL(ckpt *checkpointEnvelope) error {
 		return err
 	}
 	w.walDictLen = w.labels.len()
+	w.cfg.Flight.Record(obs.EventReplayDone, w.name, "wal tail replayed", "",
+		"replayed_records", fmt.Sprintf("%d", w.m.walReplayed.Load()),
+		"applied_seg", fmt.Sprintf("%d", w.walApplied.Seg),
+		"applied_off", fmt.Sprintf("%d", w.walApplied.Off))
 	return nil
 }
 
@@ -535,6 +548,9 @@ func (w *worker) applyRestoreMarker(env *checkpointEnvelope, end wal.Pos) error 
 	if w.hub != nil {
 		w.hub.Resume(w.name, env.NotifySeq)
 	}
+	w.cfg.Flight.Record(obs.EventRestoreMarker, w.name, "restore marker bound during replay", "",
+		"marker_seg", fmt.Sprintf("%d", end.Seg),
+		"marker_off", fmt.Sprintf("%d", end.Off))
 	return nil
 }
 
@@ -544,6 +560,19 @@ func (w *worker) applyRestoreMarker(env *checkpointEnvelope, end wal.Pos) error 
 // between chunks so they never race the tracker.
 func (w *worker) run() {
 	defer close(w.done)
+	// A panicking worker takes its stream down; record the forensics
+	// first (flight event, then the daemon's postmortem hook) and
+	// re-panic so the failure stays loud.
+	defer func() {
+		if v := recover(); v != nil {
+			w.cfg.Flight.Record(obs.EventPanic, w.name, "worker goroutine panic",
+				fmt.Sprintf("%v", v))
+			if w.cfg.OnPanic != nil {
+				w.cfg.OnPanic(v)
+			}
+			panic(v)
+		}
+	}()
 	for {
 		select {
 		case fn := <-w.admin:
@@ -728,6 +757,8 @@ func (w *worker) commitWAL(tok wal.Token, tr *obs.Trace) error {
 			// flap the stream for a fault that is already healed.
 			msg := err.Error()
 			w.lastErr.Store(&msg)
+			w.cfg.Flight.Record(obs.EventWALFenced, w.name,
+				"ack-ambiguous commit token fenced by repair", msg)
 		} else {
 			w.degrade(err)
 		}
@@ -862,7 +893,10 @@ func (w *worker) process(c chunk) {
 	// The chunk's work — publish included — is complete: release the
 	// trace's chunk reference and mark the completion instant so the
 	// next chunk's queue wait starts from here.
-	c.trace.Done(time.Now().UnixNano())
+	done := time.Now()
+	w.lastBatchNs.Store(done.UnixNano())
+	w.stalled.Store(false)
+	c.trace.Done(done.UnixNano())
 }
 
 // observe runs one pipeline step, recording rather than propagating
@@ -965,6 +999,9 @@ func (w *worker) noteFloor(rep *audit.Report, action audit.FloorAction) {
 	floor := w.cfg.AuditFloor
 	switch action {
 	case audit.FloorWarn, audit.FloorReWarn:
+		w.cfg.Flight.Record(obs.EventAuditFloor, w.name, "quality ratio under audit floor", "",
+			"quality_ratio", fmt.Sprintf("%.4f", rep.QualityRatio),
+			"floor", fmt.Sprintf("%.4f", floor))
 		w.cfg.logger().Warn("stream quality under audit floor",
 			"stream", w.name,
 			"quality_ratio", rep.QualityRatio,
@@ -973,6 +1010,9 @@ func (w *worker) noteFloor(rep *audit.Report, action audit.FloorAction) {
 			"reference_value", rep.ReferenceValue,
 			"budget_exhausted", rep.BudgetExhausted)
 	case audit.FloorRecover:
+		w.cfg.Flight.Record(obs.EventAuditRecover, w.name, "quality ratio recovered above audit floor", "",
+			"quality_ratio", fmt.Sprintf("%.4f", rep.QualityRatio),
+			"floor", fmt.Sprintf("%.4f", floor))
 		w.cfg.logger().Info("stream quality recovered above audit floor",
 			"stream", w.name,
 			"quality_ratio", rep.QualityRatio,
@@ -1005,6 +1045,11 @@ func (w *worker) refreshEngineStats(st *workerState) {
 	now := time.Now().UnixNano()
 	switch {
 	case above && (!w.aboveWatermark || now-w.watermarkLogNs >= int64(time.Minute)):
+		if !w.aboveWatermark {
+			w.cfg.Flight.Record(obs.EventMemWatermark, w.name, "engine memory over watermark", "",
+				"engine_bytes", fmt.Sprintf("%d", es.Bytes),
+				"watermark_bytes", fmt.Sprintf("%d", wm))
+		}
 		w.cfg.logger().Warn("stream over memory watermark",
 			"stream", w.name,
 			"engine_bytes", es.Bytes,
@@ -1014,6 +1059,9 @@ func (w *worker) refreshEngineStats(st *workerState) {
 			"edges", es.Edges)
 		w.watermarkLogNs = now
 	case !above && w.aboveWatermark:
+		w.cfg.Flight.Record(obs.EventMemRecover, w.name, "engine memory back under watermark", "",
+			"engine_bytes", fmt.Sprintf("%d", es.Bytes),
+			"watermark_bytes", fmt.Sprintf("%d", wm))
 		w.cfg.logger().Info("stream back under memory watermark",
 			"stream", w.name,
 			"engine_bytes", es.Bytes,
@@ -1287,6 +1335,8 @@ func (w *worker) restore(env *checkpointEnvelope) error {
 	if w.hub != nil {
 		w.hub.Resume(w.name, env.NotifySeq)
 	}
+	w.cfg.Flight.Record(obs.EventRestore, w.name, "checkpoint restore replaced live state", "",
+		"epoch", fmt.Sprintf("%d", w.epoch))
 	w.publish()
 	// Durability per policy, outside the quiesce window. The swap has
 	// taken effect in memory either way; a failed group commit is

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# bench_pr10.sh [output.json] [duration] [gate_pct] [churn_subs] [soak_dur] [soak_window]
+#
+# Two-part benchmark for the PR-10 flight recorder + soak/churn harness.
+#
+# Part 1 — overhead: the same -wal-fsync always, 8-concurrent-ingester
+# serving run as BENCH_PR7/PR8/PR9, with the flight recorder on (the
+# default: lifecycle Record calls plus the Warn+ tee slog handler) vs
+# -flight-recorder=false. Each config runs twice, interleaved
+# (on/off/on/off), and the best throughput per config is compared:
+# single runs on shared hardware swing several percent run-to-run,
+# which would drown a sub-1% signal, while peak-vs-peak cancels the
+# machine drift. overhead_pct = (off - on) / off * 100; gated <=
+# gate_pct (default 1). CI smoke runs pass a looser gate.
+#
+# Part 2 — the acceptance soak: churn_subs SSE subscribers (default
+# 10000 — the roadmap's 10k-connection mark; CI smoke passes a smaller
+# count) cycling connect → consume → Last-Event-ID resume → disconnect
+# every few seconds while throttled zipfian ingest runs for soak_dur
+# (default 10m; CI smoke passes seconds), with -report-interval
+# (soak_window, default 30s) turning the run into a soak — per-window
+# SLO evaluation against a generous latency budget plus the
+# zero-acked-record-loss ledger, failing fast at the first breached
+# window. Gates: the run's own SLO/ledger verdict, at least one full
+# churn cycle per subscriber on average, and at least one successful
+# resume.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR10.json}"
+dur="${2:-20s}"
+gate="${3:-1}"
+subs="${4:-10000}"
+soak_dur="${5:-10m}"
+soak_win="${6:-30s}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# 10k SSE connections need the descriptors to carry them.
+ulimit -n 65536 2> /dev/null || true
+
+go build -o "$tmp/influtrackd" ./cmd/influtrackd
+go build -o "$tmp/loadgen" ./cmd/influtrack-loadgen
+
+# ---- Part 1: flight-recorder overhead under the fsync-bound run ----
+
+run_loadgen() { # report port daemon-extra-flags
+    local report="$1" port="$2" extra="$3"
+    rm -rf "$tmp/wal"
+    "$tmp/loadgen" \
+        -spawn "$tmp/influtrackd -addr 127.0.0.1:$port -wal-dir $tmp/wal -wal-fsync always $extra" \
+        -addr "http://127.0.0.1:$port" \
+        -streams 2 -queriers 2 -subscribers 2 -batch 100 \
+        -ingesters 8 -duration "$dur" -settle 12m \
+        -json "$report"
+}
+
+for i in 1 2; do
+    echo "== flight on ($i/2): recorder + tee handler (the default)"
+    run_loadgen "$tmp/on$i.json" 8200 ""
+    echo "== flight off ($i/2): -flight-recorder=false"
+    run_loadgen "$tmp/off$i.json" 8201 "-flight-recorder=false"
+done
+
+# field FILE KEY — first occurrence of a loadgen-report numeric field.
+# Tolerates absence (omitempty keys like churn_cycles render only when
+# non-zero): callers default with ${var:-0} and the awk gates below
+# fail loudly on zeros rather than the extraction failing silently.
+field() { grep -m1 -o "\"$2\": [0-9.]*" "$1" | grep -o '[0-9.]*$' || true; }
+okflag() { if grep -q '"ok": true' "$1"; then echo true; else echo false; fi; }
+
+# Keep the better run of each config (symlinked to the unsuffixed name
+# so the report block below reads the winning run's figures).
+best() { # config -> links $tmp/<config>.json to the higher-rps run
+    local a b
+    a=$(field "$tmp/$1"1.json records_per_sec)
+    b=$(field "$tmp/$1"2.json records_per_sec)
+    if awk -v a="${a:-0}" -v b="${b:-0}" 'BEGIN { exit !(a + 0 >= b + 0) }'; then
+        ln -sf "$tmp/$1"1.json "$tmp/$1.json"
+    else
+        ln -sf "$tmp/$1"2.json "$tmp/$1.json"
+    fi
+}
+best on
+best off
+
+on_rps=$(field "$tmp/on.json" records_per_sec)
+off_rps=$(field "$tmp/off.json" records_per_sec)
+overhead=$(awk -v on="$on_rps" -v off="$off_rps" \
+    'BEGIN { if (off + 0 > 0) printf "%.2f", (off - on) / off * 100; else print "null" }')
+
+# ---- Part 2: the soak — subscriber churn + per-window SLO eval ----
+
+echo "== soak: $soak_dur with $subs subscribers cycling every 3s, windows every $soak_win"
+"$tmp/loadgen" \
+    -spawn "$tmp/influtrackd -addr 127.0.0.1:8202" \
+    -addr "http://127.0.0.1:8202" \
+    -streams 2 -ingesters 2 -queriers 1 -batch 100 -rate 20 \
+    -subscribers "$subs" -subscriber-churn 3s \
+    -report-interval "$soak_win" -duration "$soak_dur" -settle 12m \
+    -slo "ingest_p99=60s,lost_acked=0" \
+    -json "$tmp/churn.json"
+
+churn_cycles=$(field "$tmp/churn.json" churn_cycles)
+resumes=$(field "$tmp/churn.json" resumes)
+drops=$(field "$tmp/churn.json" reconnects)
+windows=$(grep -c '"index":' "$tmp/churn.json" || true)
+
+{
+    echo "{"
+    echo "  \"suite\": \"pr10-flight-recorder\","
+    echo "  \"description\": \"Part 1: cmd/influtrack-loadgen against a spawned influtrackd (-wal-fsync always, 8 concurrent ingesters, 100-record batches), flight recorder + Warn+ tee handler on (default) vs -flight-recorder=false, best of two interleaved runs per config to cancel machine drift; overhead_pct gated <= ${gate}%. Part 2: a ${soak_dur} soak with ${subs} SSE subscribers churning connect/Last-Event-ID-resume/disconnect every 3s under throttled zipfian ingest, -report-interval ${soak_win} windows each evaluated against the SLO budgets (fail-fast on first breach) and ledger-verified zero acked-record loss.\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"duration\": \"$dur\","
+    echo "  \"gate_pct\": $gate,"
+    for run in on off; do
+        f="$tmp/$run.json"
+        echo "  \"flight_$run\": {"
+        echo "    \"records_per_sec\": $(field "$f" records_per_sec),"
+        echo "    \"ingest_p50_ms\": $(field "$f" p50_ms),"
+        echo "    \"ingest_p99_ms\": $(field "$f" p99_ms),"
+        echo "    \"ingest_p999_ms\": $(field "$f" p999_ms),"
+        echo "    \"verify_ok\": $(okflag "$f")"
+        echo "  },"
+    done
+    echo "  \"overhead_pct\": $overhead,"
+    echo "  \"soak\": {"
+    echo "    \"duration\": \"$soak_dur\","
+    echo "    \"window\": \"$soak_win\","
+    echo "    \"subscribers\": $subs,"
+    echo "    \"churn_cycles\": ${churn_cycles:-0},"
+    echo "    \"resumes\": ${resumes:-0},"
+    echo "    \"subscriber_drops\": ${drops:-0},"
+    echo "    \"soak_windows\": ${windows:-0},"
+    echo "    \"verify_ok\": $(okflag "$tmp/churn.json")"
+    echo "  }"
+    echo "}"
+} > "$out"
+
+echo "wrote $out"
+
+awk -v o="$overhead" -v g="$gate" 'BEGIN {
+    if (o + 0 > g + 0) { printf "flight-recorder overhead %.2f%% exceeds the %.2f%% gate\n", o, g; exit 1 }
+    printf "flight-recorder overhead %.2f%% within the %.2f%% gate\n", o, g
+}'
+
+awk -v c="${churn_cycles:-0}" -v r="${resumes:-0}" -v s="$subs" -v w="${windows:-0}" 'BEGIN {
+    if (c + 0 < s + 0) { printf "churn_cycles %s under one cycle per subscriber (%s)\n", c, s; exit 1 }
+    if (r + 0 < 1)     { printf "no successful Last-Event-ID resumes recorded\n"; exit 1 }
+    if (w + 0 < 1)     { printf "soak recorded no windows\n"; exit 1 }
+    printf "soak: %s windows; churn: %s cycles across %s subscribers, %s resumes\n", w, c, s, r
+}'
+if ! grep -q '"ok": true' "$tmp/churn.json"; then
+    echo "soak run did not pass its own SLO/ledger verdict" >&2
+    exit 1
+fi
